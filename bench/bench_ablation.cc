@@ -1,0 +1,149 @@
+/// Ablation benches for the design choices DESIGN.md calls out:
+///   1. Pruning bound — paper's log2 heuristic vs the sound additive bound
+///      vs the aggressive zero-offset variant: selection time, evaluations,
+///      pruned counts, and achieved H(T).
+///   2. Preprocessing builder — the O(n 2^n) butterfly vs the paper's
+///      literal O(|O|^2) scan.
+///   3. Correlation model — independent vs latent-truth vs mixture joints
+///      feeding the same crowd budget: final F1.
+///
+///   ./bench_ablation
+
+#include <cmath>
+#include <cstdio>
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/answer_model.h"
+#include "core/greedy_selector.h"
+#include "eval/experiment.h"
+
+using namespace crowdfusion;
+
+namespace {
+
+void PruningAblation() {
+  const int n = 14;
+  const int k = 8;
+  const core::JointDistribution joint = bench::MakeCorrelatedJoint(n, 42);
+  auto crowd = core::CrowdModel::Create(0.8);
+  CF_CHECK(crowd.ok());
+
+  std::printf("Ablation 1 — pruning bound (n=%d, k=%d, Equation 2 cost "
+              "model)\n", n, k);
+  common::TablePrinter table(
+      {"Bound", "Seconds", "Evaluations", "Pruned", "H(T) bits"});
+  const struct {
+    const char* name;
+    bool prune;
+    core::GreedySelector::PruningBound bound;
+  } kVariants[] = {
+      {"none", false, core::GreedySelector::PruningBound::kPaperLog2},
+      {"paper log2", true, core::GreedySelector::PruningBound::kPaperLog2},
+      {"sound additive", true,
+       core::GreedySelector::PruningBound::kSoundAdditive},
+      {"aggressive zero", true,
+       core::GreedySelector::PruningBound::kAggressiveZero},
+  };
+  for (const auto& variant : kVariants) {
+    core::GreedySelector::Options options;
+    options.use_pruning = variant.prune;
+    options.pruning_bound = variant.bound;
+    core::GreedySelector selector(options);
+    core::SelectionRequest request;
+    request.joint = &joint;
+    request.crowd = &crowd.value();
+    request.k = k;
+    auto selection = selector.Select(request);
+    CF_CHECK(selection.ok());
+    table.AddRow({variant.name,
+                  common::StrFormat("%.4f", selection->stats.elapsed_seconds),
+                  std::to_string(selection->stats.evaluations),
+                  std::to_string(selection->stats.pruned),
+                  common::StrFormat("%.6f", selection->entropy_bits)});
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+}
+
+void PreprocessingBuilderAblation() {
+  std::printf(
+      "Ablation 2 — answer-joint builders: butterfly O(n 2^n) vs the "
+      "paper's scan O(|O|^2)\n");
+  auto crowd = core::CrowdModel::Create(0.8);
+  CF_CHECK(crowd.ok());
+  common::TablePrinter table({"n", "|O|", "Butterfly s", "Scan s",
+                              "Max abs diff"});
+  for (int n = 8; n <= 14; n += 2) {
+    const core::JointDistribution joint =
+        bench::MakeCorrelatedJoint(n, 77 + static_cast<uint64_t>(n));
+    common::Stopwatch timer;
+    auto fast = core::AnswerJointTable::Build(joint, *crowd);
+    const double fast_seconds = timer.ElapsedSeconds();
+    CF_CHECK(fast.ok());
+    timer.Restart();
+    auto scan = core::AnswerJointTable::BuildByScan(joint, *crowd);
+    const double scan_seconds = timer.ElapsedSeconds();
+    CF_CHECK(scan.ok());
+    double max_diff = 0.0;
+    for (size_t i = 0; i < fast->probs().size(); ++i) {
+      max_diff = std::max(max_diff,
+                          std::fabs(fast->probs()[i] - scan->probs()[i]));
+    }
+    table.AddRow({std::to_string(n), std::to_string(joint.support_size()),
+                  common::StrFormat("%.5f", fast_seconds),
+                  common::StrFormat("%.5f", scan_seconds),
+                  common::StrFormat("%.2e", max_diff)});
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+}
+
+void CorrelationAblation() {
+  std::printf(
+      "Ablation 3 — correlation model feeding the same crowd budget "
+      "(30 books, B=16, Pc=0.8)\n");
+  common::TablePrinter table(
+      {"Joint model", "F1 before", "F1 after", "Utility after"});
+  const struct {
+    const char* name;
+    data::CorrelationKind kind;
+  } kKinds[] = {
+      {"independent", data::CorrelationKind::kIndependent},
+      {"latent truth", data::CorrelationKind::kLatentTruth},
+      {"mixture", data::CorrelationKind::kMixture},
+  };
+  for (const auto& kind : kKinds) {
+    eval::ExperimentOptions options;
+    options.dataset.num_books = 30;
+    options.dataset.num_sources = 20;
+    options.dataset.seed = 21;
+    options.budget_per_book = 16;
+    options.tasks_per_round = 2;
+    options.correlation.kind = kind.kind;
+    auto result = eval::RunExperiment(options);
+    CF_CHECK(result.ok()) << result.status().ToString();
+    table.AddRow({kind.name,
+                  common::StrFormat("%.4f", result->initial_quality.f1),
+                  common::StrFormat("%.4f", result->final_quality.f1),
+                  common::StrFormat("%.2f", result->final_utility_bits)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nCorrelation-aware joints let one answer inform related facts, so "
+      "the mixture model\nshould dominate independence at equal budget "
+      "(the paper's core motivation).\n");
+}
+
+}  // namespace
+
+int main() {
+  PruningAblation();
+  PreprocessingBuilderAblation();
+  CorrelationAblation();
+  return 0;
+}

@@ -1,0 +1,192 @@
+/// Extension experiment (Section V-D follow-up): uniform per-book budgets
+/// vs the global BudgetScheduler at equal total cost. The paper attributes
+/// part of its residual error to statement-rich books being starved by the
+/// flat B = 60 per-book budget; the global allocator removes that error
+/// mode. Reports F1 and total utility at several total budgets, plus the
+/// spread of per-book spending.
+///
+///   ./bench_budget_allocation [num_books]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/bayes.h"
+#include "core/greedy_selector.h"
+#include "core/scheduler.h"
+#include "crowd/simulated_crowd.h"
+#include "data/book_dataset.h"
+#include "data/correlation_model.h"
+#include "eval/metrics.h"
+#include "fusion/crh.h"
+
+using namespace crowdfusion;
+
+namespace {
+
+struct BookProblem {
+  core::JointDistribution joint;
+  std::vector<bool> truths;
+  std::vector<data::StatementCategory> categories;
+};
+
+struct Outcome {
+  double f1 = 0.0;
+  double utility_bits = 0.0;
+  int max_book_cost = 0;
+  int min_book_cost = 0;
+};
+
+std::vector<BookProblem> BuildProblems(int num_books, uint64_t seed) {
+  // A heterogeneous dataset: some books get large statement pools, some
+  // tiny ones, so uniform budgets misallocate badly.
+  data::BookDatasetOptions options;
+  options.num_books = num_books;
+  options.num_sources = 30;
+  options.coverage = 0.7;
+  options.true_variants = 4;
+  options.false_variants = 8;
+  options.seed = seed;
+  auto dataset = data::GenerateBookDataset(options);
+  CF_CHECK(dataset.ok());
+  fusion::CrhFuser fuser;
+  auto fused = fuser.Fuse(dataset->claims);
+  CF_CHECK(fused.ok());
+
+  std::vector<BookProblem> problems;
+  data::CorrelationModelOptions correlation;
+  for (const data::Book& book : dataset->books) {
+    const int n = static_cast<int>(book.statements.size());
+    if (n == 0) continue;
+    BookProblem problem;
+    std::vector<double> marginals;
+    for (int i = 0; i < n; ++i) {
+      marginals.push_back(fused->value_probability[static_cast<size_t>(
+          book.value_ids[static_cast<size_t>(i)])]);
+      problem.truths.push_back(
+          book.statements[static_cast<size_t>(i)].is_true);
+      problem.categories.push_back(
+          book.statements[static_cast<size_t>(i)].category);
+    }
+    auto joint =
+        data::BuildBookJoint(marginals, book.statements, correlation);
+    CF_CHECK(joint.ok());
+    problem.joint = std::move(joint).value();
+    problems.push_back(std::move(problem));
+  }
+  return problems;
+}
+
+Outcome Score(const std::vector<core::JointDistribution>& joints,
+              const std::vector<BookProblem>& problems,
+              const std::vector<int>& costs) {
+  Outcome outcome;
+  eval::ConfusionCounts counts;
+  for (size_t i = 0; i < joints.size(); ++i) {
+    counts += eval::CountConfusion(joints[i].Marginals(), problems[i].truths);
+    outcome.utility_bits += -joints[i].EntropyBits();
+  }
+  outcome.f1 = eval::ComputeF1(counts).f1;
+  outcome.max_book_cost = *std::max_element(costs.begin(), costs.end());
+  outcome.min_book_cost = *std::min_element(costs.begin(), costs.end());
+  return outcome;
+}
+
+/// Uniform strategy: every book independently gets total/num_books tasks.
+Outcome RunUniform(const std::vector<BookProblem>& problems, int total_budget,
+                   const core::CrowdModel& crowd,
+                   core::TaskSelector& selector, uint64_t crowd_seed) {
+  const int per_book =
+      std::max(1, total_budget / static_cast<int>(problems.size()));
+  std::vector<core::JointDistribution> joints;
+  std::vector<int> costs;
+  for (size_t b = 0; b < problems.size(); ++b) {
+    crowd::SimulatedCrowd provider(problems[b].truths, problems[b].categories,
+                                   crowd::WorkerBias::Uniform(crowd.pc()),
+                                   crowd_seed + b);
+    core::EngineOptions options;
+    options.budget = per_book;
+    options.tasks_per_round = 1;
+    auto engine = core::CrowdFusionEngine::Create(
+        problems[b].joint, crowd, &selector, &provider, options);
+    CF_CHECK(engine.ok());
+    auto records = engine->Run();
+    CF_CHECK(records.ok());
+    joints.push_back(engine->current());
+    costs.push_back(engine->cost_spent());
+  }
+  return Score(joints, problems, costs);
+}
+
+/// Global strategy: one BudgetScheduler over all books.
+Outcome RunGlobal(const std::vector<BookProblem>& problems, int total_budget,
+                  const core::CrowdModel& crowd, core::TaskSelector& selector,
+                  uint64_t crowd_seed) {
+  core::BudgetScheduler::Options options;
+  options.total_budget = total_budget;
+  auto scheduler = core::BudgetScheduler::Create(crowd, &selector, options);
+  CF_CHECK(scheduler.ok());
+  std::vector<std::unique_ptr<crowd::SimulatedCrowd>> providers;
+  for (size_t b = 0; b < problems.size(); ++b) {
+    providers.push_back(std::make_unique<crowd::SimulatedCrowd>(
+        problems[b].truths, problems[b].categories,
+        crowd::WorkerBias::Uniform(crowd.pc()), crowd_seed + b));
+    CF_CHECK(scheduler
+                 ->AddInstance(common::StrFormat("book%zu", b),
+                               problems[b].joint, providers.back().get())
+                 .ok());
+  }
+  auto records = scheduler->Run();
+  CF_CHECK(records.ok());
+  std::vector<core::JointDistribution> joints;
+  std::vector<int> costs;
+  for (int i = 0; i < scheduler->num_instances(); ++i) {
+    joints.push_back(scheduler->joint(i));
+    costs.push_back(scheduler->cost_spent(i));
+  }
+  return Score(joints, problems, costs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_books = argc > 1 ? std::atoi(argv[1]) : 40;
+  const std::vector<BookProblem> problems = BuildProblems(num_books, 77);
+  auto crowd = core::CrowdModel::Create(0.8);
+  CF_CHECK(crowd.ok());
+  core::GreedySelector::Options greedy_options;
+  greedy_options.use_pruning = true;
+  greedy_options.use_preprocessing = true;
+  core::GreedySelector selector(greedy_options);
+
+  std::printf(
+      "Budget allocation: uniform per-book vs global scheduler, %zu books, "
+      "Pc = %.1f\n\n",
+      problems.size(), crowd->pc());
+  common::TablePrinter table({"Total budget", "Uniform F1", "Global F1",
+                              "Uniform utility", "Global utility",
+                              "Global max/min book cost"});
+  for (const int total : {80, 160, 320, 640}) {
+    const Outcome uniform =
+        RunUniform(problems, total, *crowd, selector, 9000);
+    const Outcome global = RunGlobal(problems, total, *crowd, selector, 9000);
+    table.AddRow({std::to_string(total),
+                  common::StrFormat("%.4f", uniform.f1),
+                  common::StrFormat("%.4f", global.f1),
+                  common::StrFormat("%.2f", uniform.utility_bits),
+                  common::StrFormat("%.2f", global.utility_bits),
+                  common::StrFormat("%d / %d", global.max_book_cost,
+                                    global.min_book_cost)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape: at equal total cost the global scheduler matches "
+      "or beats the uniform\nsplit on both metrics, and its per-book "
+      "spending is deliberately uneven.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+/// Figure 4 reproduction: the Pc-setting study. F1 (panel a) and utility
+/// (panel b) vs cost for Pc in {0.7, 0.8, 0.9}, Approx vs Random, full
+/// dataset. Also runs the paper's calibration observation: the real crowd
+/// measured ~0.86 accurate, and assuming 0.8 or 0.9 both work while
+/// underestimating at 0.7 slows convergence.
+///
+///   ./bench_fig4_pc_settings [num_books] [budget]
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "common/string_util.h"
+
+#include "eval/experiment.h"
+#include "eval/reporting.h"
+
+using namespace crowdfusion;
+
+int main(int argc, char** argv) {
+  const int num_books = argc > 1 ? std::atoi(argv[1]) : 100;
+  const int budget = argc > 2 ? std::atoi(argv[2]) : 60;
+  std::filesystem::create_directories("bench_results");
+
+  std::vector<eval::ExperimentResult> series;
+  for (const eval::SelectorKind kind :
+       {eval::SelectorKind::kGreedyPrunePre, eval::SelectorKind::kRandom}) {
+    for (const double pc : {0.7, 0.8, 0.9}) {
+      eval::ExperimentOptions options;
+      options.dataset.num_books = num_books;
+      options.dataset.num_sources = 24;
+      options.dataset.seed = 5;
+      options.budget_per_book = budget;
+      options.tasks_per_round = 1;
+      options.assumed_pc = pc;
+      options.true_accuracy = pc;
+      options.selector = kind;
+      auto result = eval::RunExperiment(options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      result->label = common::StrFormat(
+          "%s Pc=%.1f",
+          kind == eval::SelectorKind::kRandom ? "Random" : "Approx.", pc);
+      series.push_back(std::move(*result));
+    }
+  }
+  eval::PrintCurves(std::cout,
+                    common::StrFormat("Figure 4, Pc settings (B=%d/book)",
+                                      budget),
+                    series, /*max_rows=*/12);
+  eval::PrintSummary(std::cout, series);
+  if (auto status =
+          eval::WriteCurvesCsv("bench_results/fig4_pc.csv", series);
+      status.ok()) {
+    std::printf("series written to bench_results/fig4_pc.csv\n");
+  }
+
+  // Calibration study: workers truly ~0.86 accurate (the paper's measured
+  // rate); what the system *assumes* varies.
+  std::printf("\nCalibration: true crowd accuracy fixed at 0.86, assumed Pc "
+              "varies\n");
+  std::vector<eval::ExperimentResult> calibration;
+  for (const double assumed : {0.7, 0.8, 0.86, 0.9, 0.99}) {
+    eval::ExperimentOptions options;
+    options.dataset.num_books = num_books / 2;
+    options.dataset.num_sources = 24;
+    options.dataset.seed = 5;
+    options.budget_per_book = budget / 2;
+    options.tasks_per_round = 1;
+    options.assumed_pc = assumed;
+    options.true_accuracy = 0.86;
+    auto result = eval::RunExperiment(options);
+    if (!result.ok()) return 1;
+    result->label = common::StrFormat("assumed Pc=%.2f", assumed);
+    calibration.push_back(std::move(*result));
+  }
+  eval::PrintSummary(std::cout, calibration);
+  std::printf(
+      "\nExpected shape (paper Fig. 4 + Section V-C3): higher Pc gives "
+      "higher utility;\nPc=0.8 and 0.9 reach comparable F1; "
+      "underestimating (0.7) slows convergence.\n");
+  return 0;
+}

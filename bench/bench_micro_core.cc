@@ -1,0 +1,175 @@
+/// Google-benchmark micro benchmarks of the core primitives: entropy,
+/// marginalization, the BSC butterfly, answer-joint preprocessing,
+/// partition refinement, Bayesian updates, and one-round selection.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/math_util.h"
+#include "core/answer_model.h"
+#include "core/bayes.h"
+#include "core/greedy_selector.h"
+#include "core/opt_selector.h"
+#include "core/random_selector.h"
+
+namespace crowdfusion {
+namespace {
+
+core::CrowdModel Crowd() {
+  auto crowd = core::CrowdModel::Create(0.8);
+  CF_CHECK(crowd.ok());
+  return std::move(crowd).value();
+}
+
+void BM_Entropy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const core::JointDistribution joint =
+      bench::MakeCorrelatedJoint(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(joint.EntropyBits());
+  }
+  state.SetComplexityN(joint.support_size());
+}
+BENCHMARK(BM_Entropy)->Arg(8)->Arg(12)->Arg(16)->Complexity(benchmark::oN);
+
+void BM_MarginalizeOnto(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const core::JointDistribution joint = bench::MakeCorrelatedJoint(n, 2);
+  const std::vector<int> tasks = {0, 2, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(joint.MarginalizeOnto(tasks));
+  }
+}
+BENCHMARK(BM_MarginalizeOnto)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_ChannelButterfly(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const core::CrowdModel crowd = Crowd();
+  std::vector<double> dist(1ULL << k, 1.0 / static_cast<double>(1ULL << k));
+  for (auto _ : state) {
+    std::vector<double> copy = dist;
+    crowd.PushThroughChannel(copy, k);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_ChannelButterfly)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_AnswerDistributionFast(benchmark::State& state) {
+  const core::JointDistribution joint = bench::MakeCorrelatedJoint(12, 3);
+  const core::CrowdModel crowd = Crowd();
+  const std::vector<int> tasks = {0, 3, 5, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::AnswerDistribution(joint, tasks, crowd));
+  }
+}
+BENCHMARK(BM_AnswerDistributionFast);
+
+void BM_AnswerDistributionBruteForce(benchmark::State& state) {
+  const core::JointDistribution joint = bench::MakeCorrelatedJoint(12, 3);
+  const core::CrowdModel crowd = Crowd();
+  const std::vector<int> tasks = {0, 3, 5, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::AnswerDistributionBruteForce(joint, tasks, crowd));
+  }
+}
+BENCHMARK(BM_AnswerDistributionBruteForce);
+
+void BM_AnswerJointBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const core::JointDistribution joint = bench::MakeCorrelatedJoint(n, 4);
+  const core::CrowdModel crowd = Crowd();
+  for (auto _ : state) {
+    auto table = core::AnswerJointTable::Build(joint, crowd);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_AnswerJointBuild)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_AnswerJointBuildByScan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const core::JointDistribution joint = bench::MakeCorrelatedJoint(n, 4);
+  const core::CrowdModel crowd = Crowd();
+  for (auto _ : state) {
+    auto table = core::AnswerJointTable::BuildByScan(joint, crowd);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_AnswerJointBuildByScan)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_PartitionRefinerCandidate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const core::JointDistribution joint = bench::MakeCorrelatedJoint(n, 5);
+  const core::CrowdModel crowd = Crowd();
+  auto table = core::AnswerJointTable::Build(joint, crowd);
+  CF_CHECK(table.ok());
+  core::PartitionRefiner refiner(&table.value());
+  refiner.Commit(0);
+  refiner.Commit(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(refiner.EntropyWithCandidate(3));
+  }
+}
+BENCHMARK(BM_PartitionRefinerCandidate)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_BayesUpdate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const core::JointDistribution joint = bench::MakeCorrelatedJoint(n, 6);
+  const core::CrowdModel crowd = Crowd();
+  const core::AnswerSet answers{{0, 2, 4}, {true, false, true}};
+  for (auto _ : state) {
+    auto posterior = core::PosteriorGivenAnswers(joint, answers, crowd);
+    benchmark::DoNotOptimize(posterior);
+  }
+}
+BENCHMARK(BM_BayesUpdate)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_GreedySelectPreprocessed(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const core::JointDistribution joint = bench::MakeCorrelatedJoint(n, 7);
+  const core::CrowdModel crowd = Crowd();
+  core::GreedySelector::Options options;
+  options.use_pruning = true;
+  options.use_preprocessing = true;
+  core::GreedySelector selector(options);
+  for (auto _ : state) {
+    core::SelectionRequest request;
+    request.joint = &joint;
+    request.crowd = &crowd;
+    request.k = 3;
+    benchmark::DoNotOptimize(selector.Select(request));
+  }
+}
+BENCHMARK(BM_GreedySelectPreprocessed)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_GreedySelectBruteForce(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const core::JointDistribution joint = bench::MakeCorrelatedJoint(n, 7);
+  const core::CrowdModel crowd = Crowd();
+  core::GreedySelector selector;
+  for (auto _ : state) {
+    core::SelectionRequest request;
+    request.joint = &joint;
+    request.crowd = &crowd;
+    request.k = 3;
+    benchmark::DoNotOptimize(selector.Select(request));
+  }
+}
+BENCHMARK(BM_GreedySelectBruteForce)->Arg(8)->Arg(12);
+
+void BM_OptSelect(benchmark::State& state) {
+  const core::JointDistribution joint = bench::MakeCorrelatedJoint(10, 8);
+  const core::CrowdModel crowd = Crowd();
+  core::OptSelector selector;
+  for (auto _ : state) {
+    core::SelectionRequest request;
+    request.joint = &joint;
+    request.crowd = &crowd;
+    request.k = static_cast<int>(state.range(0));
+    benchmark::DoNotOptimize(selector.Select(request));
+  }
+}
+BENCHMARK(BM_OptSelect)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+}  // namespace crowdfusion

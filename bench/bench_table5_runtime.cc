@@ -1,0 +1,109 @@
+/// Table V reproduction: one-round average selection times of the five
+/// approaches — OPT, Approx., Approx.&Prune, Approx.&Pre., and
+/// Approx.&Prune&Pre. — for k = 1..K on a correlated joint.
+///
+/// Fidelity notes:
+///  * The paper uses books with > 20 facts on a Xeon cluster and reports
+///    seconds; a 2^20+ dense support makes the un-preprocessed paths take
+///    hours here, so the default is n = 14 facts (override via argv). The
+///    *shape* — OPT exploding exponentially, plain Approx doubling per k,
+///    pruning flattening the curve, preprocessing dropping it by orders of
+///    magnitude — is the reproduction target, not absolute seconds.
+///  * OPT and the non-preprocessed Approx variants evaluate H(T) with the
+///    literal Equation 2 scan, the paper's cost model. OPT is capped at
+///    k <= opt_max (default 4); the paper likewise gave up on OPT at k = 4
+///    after five days.
+///
+///   ./bench_table5_runtime [n] [K] [opt_max] [repetitions]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/greedy_selector.h"
+#include "core/opt_selector.h"
+
+using namespace crowdfusion;
+
+namespace {
+
+double TimeSelection(core::TaskSelector& selector,
+                     const core::JointDistribution& joint,
+                     const core::CrowdModel& crowd, int k, int repetitions) {
+  double total = 0.0;
+  for (int r = 0; r < repetitions; ++r) {
+    core::SelectionRequest request;
+    request.joint = &joint;
+    request.crowd = &crowd;
+    request.k = k;
+    const common::Stopwatch timer;
+    auto selection = selector.Select(request);
+    CF_CHECK(selection.ok()) << selection.status().ToString();
+    total += timer.ElapsedSeconds();
+  }
+  return total / repetitions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 14;
+  const int max_k = argc > 2 ? std::atoi(argv[2]) : 10;
+  const int opt_max = argc > 3 ? std::atoi(argv[3]) : 4;
+  const int repetitions = argc > 4 ? std::atoi(argv[4]) : 3;
+
+  const core::JointDistribution joint = bench::MakeCorrelatedJoint(n, 2017);
+  auto crowd = core::CrowdModel::Create(0.8);
+  CF_CHECK(crowd.ok());
+
+  std::printf(
+      "TABLE V — one-round average selection times (seconds), n = %d facts, "
+      "|O| = %d, %d repetitions\n\n",
+      joint.num_facts(), joint.support_size(), repetitions);
+
+  core::OptSelector::Options opt_options;
+  opt_options.use_brute_force_entropy = true;
+  core::OptSelector opt(opt_options);
+
+  core::GreedySelector approx;  // literal Equation 2 evaluation
+  core::GreedySelector::Options prune_options;
+  prune_options.use_pruning = true;
+  core::GreedySelector approx_prune(prune_options);
+  core::GreedySelector::Options pre_options;
+  pre_options.use_preprocessing = true;
+  core::GreedySelector approx_pre(pre_options);
+  core::GreedySelector::Options both_options;
+  both_options.use_pruning = true;
+  both_options.use_preprocessing = true;
+  core::GreedySelector approx_prune_pre(both_options);
+
+  common::TablePrinter table({"k", "OPT", "Approx.", "Approx.&Prune",
+                              "Approx.&Pre.", "Approx.&Prune&Pre."});
+  for (int k = 1; k <= max_k; ++k) {
+    std::vector<std::string> row = {std::to_string(k)};
+    if (k <= opt_max) {
+      row.push_back(common::StrFormat(
+          "%.4f", TimeSelection(opt, joint, *crowd, k, repetitions)));
+    } else {
+      row.push_back("-");  // infeasible, as in the paper
+    }
+    for (core::GreedySelector* selector :
+         {&approx, &approx_prune, &approx_pre, &approx_prune_pre}) {
+      row.push_back(common::StrFormat(
+          "%.4f", TimeSelection(*selector, joint, *crowd, k, repetitions)));
+    }
+    table.AddRow(std::move(row));
+    std::fflush(stdout);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape (paper Table V): OPT grows exponentially and is "
+      "infeasible past k~3;\nApprox. roughly doubles per k; pruning "
+      "flattens it; preprocessing is fastest and near-flat.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+#ifndef CROWDFUSION_BENCH_BENCH_UTIL_H_
+#define CROWDFUSION_BENCH_BENCH_UTIL_H_
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "core/joint_distribution.h"
+#include "data/book_dataset.h"
+#include "data/correlation_model.h"
+
+namespace crowdfusion::bench {
+
+/// A correlated n-fact joint distribution in the style of the evaluation
+/// workload: a generated book's statements run through the mixture
+/// correlation model with mid-uncertainty marginals. Deterministic in
+/// `seed`. Requires n <= 20 (dense 2^n support).
+inline core::JointDistribution MakeCorrelatedJoint(int n, uint64_t seed) {
+  data::BookDatasetOptions options;
+  options.num_books = 1;
+  options.num_sources = 8 * n;
+  options.coverage = 0.95;
+  options.min_authors = 2;  // multi-author books corrupt in more ways
+  options.true_variants = (n + 1) / 2;
+  options.false_variants = 2 * n;  // oversupply; truncated below
+  options.seed = seed;
+  // Statement pools deduplicate, so a book can come up short; retry with
+  // shifted seeds until it has n distinct claimed statements.
+  data::Book book;
+  bool found = false;
+  for (int attempt = 0; attempt < 64 && !found; ++attempt) {
+    options.seed = seed + static_cast<uint64_t>(attempt) * 7919;
+    auto dataset = data::GenerateBookDataset(options);
+    CF_CHECK(dataset.ok()) << dataset.status().ToString();
+    if (static_cast<int>(dataset->books.front().statements.size()) >= n) {
+      book = std::move(dataset->books.front());
+      found = true;
+    }
+  }
+  CF_CHECK(found) << "could not generate a book with " << n << " statements";
+  book.statements.resize(static_cast<size_t>(n));
+
+  common::Rng rng(seed ^ 0xBEEF);
+  std::vector<double> marginals(static_cast<size_t>(n));
+  for (double& m : marginals) m = rng.NextUniform(0.25, 0.75);
+  data::CorrelationModelOptions correlation;
+  auto joint = data::BuildBookJoint(marginals, book.statements, correlation);
+  CF_CHECK(joint.ok()) << joint.status().ToString();
+  return std::move(joint).value();
+}
+
+}  // namespace crowdfusion::bench
+
+#endif  // CROWDFUSION_BENCH_BENCH_UTIL_H_

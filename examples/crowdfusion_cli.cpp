@@ -1,0 +1,240 @@
+/// File-driven command-line front end, chaining the library's persistence
+/// formats so each pipeline stage can run as its own process:
+///
+///   crowdfusion_cli generate <claims.tsv> [books] [sources] [seed]
+///       synthesize a Book dataset and write it in the TSV claim format
+///   crowdfusion_cli fuse <claims.tsv> <joint-dir> [crh|majority|...]
+///       run machine-only fusion and write one joint file per book
+///   crowdfusion_cli refine <claims.tsv> <joint-dir> [budget] [pc]
+///       run CrowdFusion rounds on every saved joint (simulated crowd
+///       seeded from the gold labels) and rewrite the refined joints
+///   crowdfusion_cli score <claims.tsv> <joint-dir>
+///       compare the stored joints' marginals against the gold labels
+///
+/// Example session:
+///   ./crowdfusion_cli generate /tmp/books.tsv 20 16 7
+///   ./crowdfusion_cli fuse /tmp/books.tsv /tmp/joints crh
+///   ./crowdfusion_cli score /tmp/books.tsv /tmp/joints
+///   ./crowdfusion_cli refine /tmp/books.tsv /tmp/joints 40 0.8
+///   ./crowdfusion_cli score /tmp/books.tsv /tmp/joints
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "fusion/crh.h"
+#include "fusion/majority_vote.h"
+#include "fusion/web_link_fusers.h"
+
+#include "common/string_util.h"
+#include "core/crowdfusion.h"
+#include "core/greedy_selector.h"
+#include "core/serialization.h"
+#include "crowd/simulated_crowd.h"
+#include "data/book_dataset.h"
+#include "data/correlation_model.h"
+#include "data/dataset_io.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+
+using namespace crowdfusion;
+
+namespace {
+
+std::string JointPath(const std::string& dir, const data::Book& book) {
+  return dir + "/" + book.isbn + ".joint";
+}
+
+int Fail(const common::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: generate <claims.tsv> [books] [sources] [seed]\n");
+    return 2;
+  }
+  data::BookDatasetOptions options;
+  options.num_books = argc > 3 ? std::atoi(argv[3]) : 20;
+  options.num_sources = argc > 4 ? std::atoi(argv[4]) : 16;
+  options.seed = argc > 5 ? static_cast<uint64_t>(std::atoll(argv[5])) : 7;
+  auto dataset = data::GenerateBookDataset(options);
+  if (!dataset.ok()) return Fail(dataset.status());
+  if (auto status = data::SaveBookDataset(*dataset, argv[2]); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("wrote %d claims on %d books (%d sources) to %s\n",
+              dataset->claims.num_claims(), dataset->claims.num_entities(),
+              dataset->claims.num_sources(), argv[2]);
+  return 0;
+}
+
+common::Result<eval::Initializer> ParseInitializer(const std::string& name) {
+  if (name == "crh") return eval::Initializer::kCrh;
+  if (name == "majority") return eval::Initializer::kMajorityVote;
+  if (name == "truthfinder") return eval::Initializer::kTruthFinder;
+  if (name == "accu") return eval::Initializer::kAccu;
+  if (name == "sums") return eval::Initializer::kSums;
+  if (name == "averagelog") return eval::Initializer::kAverageLog;
+  if (name == "investment") return eval::Initializer::kInvestment;
+  return common::Status::InvalidArgument("unknown fuser: " + name);
+}
+
+int CmdFuse(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: fuse <claims.tsv> <joint-dir> [fuser]\n");
+    return 2;
+  }
+  auto dataset = data::LoadBookDataset(argv[2]);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto initializer = ParseInitializer(argc > 4 ? argv[4] : "crh");
+  if (!initializer.ok()) return Fail(initializer.status());
+  std::printf("fusing with %s...\n", eval::InitializerName(*initializer));
+  std::unique_ptr<fusion::Fuser> fuser;
+  switch (*initializer) {
+    case eval::Initializer::kMajorityVote:
+      fuser = std::make_unique<fusion::MajorityVoteFuser>();
+      break;
+    case eval::Initializer::kSums:
+      fuser = std::make_unique<fusion::SumsFuser>();
+      break;
+    case eval::Initializer::kAverageLog:
+      fuser = std::make_unique<fusion::AverageLogFuser>();
+      break;
+    case eval::Initializer::kInvestment:
+      fuser = std::make_unique<fusion::InvestmentFuser>();
+      break;
+    default:
+      fuser = std::make_unique<fusion::CrhFuser>();
+      break;
+  }
+  auto fused = fuser->Fuse(dataset->claims);
+  if (!fused.ok()) return Fail(fused.status());
+
+  std::filesystem::create_directories(argv[3]);
+  data::CorrelationModelOptions correlation;
+  int written = 0;
+  for (const data::Book& book : dataset->books) {
+    if (book.statements.empty()) continue;
+    std::vector<double> marginals;
+    for (int vid : book.value_ids) {
+      marginals.push_back(
+          fused->value_probability[static_cast<size_t>(vid)]);
+    }
+    auto joint =
+        data::BuildBookJoint(marginals, book.statements, correlation);
+    if (!joint.ok()) return Fail(joint.status());
+    if (auto status =
+            core::SaveJointDistribution(*joint, JointPath(argv[3], book));
+        !status.ok()) {
+      return Fail(status);
+    }
+    ++written;
+  }
+  std::printf("wrote %d joint files to %s\n", written, argv[3]);
+  return 0;
+}
+
+int CmdRefine(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: refine <claims.tsv> <joint-dir> [budget] [pc]\n");
+    return 2;
+  }
+  auto dataset = data::LoadBookDataset(argv[2]);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const int budget = argc > 4 ? std::atoi(argv[4]) : 30;
+  const double pc = argc > 5 ? std::atof(argv[5]) : 0.8;
+  auto crowd = core::CrowdModel::Create(pc);
+  if (!crowd.ok()) return Fail(crowd.status());
+  core::GreedySelector::Options greedy_options;
+  greedy_options.use_pruning = true;
+  greedy_options.use_preprocessing = true;
+  core::GreedySelector selector(greedy_options);
+
+  int refined = 0;
+  uint64_t seed = 12000;
+  for (const data::Book& book : dataset->books) {
+    if (book.statements.empty()) continue;
+    auto joint = core::LoadJointDistribution(JointPath(argv[3], book));
+    if (!joint.ok()) return Fail(joint.status());
+    std::vector<bool> truths;
+    std::vector<data::StatementCategory> categories;
+    for (const data::Statement& s : book.statements) {
+      truths.push_back(s.is_true);
+      categories.push_back(s.category);
+    }
+    crowd::SimulatedCrowd provider(truths, categories,
+                                   crowd::WorkerBias::Uniform(pc), seed++);
+    core::EngineOptions engine_options;
+    engine_options.budget = budget;
+    engine_options.tasks_per_round = 1;
+    auto engine = core::CrowdFusionEngine::Create(
+        std::move(joint).value(), *crowd, &selector, &provider,
+        engine_options);
+    if (!engine.ok()) return Fail(engine.status());
+    if (auto records = engine->Run(); !records.ok()) {
+      return Fail(records.status());
+    }
+    if (auto status = core::SaveJointDistribution(engine->current(),
+                                                  JointPath(argv[3], book));
+        !status.ok()) {
+      return Fail(status);
+    }
+    ++refined;
+  }
+  std::printf("refined %d joints with budget %d/book at Pc=%.2f\n", refined,
+              budget, pc);
+  return 0;
+}
+
+int CmdScore(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: score <claims.tsv> <joint-dir>\n");
+    return 2;
+  }
+  auto dataset = data::LoadBookDataset(argv[2]);
+  if (!dataset.ok()) return Fail(dataset.status());
+  eval::ConfusionCounts counts;
+  double utility = 0.0;
+  int books = 0;
+  for (const data::Book& book : dataset->books) {
+    if (book.statements.empty()) continue;
+    auto joint = core::LoadJointDistribution(JointPath(argv[3], book));
+    if (!joint.ok()) return Fail(joint.status());
+    std::vector<bool> truths;
+    for (const data::Statement& s : book.statements) {
+      truths.push_back(s.is_true);
+    }
+    counts += eval::CountConfusion(joint->Marginals(), truths);
+    utility += -joint->EntropyBits();
+    ++books;
+  }
+  const eval::PrecisionRecallF1 prf = eval::ComputeF1(counts);
+  std::printf(
+      "%d books: precision %.4f, recall %.4f, F1 %.4f, total utility %.2f "
+      "bits\n",
+      books, prf.precision, prf.recall, prf.f1, utility);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: crowdfusion_cli <generate|fuse|refine|score> ...\n");
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(argc, argv);
+  if (command == "fuse") return CmdFuse(argc, argv);
+  if (command == "refine") return CmdRefine(argc, argv);
+  if (command == "score") return CmdScore(argc, argv);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 2;
+}

@@ -1,0 +1,69 @@
+#ifndef CROWDFUSION_COMMON_BIT_UTIL_H_
+#define CROWDFUSION_COMMON_BIT_UTIL_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace crowdfusion::common {
+
+/// Bit utilities over uint64_t masks. An "output" in the CrowdFusion data
+/// model is a truth assignment to n <= 63 facts packed into a mask: bit i is
+/// 1 iff fact i is judged true.
+
+inline int PopCount(uint64_t mask) { return std::popcount(mask); }
+
+inline bool GetBit(uint64_t mask, int bit) {
+  return (mask >> bit) & 1ULL;
+}
+
+inline uint64_t SetBit(uint64_t mask, int bit, bool value) {
+  return value ? (mask | (1ULL << bit)) : (mask & ~(1ULL << bit));
+}
+
+/// Extracts the bits of `mask` at the positions listed in `positions`
+/// (ascending), packing them into the low bits of the result. E.g. with
+/// positions = {1, 3}, mask 0b1010 -> 0b11.
+inline uint64_t ExtractBits(uint64_t mask, const std::vector<int>& positions) {
+  uint64_t out = 0;
+  for (size_t i = 0; i < positions.size(); ++i) {
+    out |= static_cast<uint64_t>((mask >> positions[i]) & 1ULL) << i;
+  }
+  return out;
+}
+
+/// Scatters the low |positions| bits of `packed` to the given positions.
+/// Inverse of ExtractBits for bits inside `positions`.
+inline uint64_t DepositBits(uint64_t packed, const std::vector<int>& positions) {
+  uint64_t out = 0;
+  for (size_t i = 0; i < positions.size(); ++i) {
+    out |= static_cast<uint64_t>((packed >> i) & 1ULL) << positions[i];
+  }
+  return out;
+}
+
+/// Iterates all k-subsets of {0..n-1} in lexicographic order, invoking
+/// `fn(const std::vector<int>&)` for each. Used by the brute-force OPT
+/// selector and by exhaustive tests.
+template <typename Fn>
+void ForEachSubset(int n, int k, Fn&& fn) {
+  if (k < 0 || k > n) return;
+  std::vector<int> idx(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) idx[static_cast<size_t>(i)] = i;
+  for (;;) {
+    fn(static_cast<const std::vector<int>&>(idx));
+    // Advance to the next combination.
+    int i = k - 1;
+    while (i >= 0 && idx[static_cast<size_t>(i)] == n - k + i) --i;
+    if (i < 0) break;
+    ++idx[static_cast<size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      idx[static_cast<size_t>(j)] = idx[static_cast<size_t>(j - 1)] + 1;
+    }
+  }
+}
+
+}  // namespace crowdfusion::common
+
+#endif  // CROWDFUSION_COMMON_BIT_UTIL_H_

@@ -1,0 +1,51 @@
+#ifndef CROWDFUSION_COMMON_LOGGING_H_
+#define CROWDFUSION_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace crowdfusion::common {
+
+/// Internal helper that prints a fatal message and aborts when the stream
+/// is destroyed. Used by CF_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "[FATAL " << file << ":" << line << "] Check failed: "
+            << condition << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace crowdfusion::common
+
+/// Aborts with a message when `condition` is false. Intended for internal
+/// invariants (programming errors), not for validating user input — user
+/// input errors are reported via Status.
+#define CF_CHECK(condition)                                              \
+  if (!(condition))                                                      \
+  ::crowdfusion::common::FatalLogMessage(__FILE__, __LINE__, #condition) \
+      .stream()
+
+#define CF_CHECK_OK(expr)                                              \
+  do {                                                                 \
+    const ::crowdfusion::common::Status _cf_check_status = (expr);     \
+    CF_CHECK(_cf_check_status.ok()) << _cf_check_status.ToString();    \
+  } while (false)
+
+#ifndef NDEBUG
+#define CF_DCHECK(condition) CF_CHECK(condition)
+#else
+#define CF_DCHECK(condition) \
+  if (false) CF_CHECK(condition)
+#endif
+
+#endif  // CROWDFUSION_COMMON_LOGGING_H_

@@ -1,0 +1,29 @@
+#ifndef CROWDFUSION_COMMON_STOPWATCH_H_
+#define CROWDFUSION_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace crowdfusion::common {
+
+/// Wall-clock stopwatch for benchmark harnesses. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace crowdfusion::common
+
+#endif  // CROWDFUSION_COMMON_STOPWATCH_H_

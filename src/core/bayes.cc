@@ -1,0 +1,95 @@
+#include "core/bayes.h"
+
+#include <unordered_set>
+
+#include "common/bit_util.h"
+#include "common/string_util.h"
+
+namespace crowdfusion::core {
+
+using common::Status;
+
+namespace {
+
+Status ValidateAnswerSet(const JointDistribution& prior,
+                         const AnswerSet& answer_set) {
+  if (answer_set.tasks.size() != answer_set.answers.size()) {
+    return Status::InvalidArgument(common::StrFormat(
+        "answer set has %zu tasks but %zu answers", answer_set.tasks.size(),
+        answer_set.answers.size()));
+  }
+  std::unordered_set<int> seen;
+  for (int t : answer_set.tasks) {
+    if (t < 0 || t >= prior.num_facts()) {
+      return Status::OutOfRange(
+          common::StrFormat("task fact id %d out of range [0, %d)", t,
+                            prior.num_facts()));
+    }
+    if (!seen.insert(t).second) {
+      return Status::InvalidArgument(common::StrFormat(
+          "task fact id %d appears twice in one answer set", t));
+    }
+  }
+  return Status::Ok();
+}
+
+/// Unnormalized posterior weights P(o) * P(Ans | o); returns total mass.
+double WeightEntries(const JointDistribution& prior,
+                     const AnswerSet& answer_set, const CrowdModel& crowd,
+                     std::vector<JointDistribution::Entry>& out) {
+  const int k = static_cast<int>(answer_set.tasks.size());
+  uint64_t answer_bits = 0;
+  for (int i = 0; i < k; ++i) {
+    if (answer_set.answers[static_cast<size_t>(i)]) answer_bits |= 1ULL << i;
+  }
+  out.clear();
+  out.reserve(prior.entries().size());
+  double total = 0.0;
+  for (const auto& entry : prior.entries()) {
+    const uint64_t truth_bits =
+        common::ExtractBits(entry.mask, answer_set.tasks);
+    const double w =
+        entry.prob * crowd.AnswerLikelihood(truth_bits, answer_bits, k);
+    total += w;
+    out.push_back({entry.mask, w});
+  }
+  return total;
+}
+
+}  // namespace
+
+common::Result<JointDistribution> PosteriorGivenAnswers(
+    const JointDistribution& prior, const AnswerSet& answer_set,
+    const CrowdModel& crowd) {
+  CF_RETURN_IF_ERROR(ValidateAnswerSet(prior, answer_set));
+  std::vector<JointDistribution::Entry> weighted;
+  const double total = WeightEntries(prior, answer_set, crowd, weighted);
+  if (total <= 0.0) {
+    return Status::FailedPrecondition(
+        "received answers have zero probability under the prior "
+        "(impossible evidence; check Pc and the prior support)");
+  }
+  return JointDistribution::FromEntries(prior.num_facts(), std::move(weighted),
+                                        /*normalize=*/true);
+}
+
+common::Result<double> AnswerSetProbability(const JointDistribution& prior,
+                                            const AnswerSet& answer_set,
+                                            const CrowdModel& crowd) {
+  CF_RETURN_IF_ERROR(ValidateAnswerSet(prior, answer_set));
+  std::vector<JointDistribution::Entry> weighted;
+  return WeightEntries(prior, answer_set, crowd, weighted);
+}
+
+common::Result<JointDistribution> PosteriorGivenAnswerSets(
+    const JointDistribution& prior, std::span<const AnswerSet> answer_sets,
+    const CrowdModel& crowd) {
+  JointDistribution current = prior;
+  for (const AnswerSet& answers : answer_sets) {
+    CF_ASSIGN_OR_RETURN(current,
+                        PosteriorGivenAnswers(current, answers, crowd));
+  }
+  return current;
+}
+
+}  // namespace crowdfusion::core

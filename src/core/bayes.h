@@ -1,0 +1,43 @@
+#ifndef CROWDFUSION_CORE_BAYES_H_
+#define CROWDFUSION_CORE_BAYES_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/crowd_model.h"
+#include "core/joint_distribution.h"
+
+namespace crowdfusion::core {
+
+/// One round's collected crowd answers: answers[i] is the crowd's true/false
+/// judgment of fact tasks[i].
+struct AnswerSet {
+  std::vector<int> tasks;
+  std::vector<bool> answers;
+};
+
+/// Merges crowd answers into the output distribution (Section III-A,
+/// Equation 3):
+///   P(o | Ans) = P(o) * Pc^{#Same} * (1-Pc)^{#Diff} / P(Ans)
+/// Returns the normalized posterior. Fails if the answer set is malformed
+/// (size mismatch, out-of-range fact ids, duplicate tasks) or if the answer
+/// set has zero probability under the prior (impossible evidence).
+common::Result<JointDistribution> PosteriorGivenAnswers(
+    const JointDistribution& prior, const AnswerSet& answer_set,
+    const CrowdModel& crowd);
+
+/// Marginal likelihood P(Ans) of the received answers under the prior and
+/// crowd model (the normalizer of Equation 3).
+common::Result<double> AnswerSetProbability(const JointDistribution& prior,
+                                            const AnswerSet& answer_set,
+                                            const CrowdModel& crowd);
+
+/// Applies a sequence of answer sets (multiple rounds) in order.
+common::Result<JointDistribution> PosteriorGivenAnswerSets(
+    const JointDistribution& prior, std::span<const AnswerSet> answer_sets,
+    const CrowdModel& crowd);
+
+}  // namespace crowdfusion::core
+
+#endif  // CROWDFUSION_CORE_BAYES_H_

@@ -1,0 +1,101 @@
+#include "core/crowdfusion.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace crowdfusion::core {
+
+using common::Status;
+
+common::Result<CrowdFusionEngine> CrowdFusionEngine::Create(
+    JointDistribution initial, CrowdModel crowd, TaskSelector* selector,
+    AnswerProvider* provider, EngineOptions options) {
+  if (selector == nullptr) {
+    return Status::InvalidArgument("selector must not be null");
+  }
+  if (provider == nullptr) {
+    return Status::InvalidArgument("answer provider must not be null");
+  }
+  if (options.budget < 0) {
+    return Status::InvalidArgument(
+        common::StrFormat("budget must be non-negative, got %d",
+                          options.budget));
+  }
+  if (options.tasks_per_round <= 0) {
+    return Status::InvalidArgument(common::StrFormat(
+        "tasks_per_round must be positive, got %d", options.tasks_per_round));
+  }
+  if (initial.num_facts() == 0) {
+    return Status::InvalidArgument("initial distribution has no facts");
+  }
+  if (!initial.IsNormalized(1e-6)) {
+    return Status::InvalidArgument("initial distribution is not normalized");
+  }
+  return CrowdFusionEngine(std::move(initial), crowd, selector, provider,
+                           options);
+}
+
+common::Result<RoundRecord> CrowdFusionEngine::RunRound() {
+  if (!HasBudget()) {
+    return Status::FailedPrecondition("budget exhausted");
+  }
+  // Ask min(k, n, remaining budget) tasks this round (Section V-A); an
+  // adaptive policy may override the fixed k.
+  const int remaining = options_.budget - cost_spent_;
+  int requested_k = options_.tasks_per_round;
+  if (options_.round_policy != nullptr) {
+    RoundPolicy::RoundContext context;
+    context.joint = &current_;
+    context.remaining_budget = remaining;
+    context.rounds_completed = rounds_completed_;
+    requested_k = std::max(1, options_.round_policy->NextK(context));
+  }
+  const int k = std::min({requested_k, current_.num_facts(), remaining});
+
+  SelectionRequest request;
+  request.joint = &current_;
+  request.crowd = &crowd_;
+  request.k = k;
+  CF_ASSIGN_OR_RETURN(Selection selection, selector_->Select(request));
+
+  RoundRecord record;
+  record.round = rounds_completed_;
+  record.tasks = selection.tasks;
+  record.selected_entropy_bits = selection.entropy_bits;
+  record.selection_stats = selection.stats;
+
+  if (!selection.tasks.empty()) {
+    CF_ASSIGN_OR_RETURN(record.answers,
+                        provider_->CollectAnswers(selection.tasks));
+    if (record.answers.size() != selection.tasks.size()) {
+      return Status::Internal(common::StrFormat(
+          "answer provider returned %zu answers for %zu tasks",
+          record.answers.size(), selection.tasks.size()));
+    }
+    AnswerSet answer_set;
+    answer_set.tasks = selection.tasks;
+    answer_set.answers = record.answers;
+    CF_ASSIGN_OR_RETURN(current_,
+                        PosteriorGivenAnswers(current_, answer_set, crowd_));
+    cost_spent_ += static_cast<int>(selection.tasks.size());
+  }
+
+  record.utility_bits = -current_.EntropyBits();
+  record.cumulative_cost = cost_spent_;
+  ++rounds_completed_;
+  return record;
+}
+
+common::Result<std::vector<RoundRecord>> CrowdFusionEngine::Run() {
+  std::vector<RoundRecord> records;
+  while (HasBudget()) {
+    CF_ASSIGN_OR_RETURN(RoundRecord record, RunRound());
+    const bool selected_nothing = record.tasks.empty();
+    records.push_back(std::move(record));
+    if (selected_nothing) break;  // Selector sees no benefit in more tasks.
+  }
+  return records;
+}
+
+}  // namespace crowdfusion::core

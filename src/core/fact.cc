@@ -1,0 +1,28 @@
+#include "core/fact.h"
+
+#include "common/logging.h"
+
+namespace crowdfusion::core {
+
+std::string Fact::ToString() const {
+  return subject + " | " + predicate + " | " + object;
+}
+
+int FactSet::Add(Fact fact) {
+  facts_.push_back(std::move(fact));
+  return static_cast<int>(facts_.size()) - 1;
+}
+
+const Fact& FactSet::at(int id) const {
+  CF_CHECK(id >= 0 && id < size()) << "fact id out of range: " << id;
+  return facts_[static_cast<size_t>(id)];
+}
+
+int FactSet::Find(const Fact& fact) const {
+  for (int i = 0; i < size(); ++i) {
+    if (facts_[static_cast<size_t>(i)] == fact) return i;
+  }
+  return -1;
+}
+
+}  // namespace crowdfusion::core

@@ -1,0 +1,140 @@
+#include "core/fact_query.h"
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace crowdfusion::core {
+
+using common::Status;
+
+FactQuery FactQuery::Atom(int fact_id) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAtom;
+  node->fact_id = fact_id;
+  return FactQuery(std::move(node));
+}
+
+FactQuery FactQuery::Not(FactQuery operand) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kNot;
+  node->left = std::move(operand.root_);
+  return FactQuery(std::move(node));
+}
+
+FactQuery FactQuery::And(FactQuery left, FactQuery right) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAnd;
+  node->left = std::move(left.root_);
+  node->right = std::move(right.root_);
+  return FactQuery(std::move(node));
+}
+
+FactQuery FactQuery::Or(FactQuery left, FactQuery right) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kOr;
+  node->left = std::move(left.root_);
+  node->right = std::move(right.root_);
+  return FactQuery(std::move(node));
+}
+
+FactQuery FactQuery::True() {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kTrue;
+  return FactQuery(std::move(node));
+}
+
+FactQuery FactQuery::False() {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kFalse;
+  return FactQuery(std::move(node));
+}
+
+bool FactQuery::EvaluateNode(const Node& node, uint64_t mask) {
+  switch (node.kind) {
+    case Kind::kAtom:
+      return common::GetBit(mask, node.fact_id);
+    case Kind::kNot:
+      return !EvaluateNode(*node.left, mask);
+    case Kind::kAnd:
+      return EvaluateNode(*node.left, mask) &&
+             EvaluateNode(*node.right, mask);
+    case Kind::kOr:
+      return EvaluateNode(*node.left, mask) ||
+             EvaluateNode(*node.right, mask);
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+  }
+  return false;
+}
+
+bool FactQuery::Evaluate(uint64_t output_mask) const {
+  return EvaluateNode(*root_, output_mask);
+}
+
+int FactQuery::MaxFactIdOf(const Node& node) {
+  switch (node.kind) {
+    case Kind::kAtom:
+      return node.fact_id;
+    case Kind::kNot:
+      return MaxFactIdOf(*node.left);
+    case Kind::kAnd:
+    case Kind::kOr:
+      return std::max(MaxFactIdOf(*node.left), MaxFactIdOf(*node.right));
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return -1;
+  }
+  return -1;
+}
+
+int FactQuery::MaxFactId() const { return MaxFactIdOf(*root_); }
+
+common::Result<double> FactQuery::Probability(
+    const JointDistribution& joint) const {
+  const int max_fact = MaxFactId();
+  if (max_fact >= joint.num_facts()) {
+    return Status::OutOfRange(common::StrFormat(
+        "query references fact %d but the joint has %d facts", max_fact,
+        joint.num_facts()));
+  }
+  double probability = 0.0;
+  for (const auto& entry : joint.entries()) {
+    if (Evaluate(entry.mask)) probability += entry.prob;
+  }
+  return probability;
+}
+
+common::Result<double> FactQuery::Confidence(
+    const JointDistribution& joint) const {
+  CF_ASSIGN_OR_RETURN(const double p, Probability(joint));
+  return 1.0 - common::BinaryEntropy(p);
+}
+
+std::string FactQuery::ToStringOf(const Node& node) {
+  switch (node.kind) {
+    case Kind::kAtom:
+      return common::StrFormat("f%d", node.fact_id);
+    case Kind::kNot:
+      return "!" + ToStringOf(*node.left);
+    case Kind::kAnd:
+      return "(" + ToStringOf(*node.left) + " & " + ToStringOf(*node.right) +
+             ")";
+    case Kind::kOr:
+      return "(" + ToStringOf(*node.left) + " | " + ToStringOf(*node.right) +
+             ")";
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+  }
+  return "?";
+}
+
+std::string FactQuery::ToString() const { return ToStringOf(*root_); }
+
+}  // namespace crowdfusion::core

@@ -1,0 +1,77 @@
+#ifndef CROWDFUSION_CORE_FACT_QUERY_H_
+#define CROWDFUSION_CORE_FACT_QUERY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/joint_distribution.h"
+
+namespace crowdfusion::core {
+
+/// Boolean queries over facts, evaluated against the output joint
+/// distribution. This operationalizes the paper's justification for the
+/// PWS-quality utility: "By improving the utility of outputs, the
+/// confidence of any query answers would be improved as well"
+/// (Section II-A) — a query's answer probability is a marginal of the
+/// joint, so refining the joint sharpens every query.
+///
+/// Queries are immutable expression trees built by the combinators:
+///
+///   auto q = FactQuery::And(FactQuery::Atom(0),
+///                           FactQuery::Not(FactQuery::Atom(3)));
+///   double p = q.Probability(joint).value();   // P(f0 ∧ ¬f3)
+///
+/// Copying a query is cheap (shared immutable nodes).
+class FactQuery {
+ public:
+  /// The truth of a single fact.
+  static FactQuery Atom(int fact_id);
+  static FactQuery Not(FactQuery operand);
+  static FactQuery And(FactQuery left, FactQuery right);
+  static FactQuery Or(FactQuery left, FactQuery right);
+  /// Constants, useful as fold identities.
+  static FactQuery True();
+  static FactQuery False();
+
+  /// Evaluates the query on one concrete output.
+  bool Evaluate(uint64_t output_mask) const;
+
+  /// P(query is true) under the joint. Fails if the query references a
+  /// fact id outside the joint.
+  common::Result<double> Probability(const JointDistribution& joint) const;
+
+  /// Confidence of the query's answer: 1 - h(P(query)), in [0, 1]; 1 means
+  /// the joint answers the query with certainty, 0 means a coin flip.
+  /// Monotone under utility improvement in expectation.
+  common::Result<double> Confidence(const JointDistribution& joint) const;
+
+  /// Largest fact id referenced (-1 for constants).
+  int MaxFactId() const;
+
+  /// Parenthesized display form, e.g. "(f0 & !f3)".
+  std::string ToString() const;
+
+ private:
+  enum class Kind { kAtom, kNot, kAnd, kOr, kTrue, kFalse };
+
+  struct Node {
+    Kind kind;
+    int fact_id = -1;
+    std::shared_ptr<const Node> left;
+    std::shared_ptr<const Node> right;
+  };
+
+  explicit FactQuery(std::shared_ptr<const Node> root)
+      : root_(std::move(root)) {}
+
+  static bool EvaluateNode(const Node& node, uint64_t mask);
+  static int MaxFactIdOf(const Node& node);
+  static std::string ToStringOf(const Node& node);
+
+  std::shared_ptr<const Node> root_;
+};
+
+}  // namespace crowdfusion::core
+
+#endif  // CROWDFUSION_CORE_FACT_QUERY_H_

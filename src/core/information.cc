@@ -1,0 +1,90 @@
+#include "core/information.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "core/answer_model.h"
+
+namespace crowdfusion::core {
+
+using common::Status;
+
+double AnswersMutualInformationBits(const JointDistribution& joint,
+                                    std::span<const int> tasks,
+                                    const CrowdModel& crowd) {
+  if (tasks.empty()) return 0.0;
+  const double h_answers = AnswerEntropyBits(joint, tasks, crowd);
+  // Answers are conditionally independent given the facts, each with the
+  // crowd's own noise entropy: H(Ans | F) = |T| * H(Crowd).
+  const double h_noise =
+      static_cast<double>(tasks.size()) * crowd.EntropyBits();
+  return std::max(0.0, h_answers - h_noise);
+}
+
+double ExpectedPosteriorEntropyBits(const JointDistribution& joint,
+                                    std::span<const int> tasks,
+                                    const CrowdModel& crowd) {
+  return joint.EntropyBits() -
+         AnswersMutualInformationBits(joint, tasks, crowd);
+}
+
+double ValueOfInformationBits(const JointDistribution& joint,
+                              std::span<const int> selected, int fact,
+                              const CrowdModel& crowd) {
+  std::vector<int> extended(selected.begin(), selected.end());
+  extended.push_back(fact);
+  return AnswersMutualInformationBits(joint, extended, crowd) -
+         AnswersMutualInformationBits(joint, selected, crowd);
+}
+
+std::vector<double> SingleTaskInformationProfile(
+    const JointDistribution& joint, const CrowdModel& crowd) {
+  std::vector<double> profile(static_cast<size_t>(joint.num_facts()), 0.0);
+  const std::vector<int> none;
+  for (int f = 0; f < joint.num_facts(); ++f) {
+    profile[static_cast<size_t>(f)] =
+        ValueOfInformationBits(joint, none, f, crowd);
+  }
+  return profile;
+}
+
+common::Result<double> FactMutualInformationBits(
+    const JointDistribution& joint, int fact_a, int fact_b) {
+  if (fact_a < 0 || fact_a >= joint.num_facts() || fact_b < 0 ||
+      fact_b >= joint.num_facts()) {
+    return Status::OutOfRange(common::StrFormat(
+        "fact ids (%d, %d) out of range [0, %d)", fact_a, fact_b,
+        joint.num_facts()));
+  }
+  if (fact_a == fact_b) {
+    // I(X; X) = H(X).
+    return common::BinaryEntropy(joint.Marginal(fact_a));
+  }
+  const std::vector<int> pair = {fact_a, fact_b};
+  const std::vector<double> joint_table = joint.MarginalizeOnto(pair);
+  const double pa = joint.Marginal(fact_a);
+  const double pb = joint.Marginal(fact_b);
+  // I = H(a) + H(b) - H(a, b).
+  const double mi = common::BinaryEntropy(pa) + common::BinaryEntropy(pb) -
+                    common::Entropy(joint_table);
+  return std::max(0.0, mi);
+}
+
+common::Result<std::vector<std::vector<double>>> FactCorrelationMatrix(
+    const JointDistribution& joint) {
+  const int n = joint.num_facts();
+  std::vector<std::vector<double>> matrix(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n)));
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      CF_ASSIGN_OR_RETURN(const double mi,
+                          FactMutualInformationBits(joint, a, b));
+      matrix[static_cast<size_t>(a)][static_cast<size_t>(b)] = mi;
+      matrix[static_cast<size_t>(b)][static_cast<size_t>(a)] = mi;
+    }
+  }
+  return matrix;
+}
+
+}  // namespace crowdfusion::core

@@ -1,0 +1,56 @@
+#ifndef CROWDFUSION_CORE_INFORMATION_H_
+#define CROWDFUSION_CORE_INFORMATION_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/crowd_model.h"
+#include "core/joint_distribution.h"
+
+namespace crowdfusion::core {
+
+/// Information-theoretic toolbox over the CrowdFusion model. Everything is
+/// in bits. These are the quantities behind the paper's identities in
+/// Section III-B (ΔQ = H(F) − H(F|T) = H(T) − H(T|F)) exposed as a public
+/// API, so downstream schedulers and diagnostics can reason about the
+/// value of asking before spending budget.
+
+/// I(F; Ans^T): mutual information between the latent fact assignment and
+/// the crowd's answers to task set T. Equals H(T) − |T|·H(Crowd), the
+/// paper's ΔQ. Non-negative; zero iff the answers are useless.
+double AnswersMutualInformationBits(const JointDistribution& joint,
+                                    std::span<const int> tasks,
+                                    const CrowdModel& crowd);
+
+/// H(F | Ans^T): expected posterior entropy after asking T, i.e.
+/// H(F) − I(F; Ans^T). This is what the Bayesian merge achieves in
+/// expectation over answer outcomes.
+double ExpectedPosteriorEntropyBits(const JointDistribution& joint,
+                                    std::span<const int> tasks,
+                                    const CrowdModel& crowd);
+
+/// Value of information of asking a single fact on top of an already
+/// selected set: I(F; Ans^{T∪{fact}}) − I(F; Ans^T).
+double ValueOfInformationBits(const JointDistribution& joint,
+                              std::span<const int> selected, int fact,
+                              const CrowdModel& crowd);
+
+/// Per-fact single-task VOI profile: entry i is the value of asking fact i
+/// alone. The greedy's first pick is always the argmax of this profile.
+std::vector<double> SingleTaskInformationProfile(
+    const JointDistribution& joint, const CrowdModel& crowd);
+
+/// I(f_a; f_b): mutual information between two facts under the joint —
+/// the quantitative form of the paper's "facts are correlated" premise
+/// (Barack Obama example). Zero iff independent.
+common::Result<double> FactMutualInformationBits(
+    const JointDistribution& joint, int fact_a, int fact_b);
+
+/// The full pairwise fact-MI matrix (symmetric, zero diagonal).
+common::Result<std::vector<std::vector<double>>> FactCorrelationMatrix(
+    const JointDistribution& joint);
+
+}  // namespace crowdfusion::core
+
+#endif  // CROWDFUSION_CORE_INFORMATION_H_

@@ -1,0 +1,119 @@
+#ifndef CROWDFUSION_CORE_JOINT_DISTRIBUTION_H_
+#define CROWDFUSION_CORE_JOINT_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace crowdfusion::core {
+
+/// Joint probability distribution over the 2^n true/false assignments
+/// ("outputs", Section II-A) of n facts.
+///
+/// An output is a bitmask: bit i set means fact i is judged true. The
+/// distribution is stored as a sparse, mask-sorted support list so that
+/// strongly correlated inputs (few possible worlds) stay compact, while
+/// dense inputs (the paper's running example, independent products) simply
+/// enumerate all 2^n masks.
+///
+/// Supports n up to kMaxFacts = 30 when densified; sparse distributions can
+/// use up to 63 fact ids.
+class JointDistribution {
+ public:
+  struct Entry {
+    uint64_t mask = 0;
+    double prob = 0.0;
+
+    friend bool operator==(const Entry& a, const Entry& b) = default;
+  };
+
+  /// Largest fact count for which dense 2^n materialization is permitted.
+  static constexpr int kMaxDenseFacts = 30;
+  /// Largest fact count representable at all (mask bits).
+  static constexpr int kMaxFacts = 63;
+
+  JointDistribution() = default;
+
+  /// Builds from explicit (mask, probability) entries. Entries with
+  /// duplicate masks are merged; zero-probability entries are dropped.
+  /// Fails if any probability is negative, any mask uses bits >= num_facts,
+  /// or the probabilities do not sum to 1 within `tolerance` (pass
+  /// normalize=true to rescale instead).
+  static common::Result<JointDistribution> FromEntries(
+      int num_facts, std::vector<Entry> entries, bool normalize = false,
+      double tolerance = 1e-6);
+
+  /// Dense distribution from a full vector of 2^num_facts probabilities
+  /// (index == mask).
+  static common::Result<JointDistribution> FromDense(
+      int num_facts, std::vector<double> probs, bool normalize = false);
+
+  /// Uniform distribution over all 2^num_facts outputs.
+  static common::Result<JointDistribution> Uniform(int num_facts);
+
+  /// Product distribution of independent facts with the given marginal
+  /// probabilities of being true (dense; requires size <= kMaxDenseFacts).
+  static common::Result<JointDistribution> FromIndependentMarginals(
+      std::span<const double> marginals);
+
+  /// Deterministic distribution: all mass on one output.
+  static common::Result<JointDistribution> PointMass(int num_facts,
+                                                     uint64_t mask);
+
+  int num_facts() const { return num_facts_; }
+  /// Number of support entries |O|.
+  int support_size() const { return static_cast<int>(entries_.size()); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Probability of one output mask (0 if outside the support).
+  double Probability(uint64_t mask) const;
+
+  /// Marginal probability P(f_id = true).
+  double Marginal(int fact_id) const;
+
+  /// All marginals.
+  std::vector<double> Marginals() const;
+
+  /// Shannon entropy H(F) of the joint, in bits.
+  double EntropyBits() const;
+
+  /// PWS-quality Q(F) = -H(F) (Definition 1).
+  double Quality() const { return -EntropyBits(); }
+
+  /// Marginalizes onto the facts listed in `fact_ids` (ascending ids not
+  /// required; result coordinate i corresponds to fact_ids[i]). Returns a
+  /// dense vector of 2^k probabilities. Requires k <= kMaxDenseFacts.
+  std::vector<double> MarginalizeOnto(std::span<const int> fact_ids) const;
+
+  /// Densifies to a full 2^n vector (index == mask). Requires
+  /// num_facts <= kMaxDenseFacts.
+  std::vector<double> ToDense() const;
+
+  /// Sum of all probabilities (should be 1 for a normalized distribution).
+  double TotalMass() const;
+
+  /// True if TotalMass() is within `tolerance` of 1.
+  bool IsNormalized(double tolerance = 1e-6) const;
+
+  /// Most probable output mask (ties broken towards the smaller mask).
+  uint64_t Mode() const;
+
+  std::string ToString(int max_entries = 32) const;
+
+  friend bool operator==(const JointDistribution& a,
+                         const JointDistribution& b) = default;
+
+ private:
+  JointDistribution(int num_facts, std::vector<Entry> entries)
+      : num_facts_(num_facts), entries_(std::move(entries)) {}
+
+  int num_facts_ = 0;
+  std::vector<Entry> entries_;  // sorted by mask, unique, prob > 0
+};
+
+}  // namespace crowdfusion::core
+
+#endif  // CROWDFUSION_CORE_JOINT_DISTRIBUTION_H_

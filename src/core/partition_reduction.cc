@@ -1,0 +1,112 @@
+#include "core/partition_reduction.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace crowdfusion::core {
+
+using common::Status;
+
+namespace {
+
+Status Validate(const PartitionInstance& instance) {
+  if (instance.numbers.empty()) {
+    return Status::InvalidArgument("PARTITION instance is empty");
+  }
+  if (instance.numbers.size() > 63) {
+    return Status::InvalidArgument("at most 63 numbers supported");
+  }
+  for (uint64_t c : instance.numbers) {
+    if (c == 0) {
+      return Status::InvalidArgument(
+          "PARTITION numbers must be positive (zeros are trivially "
+          "placeable and break the probability encoding)");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+common::Result<PartitionReduction> ReducePartitionToTaskSelection(
+    const PartitionInstance& instance) {
+  CF_RETURN_IF_ERROR(Validate(instance));
+  const int s = static_cast<int>(instance.numbers.size());
+  uint64_t sum = 0;
+  for (uint64_t c : instance.numbers) sum += c;
+
+  // Output i carries probability c_i / sum. Fact j is judged true in
+  // output i iff bit j of i is set: then selecting the fact subset S
+  // marginalizes the outputs into groups by their index pattern on S, and
+  // a single fact f_j splits them into {i : bit j of i} vs the rest.
+  // The paper's 2^s-output construction encodes the same family of binary
+  // splits; indexing outputs directly keeps the instance polynomial-sized.
+  std::vector<JointDistribution::Entry> entries;
+  entries.reserve(static_cast<size_t>(s));
+  for (int i = 0; i < s; ++i) {
+    entries.push_back(
+        {static_cast<uint64_t>(i),
+         static_cast<double>(instance.numbers[static_cast<size_t>(i)]) /
+             static_cast<double>(sum)});
+  }
+  CF_ASSIGN_OR_RETURN(JointDistribution joint,
+                      JointDistribution::FromEntries(
+                          s, std::move(entries), /*normalize=*/true));
+  PartitionReduction reduction{std::move(joint), 1.0};
+  return reduction;
+}
+
+common::Result<bool> DecideViaTaskSelection(const PartitionInstance& instance,
+                                            double epsilon) {
+  CF_RETURN_IF_ERROR(Validate(instance));
+  CF_ASSIGN_OR_RETURN(PartitionReduction reduction,
+                      ReducePartitionToTaskSelection(instance));
+  const int s = static_cast<int>(instance.numbers.size());
+  if (s > 24) {
+    return Status::InvalidArgument(
+        "exhaustive DTaskSelect check limited to 24 numbers");
+  }
+  // Every nonempty proper group of numbers corresponds to a binary
+  // judgment pattern over the facts; with Pc = 1 the answer entropy of a
+  // "virtual fact" that is true exactly on group G is
+  // H(P(G)), maximized at 1 bit iff P(G) = 1/2. Enumerate groups.
+  for (uint64_t group = 1; group + 1 < (1ULL << s); ++group) {
+    double mass = 0.0;
+    for (int i = 0; i < s; ++i) {
+      if ((group >> i) & 1ULL) {
+        mass += reduction.joint.Probability(static_cast<uint64_t>(i));
+      }
+    }
+    if (common::BinaryEntropy(mass) >=
+        reduction.target_entropy_bits - epsilon) {
+      return true;
+    }
+  }
+  return false;
+}
+
+common::Result<bool> DecidePartitionDirectly(
+    const PartitionInstance& instance) {
+  CF_RETURN_IF_ERROR(Validate(instance));
+  uint64_t sum = 0;
+  for (uint64_t c : instance.numbers) sum += c;
+  if (sum % 2 != 0) return false;
+  const uint64_t half = sum / 2;
+  if (half > (1ULL << 22)) {
+    return Status::InvalidArgument(
+        "DP table too large; use numbers summing below 2^23");
+  }
+  std::vector<bool> reachable(half + 1, false);
+  reachable[0] = true;
+  for (uint64_t c : instance.numbers) {
+    for (uint64_t target = half; target >= c; --target) {
+      if (reachable[target - c]) reachable[target] = true;
+      if (target == c) break;
+    }
+  }
+  return static_cast<bool>(reachable[half]);
+}
+
+}  // namespace crowdfusion::core

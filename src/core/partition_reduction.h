@@ -1,0 +1,60 @@
+#ifndef CROWDFUSION_CORE_PARTITION_REDUCTION_H_
+#define CROWDFUSION_CORE_PARTITION_REDUCTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/joint_distribution.h"
+
+namespace crowdfusion::core {
+
+/// Executable form of the paper's NP-hardness proof (Theorem 1): the
+/// reduction from PARTITION to the decision version of task selection
+/// (DTaskSelect: "is there a k-subset T with H(T) >= Ht?").
+///
+/// Given numbers (c_1..c_s), the reduction builds a joint distribution
+/// over n = 2^s... — following the paper's construction spirit — with one
+/// output per number, where output i has probability c_i / Sum and the
+/// mask of output i is chosen so that fact j is true in output i iff bit j
+/// of i is set. Selecting the single fact f_I (k = 1, Pc = 1) splits the
+/// numbers into exactly the two groups indexed by bit pattern I, and
+/// H(f_I) = 1 iff both groups sum to Sum/2 — i.e. iff a perfect partition
+/// exists.
+///
+/// Practical limits: s numbers need s facts and s outputs (we index facts
+/// directly rather than materializing all 2^s output ids, which is the
+/// standard compact encoding of the same instance), so instances up to
+/// s = 63 are representable and exhaustive search is feasible for s ~ 20.
+struct PartitionInstance {
+  std::vector<uint64_t> numbers;
+};
+
+struct PartitionReduction {
+  /// The constructed joint distribution: s facts, s outputs; output i has
+  /// mask = i's characteristic pattern and probability c_i / Sum.
+  JointDistribution joint;
+  /// The entropy target Ht of DTaskSelect (1 bit).
+  double target_entropy_bits = 1.0;
+};
+
+/// Builds the DTaskSelect instance for a PARTITION instance. Fails on
+/// empty input, zero numbers, or more than 63 numbers.
+common::Result<PartitionReduction> ReducePartitionToTaskSelection(
+    const PartitionInstance& instance);
+
+/// Decision procedure over the reduction: true iff some subset-selection
+/// (equivalently some single selected fact in the compact encoding)
+/// reaches H >= 1 - epsilon, which by Theorem 1 holds iff the PARTITION
+/// instance has a perfect split. Enumerates the 2^s fact subsets, so only
+/// for small s; exists to make the proof checkable, not to be fast.
+common::Result<bool> DecideViaTaskSelection(const PartitionInstance& instance,
+                                            double epsilon = 1e-9);
+
+/// Reference solver: straightforward subset-sum bitset DP.
+common::Result<bool> DecidePartitionDirectly(
+    const PartitionInstance& instance);
+
+}  // namespace crowdfusion::core
+
+#endif  // CROWDFUSION_CORE_PARTITION_REDUCTION_H_

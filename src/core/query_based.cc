@@ -1,0 +1,73 @@
+#include "core/query_based.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/utility.h"
+
+namespace crowdfusion::core {
+
+using common::Status;
+
+common::Result<Selection> QueryBasedGreedySelector::Select(
+    const SelectionRequest& request) {
+  CF_ASSIGN_OR_RETURN(std::vector<int> candidates,
+                      ResolveCandidates(request));
+  if (options_.foi.empty()) {
+    return Status::InvalidArgument("query-based selection requires a non-empty FOI set");
+  }
+  for (int id : options_.foi) {
+    if (id < 0 || id >= request.joint->num_facts()) {
+      return Status::OutOfRange(
+          common::StrFormat("FOI fact id %d out of range", id));
+    }
+  }
+  const int k = std::min(request.k, static_cast<int>(candidates.size()));
+  if (static_cast<int>(options_.foi.size()) + k >
+      JointDistribution::kMaxDenseFacts) {
+    return Status::InvalidArgument(
+        "|FOI| + k exceeds the dense joint table limit");
+  }
+
+  const common::Stopwatch timer;
+  Selection selection;
+  std::vector<int> selected;
+  CF_ASSIGN_OR_RETURN(
+      double current_utility,
+      QueryBasedUtility(*request.joint, options_.foi, selected,
+                        *request.crowd));
+  std::vector<int> active = candidates;
+
+  for (int iteration = 0; iteration < k; ++iteration) {
+    int best_fact = -1;
+    double best_utility = -1e300;
+    for (int fact : active) {
+      std::vector<int> extended = selected;
+      extended.push_back(fact);
+      CF_ASSIGN_OR_RETURN(
+          double utility,
+          QueryBasedUtility(*request.joint, options_.foi, extended,
+                            *request.crowd));
+      ++selection.stats.evaluations;
+      if (utility > best_utility) {
+        best_utility = utility;
+        best_fact = fact;
+      }
+    }
+    if (best_fact < 0) break;
+    if (best_utility - current_utility <= options_.min_gain_bits) break;
+    selected.push_back(best_fact);
+    selection.tasks.push_back(best_fact);
+    selection.entropy_bits = best_utility;
+    current_utility = best_utility;
+    active.erase(std::remove(active.begin(), active.end(), best_fact),
+                 active.end());
+  }
+
+  if (selection.tasks.empty()) selection.entropy_bits = current_utility;
+  selection.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return selection;
+}
+
+}  // namespace crowdfusion::core

@@ -1,0 +1,48 @@
+#ifndef CROWDFUSION_CORE_QUERY_BASED_H_
+#define CROWDFUSION_CORE_QUERY_BASED_H_
+
+#include <vector>
+
+#include "core/task_selector.h"
+
+namespace crowdfusion::core {
+
+/// Query-based CrowdFusion (Section IV): the user cares only about a set of
+/// facts of interest (FOI) I ⊆ F, and tasks are selected to maximize
+///   Q(I|T) = H(T) - H(I, T) = -H(I | Ans^T),
+/// i.e. to minimize the posterior uncertainty of the FOI. Facts outside I
+/// remain valuable tasks when they are correlated with I (the paper's
+/// continent/population example). Setting I = F recovers the general
+/// problem up to a constant, so this greedy and GreedySelector choose the
+/// same sets in that case.
+///
+/// The returned Selection's `entropy_bits` holds the achieved Q(I|T)
+/// (a non-positive number; larger is better), not H(T).
+///
+/// Note: the paper's Equation 7 prints the monotonicity direction reversed
+/// (Q(I|T) >= Q(I|T') for T ⊆ T'); conditioning on more answers cannot
+/// increase H(I | Ans), so Q(I|T) is non-decreasing in T. The greedy here
+/// follows the corrected direction.
+class QueryBasedGreedySelector : public TaskSelector {
+ public:
+  struct Options {
+    /// Facts of interest. Must be non-empty, ids valid for the joint.
+    std::vector<int> foi;
+    /// Stop when the best candidate improves Q(I|T) by at most this.
+    double min_gain_bits = 1e-12;
+  };
+
+  explicit QueryBasedGreedySelector(Options options)
+      : options_(std::move(options)) {}
+
+  common::Result<Selection> Select(const SelectionRequest& request) override;
+
+  std::string name() const override { return "QueryBased"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace crowdfusion::core
+
+#endif  // CROWDFUSION_CORE_QUERY_BASED_H_

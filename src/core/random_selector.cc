@@ -1,0 +1,29 @@
+#include "core/random_selector.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "core/answer_model.h"
+
+namespace crowdfusion::core {
+
+common::Result<Selection> RandomSelector::Select(
+    const SelectionRequest& request) {
+  CF_ASSIGN_OR_RETURN(std::vector<int> candidates,
+                      ResolveCandidates(request));
+  const common::Stopwatch timer;
+  const int n = static_cast<int>(candidates.size());
+  const int k = std::min(request.k, n);
+  const std::vector<int> picks = rng_.SampleWithoutReplacement(n, k);
+  Selection selection;
+  selection.tasks.reserve(static_cast<size_t>(k));
+  for (int idx : picks) {
+    selection.tasks.push_back(candidates[static_cast<size_t>(idx)]);
+  }
+  selection.entropy_bits =
+      AnswerEntropyBits(*request.joint, selection.tasks, *request.crowd);
+  selection.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return selection;
+}
+
+}  // namespace crowdfusion::core

@@ -1,0 +1,25 @@
+#ifndef CROWDFUSION_CORE_RANDOM_SELECTOR_H_
+#define CROWDFUSION_CORE_RANDOM_SELECTOR_H_
+
+#include "common/random.h"
+#include "core/task_selector.h"
+
+namespace crowdfusion::core {
+
+/// Baseline from Section V: selects k distinct candidate facts uniformly at
+/// random (each task can be selected once per round).
+class RandomSelector : public TaskSelector {
+ public:
+  explicit RandomSelector(uint64_t seed = 42) : rng_(seed) {}
+
+  common::Result<Selection> Select(const SelectionRequest& request) override;
+
+  std::string name() const override { return "Random"; }
+
+ private:
+  common::Rng rng_;
+};
+
+}  // namespace crowdfusion::core
+
+#endif  // CROWDFUSION_CORE_RANDOM_SELECTOR_H_

@@ -1,0 +1,28 @@
+#include "core/round_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdfusion::core {
+
+int DeadlinePolicy::NextK(const RoundContext& context) {
+  const int remaining_rounds =
+      std::max(1, max_rounds_ - context.rounds_completed);
+  return (context.remaining_budget + remaining_rounds - 1) / remaining_rounds;
+}
+
+int UncertaintyAdaptivePolicy::NextK(const RoundContext& context) {
+  if (context.joint == nullptr || context.joint->num_facts() == 0) return 1;
+  const double per_fact_entropy =
+      context.joint->EntropyBits() /
+      static_cast<double>(context.joint->num_facts());
+  if (per_fact_entropy >= options_.careful_threshold_bits) return 1;
+  // Scale k up linearly as uncertainty falls below the threshold.
+  const double certainty =
+      1.0 - per_fact_entropy / options_.careful_threshold_bits;
+  const int k = 1 + static_cast<int>(std::floor(
+                        certainty * static_cast<double>(options_.max_k - 1)));
+  return std::clamp(k, 1, options_.max_k);
+}
+
+}  // namespace crowdfusion::core

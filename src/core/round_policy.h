@@ -1,0 +1,82 @@
+#ifndef CROWDFUSION_CORE_ROUND_POLICY_H_
+#define CROWDFUSION_CORE_ROUND_POLICY_H_
+
+#include <memory>
+
+#include "core/joint_distribution.h"
+
+namespace crowdfusion::core {
+
+/// Chooses the number of tasks k for the next round. The paper's
+/// experimental conclusion (Section V-C2): "k should be set to a small
+/// value when the budget is the main constraint; whereas a large value is
+/// suggested for k if time-efficiency is the primary constraint" — each
+/// round costs one crowd round-trip, so small k spends budget precisely
+/// while large k finishes sooner. RoundPolicy makes that trade-off a
+/// pluggable object instead of a fixed constant.
+class RoundPolicy {
+ public:
+  struct RoundContext {
+    /// The distribution the next round will select against.
+    const JointDistribution* joint = nullptr;
+    /// Tasks left in the budget.
+    int remaining_budget = 0;
+    /// Rounds completed so far.
+    int rounds_completed = 0;
+  };
+
+  virtual ~RoundPolicy() = default;
+
+  /// Returns the k for the next round; the engine clamps it to
+  /// [1, min(n, remaining budget)].
+  virtual int NextK(const RoundContext& context) = 0;
+};
+
+/// Always k (the paper's setting).
+class FixedKPolicy : public RoundPolicy {
+ public:
+  explicit FixedKPolicy(int k) : k_(k) {}
+  int NextK(const RoundContext&) override { return k_; }
+
+ private:
+  int k_;
+};
+
+/// Finishes within a target number of rounds: k = ceil(remaining budget /
+/// remaining rounds). Models the "time-efficiency is the primary
+/// constraint" end of the paper's trade-off.
+class DeadlinePolicy : public RoundPolicy {
+ public:
+  explicit DeadlinePolicy(int max_rounds) : max_rounds_(max_rounds) {}
+  int NextK(const RoundContext& context) override;
+
+ private:
+  int max_rounds_;
+};
+
+/// Spends precisely while the distribution is uncertain and accelerates
+/// once it firms up: k = 1 while H(F) per fact is above the threshold,
+/// growing as uncertainty falls. Rationale: early answers steer later
+/// selections (the paper's advantage of small k), but once the joint is
+/// nearly settled batching is free.
+class UncertaintyAdaptivePolicy : public RoundPolicy {
+ public:
+  struct Options {
+    /// Entropy-per-fact above which the policy stays at k = 1.
+    double careful_threshold_bits = 0.5;
+    /// Largest k the policy will batch once certain.
+    int max_k = 6;
+  };
+
+  UncertaintyAdaptivePolicy() = default;
+  explicit UncertaintyAdaptivePolicy(Options options) : options_(options) {}
+
+  int NextK(const RoundContext& context) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace crowdfusion::core
+
+#endif  // CROWDFUSION_CORE_ROUND_POLICY_H_

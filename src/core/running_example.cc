@@ -1,0 +1,50 @@
+#include "core/running_example.h"
+
+#include "common/logging.h"
+
+namespace crowdfusion::core {
+
+FactSet RunningExample::Facts() {
+  FactSet facts;
+  facts.Add({"Hong Kong", "Continent", "Asia"});
+  facts.Add({"Hong Kong", "Population", ">= 500,000"});
+  facts.Add({"Hong Kong", "Major Ethnic Group", "Chinese"});
+  facts.Add({"Hong Kong", "Continent", "Europe"});
+  return facts;
+}
+
+JointDistribution RunningExample::Joint() {
+  // Table II, rows o1..o16. Row (i-1) read as a 4-bit number b3 b2 b1 b0 is
+  // the judgment (f1, f2, f3, f4); our mask packs fact j into bit j.
+  static constexpr double kRowProbs[16] = {
+      0.03, 0.06, 0.07, 0.04,  // o1..o4
+      0.09, 0.01, 0.11, 0.09,  // o5..o8
+      0.04, 0.04, 0.04, 0.05,  // o9..o12
+      0.06, 0.09, 0.07, 0.11,  // o13..o16
+  };
+  std::vector<JointDistribution::Entry> entries;
+  entries.reserve(16);
+  for (int row = 0; row < 16; ++row) {
+    const bool f1 = (row >> 3) & 1;
+    const bool f2 = (row >> 2) & 1;
+    const bool f3 = (row >> 1) & 1;
+    const bool f4 = row & 1;
+    uint64_t mask = 0;
+    if (f1) mask |= 1ULL << 0;
+    if (f2) mask |= 1ULL << 1;
+    if (f3) mask |= 1ULL << 2;
+    if (f4) mask |= 1ULL << 3;
+    entries.push_back({mask, kRowProbs[row]});
+  }
+  auto joint = JointDistribution::FromEntries(4, std::move(entries));
+  CF_CHECK(joint.ok()) << joint.status().ToString();
+  return std::move(joint).value();
+}
+
+CrowdModel RunningExample::Crowd() {
+  auto crowd = CrowdModel::Create(0.8);
+  CF_CHECK(crowd.ok());
+  return std::move(crowd).value();
+}
+
+}  // namespace crowdfusion::core

@@ -1,0 +1,33 @@
+#ifndef CROWDFUSION_CORE_RUNNING_EXAMPLE_H_
+#define CROWDFUSION_CORE_RUNNING_EXAMPLE_H_
+
+#include "core/crowd_model.h"
+#include "core/fact.h"
+#include "core/joint_distribution.h"
+
+namespace crowdfusion::core {
+
+/// The paper's running example (Tables I and II): four facts about Hong
+/// Kong with an explicit 16-output joint distribution. Fact id i maps to
+/// the paper's f_{i+1}; output bit i is fact i's judgment.
+///
+/// The example anchors exact-value tests for Tables I-IV and the worked
+/// Bayesian update in Section III-A, and is the quickstart dataset.
+class RunningExample {
+ public:
+  /// Table I's facts: continent/population/ethnic-group/continent-Europe.
+  static FactSet Facts();
+
+  /// Table II's joint distribution (16 outputs, mass 1).
+  static JointDistribution Joint();
+
+  /// The crowd used throughout the example: Pc = 0.8.
+  static CrowdModel Crowd();
+
+  /// Table I marginals: {0.5, 0.63, 0.58, 0.49}.
+  static constexpr double kMarginals[4] = {0.5, 0.63, 0.58, 0.49};
+};
+
+}  // namespace crowdfusion::core
+
+#endif  // CROWDFUSION_CORE_RUNNING_EXAMPLE_H_

@@ -1,0 +1,160 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/bayes.h"
+
+namespace crowdfusion::core {
+
+using common::Status;
+
+common::Result<BudgetScheduler> BudgetScheduler::Create(CrowdModel crowd,
+                                                        TaskSelector* selector,
+                                                        Options options) {
+  if (selector == nullptr) {
+    return Status::InvalidArgument("selector must not be null");
+  }
+  if (options.total_budget < 0) {
+    return Status::InvalidArgument("total_budget must be non-negative");
+  }
+  if (options.tasks_per_step <= 0) {
+    return Status::InvalidArgument("tasks_per_step must be positive");
+  }
+  return BudgetScheduler(crowd, selector, options);
+}
+
+common::Result<int> BudgetScheduler::AddInstance(std::string name,
+                                                 JointDistribution joint,
+                                                 AnswerProvider* provider) {
+  if (provider == nullptr) {
+    return Status::InvalidArgument("answer provider must not be null");
+  }
+  if (joint.num_facts() == 0) {
+    return Status::InvalidArgument("instance has no facts");
+  }
+  if (!joint.IsNormalized(1e-6)) {
+    return Status::InvalidArgument("instance joint is not normalized");
+  }
+  Instance instance;
+  instance.name = std::move(name);
+  instance.joint = std::move(joint);
+  instance.provider = provider;
+  instances_.push_back(std::move(instance));
+  return num_instances() - 1;
+}
+
+common::Status BudgetScheduler::RefreshSelection(Instance& instance, int k) {
+  if (instance.selection_valid) return Status::Ok();
+  SelectionRequest request;
+  request.joint = &instance.joint;
+  request.crowd = &crowd_;
+  request.k = std::min(k, instance.joint.num_facts());
+  CF_ASSIGN_OR_RETURN(instance.cached_selection,
+                      selector_->Select(request));
+  instance.selection_valid = true;
+  return Status::Ok();
+}
+
+common::Result<BudgetScheduler::StepRecord> BudgetScheduler::RunStep() {
+  if (!HasBudget()) {
+    return Status::FailedPrecondition("global budget exhausted");
+  }
+  if (instances_.empty()) {
+    return Status::FailedPrecondition("no instances registered");
+  }
+  const int k =
+      std::min(options_.tasks_per_step, options_.total_budget - cost_spent_);
+
+  // Pick the instance whose cached best selection promises the largest
+  // expected quality gain per task.
+  int best_instance = -1;
+  double best_gain = 0.0;
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    Instance& instance = instances_[i];
+    CF_RETURN_IF_ERROR(RefreshSelection(instance, k));
+    if (instance.cached_selection.tasks.empty()) continue;
+    const double tasks =
+        static_cast<double>(instance.cached_selection.tasks.size());
+    const double gain =
+        (instance.cached_selection.entropy_bits -
+         tasks * crowd_.EntropyBits()) /
+        tasks;  // per-task expected gain, so small and large k compare fairly
+    if (best_instance < 0 || gain > best_gain) {
+      best_instance = static_cast<int>(i);
+      best_gain = gain;
+    }
+  }
+
+  StepRecord record;
+  record.step = steps_run_++;
+  record.cumulative_cost = cost_spent_;
+  if (best_instance < 0) {
+    // Nothing anywhere has positive benefit; signal exhaustion.
+    record.instance = -1;
+    record.total_utility_bits = TotalUtilityBits();
+    return record;
+  }
+
+  Instance& winner = instances_[static_cast<size_t>(best_instance)];
+  record.instance = best_instance;
+  record.tasks = winner.cached_selection.tasks;
+  record.expected_gain_bits =
+      winner.cached_selection.entropy_bits -
+      static_cast<double>(record.tasks.size()) * crowd_.EntropyBits();
+
+  CF_ASSIGN_OR_RETURN(record.answers,
+                      winner.provider->CollectAnswers(record.tasks));
+  if (record.answers.size() != record.tasks.size()) {
+    return Status::Internal(common::StrFormat(
+        "provider returned %zu answers for %zu tasks", record.answers.size(),
+        record.tasks.size()));
+  }
+  AnswerSet answer_set{record.tasks, record.answers};
+  CF_ASSIGN_OR_RETURN(winner.joint,
+                      PosteriorGivenAnswers(winner.joint, answer_set, crowd_));
+  winner.selection_valid = false;  // joint changed
+  winner.cost_spent += static_cast<int>(record.tasks.size());
+  cost_spent_ += static_cast<int>(record.tasks.size());
+  record.cumulative_cost = cost_spent_;
+  record.total_utility_bits = TotalUtilityBits();
+  return record;
+}
+
+common::Result<std::vector<BudgetScheduler::StepRecord>>
+BudgetScheduler::Run() {
+  std::vector<StepRecord> records;
+  while (HasBudget()) {
+    CF_ASSIGN_OR_RETURN(StepRecord record, RunStep());
+    const bool exhausted = record.instance < 0;
+    records.push_back(std::move(record));
+    if (exhausted) break;
+  }
+  return records;
+}
+
+const JointDistribution& BudgetScheduler::joint(int instance) const {
+  CF_CHECK(instance >= 0 && instance < num_instances());
+  return instances_[static_cast<size_t>(instance)].joint;
+}
+
+const std::string& BudgetScheduler::name(int instance) const {
+  CF_CHECK(instance >= 0 && instance < num_instances());
+  return instances_[static_cast<size_t>(instance)].name;
+}
+
+int BudgetScheduler::cost_spent(int instance) const {
+  CF_CHECK(instance >= 0 && instance < num_instances());
+  return instances_[static_cast<size_t>(instance)].cost_spent;
+}
+
+double BudgetScheduler::TotalUtilityBits() const {
+  double total = 0.0;
+  for (const Instance& instance : instances_) {
+    total += -instance.joint.EntropyBits();
+  }
+  return total;
+}
+
+}  // namespace crowdfusion::core

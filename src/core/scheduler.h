@@ -1,0 +1,111 @@
+#ifndef CROWDFUSION_CORE_SCHEDULER_H_
+#define CROWDFUSION_CORE_SCHEDULER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/crowdfusion.h"
+#include "core/task_selector.h"
+
+namespace crowdfusion::core {
+
+/// Global budget allocation across many fact universes (books).
+///
+/// The paper's evaluation fixes a per-book budget B and observes in its
+/// error analysis (Section V-D) that "books with large numbers of
+/// statements are more likely to be judged incorrectly ... if a proper
+/// strategy can be designed to distribute budgets among all subsets of
+/// facts, this can be solved." This scheduler is that strategy: it holds
+/// ONE global budget and, at every step, spends the next tasks on the
+/// instance whose best task set currently promises the largest expected
+/// quality gain ΔQ = H(T) - |T| * H(Crowd). Uncertain, statement-rich
+/// books naturally attract more budget; confident books stop consuming it.
+///
+/// Instances are independent CrowdFusion problems (their joints never
+/// interact); the scheduler owns the joints and queries the selector
+/// lazily, re-evaluating only the instance whose distribution changed.
+class BudgetScheduler {
+ public:
+  struct Options {
+    /// Total tasks across all instances.
+    int total_budget = 600;
+    /// Tasks per scheduling step (the k handed to the selector).
+    int tasks_per_step = 1;
+  };
+
+  struct StepRecord {
+    int step = 0;
+    int instance = -1;
+    std::vector<int> tasks;
+    std::vector<bool> answers;
+    /// Expected gain that won the step, bits.
+    double expected_gain_bits = 0.0;
+    /// Sum of Q(F) over all instances after the merge.
+    double total_utility_bits = 0.0;
+    int cumulative_cost = 0;
+  };
+
+  /// The selector must outlive the scheduler.
+  static common::Result<BudgetScheduler> Create(CrowdModel crowd,
+                                                TaskSelector* selector,
+                                                Options options);
+
+  BudgetScheduler(BudgetScheduler&&) = default;
+  BudgetScheduler& operator=(BudgetScheduler&&) = default;
+
+  /// Registers an instance; returns its index. The provider must outlive
+  /// the scheduler.
+  common::Result<int> AddInstance(std::string name, JointDistribution joint,
+                                  AnswerProvider* provider);
+
+  int num_instances() const { return static_cast<int>(instances_.size()); }
+  bool HasBudget() const { return cost_spent_ < options_.total_budget; }
+
+  /// Runs one step: find the instance with the best expected gain, ask its
+  /// selected tasks, merge. Precondition: HasBudget() and at least one
+  /// instance. Returns a record with instance = -1 if no instance has any
+  /// positive-gain task left.
+  common::Result<StepRecord> RunStep();
+
+  /// Runs until the budget is gone or no gain remains anywhere.
+  common::Result<std::vector<StepRecord>> Run();
+
+  const JointDistribution& joint(int instance) const;
+  const std::string& name(int instance) const;
+  int cost_spent(int instance) const;
+  int total_cost_spent() const { return cost_spent_; }
+
+  /// Sum of Q(F) over all instances.
+  double TotalUtilityBits() const;
+
+ private:
+  struct Instance {
+    std::string name;
+    JointDistribution joint;
+    AnswerProvider* provider = nullptr;
+    int cost_spent = 0;
+    /// Cached best selection for the current joint; empty tasks means the
+    /// selector found no benefit. Invalidated on merge.
+    bool selection_valid = false;
+    Selection cached_selection;
+  };
+
+  BudgetScheduler(CrowdModel crowd, TaskSelector* selector, Options options)
+      : crowd_(crowd), selector_(selector), options_(options) {}
+
+  /// Refreshes the cached selection of one instance if stale.
+  common::Status RefreshSelection(Instance& instance, int k);
+
+  CrowdModel crowd_;
+  TaskSelector* selector_;
+  Options options_;
+  std::vector<Instance> instances_;
+  int cost_spent_ = 0;
+  int steps_run_ = 0;
+};
+
+}  // namespace crowdfusion::core
+
+#endif  // CROWDFUSION_CORE_SCHEDULER_H_

@@ -1,0 +1,52 @@
+#include "core/task_selector.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace crowdfusion::core {
+
+using common::Status;
+
+common::Result<std::vector<int>> ResolveCandidates(
+    const SelectionRequest& request) {
+  if (request.joint == nullptr) {
+    return Status::InvalidArgument("SelectionRequest.joint is null");
+  }
+  if (request.crowd == nullptr) {
+    return Status::InvalidArgument("SelectionRequest.crowd is null");
+  }
+  if (request.k <= 0) {
+    return Status::InvalidArgument(
+        common::StrFormat("k must be positive, got %d", request.k));
+  }
+  if (!request.joint->IsNormalized(1e-6)) {
+    return Status::FailedPrecondition(
+        "joint distribution is not normalized");
+  }
+  std::vector<int> candidates = request.candidates;
+  if (candidates.empty()) {
+    candidates.resize(static_cast<size_t>(request.joint->num_facts()));
+    for (int i = 0; i < request.joint->num_facts(); ++i) {
+      candidates[static_cast<size_t>(i)] = i;
+    }
+  } else {
+    std::unordered_set<int> seen;
+    for (int id : candidates) {
+      if (id < 0 || id >= request.joint->num_facts()) {
+        return Status::OutOfRange(
+            common::StrFormat("candidate fact id %d out of range", id));
+      }
+      if (!seen.insert(id).second) {
+        return Status::InvalidArgument(
+            common::StrFormat("candidate fact id %d repeated", id));
+      }
+    }
+  }
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidate facts to select from");
+  }
+  return candidates;
+}
+
+}  // namespace crowdfusion::core

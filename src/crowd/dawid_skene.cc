@@ -1,0 +1,103 @@
+#include "crowd/dawid_skene.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace crowdfusion::crowd {
+
+using common::Status;
+
+common::Result<DawidSkeneResult> RunDawidSkene(
+    int num_tasks, int num_workers, const std::vector<Judgment>& judgments,
+    const DawidSkeneOptions& options) {
+  if (num_tasks <= 0 || num_workers <= 0) {
+    return Status::InvalidArgument("need at least one task and one worker");
+  }
+  if (judgments.empty()) {
+    return Status::InvalidArgument("no judgments supplied");
+  }
+  if (!(options.task_prior > 0.0 && options.task_prior < 1.0)) {
+    return Status::InvalidArgument("task_prior must be in (0, 1)");
+  }
+  for (const Judgment& j : judgments) {
+    if (j.task < 0 || j.task >= num_tasks) {
+      return Status::OutOfRange(
+          common::StrFormat("judgment task id %d out of range", j.task));
+    }
+    if (j.worker < 0 || j.worker >= num_workers) {
+      return Status::OutOfRange(
+          common::StrFormat("judgment worker id %d out of range", j.worker));
+    }
+  }
+
+  DawidSkeneResult result;
+  result.worker_accuracy.assign(static_cast<size_t>(num_workers),
+                                options.initial_accuracy);
+  result.task_posterior.assign(static_cast<size_t>(num_tasks),
+                               options.task_prior);
+
+  const double floor = options.accuracy_floor;
+  const double log_prior_true = std::log(options.task_prior);
+  const double log_prior_false = std::log(1.0 - options.task_prior);
+
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    // E-step: posterior per task from worker-accuracy likelihoods.
+    std::vector<double> log_true(static_cast<size_t>(num_tasks),
+                                 log_prior_true);
+    std::vector<double> log_false(static_cast<size_t>(num_tasks),
+                                  log_prior_false);
+    for (const Judgment& j : judgments) {
+      const double accuracy = common::Clamp(
+          result.worker_accuracy[static_cast<size_t>(j.worker)], floor,
+          1.0 - floor);
+      const double log_acc = std::log(accuracy);
+      const double log_err = std::log(1.0 - accuracy);
+      if (j.answer) {
+        log_true[static_cast<size_t>(j.task)] += log_acc;
+        log_false[static_cast<size_t>(j.task)] += log_err;
+      } else {
+        log_true[static_cast<size_t>(j.task)] += log_err;
+        log_false[static_cast<size_t>(j.task)] += log_acc;
+      }
+    }
+    for (int t = 0; t < num_tasks; ++t) {
+      const double m = std::max(log_true[static_cast<size_t>(t)],
+                                log_false[static_cast<size_t>(t)]);
+      const double pt = std::exp(log_true[static_cast<size_t>(t)] - m);
+      const double pf = std::exp(log_false[static_cast<size_t>(t)] - m);
+      result.task_posterior[static_cast<size_t>(t)] = pt / (pt + pf);
+    }
+
+    // M-step: accuracy = posterior-weighted agreement rate.
+    std::vector<double> agreement(static_cast<size_t>(num_workers), 0.0);
+    std::vector<double> weight(static_cast<size_t>(num_workers), 0.0);
+    for (const Judgment& j : judgments) {
+      const double p = result.task_posterior[static_cast<size_t>(j.task)];
+      agreement[static_cast<size_t>(j.worker)] +=
+          j.answer ? p : (1.0 - p);
+      weight[static_cast<size_t>(j.worker)] += 1.0;
+    }
+    double max_delta = 0.0;
+    for (int w = 0; w < num_workers; ++w) {
+      if (weight[static_cast<size_t>(w)] <= 0.0) continue;
+      const double updated = common::Clamp(
+          agreement[static_cast<size_t>(w)] / weight[static_cast<size_t>(w)],
+          floor, 1.0 - floor);
+      max_delta = std::max(
+          max_delta,
+          std::fabs(updated -
+                    result.worker_accuracy[static_cast<size_t>(w)]));
+      result.worker_accuracy[static_cast<size_t>(w)] = updated;
+    }
+    ++result.iterations;
+    if (max_delta < options.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace crowdfusion::crowd

@@ -1,0 +1,80 @@
+#include "crowd/platform.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace crowdfusion::crowd {
+
+using common::Status;
+
+common::Result<CrowdPlatform> CrowdPlatform::Create(
+    std::vector<Worker> workers, std::vector<bool> truths,
+    std::vector<data::StatementCategory> categories, Options options) {
+  if (workers.empty()) {
+    return Status::InvalidArgument("worker pool is empty");
+  }
+  if (truths.empty()) {
+    return Status::InvalidArgument("fact universe is empty");
+  }
+  if (!categories.empty() && categories.size() != truths.size()) {
+    return Status::InvalidArgument(
+        "categories must be empty or match truths in size");
+  }
+  if (options.redundancy < 1) {
+    return Status::InvalidArgument("redundancy must be >= 1");
+  }
+  return CrowdPlatform(std::move(workers), std::move(truths),
+                       std::move(categories), options);
+}
+
+common::Result<std::vector<bool>> CrowdPlatform::CollectAnswers(
+    std::span<const int> fact_ids) {
+  std::vector<bool> answers;
+  answers.reserve(fact_ids.size());
+  const int pool = static_cast<int>(workers_.size());
+  const int redundancy = std::min(options_.redundancy, pool);
+  for (int id : fact_ids) {
+    if (id < 0 || id >= static_cast<int>(truths_.size())) {
+      return Status::OutOfRange(
+          common::StrFormat("fact id %d outside the platform's universe", id));
+    }
+    const bool truth = truths_[static_cast<size_t>(id)];
+    const data::StatementCategory category =
+        categories_.empty() ? data::StatementCategory::kClean
+                            : categories_[static_cast<size_t>(id)];
+    TaskLog log;
+    log.fact_id = id;
+    log.worker_indices = rng_.SampleWithoutReplacement(pool, redundancy);
+    int votes_true = 0;
+    for (int w : log.worker_indices) {
+      const bool judgment =
+          workers_[static_cast<size_t>(w)].Judge(truth, category, rng_);
+      log.judgments.push_back(judgment);
+      if (judgment) ++votes_true;
+      ++judgments_collected_;
+    }
+    const int votes_false = redundancy - votes_true;
+    bool aggregated = false;
+    if (votes_true != votes_false) {
+      aggregated = votes_true > votes_false;
+    } else {
+      aggregated = rng_.NextBernoulli(0.5);  // Fair-coin tie break.
+    }
+    log.aggregated = aggregated;
+    task_log_.push_back(std::move(log));
+    ++aggregated_total_;
+    if (aggregated == truth) ++aggregated_correct_;
+    answers.push_back(aggregated);
+  }
+  return answers;
+}
+
+double CrowdPlatform::AggregatedAccuracy() const {
+  return aggregated_total_ == 0
+             ? 0.0
+             : static_cast<double>(aggregated_correct_) /
+                   static_cast<double>(aggregated_total_);
+}
+
+}  // namespace crowdfusion::crowd

@@ -1,0 +1,73 @@
+#ifndef CROWDFUSION_CROWD_PLATFORM_H_
+#define CROWDFUSION_CROWD_PLATFORM_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/crowdfusion.h"
+#include "crowd/worker.h"
+#include "data/statement.h"
+
+namespace crowdfusion::crowd {
+
+/// A fuller crowdsourcing-platform simulation than SimulatedCrowd: a pool
+/// of heterogeneous workers, each task assigned to `redundancy` distinct
+/// workers sampled from the pool, judgments aggregated by majority vote
+/// (ties broken by a fair coin). Extends the paper's single-answer model
+/// to the standard replication practice of real platforms; with
+/// redundancy = 1 it reduces exactly to the paper's model.
+class CrowdPlatform : public core::AnswerProvider {
+ public:
+  struct Options {
+    /// Distinct workers asked per task. Clamped to the pool size.
+    int redundancy = 1;
+    uint64_t seed = 99;
+  };
+
+  /// One log row per task assignment.
+  struct TaskLog {
+    int fact_id = -1;
+    std::vector<int> worker_indices;
+    std::vector<bool> judgments;
+    bool aggregated = false;
+  };
+
+  /// Requires a non-empty worker pool and fact universe.
+  static common::Result<CrowdPlatform> Create(
+      std::vector<Worker> workers, std::vector<bool> truths,
+      std::vector<data::StatementCategory> categories, Options options);
+
+  common::Result<std::vector<bool>> CollectAnswers(
+      std::span<const int> fact_ids) override;
+
+  const std::vector<TaskLog>& task_log() const { return task_log_; }
+  int64_t judgments_collected() const { return judgments_collected_; }
+
+  /// Empirical fraction of aggregated answers matching the ground truth.
+  double AggregatedAccuracy() const;
+
+ private:
+  CrowdPlatform(std::vector<Worker> workers, std::vector<bool> truths,
+                std::vector<data::StatementCategory> categories,
+                Options options)
+      : workers_(std::move(workers)),
+        truths_(std::move(truths)),
+        categories_(std::move(categories)),
+        options_(options),
+        rng_(options.seed) {}
+
+  std::vector<Worker> workers_;
+  std::vector<bool> truths_;
+  std::vector<data::StatementCategory> categories_;
+  Options options_;
+  common::Rng rng_;
+  std::vector<TaskLog> task_log_;
+  int64_t judgments_collected_ = 0;
+  int64_t aggregated_correct_ = 0;
+  int64_t aggregated_total_ = 0;
+};
+
+}  // namespace crowdfusion::crowd
+
+#endif  // CROWDFUSION_CROWD_PLATFORM_H_

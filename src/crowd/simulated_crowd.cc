@@ -1,0 +1,50 @@
+#include "crowd/simulated_crowd.h"
+
+#include "common/string_util.h"
+
+namespace crowdfusion::crowd {
+
+using common::Status;
+
+SimulatedCrowd::SimulatedCrowd(std::vector<bool> truths,
+                               std::vector<data::StatementCategory> categories,
+                               WorkerBias bias, uint64_t seed)
+    : truths_(std::move(truths)),
+      categories_(std::move(categories)),
+      worker_("simulated", bias),
+      rng_(seed) {}
+
+SimulatedCrowd SimulatedCrowd::WithUniformAccuracy(std::vector<bool> truths,
+                                                   double pc, uint64_t seed) {
+  return SimulatedCrowd(std::move(truths), {}, WorkerBias::Uniform(pc), seed);
+}
+
+common::Result<std::vector<bool>> SimulatedCrowd::CollectAnswers(
+    std::span<const int> fact_ids) {
+  std::vector<bool> answers;
+  answers.reserve(fact_ids.size());
+  for (int id : fact_ids) {
+    if (id < 0 || id >= static_cast<int>(truths_.size())) {
+      return Status::OutOfRange(
+          common::StrFormat("fact id %d outside the crowd's universe", id));
+    }
+    const bool truth = truths_[static_cast<size_t>(id)];
+    const data::StatementCategory category =
+        categories_.empty() ? data::StatementCategory::kClean
+                            : categories_[static_cast<size_t>(id)];
+    const bool answer = worker_.Judge(truth, category, rng_);
+    ++answers_served_;
+    if (answer == truth) ++answers_correct_;
+    answers.push_back(answer);
+  }
+  return answers;
+}
+
+double SimulatedCrowd::EmpiricalAccuracy() const {
+  return answers_served_ == 0
+             ? 0.0
+             : static_cast<double>(answers_correct_) /
+                   static_cast<double>(answers_served_);
+}
+
+}  // namespace crowdfusion::crowd

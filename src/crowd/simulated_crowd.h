@@ -1,0 +1,52 @@
+#ifndef CROWDFUSION_CROWD_SIMULATED_CROWD_H_
+#define CROWDFUSION_CROWD_SIMULATED_CROWD_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/crowdfusion.h"
+#include "crowd/worker.h"
+#include "data/statement.h"
+
+namespace crowdfusion::crowd {
+
+/// The gMission substitute: an AnswerProvider that samples crowd judgments
+/// from the ground truth under the paper's Bernoulli error model
+/// (Definition 2), optionally with the Section V-D per-category biases.
+///
+/// One instance serves one fact universe (e.g. one book): fact id i refers
+/// to truths[i] / categories[i]. All algorithms observe only the returned
+/// answers, so swapping a real platform in requires only another
+/// AnswerProvider.
+class SimulatedCrowd : public core::AnswerProvider {
+ public:
+  /// `categories` may be empty, in which case every fact is kClean.
+  SimulatedCrowd(std::vector<bool> truths,
+                 std::vector<data::StatementCategory> categories,
+                 WorkerBias bias, uint64_t seed);
+
+  /// Unbiased crowd with uniform accuracy pc (the experiment knob).
+  static SimulatedCrowd WithUniformAccuracy(std::vector<bool> truths,
+                                            double pc, uint64_t seed);
+
+  common::Result<std::vector<bool>> CollectAnswers(
+      std::span<const int> fact_ids) override;
+
+  /// Total judgments served so far.
+  int64_t answers_served() const { return answers_served_; }
+  /// Of those, how many matched the ground truth (empirical accuracy).
+  int64_t answers_correct() const { return answers_correct_; }
+  double EmpiricalAccuracy() const;
+
+ private:
+  std::vector<bool> truths_;
+  std::vector<data::StatementCategory> categories_;
+  Worker worker_;
+  common::Rng rng_;
+  int64_t answers_served_ = 0;
+  int64_t answers_correct_ = 0;
+};
+
+}  // namespace crowdfusion::crowd
+
+#endif  // CROWDFUSION_CROWD_SIMULATED_CROWD_H_

@@ -1,0 +1,34 @@
+#include "crowd/worker.h"
+
+namespace crowdfusion::crowd {
+
+WorkerBias WorkerBias::Uniform(double p) {
+  WorkerBias bias;
+  bias.base_accuracy = p;
+  bias.reordered_accuracy = p;
+  bias.additional_info_accuracy = p;
+  bias.misspelling_accuracy = p;
+  return bias;
+}
+
+double WorkerBias::AccuracyFor(data::StatementCategory category) const {
+  switch (category) {
+    case data::StatementCategory::kReordered:
+      return reordered_accuracy;
+    case data::StatementCategory::kAdditionalInfo:
+      return additional_info_accuracy;
+    case data::StatementCategory::kMisspelling:
+      return misspelling_accuracy;
+    default:
+      return base_accuracy;
+  }
+}
+
+bool Worker::Judge(bool ground_truth, data::StatementCategory category,
+                   common::Rng& rng) const {
+  const double accuracy = bias_.AccuracyFor(category);
+  const bool correct = rng.NextBernoulli(accuracy);
+  return correct ? ground_truth : !ground_truth;
+}
+
+}  // namespace crowdfusion::crowd

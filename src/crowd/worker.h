@@ -1,0 +1,60 @@
+#ifndef CROWDFUSION_CROWD_WORKER_H_
+#define CROWDFUSION_CROWD_WORKER_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "data/statement.h"
+
+namespace crowdfusion::crowd {
+
+/// Per-category answer behaviour of simulated workers, calibrated to the
+/// paper's error analysis (Section V-D): a worker's chance of judging a
+/// statement *correctly* depends on the statement category. The paper
+/// measured overall accuracy ≈ 0.86 with three systematically confusing
+/// categories:
+///  * Reordered (true) statements are often marked false;
+///  * AdditionalInfo (false) statements are marked true by > 40% of
+///    workers;
+///  * Misspelling (false) statements are marked correct by more than half
+///    of workers.
+struct WorkerBias {
+  /// P(correct judgment) for ordinary statements.
+  double base_accuracy = 0.86;
+  /// P(correct) for reordered-but-true statements.
+  double reordered_accuracy = 0.55;
+  /// P(correct) for additional-information statements.
+  double additional_info_accuracy = 0.58;
+  /// P(correct) for misspelled statements (below 0.5: the crowd is
+  /// systematically wrong on these, as observed in the paper).
+  double misspelling_accuracy = 0.45;
+
+  /// Unbiased Bernoulli(p) crowd for all categories.
+  static WorkerBias Uniform(double p);
+
+  /// P(correct) for a statement of the given category.
+  double AccuracyFor(data::StatementCategory category) const;
+};
+
+/// One simulated crowd worker.
+class Worker {
+ public:
+  Worker(std::string id, WorkerBias bias) : id_(std::move(id)), bias_(bias) {}
+
+  const std::string& id() const { return id_; }
+  const WorkerBias& bias() const { return bias_; }
+
+  /// Answers "is this statement true?" given the ground truth and the
+  /// statement's category: returns the correct judgment with the
+  /// category's accuracy, the flipped one otherwise.
+  bool Judge(bool ground_truth, data::StatementCategory category,
+             common::Rng& rng) const;
+
+ private:
+  std::string id_;
+  WorkerBias bias_;
+};
+
+}  // namespace crowdfusion::crowd
+
+#endif  // CROWDFUSION_CROWD_WORKER_H_

@@ -1,0 +1,86 @@
+#include "data/author.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace crowdfusion::data {
+
+using common::Join;
+using common::Split;
+using common::ToLower;
+using common::Trim;
+
+std::string RenderAuthor(const AuthorName& author, NameFormat format) {
+  switch (format) {
+    case NameFormat::kFirstLast:
+      return author.first + " " + author.last;
+    case NameFormat::kLastCommaFirst:
+      return author.last + ", " + author.first;
+    case NameFormat::kAllCapsLastCommaFirst: {
+      std::string out = author.last + ", " + author.first;
+      std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::toupper(c));
+      });
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string RenderAuthorList(const AuthorList& authors, NameFormat format) {
+  std::vector<std::string> parts;
+  parts.reserve(authors.size());
+  for (const AuthorName& a : authors) parts.push_back(RenderAuthor(a, format));
+  return Join(parts, "; ");
+}
+
+ParsedStatement ParseAuthorListStatement(const std::string& text) {
+  ParsedStatement parsed;
+  std::string body = text;
+  // Any parenthesized annotation marks "additional information".
+  const size_t paren = body.find('(');
+  if (paren != std::string::npos) {
+    parsed.has_annotation = true;
+    body = body.substr(0, paren);
+  }
+  for (const std::string& piece : Split(body, ';')) {
+    const std::string author_text = Trim(piece);
+    if (author_text.empty()) continue;
+    AuthorName name;
+    const size_t comma = author_text.find(',');
+    if (comma != std::string::npos) {
+      // "Last, First"
+      name.last = Trim(author_text.substr(0, comma));
+      name.first = Trim(author_text.substr(comma + 1));
+    } else {
+      // "First Last" (last token is the last name).
+      const size_t space = author_text.rfind(' ');
+      if (space == std::string::npos) {
+        name.last = author_text;
+      } else {
+        name.first = Trim(author_text.substr(0, space));
+        name.last = Trim(author_text.substr(space + 1));
+      }
+    }
+    parsed.authors.push_back(std::move(name));
+  }
+  return parsed;
+}
+
+std::string CanonicalKey(const AuthorList& authors) {
+  std::vector<std::string> keys;
+  keys.reserve(authors.size());
+  for (const AuthorName& a : authors) {
+    keys.push_back(ToLower(a.first) + " " + ToLower(a.last));
+  }
+  std::sort(keys.begin(), keys.end());
+  return Join(keys, "|");
+}
+
+bool SameAuthors(const AuthorList& a, const AuthorList& b) {
+  return CanonicalKey(a) == CanonicalKey(b);
+}
+
+}  // namespace crowdfusion::data

@@ -1,0 +1,54 @@
+#ifndef CROWDFUSION_DATA_AUTHOR_H_
+#define CROWDFUSION_DATA_AUTHOR_H_
+
+#include <string>
+#include <vector>
+
+namespace crowdfusion::data {
+
+/// One author of a book.
+struct AuthorName {
+  std::string first;
+  std::string last;
+
+  friend bool operator==(const AuthorName& a, const AuthorName& b) = default;
+};
+
+using AuthorList = std::vector<AuthorName>;
+
+/// Rendering formats seen in the real Book dataset: "Tyrone Adams" vs
+/// "Adams, Tyrone" vs "ADAMS, TYRONE".
+enum class NameFormat {
+  kFirstLast,      // "Tyrone Adams"
+  kLastCommaFirst, // "Adams, Tyrone"
+  kAllCapsLastCommaFirst,  // "ADAMS, TYRONE"
+};
+
+/// Renders one author in the given format.
+std::string RenderAuthor(const AuthorName& author, NameFormat format);
+
+/// Renders a full author list, authors separated by "; ".
+std::string RenderAuthorList(const AuthorList& authors, NameFormat format);
+
+/// Parses a rendered author-list statement back into names. Handles all
+/// NameFormat variants; parenthesized trailing annotations (the
+/// "additional information" error category) are preserved in
+/// `trailing_annotation` so the ground-truth labeler can reject them.
+struct ParsedStatement {
+  AuthorList authors;
+  bool has_annotation = false;
+};
+ParsedStatement ParseAuthorListStatement(const std::string& text);
+
+/// Canonical order-insensitive, case-insensitive key of an author list.
+/// Two statements are the same list iff their keys match — this implements
+/// the paper's ground-truth rule that author order does not matter.
+std::string CanonicalKey(const AuthorList& authors);
+
+/// True iff the two lists contain the same author names (order- and
+/// case-insensitive, exact spelling).
+bool SameAuthors(const AuthorList& a, const AuthorList& b);
+
+}  // namespace crowdfusion::data
+
+#endif  // CROWDFUSION_DATA_AUTHOR_H_

@@ -1,0 +1,101 @@
+#ifndef CROWDFUSION_DATA_BOOK_DATASET_H_
+#define CROWDFUSION_DATA_BOOK_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "data/statement.h"
+#include "fusion/claim_database.h"
+
+namespace crowdfusion::data {
+
+/// Synthetic substitute for the Book dataset (lunadong.com fusion
+/// datasets) used in the paper's evaluation: online bookstores (sources)
+/// make author-list claims about books; a claim's statement may be a true
+/// variant (different format/order) or one of the paper's false
+/// categories. Source reliability is domain-dependent — the paper's
+/// eCampus.com example is a source consistent on textbooks but wrong on
+/// every non-textbook — which is exactly the pathology that defeats
+/// machine-only fusion and motivates the crowd.
+struct BookDatasetOptions {
+  int num_books = 100;
+  int num_sources = 30;
+  int min_authors = 1;
+  int max_authors = 4;
+  /// Fraction of books in the "textbook" domain.
+  double textbook_fraction = 0.5;
+  /// Probability that a given source covers a given book.
+  double coverage = 0.5;
+  /// Accuracy range of a source on its strong domain. The defaults are
+  /// calibrated so that ≈50% of raw claims are correct, matching the
+  /// paper's statistic for the real Web data.
+  double strong_accuracy_low = 0.55;
+  double strong_accuracy_high = 0.9;
+  /// Accuracy range on its weak domain (eCampus-style skew).
+  double weak_accuracy_low = 0.05;
+  double weak_accuracy_high = 0.35;
+  /// Fraction of sources that are domain-skewed (strong on one domain,
+  /// weak on the other); the rest use the strong range on both domains.
+  double skewed_source_fraction = 0.7;
+  /// Per-book pools of distinct statement variants. The number of facts
+  /// per book is at most true_variants + false_variants; erring sources
+  /// sample from the shared false pool, reproducing the Web's
+  /// copying/propagation of wrong values.
+  int true_variants = 3;
+  int false_variants = 4;
+  /// Probability a true statement uses a non-canonical author order
+  /// (the "Wrong Order" category) rather than the canonical one.
+  double reorder_fraction = 0.35;
+  /// Relative weights of false-statement corruption categories.
+  double weight_additional_info = 0.25;
+  double weight_misspelling = 0.25;
+  double weight_wrong_author = 0.3;
+  double weight_missing_author = 0.2;
+  uint64_t seed = 7;
+};
+
+/// One generated book with its candidate statements. The statement order
+/// matches the book's fact ids (fact i of the book's joint distribution is
+/// statements[i]) and the global value ids in the claim database.
+struct Book {
+  std::string title;
+  std::string isbn;
+  bool is_textbook = false;
+  AuthorList true_authors;
+  /// Distinct statements claimed by at least one source.
+  std::vector<Statement> statements;
+  /// Global value id in the claim database for each statement.
+  std::vector<int> value_ids;
+};
+
+/// Per-source generation metadata (for inspecting the reliability skew).
+struct SourceProfile {
+  std::string name;
+  double accuracy_textbook = 0.0;
+  double accuracy_non_textbook = 0.0;
+};
+
+struct BookDataset {
+  BookDatasetOptions options;
+  std::vector<Book> books;
+  std::vector<SourceProfile> sources;
+  fusion::ClaimDatabase claims;
+  /// Ground truth per global value id.
+  std::vector<bool> value_truth;
+  std::vector<StatementCategory> value_category;
+
+  /// Fraction of raw claims (not distinct statements) that are true;
+  /// the paper reports ≈50% for the real Web data.
+  double FractionTrueClaims() const;
+};
+
+/// Generates a dataset. Deterministic in options.seed.
+common::Result<BookDataset> GenerateBookDataset(
+    const BookDatasetOptions& options);
+
+}  // namespace crowdfusion::data
+
+#endif  // CROWDFUSION_DATA_BOOK_DATASET_H_

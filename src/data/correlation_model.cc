@@ -1,0 +1,117 @@
+#include "data/correlation_model.h"
+
+#include <map>
+#include <string>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "data/author.h"
+
+namespace crowdfusion::data {
+
+using common::Status;
+using core::JointDistribution;
+
+namespace {
+
+/// The latent-truth component: a sparse distribution whose worlds are
+/// "canonical list h is the true list" plus a null world.
+common::Result<JointDistribution> BuildLatentTruth(
+    const std::vector<double>& marginals,
+    const std::vector<Statement>& statements, double null_mass) {
+  const int n = static_cast<int>(statements.size());
+  // Group statements by canonical key; annotated statements are not true
+  // under any hypothesis.
+  std::map<std::string, uint64_t> world_of_key;
+  std::vector<std::string> keys(statements.size());
+  for (int i = 0; i < n; ++i) {
+    const ParsedStatement parsed =
+        ParseAuthorListStatement(statements[static_cast<size_t>(i)].text);
+    if (parsed.has_annotation) {
+      keys[static_cast<size_t>(i)] = "";
+      continue;
+    }
+    keys[static_cast<size_t>(i)] = CanonicalKey(parsed.authors);
+  }
+  std::map<std::string, double> weight_of_key;
+  for (int i = 0; i < n; ++i) {
+    const std::string& key = keys[static_cast<size_t>(i)];
+    if (key.empty()) continue;
+    world_of_key[key] |= 1ULL << i;
+    weight_of_key[key] += marginals[static_cast<size_t>(i)] + 1e-6;
+  }
+  std::vector<JointDistribution::Entry> entries;
+  double total_weight = 0.0;
+  for (const auto& [key, weight] : weight_of_key) total_weight += weight;
+  if (total_weight <= 0.0 || world_of_key.empty()) {
+    // No parseable hypothesis: all mass on the all-false world.
+    return JointDistribution::FromEntries(n, {{0, 1.0}});
+  }
+  const double hypothesis_mass = 1.0 - null_mass;
+  for (const auto& [key, mask] : world_of_key) {
+    entries.push_back(
+        {mask, hypothesis_mass * weight_of_key[key] / total_weight});
+  }
+  if (null_mass > 0.0) entries.push_back({0, null_mass});
+  return JointDistribution::FromEntries(n, std::move(entries),
+                                        /*normalize=*/true);
+}
+
+common::Result<JointDistribution> MixDistributions(
+    const JointDistribution& a, const JointDistribution& b, double lambda) {
+  std::vector<JointDistribution::Entry> entries;
+  entries.reserve(a.entries().size() + b.entries().size());
+  for (const auto& e : a.entries()) entries.push_back({e.mask, lambda * e.prob});
+  for (const auto& e : b.entries()) {
+    entries.push_back({e.mask, (1.0 - lambda) * e.prob});
+  }
+  return JointDistribution::FromEntries(a.num_facts(), std::move(entries),
+                                        /*normalize=*/true);
+}
+
+}  // namespace
+
+common::Result<JointDistribution> BuildBookJoint(
+    const std::vector<double>& marginals,
+    const std::vector<Statement>& statements,
+    const CorrelationModelOptions& options) {
+  if (marginals.size() != statements.size()) {
+    return Status::InvalidArgument(common::StrFormat(
+        "got %zu marginals for %zu statements", marginals.size(),
+        statements.size()));
+  }
+  if (statements.empty()) {
+    return Status::InvalidArgument("book has no statements");
+  }
+  if (static_cast<int>(statements.size()) > options.max_facts) {
+    return Status::InvalidArgument(common::StrFormat(
+        "book has %zu statements, cap is %d", statements.size(),
+        options.max_facts));
+  }
+  for (double p : marginals) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return Status::InvalidArgument("marginal outside [0, 1]");
+    }
+  }
+
+  switch (options.kind) {
+    case CorrelationKind::kIndependent:
+      return JointDistribution::FromIndependentMarginals(marginals);
+    case CorrelationKind::kLatentTruth:
+      return BuildLatentTruth(marginals, statements,
+                              options.null_hypothesis_mass);
+    case CorrelationKind::kMixture: {
+      CF_ASSIGN_OR_RETURN(
+          JointDistribution independent,
+          JointDistribution::FromIndependentMarginals(marginals));
+      CF_ASSIGN_OR_RETURN(
+          JointDistribution latent,
+          BuildLatentTruth(marginals, statements,
+                           options.null_hypothesis_mass));
+      return MixDistributions(latent, independent, options.mixture_lambda);
+    }
+  }
+  return Status::Internal("unknown correlation kind");
+}
+
+}  // namespace crowdfusion::data

@@ -1,0 +1,60 @@
+#ifndef CROWDFUSION_DATA_CORRELATION_MODEL_H_
+#define CROWDFUSION_DATA_CORRELATION_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/joint_distribution.h"
+#include "data/statement.h"
+
+namespace crowdfusion::data {
+
+using core::JointDistribution;
+
+/// Builds the per-book joint output distribution that CrowdFusion consumes
+/// from (a) the machine-only fusion marginals and (b) the structure of the
+/// statements themselves. The paper takes the joint as given ("can be
+/// extended to the joint distribution as required", Section VII); this
+/// module provides the three natural constructions.
+enum class CorrelationKind {
+  /// Facts are independent Bernoullis with the fusion marginals. No
+  /// correlation — the weakest but assumption-free prior.
+  kIndependent,
+  /// Latent-truth model: hypothesize that exactly one canonical author
+  /// list is correct. Each distinct parsed canonical key among the
+  /// statements is a hypothesis; under hypothesis h, statement j is true
+  /// iff its canonical key equals h and it carries no annotation. The
+  /// hypothesis prior is proportional to the summed marginals of its
+  /// supporting statements. This produces the strong positive correlation
+  /// between format variants of one list and negative correlation between
+  /// conflicting lists (the paper's Obama example, instantiated for book
+  /// data).
+  kLatentTruth,
+  /// Mixture: lambda * LatentTruth + (1 - lambda) * Independent. Keeps the
+  /// correlations while retaining full support so that no crowd answer is
+  /// ever impossible evidence.
+  kMixture,
+};
+
+struct CorrelationModelOptions {
+  CorrelationKind kind = CorrelationKind::kMixture;
+  /// Weight of the latent-truth component in kMixture.
+  double mixture_lambda = 0.6;
+  /// Mass of the residual "no hypothesis is right" world in the
+  /// latent-truth component.
+  double null_hypothesis_mass = 0.05;
+  /// Hard cap on facts per joint (dense representation is 2^n).
+  int max_facts = JointDistribution::kMaxDenseFacts;
+};
+
+/// Builds the joint distribution of one book's statements. `marginals[i]`
+/// is the fusion probability that statement `statements[i]` is true. The
+/// two vectors must be the same size, non-empty, and within the fact cap.
+common::Result<JointDistribution> BuildBookJoint(
+    const std::vector<double>& marginals,
+    const std::vector<Statement>& statements,
+    const CorrelationModelOptions& options);
+
+}  // namespace crowdfusion::data
+
+#endif  // CROWDFUSION_DATA_CORRELATION_MODEL_H_

@@ -1,0 +1,26 @@
+#ifndef CROWDFUSION_DATA_DATASET_IO_H_
+#define CROWDFUSION_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/book_dataset.h"
+
+namespace crowdfusion::data {
+
+/// Persists a generated dataset in the TSV layout of the original Book
+/// dataset (one claim per line):
+///   isbn \t title \t source \t statement \t label \t category
+/// and a companion "<path>.truth" file with the gold author list per book:
+///   isbn \t canonical author list
+common::Status SaveBookDataset(const BookDataset& dataset,
+                               const std::string& path);
+
+/// Loads a dataset previously written by SaveBookDataset. Claims, ground
+/// truth, and categories round-trip; generation metadata (source accuracy
+/// profiles) does not, and `options` keeps only defaults.
+common::Result<BookDataset> LoadBookDataset(const std::string& path);
+
+}  // namespace crowdfusion::data
+
+#endif  // CROWDFUSION_DATA_DATASET_IO_H_

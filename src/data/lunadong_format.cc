@@ -1,0 +1,153 @@
+#include "data/lunadong_format.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace crowdfusion::data {
+
+using common::Status;
+
+StatementCategory InferCategory(const std::string& statement_text,
+                                const AuthorList& gold_authors) {
+  const ParsedStatement parsed = ParseAuthorListStatement(statement_text);
+  if (parsed.has_annotation) return StatementCategory::kAdditionalInfo;
+  if (SameAuthors(parsed.authors, gold_authors)) {
+    // True statement: canonical order or reordered?
+    if (parsed.authors == gold_authors) return StatementCategory::kClean;
+    return StatementCategory::kReordered;
+  }
+  // False: close in edit distance to the gold rendering => misspelling.
+  const std::string gold_rendering = common::ToLower(
+      RenderAuthorList(gold_authors, NameFormat::kFirstLast));
+  const std::string statement_lower = common::ToLower(statement_text);
+  if (common::EditDistance(statement_lower, gold_rendering) <= 2) {
+    return StatementCategory::kMisspelling;
+  }
+  if (parsed.authors.size() < gold_authors.size()) {
+    return StatementCategory::kMissingAuthor;
+  }
+  return StatementCategory::kWrongAuthor;
+}
+
+common::Result<BookDataset> LoadLunadongBookDataset(
+    const std::string& claims_path, const std::string& gold_path,
+    LunadongLoadStats* stats) {
+  LunadongLoadStats local_stats;
+
+  // Gold standard: ISBN -> author list.
+  std::ifstream gold_in(gold_path);
+  if (!gold_in.is_open()) {
+    return Status::NotFound("cannot open gold file: " + gold_path);
+  }
+  std::map<std::string, AuthorList> gold;
+  std::string line;
+  while (std::getline(gold_in, line)) {
+    if (common::Trim(line).empty()) continue;
+    const auto fields = common::Split(line, '\t');
+    if (fields.size() < 2) {
+      ++local_stats.skipped_lines;
+      continue;
+    }
+    gold[common::Trim(fields[0])] =
+        ParseAuthorListStatement(fields[1]).authors;
+  }
+
+  std::ifstream claims_in(claims_path);
+  if (!claims_in.is_open()) {
+    return Status::NotFound("cannot open claims file: " + claims_path);
+  }
+
+  BookDataset dataset;
+  std::map<std::string, int> book_index;
+  std::map<std::string, int> source_index;
+  while (std::getline(claims_in, line)) {
+    if (common::Trim(line).empty()) continue;
+    const auto fields = common::Split(line, '\t');
+    if (fields.size() < 4) {
+      ++local_stats.skipped_lines;
+      continue;
+    }
+    const std::string source_name = common::Trim(fields[0]);
+    const std::string isbn = common::Trim(fields[1]);
+    const std::string& title = fields[2];
+    const std::string statement_text = common::Trim(fields[3]);
+    if (source_name.empty() || isbn.empty() || statement_text.empty()) {
+      ++local_stats.skipped_lines;
+      continue;
+    }
+
+    int book_id = 0;
+    if (auto it = book_index.find(isbn); it != book_index.end()) {
+      book_id = it->second;
+    } else {
+      book_id = static_cast<int>(dataset.books.size());
+      book_index[isbn] = book_id;
+      Book book;
+      book.isbn = isbn;
+      book.title = title;
+      if (auto gold_it = gold.find(isbn); gold_it != gold.end()) {
+        book.true_authors = gold_it->second;
+        ++local_stats.books_with_gold;
+      }
+      dataset.books.push_back(std::move(book));
+      dataset.claims.AddEntity(isbn);
+    }
+    Book& book = dataset.books[static_cast<size_t>(book_id)];
+
+    int source_id = 0;
+    if (auto it = source_index.find(source_name); it != source_index.end()) {
+      source_id = it->second;
+    } else {
+      source_id = dataset.claims.AddSource(source_name);
+      source_index[source_name] = source_id;
+      dataset.sources.push_back({source_name, 0.0, 0.0});
+    }
+
+    CF_ASSIGN_OR_RETURN(const int vid,
+                        dataset.claims.AddValue(book_id, statement_text));
+    CF_RETURN_IF_ERROR(dataset.claims.AddClaim(source_id, vid));
+    ++local_stats.claims;
+
+    if (std::find(book.value_ids.begin(), book.value_ids.end(), vid) ==
+        book.value_ids.end()) {
+      Statement statement;
+      statement.text = statement_text;
+      statement.is_true =
+          !book.true_authors.empty() &&
+          LabelStatement(statement_text, book.true_authors);
+      statement.category =
+          book.true_authors.empty()
+              ? StatementCategory::kWrongAuthor
+              : InferCategory(statement_text, book.true_authors);
+      book.value_ids.push_back(vid);
+      book.statements.push_back(std::move(statement));
+    }
+  }
+  if (dataset.books.empty()) {
+    return Status::InvalidArgument("claims file contained no usable claims");
+  }
+
+  dataset.value_truth.assign(static_cast<size_t>(dataset.claims.num_values()),
+                             false);
+  dataset.value_category.assign(
+      static_cast<size_t>(dataset.claims.num_values()),
+      StatementCategory::kClean);
+  for (const Book& book : dataset.books) {
+    for (size_t i = 0; i < book.statements.size(); ++i) {
+      dataset.value_truth[static_cast<size_t>(book.value_ids[i])] =
+          book.statements[i].is_true;
+      dataset.value_category[static_cast<size_t>(book.value_ids[i])] =
+          book.statements[i].category;
+    }
+  }
+
+  local_stats.books = static_cast<int>(dataset.books.size());
+  local_stats.sources = dataset.claims.num_sources();
+  if (stats != nullptr) *stats = local_stats;
+  return dataset;
+}
+
+}  // namespace crowdfusion::data

@@ -1,0 +1,47 @@
+#ifndef CROWDFUSION_DATA_LUNADONG_FORMAT_H_
+#define CROWDFUSION_DATA_LUNADONG_FORMAT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/book_dataset.h"
+
+namespace crowdfusion::data {
+
+/// Loader for the original Book dataset layout published at
+/// lunadong.com/fusionDataSets.htm, so that users who have the real data
+/// can feed it into this pipeline directly. Two files:
+///
+/// claims file (tab-separated, one claim per line):
+///   source \t ISBN \t title \t author-list-statement
+///
+/// gold file ("golden" author lists, tab-separated):
+///   ISBN \t author-list
+///
+/// Books present in the claims file but missing from the gold file are
+/// kept with `has_gold` false and all their statements labeled false; the
+/// paper likewise evaluates only items covered by the gold standard.
+/// Statements are labeled with the same order-insensitive rule as the
+/// synthetic generator (`LabelStatement`); categories are inferred:
+/// annotation ⇒ AdditionalInfo, same names reordered ⇒ Reordered,
+/// within edit distance 2 of the gold rendering ⇒ Misspelling, otherwise
+/// WrongAuthor/MissingAuthor by author count.
+struct LunadongLoadStats {
+  int books = 0;
+  int books_with_gold = 0;
+  int sources = 0;
+  int claims = 0;
+  int skipped_lines = 0;
+};
+
+common::Result<BookDataset> LoadLunadongBookDataset(
+    const std::string& claims_path, const std::string& gold_path,
+    LunadongLoadStats* stats = nullptr);
+
+/// Infers the error category of a statement given the gold author list.
+StatementCategory InferCategory(const std::string& statement_text,
+                                const AuthorList& gold_authors);
+
+}  // namespace crowdfusion::data
+
+#endif  // CROWDFUSION_DATA_LUNADONG_FORMAT_H_

@@ -1,0 +1,60 @@
+#include "eval/metrics.h"
+
+#include "common/logging.h"
+
+namespace crowdfusion::eval {
+
+ConfusionCounts& ConfusionCounts::operator+=(const ConfusionCounts& other) {
+  tp += other.tp;
+  fp += other.fp;
+  tn += other.tn;
+  fn += other.fn;
+  return *this;
+}
+
+ConfusionCounts CountConfusion(std::span<const double> probs,
+                               const std::vector<bool>& truth,
+                               double threshold) {
+  CF_CHECK(probs.size() == truth.size());
+  ConfusionCounts counts;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const bool predicted = probs[i] >= threshold;
+    if (predicted && truth[i]) {
+      ++counts.tp;
+    } else if (predicted && !truth[i]) {
+      ++counts.fp;
+    } else if (!predicted && truth[i]) {
+      ++counts.fn;
+    } else {
+      ++counts.tn;
+    }
+  }
+  return counts;
+}
+
+PrecisionRecallF1 ComputeF1(const ConfusionCounts& counts) {
+  PrecisionRecallF1 out;
+  const double predicted_positive = static_cast<double>(counts.tp + counts.fp);
+  const double actual_positive = static_cast<double>(counts.tp + counts.fn);
+  out.precision = predicted_positive > 0
+                      ? static_cast<double>(counts.tp) / predicted_positive
+                      : 0.0;
+  out.recall = actual_positive > 0
+                   ? static_cast<double>(counts.tp) / actual_positive
+                   : 0.0;
+  out.f1 = (out.precision + out.recall) > 0
+               ? 2.0 * out.precision * out.recall /
+                     (out.precision + out.recall)
+               : 0.0;
+  return out;
+}
+
+double ComputeAccuracy(const ConfusionCounts& counts) {
+  const double total =
+      static_cast<double>(counts.tp + counts.fp + counts.tn + counts.fn);
+  return total > 0
+             ? static_cast<double>(counts.tp + counts.tn) / total
+             : 0.0;
+}
+
+}  // namespace crowdfusion::eval

@@ -1,0 +1,40 @@
+#ifndef CROWDFUSION_EVAL_METRICS_H_
+#define CROWDFUSION_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace crowdfusion::eval {
+
+/// Confusion counts of thresholded truth predictions against ground truth.
+struct ConfusionCounts {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t tn = 0;
+  int64_t fn = 0;
+
+  ConfusionCounts& operator+=(const ConfusionCounts& other);
+};
+
+/// Counts a batch: fact i is predicted true iff probs[i] >= threshold.
+ConfusionCounts CountConfusion(std::span<const double> probs,
+                               const std::vector<bool>& truth,
+                               double threshold = 0.5);
+
+struct PrecisionRecallF1 {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Precision/recall/F1 with the usual 0-denominator conventions (empty
+/// positive sets give 0).
+PrecisionRecallF1 ComputeF1(const ConfusionCounts& counts);
+
+/// Plain accuracy (tp + tn) / total; 0 for empty counts.
+double ComputeAccuracy(const ConfusionCounts& counts);
+
+}  // namespace crowdfusion::eval
+
+#endif  // CROWDFUSION_EVAL_METRICS_H_

@@ -1,0 +1,63 @@
+#include "eval/replication.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace crowdfusion::eval {
+
+using common::Status;
+
+SummaryStat SummaryStat::FromSamples(const std::vector<double>& samples) {
+  SummaryStat stat;
+  if (samples.empty()) return stat;
+  double total = 0.0;
+  stat.min = samples.front();
+  stat.max = samples.front();
+  for (double s : samples) {
+    total += s;
+    stat.min = std::min(stat.min, s);
+    stat.max = std::max(stat.max, s);
+  }
+  stat.mean = total / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double sum_sq = 0.0;
+    for (double s : samples) {
+      sum_sq += (s - stat.mean) * (s - stat.mean);
+    }
+    stat.stddev =
+        std::sqrt(sum_sq / static_cast<double>(samples.size() - 1));
+  }
+  return stat;
+}
+
+common::Result<ReplicatedResult> ReplicateExperiment(
+    const ExperimentOptions& base_options, int replications) {
+  if (replications <= 0) {
+    return Status::InvalidArgument("replications must be positive");
+  }
+  ReplicatedResult result;
+  result.replications = replications;
+  std::vector<double> f1_samples;
+  std::vector<double> utility_samples;
+  std::vector<double> accuracy_samples;
+  for (int r = 0; r < replications; ++r) {
+    ExperimentOptions options = base_options;
+    options.crowd_seed = base_options.crowd_seed + static_cast<uint64_t>(r);
+    CF_ASSIGN_OR_RETURN(ExperimentResult run, RunExperiment(options));
+    f1_samples.push_back(run.final_quality.f1);
+    utility_samples.push_back(run.final_utility_bits);
+    accuracy_samples.push_back(run.crowd_empirical_accuracy);
+    if (r == 0) {
+      result.label = run.label + common::StrFormat(" x%d", replications);
+    }
+    result.runs.push_back(std::move(run));
+  }
+  result.final_f1 = SummaryStat::FromSamples(f1_samples);
+  result.final_utility_bits = SummaryStat::FromSamples(utility_samples);
+  result.crowd_accuracy = SummaryStat::FromSamples(accuracy_samples);
+  return result;
+}
+
+}  // namespace crowdfusion::eval

@@ -1,0 +1,43 @@
+#ifndef CROWDFUSION_EVAL_REPLICATION_H_
+#define CROWDFUSION_EVAL_REPLICATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "eval/experiment.h"
+
+namespace crowdfusion::eval {
+
+/// Mean and sample standard deviation of one scalar across replications.
+struct SummaryStat {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  static SummaryStat FromSamples(const std::vector<double>& samples);
+};
+
+/// Aggregate of repeated experiment runs that differ only in crowd
+/// randomness.
+struct ReplicatedResult {
+  std::string label;
+  int replications = 0;
+  SummaryStat final_f1;
+  SummaryStat final_utility_bits;
+  SummaryStat crowd_accuracy;
+  /// The individual runs, for curve-level inspection.
+  std::vector<ExperimentResult> runs;
+};
+
+/// Runs the experiment `replications` times with crowd seeds
+/// base_options.crowd_seed + r, keeping everything else (dataset seed,
+/// selector seed) fixed — the paper's "programs are run for three times to
+/// get an average" protocol, with dispersion reported so that shape claims
+/// in EXPERIMENTS.md can be checked against run-to-run noise.
+common::Result<ReplicatedResult> ReplicateExperiment(
+    const ExperimentOptions& base_options, int replications);
+
+}  // namespace crowdfusion::eval
+
+#endif  // CROWDFUSION_EVAL_REPLICATION_H_

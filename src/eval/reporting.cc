@@ -1,0 +1,103 @@
+#include "eval/reporting.h"
+
+#include <algorithm>
+
+#include "common/csv_writer.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace crowdfusion::eval {
+
+namespace {
+
+/// Picks <= max_rows indices spread over the longest curve, always
+/// including the first and last point.
+std::vector<size_t> SampleIndices(size_t length, int max_rows) {
+  std::vector<size_t> indices;
+  if (length == 0) return indices;
+  const size_t rows = std::min<size_t>(static_cast<size_t>(max_rows), length);
+  for (size_t r = 0; r < rows; ++r) {
+    indices.push_back(r * (length - 1) / (rows > 1 ? rows - 1 : 1));
+  }
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  return indices;
+}
+
+const CurvePoint& PointAtOrLast(const ExperimentResult& series, size_t idx) {
+  const size_t clamped = std::min(idx, series.curve.size() - 1);
+  return series.curve[clamped];
+}
+
+}  // namespace
+
+void PrintCurves(std::ostream& os, const std::string& title,
+                 const std::vector<ExperimentResult>& series, int max_rows) {
+  os << "=== " << title << " ===\n";
+  if (series.empty()) {
+    os << "(no series)\n";
+    return;
+  }
+  size_t longest = 0;
+  for (const auto& s : series) longest = std::max(longest, s.curve.size());
+
+  std::vector<std::string> header = {"Cost"};
+  for (const auto& s : series) header.push_back(s.label + " F1");
+  for (const auto& s : series) header.push_back(s.label + " Utility");
+  common::TablePrinter table(std::move(header));
+
+  for (size_t idx : SampleIndices(longest, max_rows)) {
+    std::vector<std::string> row;
+    row.push_back(common::StrFormat(
+        "%d", PointAtOrLast(series.front(), idx).cost));
+    for (const auto& s : series) {
+      row.push_back(common::StrFormat("%.4f", PointAtOrLast(s, idx).f1));
+    }
+    for (const auto& s : series) {
+      row.push_back(
+          common::StrFormat("%.2f", PointAtOrLast(s, idx).utility_bits));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(os);
+}
+
+common::Status WriteCurvesCsv(const std::string& path,
+                              const std::vector<ExperimentResult>& series) {
+  CF_ASSIGN_OR_RETURN(
+      common::CsvWriter writer,
+      common::CsvWriter::Open(
+          path, {"series", "cost", "f1", "precision", "recall",
+                 "utility_bits"}));
+  for (const auto& s : series) {
+    for (const CurvePoint& p : s.curve) {
+      CF_RETURN_IF_ERROR(writer.WriteRow(
+          {s.label, common::StrFormat("%d", p.cost),
+           common::StrFormat("%.6f", p.f1),
+           common::StrFormat("%.6f", p.precision),
+           common::StrFormat("%.6f", p.recall),
+           common::StrFormat("%.6f", p.utility_bits)}));
+    }
+  }
+  writer.Close();
+  return common::Status::Ok();
+}
+
+void PrintSummary(std::ostream& os,
+                  const std::vector<ExperimentResult>& series) {
+  common::TablePrinter table({"Series", "Books", "Facts", "F1 start",
+                              "F1 end", "Utility start", "Utility end",
+                              "Crowd acc.", "Select s"});
+  for (const auto& s : series) {
+    table.AddRow({s.label, common::StrFormat("%d", s.books_evaluated),
+                  common::StrFormat("%d", s.total_facts),
+                  common::StrFormat("%.4f", s.initial_quality.f1),
+                  common::StrFormat("%.4f", s.final_quality.f1),
+                  common::StrFormat("%.2f", s.initial_utility_bits),
+                  common::StrFormat("%.2f", s.final_utility_bits),
+                  common::StrFormat("%.4f", s.crowd_empirical_accuracy),
+                  common::StrFormat("%.3f", s.selection_seconds)});
+  }
+  table.Print(os);
+}
+
+}  // namespace crowdfusion::eval

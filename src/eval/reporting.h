@@ -1,0 +1,31 @@
+#ifndef CROWDFUSION_EVAL_REPORTING_H_
+#define CROWDFUSION_EVAL_REPORTING_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/experiment.h"
+
+namespace crowdfusion::eval {
+
+/// Prints a set of quality-vs-cost curves as one aligned table: one row per
+/// sampled cost checkpoint, one F1 and one utility column per series. This
+/// is the textual form of the paper's figure panels.
+void PrintCurves(std::ostream& os, const std::string& title,
+                 const std::vector<ExperimentResult>& series,
+                 int max_rows = 16);
+
+/// Dumps every series point to a CSV (columns: series,cost,f1,precision,
+/// recall,utility_bits) for external plotting.
+common::Status WriteCurvesCsv(const std::string& path,
+                              const std::vector<ExperimentResult>& series);
+
+/// One-line summary per series: initial/final F1 and utility, crowd stats.
+void PrintSummary(std::ostream& os,
+                  const std::vector<ExperimentResult>& series);
+
+}  // namespace crowdfusion::eval
+
+#endif  // CROWDFUSION_EVAL_REPORTING_H_

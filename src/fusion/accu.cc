@@ -1,0 +1,78 @@
+#include "fusion/accu.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace crowdfusion::fusion {
+
+common::Result<FusionResult> AccuFuser::Fuse(const ClaimDatabase& db) {
+  const int num_values = db.num_values();
+  const int num_sources = db.num_sources();
+  const double floor = options_.probability_floor;
+
+  std::vector<double> accuracy(static_cast<size_t>(num_sources),
+                               options_.initial_accuracy);
+  std::vector<double> posterior(static_cast<size_t>(num_values), 0.5);
+
+  int iterations = 0;
+  for (; iterations < options_.max_iterations; ++iterations) {
+    // Per-entity posterior over candidate values.
+    for (int e = 0; e < db.num_entities(); ++e) {
+      const auto& values = db.entity_values(e);
+      const double m = std::max<double>(2.0, values.size());
+      std::vector<double> log_score(values.size(), 0.0);
+      double max_log = -1e300;
+      for (size_t i = 0; i < values.size(); ++i) {
+        double score = 0.0;
+        for (int s : db.value_sources(values[i])) {
+          const double a = common::Clamp(accuracy[static_cast<size_t>(s)],
+                                         floor, 1.0 - floor);
+          score += std::log(m * a / (1.0 - a));
+        }
+        log_score[i] = score;
+        max_log = std::max(max_log, score);
+      }
+      double total = 0.0;
+      for (double& ls : log_score) {
+        ls = std::exp(ls - max_log);
+        total += ls;
+      }
+      for (size_t i = 0; i < values.size(); ++i) {
+        posterior[static_cast<size_t>(values[i])] = log_score[i] / total;
+      }
+    }
+    // Re-estimate source accuracies.
+    double max_delta = 0.0;
+    for (int s = 0; s < num_sources; ++s) {
+      const auto& claims = db.source_values(s);
+      if (claims.empty()) continue;
+      double total = 0.0;
+      for (int v : claims) total += posterior[static_cast<size_t>(v)];
+      const double new_accuracy = common::Clamp(
+          total / static_cast<double>(claims.size()), floor, 1.0 - floor);
+      max_delta = std::max(
+          max_delta,
+          std::fabs(new_accuracy - accuracy[static_cast<size_t>(s)]));
+      accuracy[static_cast<size_t>(s)] = new_accuracy;
+    }
+    if (max_delta < options_.epsilon) {
+      ++iterations;
+      break;
+    }
+  }
+
+  FusionResult result;
+  result.method = name();
+  result.iterations = iterations;
+  result.value_probability.resize(static_cast<size_t>(num_values));
+  for (int v = 0; v < num_values; ++v) {
+    result.value_probability[static_cast<size_t>(v)] =
+        common::Clamp(posterior[static_cast<size_t>(v)], floor, 1.0 - floor);
+  }
+  result.source_weight = accuracy;
+  return result;
+}
+
+}  // namespace crowdfusion::fusion

@@ -1,0 +1,41 @@
+#ifndef CROWDFUSION_FUSION_ACCU_H_
+#define CROWDFUSION_FUSION_ACCU_H_
+
+#include "fusion/fusion_result.h"
+
+namespace crowdfusion::fusion {
+
+/// The ACCU Bayesian model (Dong, Berti-Equille & Srivastava, VLDB'09,
+/// without copy detection): assumes one true value per entity among the m
+/// observed candidates; a source with accuracy A_s picks the truth with
+/// probability A_s and otherwise a uniformly random false value. The
+/// posterior per value accumulates log "accuracy scores"
+///   ln( m * A_s / (1 - A_s) )
+/// over its claiming sources and normalizes per entity; source accuracies
+/// are re-estimated as the mean posterior of claimed values. The
+/// single-truth assumption is deliberately wrong for the multi-truth Book
+/// data — it exists as an alternative initializer showing CrowdFusion is
+/// initializer-agnostic.
+class AccuFuser : public Fuser {
+ public:
+  struct Options {
+    int max_iterations = 20;
+    double initial_accuracy = 0.8;
+    double epsilon = 1e-6;
+    double probability_floor = 0.02;
+  };
+
+  AccuFuser() = default;
+  explicit AccuFuser(Options options) : options_(options) {}
+
+  common::Result<FusionResult> Fuse(const ClaimDatabase& db) override;
+
+  std::string name() const override { return "Accu"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace crowdfusion::fusion
+
+#endif  // CROWDFUSION_FUSION_ACCU_H_

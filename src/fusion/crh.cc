@@ -1,0 +1,128 @@
+#include "fusion/crh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace crowdfusion::fusion {
+
+namespace {
+
+/// Labels the top ceil(m/2) values of each entity true, ranked by `score`
+/// (ties broken towards the smaller value id for determinism).
+std::vector<bool> LabelTopHalf(const ClaimDatabase& db,
+                               const std::vector<double>& score) {
+  std::vector<bool> label(static_cast<size_t>(db.num_values()), false);
+  for (int e = 0; e < db.num_entities(); ++e) {
+    std::vector<int> values = db.entity_values(e);
+    std::stable_sort(values.begin(), values.end(), [&](int a, int b) {
+      return score[static_cast<size_t>(a)] > score[static_cast<size_t>(b)];
+    });
+    const size_t keep = (values.size() + 1) / 2;
+    for (size_t i = 0; i < keep; ++i) {
+      label[static_cast<size_t>(values[i])] = true;
+    }
+  }
+  return label;
+}
+
+}  // namespace
+
+common::Result<FusionResult> CrhFuser::Fuse(const ClaimDatabase& db) {
+  const int num_values = db.num_values();
+  const int num_sources = db.num_sources();
+
+  // Modified initialization: majority voting marks the top 50% of each
+  // entity's values correct.
+  std::vector<double> support(static_cast<size_t>(num_values), 0.0);
+  for (int v = 0; v < num_values; ++v) {
+    support[static_cast<size_t>(v)] =
+        static_cast<double>(db.value_sources(v).size());
+  }
+  std::vector<bool> label = LabelTopHalf(db, support);
+
+  std::vector<double> weight(static_cast<size_t>(num_sources), 1.0);
+  std::vector<double> weighted_support(static_cast<size_t>(num_values), 0.0);
+  int iterations = 0;
+  for (; iterations < options_.max_iterations; ++iterations) {
+    // Weight assignment: w_s = -log(loss_s / max loss).
+    double max_loss = options_.min_loss;
+    std::vector<double> loss(static_cast<size_t>(num_sources), 0.0);
+    for (int s = 0; s < num_sources; ++s) {
+      const auto& claims = db.source_values(s);
+      if (claims.empty()) {
+        loss[static_cast<size_t>(s)] = max_loss;
+        continue;
+      }
+      int wrong = 0;
+      for (int v : claims) {
+        if (!label[static_cast<size_t>(v)]) ++wrong;
+      }
+      const double l = std::max(
+          options_.min_loss,
+          static_cast<double>(wrong) / static_cast<double>(claims.size()));
+      loss[static_cast<size_t>(s)] = l;
+      max_loss = std::max(max_loss, l);
+    }
+    for (int s = 0; s < num_sources; ++s) {
+      // Add a small offset so the worst source keeps a tiny positive
+      // weight rather than exactly zero.
+      weight[static_cast<size_t>(s)] =
+          -std::log(loss[static_cast<size_t>(s)] / (max_loss * 1.05));
+    }
+
+    // Truth computation: re-label the top half by weighted support.
+    std::fill(weighted_support.begin(), weighted_support.end(), 0.0);
+    for (int v = 0; v < num_values; ++v) {
+      for (int s : db.value_sources(v)) {
+        weighted_support[static_cast<size_t>(v)] +=
+            weight[static_cast<size_t>(s)];
+      }
+    }
+    std::vector<bool> new_label = LabelTopHalf(db, weighted_support);
+    const bool converged = new_label == label;
+    label = std::move(new_label);
+    if (converged) {
+      ++iterations;
+      break;
+    }
+  }
+
+  // Calibrated output probabilities: blend the weighted vote share with the
+  // converged binary label, clamped away from 0/1.
+  FusionResult result;
+  result.method = name();
+  result.iterations = iterations;
+  result.value_probability.assign(static_cast<size_t>(num_values), 0.0);
+  for (int e = 0; e < db.num_entities(); ++e) {
+    double coverage = 0.0;
+    for (int s : db.EntitySources(e)) {
+      coverage += weight[static_cast<size_t>(s)];
+    }
+    for (int vid : db.entity_values(e)) {
+      const double share =
+          (weighted_support[static_cast<size_t>(vid)] + options_.smoothing) /
+          (coverage + 2.0 * options_.smoothing);
+      const double labeled = label[static_cast<size_t>(vid)] ? 1.0 : 0.0;
+      const double p = options_.label_blend * labeled +
+                       (1.0 - options_.label_blend) * share;
+      result.value_probability[static_cast<size_t>(vid)] = common::Clamp(
+          p, options_.probability_floor, 1.0 - options_.probability_floor);
+    }
+  }
+
+  // Normalize source weights to [0, 1] for reporting.
+  double max_weight = 0.0;
+  for (double w : weight) max_weight = std::max(max_weight, w);
+  result.source_weight.assign(static_cast<size_t>(num_sources), 0.0);
+  if (max_weight > 0.0) {
+    for (int s = 0; s < num_sources; ++s) {
+      result.source_weight[static_cast<size_t>(s)] =
+          weight[static_cast<size_t>(s)] / max_weight;
+    }
+  }
+  return result;
+}
+
+}  // namespace crowdfusion::fusion

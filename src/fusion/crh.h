@@ -1,0 +1,51 @@
+#ifndef CROWDFUSION_FUSION_CRH_H_
+#define CROWDFUSION_FUSION_CRH_H_
+
+#include "fusion/fusion_result.h"
+
+namespace crowdfusion::fusion {
+
+/// The CRH framework (Li et al., SIGMOD'14) with the modification the paper
+/// applies for multi-truth book data (Section V-A): because vanilla CRH
+/// supports a single true value per entity, the top 50% of an entity's
+/// values by majority voting are first marked correct, then CRH's weight
+/// assignment and truth computation iterate on those binary labels:
+///
+///   weight assignment:  w_s = -log( loss_s / max_s' loss_s' )
+///                       with loss_s = its claims' labeled-false rate,
+///   truth computation:  per entity, re-label the top half of values by
+///                       weighted support as true.
+///
+/// The final per-value probability blends the weighted vote share with the
+/// converged binary label so that the output is a calibrated probability
+/// distribution (what CrowdFusion consumes) instead of hard labels.
+class CrhFuser : public Fuser {
+ public:
+  struct Options {
+    int max_iterations = 25;
+    /// Numerical floor for a source's loss so that perfect sources do not
+    /// produce infinite weights.
+    double min_loss = 1e-3;
+    /// Additive smoothing for vote shares.
+    double smoothing = 0.5;
+    /// Final probability = label_blend * label + (1 - label_blend) * share.
+    double label_blend = 0.5;
+    /// Clamp output probabilities into [eps, 1 - eps]; CrowdFusion's
+    /// Bayesian update must never see an absolutely certain prior.
+    double probability_floor = 0.02;
+  };
+
+  CrhFuser() = default;
+  explicit CrhFuser(Options options) : options_(options) {}
+
+  common::Result<FusionResult> Fuse(const ClaimDatabase& db) override;
+
+  std::string name() const override { return "CRH"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace crowdfusion::fusion
+
+#endif  // CROWDFUSION_FUSION_CRH_H_

@@ -1,0 +1,27 @@
+#include "fusion/fusion_result.h"
+
+#include "common/string_util.h"
+
+namespace crowdfusion::fusion {
+
+using common::Status;
+
+Status ValidateFusionResult(const ClaimDatabase& db,
+                            const FusionResult& result) {
+  if (result.value_probability.size() !=
+      static_cast<size_t>(db.num_values())) {
+    return Status::InvalidArgument(common::StrFormat(
+        "fusion result has %zu value probabilities, database has %d values",
+        result.value_probability.size(), db.num_values()));
+  }
+  for (size_t i = 0; i < result.value_probability.size(); ++i) {
+    const double p = result.value_probability[i];
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return Status::InvalidArgument(common::StrFormat(
+          "value %zu has probability %g outside [0, 1]", i, p));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace crowdfusion::fusion

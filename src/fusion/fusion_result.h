@@ -1,0 +1,43 @@
+#ifndef CROWDFUSION_FUSION_FUSION_RESULT_H_
+#define CROWDFUSION_FUSION_FUSION_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fusion/claim_database.h"
+
+namespace crowdfusion::fusion {
+
+/// Output of a machine-only fusion method: a probability of truth for every
+/// value, plus the learned source weights. This is exactly the "prior
+/// probability distribution calculated by existing data fusion models" that
+/// CrowdFusion takes as input (Section I).
+struct FusionResult {
+  std::string method;
+  /// P(value is true), indexed by global value id.
+  std::vector<double> value_probability;
+  /// Learned per-source weight/trustworthiness (semantics depend on the
+  /// method; normalized to [0, 1] where meaningful).
+  std::vector<double> source_weight;
+  int iterations = 0;
+};
+
+/// Interface shared by all machine-only fusion baselines.
+class Fuser {
+ public:
+  virtual ~Fuser() = default;
+
+  virtual common::Result<FusionResult> Fuse(const ClaimDatabase& db) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Validates that a fusion result covers the database (one probability per
+/// value, all within [0, 1]).
+common::Status ValidateFusionResult(const ClaimDatabase& db,
+                                    const FusionResult& result);
+
+}  // namespace crowdfusion::fusion
+
+#endif  // CROWDFUSION_FUSION_FUSION_RESULT_H_

@@ -1,0 +1,24 @@
+#include "fusion/majority_vote.h"
+
+namespace crowdfusion::fusion {
+
+common::Result<FusionResult> MajorityVoteFuser::Fuse(const ClaimDatabase& db) {
+  FusionResult result;
+  result.method = name();
+  result.value_probability.assign(static_cast<size_t>(db.num_values()), 0.0);
+  result.source_weight.assign(static_cast<size_t>(db.num_sources()), 1.0);
+  const double alpha = options_.smoothing;
+  for (int e = 0; e < db.num_entities(); ++e) {
+    const double coverage =
+        static_cast<double>(db.EntitySources(e).size());
+    for (int vid : db.entity_values(e)) {
+      const double votes = static_cast<double>(db.value_sources(vid).size());
+      result.value_probability[static_cast<size_t>(vid)] =
+          (votes + alpha) / (coverage + 2.0 * alpha);
+    }
+  }
+  result.iterations = 1;
+  return result;
+}
+
+}  // namespace crowdfusion::fusion

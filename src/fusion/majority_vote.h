@@ -1,0 +1,32 @@
+#ifndef CROWDFUSION_FUSION_MAJORITY_VOTE_H_
+#define CROWDFUSION_FUSION_MAJORITY_VOTE_H_
+
+#include "fusion/fusion_result.h"
+
+namespace crowdfusion::fusion {
+
+/// The simplest fusion baseline: every source has weight 1; a value's
+/// probability is its smoothed share of the sources covering the entity.
+/// Used both standalone and as the initialization step of the paper's
+/// modified CRH ("mark top 50% of author lists by majority voting").
+class MajorityVoteFuser : public Fuser {
+ public:
+  struct Options {
+    /// Additive (Laplace) smoothing applied to the vote share.
+    double smoothing = 0.5;
+  };
+
+  MajorityVoteFuser() = default;
+  explicit MajorityVoteFuser(Options options) : options_(options) {}
+
+  common::Result<FusionResult> Fuse(const ClaimDatabase& db) override;
+
+  std::string name() const override { return "MajorityVote"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace crowdfusion::fusion
+
+#endif  // CROWDFUSION_FUSION_MAJORITY_VOTE_H_

@@ -1,0 +1,132 @@
+#include "fusion/source_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace crowdfusion::fusion {
+
+using common::Status;
+
+common::Result<std::vector<SourceReport>> EvaluateSources(
+    const ClaimDatabase& db, const std::vector<bool>& value_truth,
+    const FusionResult* fusion) {
+  if (value_truth.size() != static_cast<size_t>(db.num_values())) {
+    return Status::InvalidArgument(common::StrFormat(
+        "%zu truth labels for %d values", value_truth.size(),
+        db.num_values()));
+  }
+  if (fusion != nullptr) {
+    CF_RETURN_IF_ERROR(ValidateFusionResult(db, *fusion));
+    if (fusion->source_weight.size() !=
+        static_cast<size_t>(db.num_sources())) {
+      return Status::InvalidArgument("fusion result lacks source weights");
+    }
+  }
+
+  std::vector<SourceReport> reports(static_cast<size_t>(db.num_sources()));
+  for (int s = 0; s < db.num_sources(); ++s) {
+    SourceReport& report = reports[static_cast<size_t>(s)];
+    report.source_id = s;
+    for (int v : db.source_values(s)) {
+      ++report.claims;
+      if (value_truth[static_cast<size_t>(v)]) ++report.correct_claims;
+    }
+    report.accuracy =
+        report.claims > 0
+            ? static_cast<double>(report.correct_claims) / report.claims
+            : 0.0;
+  }
+
+  if (fusion != nullptr) {
+    // Rank sources by learned weight, descending.
+    std::vector<int> order(static_cast<size_t>(db.num_sources()));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return fusion->source_weight[static_cast<size_t>(a)] >
+             fusion->source_weight[static_cast<size_t>(b)];
+    });
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+      reports[static_cast<size_t>(order[rank])].weight_rank =
+          static_cast<int>(rank);
+    }
+  }
+  return reports;
+}
+
+common::Result<double> WeightAccuracyRankCorrelation(
+    const ClaimDatabase& db, const std::vector<bool>& value_truth,
+    const FusionResult& fusion) {
+  CF_ASSIGN_OR_RETURN(std::vector<SourceReport> reports,
+                      EvaluateSources(db, value_truth, &fusion));
+  // Restrict to sources with claims.
+  std::vector<const SourceReport*> active;
+  for (const SourceReport& report : reports) {
+    if (report.claims > 0) active.push_back(&report);
+  }
+  const size_t n = active.size();
+  if (n < 2) {
+    return Status::FailedPrecondition(
+        "need at least two sources with claims for a rank correlation");
+  }
+
+  // Fractional ranks (average over ties) for both orderings.
+  auto fractional_ranks = [&](auto key) {
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return key(*active[a]) > key(*active[b]);
+    });
+    std::vector<double> rank(n, 0.0);
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i;
+      while (j + 1 < n &&
+             key(*active[order[j + 1]]) == key(*active[order[i]])) {
+        ++j;
+      }
+      const double average = (static_cast<double>(i) +
+                              static_cast<double>(j)) /
+                             2.0;
+      for (size_t t = i; t <= j; ++t) rank[order[t]] = average;
+      i = j + 1;
+    }
+    return rank;
+  };
+
+  const std::vector<double> accuracy_rank =
+      fractional_ranks([](const SourceReport& r) { return r.accuracy; });
+  const std::vector<double> weight_rank = fractional_ranks(
+      [&](const SourceReport& r) {
+        return fusion.source_weight[static_cast<size_t>(r.source_id)];
+      });
+
+  // Pearson correlation of the rank vectors (Spearman's rho with ties).
+  double mean_a = 0.0;
+  double mean_w = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_a += accuracy_rank[i];
+    mean_w += weight_rank[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_w /= static_cast<double>(n);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_w = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = accuracy_rank[i] - mean_a;
+    const double dw = weight_rank[i] - mean_w;
+    cov += da * dw;
+    var_a += da * da;
+    var_w += dw * dw;
+  }
+  if (var_a <= 0.0 || var_w <= 0.0) {
+    return Status::FailedPrecondition(
+        "rank correlation undefined: a ranking is constant");
+  }
+  return cov / std::sqrt(var_a * var_w);
+}
+
+}  // namespace crowdfusion::fusion

@@ -1,0 +1,44 @@
+#ifndef CROWDFUSION_FUSION_SOURCE_METRICS_H_
+#define CROWDFUSION_FUSION_SOURCE_METRICS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "fusion/claim_database.h"
+#include "fusion/fusion_result.h"
+
+namespace crowdfusion::fusion {
+
+/// Per-source diagnostics against a gold standard — the analysis behind
+/// the paper's eCampus.com observation (a source 55% consistent on
+/// textbooks, 0% on non-textbooks). Given ground-truth labels per value,
+/// reports each source's claim accuracy overall and per entity group.
+struct SourceReport {
+  int source_id = -1;
+  int claims = 0;
+  int correct_claims = 0;
+  double accuracy = 0.0;
+  /// Rank of the source's learned weight within the fusion result
+  /// (0 = highest weight); -1 when no fusion result is supplied.
+  int weight_rank = -1;
+};
+
+/// Computes per-source claim accuracies. `value_truth[v]` is the gold
+/// label of value v. When `fusion` is non-null, each report also carries
+/// the rank of the source's learned weight, so tests (and users) can check
+/// that learned weights track true accuracies.
+common::Result<std::vector<SourceReport>> EvaluateSources(
+    const ClaimDatabase& db, const std::vector<bool>& value_truth,
+    const FusionResult* fusion = nullptr);
+
+/// Spearman rank correlation between the sources' true accuracies and
+/// their learned weights: +1 means the fuser ordered sources perfectly.
+/// Sources without claims are excluded. Fails when fewer than two sources
+/// have claims.
+common::Result<double> WeightAccuracyRankCorrelation(
+    const ClaimDatabase& db, const std::vector<bool>& value_truth,
+    const FusionResult& fusion);
+
+}  // namespace crowdfusion::fusion
+
+#endif  // CROWDFUSION_FUSION_SOURCE_METRICS_H_

@@ -1,0 +1,88 @@
+#include "fusion/truthfinder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace crowdfusion::fusion {
+
+common::Result<FusionResult> TruthFinderFuser::Fuse(const ClaimDatabase& db) {
+  const int num_values = db.num_values();
+  const int num_sources = db.num_sources();
+  const double floor = options_.probability_floor;
+
+  std::vector<double> trust(static_cast<size_t>(num_sources),
+                            options_.initial_trust);
+  std::vector<double> confidence(static_cast<size_t>(num_values), 0.5);
+
+  int iterations = 0;
+  for (; iterations < options_.max_iterations; ++iterations) {
+    // Value confidence from source trustworthiness scores.
+    std::vector<double> raw(static_cast<size_t>(num_values), 0.0);
+    for (int v = 0; v < num_values; ++v) {
+      double score = 0.0;
+      for (int s : db.value_sources(v)) {
+        const double t =
+            common::Clamp(trust[static_cast<size_t>(s)], floor, 1.0 - floor);
+        score += -std::log(1.0 - t);
+      }
+      raw[static_cast<size_t>(v)] = score;
+    }
+    // Inter-value implication within each entity.
+    std::vector<double> adjusted = raw;
+    if (options_.implication) {
+      for (int e = 0; e < db.num_entities(); ++e) {
+        const auto& values = db.entity_values(e);
+        for (int va : values) {
+          double influence = 0.0;
+          for (int vb : values) {
+            if (va == vb) continue;
+            influence += options_.implication(vb, va) *
+                         raw[static_cast<size_t>(vb)];
+          }
+          adjusted[static_cast<size_t>(va)] +=
+              options_.implication_weight * influence;
+        }
+      }
+    }
+    for (int v = 0; v < num_values; ++v) {
+      const double s = adjusted[static_cast<size_t>(v)];
+      confidence[static_cast<size_t>(v)] =
+          1.0 / (1.0 + std::exp(-options_.dampening * s + options_.offset));
+    }
+
+    // Source trustworthiness from value confidence.
+    double max_delta = 0.0;
+    for (int s = 0; s < num_sources; ++s) {
+      const auto& claims = db.source_values(s);
+      if (claims.empty()) continue;
+      double total = 0.0;
+      for (int v : claims) total += confidence[static_cast<size_t>(v)];
+      const double new_trust =
+          common::Clamp(total / static_cast<double>(claims.size()), floor,
+                        1.0 - floor);
+      max_delta =
+          std::max(max_delta,
+                   std::fabs(new_trust - trust[static_cast<size_t>(s)]));
+      trust[static_cast<size_t>(s)] = new_trust;
+    }
+    if (max_delta < options_.epsilon) {
+      ++iterations;
+      break;
+    }
+  }
+
+  FusionResult result;
+  result.method = name();
+  result.iterations = iterations;
+  result.value_probability.resize(static_cast<size_t>(num_values));
+  for (int v = 0; v < num_values; ++v) {
+    result.value_probability[static_cast<size_t>(v)] =
+        common::Clamp(confidence[static_cast<size_t>(v)], floor, 1.0 - floor);
+  }
+  result.source_weight = trust;
+  return result;
+}
+
+}  // namespace crowdfusion::fusion

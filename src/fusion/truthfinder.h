@@ -1,0 +1,55 @@
+#ifndef CROWDFUSION_FUSION_TRUTHFINDER_H_
+#define CROWDFUSION_FUSION_TRUTHFINDER_H_
+
+#include <functional>
+
+#include "fusion/fusion_result.h"
+
+namespace crowdfusion::fusion {
+
+/// TruthFinder (Yin, Han & Yu, TKDE'08): iterates between source
+/// trustworthiness t_s and value confidence σ(v):
+///
+///   τ_s   = -ln(1 - t_s)                       (trustworthiness score)
+///   σ*(v) = Σ_{s claims v} τ_s  (+ implication from similar values)
+///   σ(v)  = 1 / (1 + exp(-γ σ*(v) + μ))        (dampened logistic)
+///   t_s   = mean of σ(v) over s's claims
+///
+/// An optional `implication` callback adds the paper's inter-value
+/// influence: similar values (e.g. the same author list in another order)
+/// reinforce each other; conflicting values inhibit each other.
+class TruthFinderFuser : public Fuser {
+ public:
+  struct Options {
+    int max_iterations = 30;
+    double initial_trust = 0.8;
+    /// Dampening factor γ (the original paper uses 0.3).
+    double dampening = 0.3;
+    /// Logistic offset; with μ ≈ τ(initial_trust) an unclaimed value sits
+    /// near probability 0.5 before evidence accumulates.
+    double offset = 1.6;
+    /// Implication weight ρ.
+    double implication_weight = 0.5;
+    /// Convergence threshold on the max trust change.
+    double epsilon = 1e-6;
+    /// Clamp for probabilities and trust.
+    double probability_floor = 0.02;
+    /// Optional similarity in [-1, 1] between two values of the same
+    /// entity. Null disables implication.
+    std::function<double(int value_a, int value_b)> implication;
+  };
+
+  TruthFinderFuser() = default;
+  explicit TruthFinderFuser(Options options) : options_(std::move(options)) {}
+
+  common::Result<FusionResult> Fuse(const ClaimDatabase& db) override;
+
+  std::string name() const override { return "TruthFinder"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace crowdfusion::fusion
+
+#endif  // CROWDFUSION_FUSION_TRUTHFINDER_H_

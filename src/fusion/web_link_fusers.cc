@@ -1,0 +1,166 @@
+#include "fusion/web_link_fusers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace crowdfusion::fusion {
+
+namespace {
+
+/// Normalizes a vector by its maximum (no-op if all zero).
+void NormalizeByMax(std::vector<double>& values) {
+  double max_value = 0.0;
+  for (double v : values) max_value = std::max(max_value, v);
+  if (max_value <= 0.0) return;
+  for (double& v : values) v /= max_value;
+}
+
+/// Converts belief scores to per-entity probability shares in
+/// [floor, 1 - floor].
+FusionResult FinishResult(const ClaimDatabase& db, std::string method,
+                          const std::vector<double>& belief,
+                          const std::vector<double>& trust, int iterations,
+                          double floor) {
+  FusionResult result;
+  result.method = std::move(method);
+  result.iterations = iterations;
+  result.source_weight = trust;
+  result.value_probability.assign(static_cast<size_t>(db.num_values()), 0.0);
+  for (int e = 0; e < db.num_entities(); ++e) {
+    double total = 0.0;
+    for (int vid : db.entity_values(e)) {
+      total += belief[static_cast<size_t>(vid)];
+    }
+    for (int vid : db.entity_values(e)) {
+      const double share =
+          total > 0.0 ? belief[static_cast<size_t>(vid)] / total
+                      : 1.0 / static_cast<double>(db.entity_values(e).size());
+      result.value_probability[static_cast<size_t>(vid)] =
+          common::Clamp(share, floor, 1.0 - floor);
+    }
+  }
+  return result;
+}
+
+double MaxAbsDelta(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  double delta = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    delta = std::max(delta, std::fabs(a[i] - b[i]));
+  }
+  return delta;
+}
+
+}  // namespace
+
+common::Result<FusionResult> SumsFuser::Fuse(const ClaimDatabase& db) {
+  std::vector<double> trust(static_cast<size_t>(db.num_sources()), 1.0);
+  std::vector<double> belief(static_cast<size_t>(db.num_values()), 0.0);
+  int iterations = 0;
+  for (; iterations < options_.max_iterations; ++iterations) {
+    for (int v = 0; v < db.num_values(); ++v) {
+      double score = 0.0;
+      for (int s : db.value_sources(v)) score += trust[static_cast<size_t>(s)];
+      belief[static_cast<size_t>(v)] = score;
+    }
+    NormalizeByMax(belief);
+    std::vector<double> new_trust(static_cast<size_t>(db.num_sources()), 0.0);
+    for (int s = 0; s < db.num_sources(); ++s) {
+      for (int v : db.source_values(s)) {
+        new_trust[static_cast<size_t>(s)] += belief[static_cast<size_t>(v)];
+      }
+    }
+    NormalizeByMax(new_trust);
+    const double delta = MaxAbsDelta(trust, new_trust);
+    trust = std::move(new_trust);
+    if (delta < options_.epsilon) {
+      ++iterations;
+      break;
+    }
+  }
+  return FinishResult(db, name(), belief, trust, iterations,
+                      options_.probability_floor);
+}
+
+common::Result<FusionResult> AverageLogFuser::Fuse(const ClaimDatabase& db) {
+  std::vector<double> trust(static_cast<size_t>(db.num_sources()), 1.0);
+  std::vector<double> belief(static_cast<size_t>(db.num_values()), 0.0);
+  int iterations = 0;
+  for (; iterations < options_.max_iterations; ++iterations) {
+    for (int v = 0; v < db.num_values(); ++v) {
+      double score = 0.0;
+      for (int s : db.value_sources(v)) score += trust[static_cast<size_t>(s)];
+      belief[static_cast<size_t>(v)] = score;
+    }
+    NormalizeByMax(belief);
+    std::vector<double> new_trust(static_cast<size_t>(db.num_sources()), 0.0);
+    for (int s = 0; s < db.num_sources(); ++s) {
+      const auto& claims = db.source_values(s);
+      if (claims.empty()) continue;
+      double total = 0.0;
+      for (int v : claims) total += belief[static_cast<size_t>(v)];
+      const double count = static_cast<double>(claims.size());
+      new_trust[static_cast<size_t>(s)] =
+          std::log(1.0 + count) * (total / count);
+    }
+    NormalizeByMax(new_trust);
+    const double delta = MaxAbsDelta(trust, new_trust);
+    trust = std::move(new_trust);
+    if (delta < options_.epsilon) {
+      ++iterations;
+      break;
+    }
+  }
+  return FinishResult(db, name(), belief, trust, iterations,
+                      options_.probability_floor);
+}
+
+common::Result<FusionResult> InvestmentFuser::Fuse(const ClaimDatabase& db) {
+  std::vector<double> trust(static_cast<size_t>(db.num_sources()), 1.0);
+  std::vector<double> belief(static_cast<size_t>(db.num_values()), 0.0);
+  int iterations = 0;
+  for (; iterations < options_.max_iterations; ++iterations) {
+    // Investment of each source in each of its claims.
+    std::vector<double> invested(static_cast<size_t>(db.num_values()), 0.0);
+    for (int s = 0; s < db.num_sources(); ++s) {
+      const auto& claims = db.source_values(s);
+      if (claims.empty()) continue;
+      const double stake = trust[static_cast<size_t>(s)] /
+                           static_cast<double>(claims.size());
+      for (int v : claims) invested[static_cast<size_t>(v)] += stake;
+    }
+    for (int v = 0; v < db.num_values(); ++v) {
+      belief[static_cast<size_t>(v)] =
+          std::pow(invested[static_cast<size_t>(v)],
+                   options_.investment_exponent);
+    }
+    NormalizeByMax(belief);
+    // Sources earn belief back proportionally to their investment share.
+    std::vector<double> new_trust(static_cast<size_t>(db.num_sources()), 0.0);
+    for (int s = 0; s < db.num_sources(); ++s) {
+      const auto& claims = db.source_values(s);
+      if (claims.empty()) continue;
+      const double stake = trust[static_cast<size_t>(s)] /
+                           static_cast<double>(claims.size());
+      for (int v : claims) {
+        if (invested[static_cast<size_t>(v)] <= 0.0) continue;
+        new_trust[static_cast<size_t>(s)] +=
+            belief[static_cast<size_t>(v)] * stake /
+            invested[static_cast<size_t>(v)];
+      }
+    }
+    NormalizeByMax(new_trust);
+    const double delta = MaxAbsDelta(trust, new_trust);
+    trust = std::move(new_trust);
+    if (delta < options_.epsilon) {
+      ++iterations;
+      break;
+    }
+  }
+  return FinishResult(db, name(), belief, trust, iterations,
+                      options_.probability_floor);
+}
+
+}  // namespace crowdfusion::fusion

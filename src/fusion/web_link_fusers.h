@@ -1,0 +1,73 @@
+#ifndef CROWDFUSION_FUSION_WEB_LINK_FUSERS_H_
+#define CROWDFUSION_FUSION_WEB_LINK_FUSERS_H_
+
+#include "fusion/fusion_result.h"
+
+namespace crowdfusion::fusion {
+
+/// The web-link-analysis family of truth-discovery baselines (Pasternack &
+/// Roth, COLING'10), referenced by the truth-discovery surveys the paper
+/// builds on. All three iterate source trustworthiness T(s) against claim
+/// belief B(v) with different update rules; beliefs are converted to
+/// per-entity probability shares so CrowdFusion can consume any of them as
+/// an initializer.
+struct WebLinkOptions {
+  int max_iterations = 30;
+  double epsilon = 1e-8;
+  /// Investment's belief growth exponent (the original paper uses 1.2).
+  double investment_exponent = 1.2;
+  /// Output probabilities are clamped into [floor, 1 - floor].
+  double probability_floor = 0.02;
+};
+
+/// Sums (Hubs & Authorities): B(v) = Σ_{s claims v} T(s),
+/// T(s) = Σ_{v claimed by s} B(v), normalized by the maximum each round.
+class SumsFuser : public Fuser {
+ public:
+  SumsFuser() = default;
+  explicit SumsFuser(WebLinkOptions options) : options_(options) {}
+
+  common::Result<FusionResult> Fuse(const ClaimDatabase& db) override;
+
+  std::string name() const override { return "Sums"; }
+
+ private:
+  WebLinkOptions options_;
+};
+
+/// Average-Log: like Sums but a source's trustworthiness scales with
+/// log(1 + #claims) * average belief, damping prolific low-quality
+/// sources.
+class AverageLogFuser : public Fuser {
+ public:
+  AverageLogFuser() = default;
+  explicit AverageLogFuser(WebLinkOptions options) : options_(options) {}
+
+  common::Result<FusionResult> Fuse(const ClaimDatabase& db) override;
+
+  std::string name() const override { return "AverageLog"; }
+
+ private:
+  WebLinkOptions options_;
+};
+
+/// Investment: each source spreads its trustworthiness uniformly over its
+/// claims; a claim's belief is the invested total raised to an exponent
+/// g > 1 (rewarding concentration), and sources earn back belief in
+/// proportion to their share of the investment.
+class InvestmentFuser : public Fuser {
+ public:
+  InvestmentFuser() = default;
+  explicit InvestmentFuser(WebLinkOptions options) : options_(options) {}
+
+  common::Result<FusionResult> Fuse(const ClaimDatabase& db) override;
+
+  std::string name() const override { return "Investment"; }
+
+ private:
+  WebLinkOptions options_;
+};
+
+}  // namespace crowdfusion::fusion
+
+#endif  // CROWDFUSION_FUSION_WEB_LINK_FUSERS_H_

@@ -1,0 +1,78 @@
+#include "common/bit_util.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace crowdfusion::common {
+namespace {
+
+TEST(BitUtilTest, GetAndSetBit) {
+  uint64_t mask = 0;
+  mask = SetBit(mask, 3, true);
+  EXPECT_TRUE(GetBit(mask, 3));
+  EXPECT_FALSE(GetBit(mask, 2));
+  mask = SetBit(mask, 3, false);
+  EXPECT_EQ(mask, 0u);
+}
+
+TEST(BitUtilTest, PopCount) {
+  EXPECT_EQ(PopCount(0), 0);
+  EXPECT_EQ(PopCount(0b1011), 3);
+  EXPECT_EQ(PopCount(~0ULL), 64);
+}
+
+TEST(BitUtilTest, ExtractBitsPacksInOrder) {
+  // mask 0b1010: bit1=1, bit3=1.
+  EXPECT_EQ(ExtractBits(0b1010, {1, 3}), 0b11u);
+  EXPECT_EQ(ExtractBits(0b1010, {0, 2}), 0b00u);
+  EXPECT_EQ(ExtractBits(0b1010, {3, 1}), 0b11u);
+  EXPECT_EQ(ExtractBits(0b0010, {3, 1}), 0b10u);  // position order matters
+}
+
+TEST(BitUtilTest, DepositBitsInvertsExtract) {
+  const std::vector<int> positions = {0, 2, 5};
+  for (uint64_t packed = 0; packed < 8; ++packed) {
+    const uint64_t scattered = DepositBits(packed, positions);
+    EXPECT_EQ(ExtractBits(scattered, positions), packed);
+  }
+}
+
+TEST(BitUtilTest, ForEachSubsetCountsMatchBinomials) {
+  for (int n = 0; n <= 8; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      uint64_t count = 0;
+      ForEachSubset(n, k, [&](const std::vector<int>&) { ++count; });
+      EXPECT_EQ(count, BinomialCoefficient(n, k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BitUtilTest, ForEachSubsetEmitsSortedDistinctSubsets) {
+  std::vector<std::vector<int>> subsets;
+  ForEachSubset(4, 2, [&](const std::vector<int>& s) { subsets.push_back(s); });
+  ASSERT_EQ(subsets.size(), 6u);
+  EXPECT_EQ(subsets.front(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(subsets.back(), (std::vector<int>{2, 3}));
+  for (const auto& s : subsets) {
+    EXPECT_LT(s[0], s[1]);
+  }
+}
+
+TEST(BitUtilTest, ForEachSubsetDegenerateArgs) {
+  int calls = 0;
+  ForEachSubset(3, 0, [&](const std::vector<int>& s) {
+    EXPECT_TRUE(s.empty());
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);  // the empty subset
+  ForEachSubset(3, 4, [&](const std::vector<int>&) { ++calls; });
+  EXPECT_EQ(calls, 1);  // k > n: nothing
+  ForEachSubset(3, -1, [&](const std::vector<int>&) { ++calls; });
+  EXPECT_EQ(calls, 1);  // negative k: nothing
+}
+
+}  // namespace
+}  // namespace crowdfusion::common

@@ -1,0 +1,178 @@
+#include "core/bayes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "core/running_example.h"
+
+namespace crowdfusion::core {
+namespace {
+
+using common::StatusCode;
+
+CrowdModel MakeCrowd(double pc) {
+  auto crowd = CrowdModel::Create(pc);
+  EXPECT_TRUE(crowd.ok());
+  return std::move(crowd).value();
+}
+
+TEST(BayesTest, PosteriorNormalizes) {
+  const JointDistribution prior = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(0.8);
+  AnswerSet answers{{0, 2}, {true, false}};
+  auto posterior = PosteriorGivenAnswers(prior, answers, crowd);
+  ASSERT_TRUE(posterior.ok());
+  EXPECT_TRUE(posterior->IsNormalized(1e-9));
+  EXPECT_EQ(posterior->num_facts(), prior.num_facts());
+}
+
+TEST(BayesTest, ConfirmingAnswerRaisesMarginal) {
+  const JointDistribution prior = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(0.8);
+  AnswerSet yes{{1}, {true}};
+  auto posterior = PosteriorGivenAnswers(prior, yes, crowd);
+  ASSERT_TRUE(posterior.ok());
+  EXPECT_GT(posterior->Marginal(1), prior.Marginal(1));
+  AnswerSet no{{1}, {false}};
+  auto denial = PosteriorGivenAnswers(prior, no, crowd);
+  ASSERT_TRUE(denial.ok());
+  EXPECT_LT(denial->Marginal(1), prior.Marginal(1));
+}
+
+TEST(BayesTest, UselessCrowdChangesNothing) {
+  const JointDistribution prior = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(0.5);
+  AnswerSet answers{{0, 1, 2, 3}, {true, false, true, false}};
+  auto posterior = PosteriorGivenAnswers(prior, answers, crowd);
+  ASSERT_TRUE(posterior.ok());
+  for (int f = 0; f < 4; ++f) {
+    EXPECT_NEAR(posterior->Marginal(f), prior.Marginal(f), 1e-12);
+  }
+}
+
+TEST(BayesTest, PerfectCrowdCollapsesAskedFact) {
+  const JointDistribution prior = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(1.0);
+  AnswerSet answers{{0}, {true}};
+  auto posterior = PosteriorGivenAnswers(prior, answers, crowd);
+  ASSERT_TRUE(posterior.ok());
+  EXPECT_NEAR(posterior->Marginal(0), 1.0, 1e-12);
+}
+
+TEST(BayesTest, ImpossibleEvidenceRejected) {
+  // Prior says fact 0 is certainly true; a perfect crowd answering "false"
+  // is impossible evidence.
+  auto prior = JointDistribution::FromEntries(1, {{1, 1.0}});
+  ASSERT_TRUE(prior.ok());
+  const CrowdModel crowd = MakeCrowd(1.0);
+  AnswerSet answers{{0}, {false}};
+  auto posterior = PosteriorGivenAnswers(*prior, answers, crowd);
+  EXPECT_EQ(posterior.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BayesTest, NoisyCrowdSurvivesContradiction) {
+  auto prior = JointDistribution::FromEntries(1, {{1, 1.0}});
+  ASSERT_TRUE(prior.ok());
+  const CrowdModel crowd = MakeCrowd(0.8);
+  AnswerSet answers{{0}, {false}};
+  auto posterior = PosteriorGivenAnswers(*prior, answers, crowd);
+  ASSERT_TRUE(posterior.ok());
+  EXPECT_NEAR(posterior->Marginal(0), 1.0, 1e-12);
+}
+
+TEST(BayesTest, ValidationCatchesMalformedAnswerSets) {
+  const JointDistribution prior = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(0.8);
+  // Size mismatch.
+  EXPECT_EQ(PosteriorGivenAnswers(prior, {{0, 1}, {true}}, crowd)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Out-of-range fact.
+  EXPECT_EQ(PosteriorGivenAnswers(prior, {{9}, {true}}, crowd)
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  // Duplicate task in one round.
+  EXPECT_EQ(
+      PosteriorGivenAnswers(prior, {{1, 1}, {true, true}}, crowd)
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(BayesTest, SequentialUpdatesCompose) {
+  const JointDistribution prior = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(0.8);
+  const std::vector<AnswerSet> rounds = {{{0}, {true}}, {{3}, {false}}};
+  auto stepwise = PosteriorGivenAnswers(prior, rounds[0], crowd);
+  ASSERT_TRUE(stepwise.ok());
+  stepwise = PosteriorGivenAnswers(*stepwise, rounds[1], crowd);
+  ASSERT_TRUE(stepwise.ok());
+  auto batched = PosteriorGivenAnswerSets(prior, rounds, crowd);
+  ASSERT_TRUE(batched.ok());
+  for (const auto& entry : stepwise->entries()) {
+    EXPECT_NEAR(entry.prob, batched->Probability(entry.mask), 1e-12);
+  }
+}
+
+TEST(BayesTest, AnswerOrderWithinRoundIrrelevant) {
+  const JointDistribution prior = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(0.8);
+  auto a = PosteriorGivenAnswers(prior, {{0, 2}, {true, false}}, crowd);
+  auto b = PosteriorGivenAnswers(prior, {{2, 0}, {false, true}}, crowd);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (const auto& entry : a->entries()) {
+    EXPECT_NEAR(entry.prob, b->Probability(entry.mask), 1e-12);
+  }
+}
+
+TEST(BayesTest, RepeatedConsistentAnswersConcentrateBelief) {
+  const JointDistribution prior = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(0.8);
+  JointDistribution current = prior;
+  double previous = current.Marginal(0);
+  for (int round = 0; round < 10; ++round) {
+    auto posterior = PosteriorGivenAnswers(current, {{0}, {true}}, crowd);
+    ASSERT_TRUE(posterior.ok());
+    current = std::move(posterior).value();
+    EXPECT_GT(current.Marginal(0), previous);
+    previous = current.Marginal(0);
+  }
+  EXPECT_GT(current.Marginal(0), 0.99);
+}
+
+class ExpectedEntropyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExpectedEntropyTest, AnswersReduceEntropyInExpectation) {
+  // Information never hurts: E_ans[H(posterior)] <= H(prior). Verified by
+  // enumerating all answer sets of a fixed task set.
+  const double pc = GetParam();
+  const JointDistribution prior = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(pc);
+  const std::vector<int> tasks = {0, 2};
+  double expected_posterior_entropy = 0.0;
+  for (int bits = 0; bits < 4; ++bits) {
+    AnswerSet answers;
+    answers.tasks = tasks;
+    answers.answers = {(bits & 1) != 0, (bits & 2) != 0};
+    auto p = AnswerSetProbability(prior, answers, crowd);
+    ASSERT_TRUE(p.ok());
+    if (p.value() <= 0.0) continue;
+    auto posterior = PosteriorGivenAnswers(prior, answers, crowd);
+    ASSERT_TRUE(posterior.ok());
+    expected_posterior_entropy += p.value() * posterior->EntropyBits();
+  }
+  EXPECT_LE(expected_posterior_entropy, prior.EntropyBits() + 1e-9);
+  if (pc > 0.5) {
+    EXPECT_LT(expected_posterior_entropy, prior.EntropyBits());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PcSweep, ExpectedEntropyTest,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9, 1.0));
+
+}  // namespace
+}  // namespace crowdfusion::core

@@ -1,0 +1,214 @@
+#include "core/crowdfusion.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/greedy_selector.h"
+#include "core/running_example.h"
+
+namespace crowdfusion::core {
+namespace {
+
+using common::StatusCode;
+
+CrowdModel MakeCrowd(double pc) {
+  auto crowd = CrowdModel::Create(pc);
+  EXPECT_TRUE(crowd.ok());
+  return std::move(crowd).value();
+}
+
+/// Deterministic provider: answers with the ground truth always (a perfect
+/// crowd scripted by the test).
+class OracleProvider : public AnswerProvider {
+ public:
+  explicit OracleProvider(uint64_t truth_mask) : truth_mask_(truth_mask) {}
+
+  common::Result<std::vector<bool>> CollectAnswers(
+      std::span<const int> fact_ids) override {
+    std::vector<bool> answers;
+    for (int id : fact_ids) answers.push_back((truth_mask_ >> id) & 1ULL);
+    ++calls_;
+    return answers;
+  }
+
+  int calls() const { return calls_; }
+
+ private:
+  uint64_t truth_mask_;
+  int calls_ = 0;
+};
+
+/// Provider that always fails, to exercise error propagation.
+class BrokenProvider : public AnswerProvider {
+ public:
+  common::Result<std::vector<bool>> CollectAnswers(
+      std::span<const int>) override {
+    return common::Status::Internal("platform down");
+  }
+};
+
+/// Provider returning the wrong number of answers.
+class ShortProvider : public AnswerProvider {
+ public:
+  common::Result<std::vector<bool>> CollectAnswers(
+      std::span<const int>) override {
+    return std::vector<bool>{};
+  }
+};
+
+TEST(EngineTest, CreateValidatesArguments) {
+  const JointDistribution joint = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(0.8);
+  GreedySelector selector;
+  OracleProvider provider(0b0111);
+  EngineOptions options;
+  EXPECT_FALSE(CrowdFusionEngine::Create(joint, crowd, nullptr, &provider,
+                                         options)
+                   .ok());
+  EXPECT_FALSE(
+      CrowdFusionEngine::Create(joint, crowd, &selector, nullptr, options)
+          .ok());
+  options.budget = -1;
+  EXPECT_FALSE(
+      CrowdFusionEngine::Create(joint, crowd, &selector, &provider, options)
+          .ok());
+  options.budget = 10;
+  options.tasks_per_round = 0;
+  EXPECT_FALSE(
+      CrowdFusionEngine::Create(joint, crowd, &selector, &provider, options)
+          .ok());
+}
+
+TEST(EngineTest, ZeroBudgetRunsNoRounds) {
+  const JointDistribution joint = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(0.8);
+  GreedySelector selector;
+  OracleProvider provider(0b0111);
+  EngineOptions options;
+  options.budget = 0;
+  auto engine =
+      CrowdFusionEngine::Create(joint, crowd, &selector, &provider, options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(engine->HasBudget());
+  auto records = engine->Run();
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+  EXPECT_EQ(engine->RunRound().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, SpendsExactlyTheBudget) {
+  const JointDistribution joint = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(0.8);
+  GreedySelector selector;
+  OracleProvider provider(0b0111);
+  EngineOptions options;
+  options.budget = 7;
+  options.tasks_per_round = 2;
+  auto engine =
+      CrowdFusionEngine::Create(joint, crowd, &selector, &provider, options);
+  ASSERT_TRUE(engine.ok());
+  auto records = engine->Run();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(engine->cost_spent(), 7);
+  // Rounds of 2, 2, 2, then a final round of 1.
+  ASSERT_EQ(records->size(), 4u);
+  EXPECT_EQ(records->back().tasks.size(), 1u);
+  EXPECT_EQ(records->back().cumulative_cost, 7);
+}
+
+TEST(EngineTest, TruthConsistentAnswersRaiseUtility) {
+  const JointDistribution joint = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(0.8);
+  GreedySelector selector;
+  // Ground truth: f1, f2, f3 true; f4 false (Hong Kong is in Asia).
+  OracleProvider provider(0b0111);
+  EngineOptions options;
+  options.budget = 30;
+  options.tasks_per_round = 1;
+  auto engine =
+      CrowdFusionEngine::Create(joint, crowd, &selector, &provider, options);
+  ASSERT_TRUE(engine.ok());
+  const double initial_utility = -joint.EntropyBits();
+  auto records = engine->Run();
+  ASSERT_TRUE(records.ok());
+  ASSERT_FALSE(records->empty());
+  EXPECT_GT(records->back().utility_bits, initial_utility + 2.0);
+  // Posterior should now lean strongly toward the truth.
+  EXPECT_GT(engine->current().Marginal(0), 0.95);
+  EXPECT_GT(engine->current().Marginal(1), 0.95);
+  EXPECT_GT(engine->current().Marginal(2), 0.95);
+  EXPECT_LT(engine->current().Marginal(3), 0.05);
+}
+
+TEST(EngineTest, RoundRecordsAreConsistent) {
+  const JointDistribution joint = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(0.8);
+  GreedySelector selector;
+  OracleProvider provider(0b0111);
+  EngineOptions options;
+  options.budget = 6;
+  options.tasks_per_round = 3;
+  auto engine =
+      CrowdFusionEngine::Create(joint, crowd, &selector, &provider, options);
+  ASSERT_TRUE(engine.ok());
+  auto records = engine->Run();
+  ASSERT_TRUE(records.ok());
+  int expected_cost = 0;
+  int round = 0;
+  for (const RoundRecord& record : *records) {
+    EXPECT_EQ(record.round, round++);
+    EXPECT_EQ(record.tasks.size(), record.answers.size());
+    expected_cost += static_cast<int>(record.tasks.size());
+    EXPECT_EQ(record.cumulative_cost, expected_cost);
+    EXPECT_GT(record.selected_entropy_bits, 0.0);
+  }
+  EXPECT_EQ(engine->rounds_completed(), static_cast<int>(records->size()));
+}
+
+TEST(EngineTest, ProviderErrorPropagates) {
+  const JointDistribution joint = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(0.8);
+  GreedySelector selector;
+  BrokenProvider provider;
+  EngineOptions options;
+  auto engine =
+      CrowdFusionEngine::Create(joint, crowd, &selector, &provider, options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->RunRound().status().code(), StatusCode::kInternal);
+}
+
+TEST(EngineTest, ProviderSizeMismatchDetected) {
+  const JointDistribution joint = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(0.8);
+  GreedySelector selector;
+  ShortProvider provider;
+  EngineOptions options;
+  auto engine =
+      CrowdFusionEngine::Create(joint, crowd, &selector, &provider, options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->RunRound().status().code(), StatusCode::kInternal);
+}
+
+TEST(EngineTest, PerfectCrowdStopsWhenCertain) {
+  // With Pc = 1 the engine drives entropy to 0, after which the greedy
+  // selects nothing and Run() terminates early with leftover budget.
+  const JointDistribution joint = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(1.0);
+  GreedySelector selector;
+  OracleProvider provider(0b0111);
+  EngineOptions options;
+  options.budget = 100;
+  options.tasks_per_round = 2;
+  auto engine =
+      CrowdFusionEngine::Create(joint, crowd, &selector, &provider, options);
+  ASSERT_TRUE(engine.ok());
+  auto records = engine->Run();
+  ASSERT_TRUE(records.ok());
+  EXPECT_LT(engine->cost_spent(), 100);
+  EXPECT_NEAR(engine->current().EntropyBits(), 0.0, 1e-9);
+  EXPECT_TRUE(records->back().tasks.empty());
+}
+
+}  // namespace
+}  // namespace crowdfusion::core

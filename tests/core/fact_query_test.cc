@@ -1,0 +1,131 @@
+#include "core/fact_query.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bayes.h"
+#include "core/running_example.h"
+
+namespace crowdfusion::core {
+namespace {
+
+TEST(FactQueryTest, EvaluateAtomsAndConstants) {
+  const FactQuery f0 = FactQuery::Atom(0);
+  EXPECT_TRUE(f0.Evaluate(0b001));
+  EXPECT_FALSE(f0.Evaluate(0b110));
+  EXPECT_TRUE(FactQuery::True().Evaluate(0));
+  EXPECT_FALSE(FactQuery::False().Evaluate(~0ULL));
+}
+
+TEST(FactQueryTest, EvaluateCompoundExpressions) {
+  // (f0 & !f1) | f2
+  const FactQuery query = FactQuery::Or(
+      FactQuery::And(FactQuery::Atom(0), FactQuery::Not(FactQuery::Atom(1))),
+      FactQuery::Atom(2));
+  EXPECT_TRUE(query.Evaluate(0b001));   // f0
+  EXPECT_FALSE(query.Evaluate(0b011));  // f0 & f1, no f2
+  EXPECT_TRUE(query.Evaluate(0b111));   // f2 rescues it
+  EXPECT_FALSE(query.Evaluate(0b000));
+}
+
+TEST(FactQueryTest, ToStringAndMaxFactId) {
+  const FactQuery query = FactQuery::And(
+      FactQuery::Atom(0), FactQuery::Not(FactQuery::Atom(3)));
+  EXPECT_EQ(query.ToString(), "(f0 & !f3)");
+  EXPECT_EQ(query.MaxFactId(), 3);
+  EXPECT_EQ(FactQuery::True().MaxFactId(), -1);
+}
+
+TEST(FactQueryTest, ProbabilityValidatesFactIds) {
+  const JointDistribution joint = RunningExample::Joint();
+  EXPECT_FALSE(FactQuery::Atom(9).Probability(joint).ok());
+}
+
+TEST(FactQueryTest, AtomProbabilityIsTheMarginal) {
+  const JointDistribution joint = RunningExample::Joint();
+  for (int f = 0; f < 4; ++f) {
+    auto p = FactQuery::Atom(f).Probability(joint);
+    ASSERT_TRUE(p.ok());
+    EXPECT_NEAR(p.value(), joint.Marginal(f), 1e-12);
+  }
+}
+
+TEST(FactQueryTest, ComplementAndDeMorgan) {
+  const JointDistribution joint = RunningExample::Joint();
+  const FactQuery a = FactQuery::Atom(1);
+  const FactQuery b = FactQuery::Atom(2);
+  auto p_or = FactQuery::Or(a, b).Probability(joint);
+  auto p_demorgan = FactQuery::Not(
+                        FactQuery::And(FactQuery::Not(a), FactQuery::Not(b)))
+                        .Probability(joint);
+  ASSERT_TRUE(p_or.ok());
+  ASSERT_TRUE(p_demorgan.ok());
+  EXPECT_NEAR(p_or.value(), p_demorgan.value(), 1e-12);
+  auto p_not = FactQuery::Not(a).Probability(joint);
+  ASSERT_TRUE(p_not.ok());
+  EXPECT_NEAR(p_not.value(), 1.0 - joint.Marginal(1), 1e-12);
+}
+
+TEST(FactQueryTest, InclusionExclusion) {
+  const JointDistribution joint = RunningExample::Joint();
+  const FactQuery a = FactQuery::Atom(0);
+  const FactQuery b = FactQuery::Atom(3);
+  const double p_a = a.Probability(joint).value();
+  const double p_b = b.Probability(joint).value();
+  const double p_and = FactQuery::And(a, b).Probability(joint).value();
+  const double p_or = FactQuery::Or(a, b).Probability(joint).value();
+  EXPECT_NEAR(p_or, p_a + p_b - p_and, 1e-12);
+}
+
+TEST(FactQueryTest, PaperMotivation_RefinementSharpensQueryAnswers) {
+  // Section II-A: improving the joint's utility improves the confidence
+  // of query answers. A single realized answer can move a compound
+  // query's probability toward 1/2, but the *expected* confidence over
+  // answer outcomes never decreases: 1 - h(p) is convex and the posterior
+  // query probability is a martingale. Verify by enumerating the answers
+  // to asking {f1}.
+  const JointDistribution prior = RunningExample::Joint();
+  const CrowdModel crowd = RunningExample::Crowd();
+  const FactQuery query = FactQuery::And(
+      FactQuery::Atom(0), FactQuery::Not(FactQuery::Atom(3)));
+  const double confidence_before = query.Confidence(prior).value();
+
+  double expected_confidence = 0.0;
+  for (const bool answer : {false, true}) {
+    const AnswerSet answers{{0}, {answer}};
+    auto p_answer = AnswerSetProbability(prior, answers, crowd);
+    auto posterior = PosteriorGivenAnswers(prior, answers, crowd);
+    ASSERT_TRUE(p_answer.ok());
+    ASSERT_TRUE(posterior.ok());
+    expected_confidence +=
+        p_answer.value() * query.Confidence(*posterior).value();
+  }
+  EXPECT_GE(expected_confidence, confidence_before - 1e-12);
+
+  // And the directly-asked atom's confidence rises for either answer.
+  for (const bool answer : {false, true}) {
+    auto posterior = PosteriorGivenAnswers(prior, {{0}, {answer}}, crowd);
+    ASSERT_TRUE(posterior.ok());
+    EXPECT_GT(FactQuery::Atom(0).Confidence(*posterior).value(),
+              FactQuery::Atom(0).Confidence(prior).value());
+  }
+}
+
+TEST(FactQueryTest, ConfidenceEndpoints) {
+  auto certain = JointDistribution::PointMass(2, 0b01);
+  ASSERT_TRUE(certain.ok());
+  EXPECT_NEAR(FactQuery::Atom(0).Confidence(*certain).value(), 1.0, 1e-12);
+  auto uniform = JointDistribution::Uniform(2);
+  ASSERT_TRUE(uniform.ok());
+  EXPECT_NEAR(FactQuery::Atom(0).Confidence(*uniform).value(), 0.0, 1e-12);
+}
+
+TEST(FactQueryTest, CopyingSharesNodesSafely) {
+  FactQuery query = FactQuery::Atom(1);
+  const FactQuery copy = query;
+  query = FactQuery::Not(query);
+  EXPECT_EQ(copy.ToString(), "f1");
+  EXPECT_EQ(query.ToString(), "!f1");
+}
+
+}  // namespace
+}  // namespace crowdfusion::core

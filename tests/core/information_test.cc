@@ -1,0 +1,158 @@
+#include "core/information.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "core/greedy_selector.h"
+#include "core/running_example.h"
+#include "core/utility.h"
+
+namespace crowdfusion::core {
+namespace {
+
+CrowdModel MakeCrowd(double pc) {
+  auto crowd = CrowdModel::Create(pc);
+  EXPECT_TRUE(crowd.ok());
+  return std::move(crowd).value();
+}
+
+JointDistribution RandomJoint(int n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> dense(1ULL << n);
+  for (double& p : dense) p = rng.NextDouble() + 1e-3;
+  common::Normalize(dense);
+  auto joint = JointDistribution::FromDense(n, dense);
+  EXPECT_TRUE(joint.ok());
+  return std::move(joint).value();
+}
+
+TEST(InformationTest, EmptyTaskSetCarriesNoInformation) {
+  const JointDistribution joint = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(0.8);
+  const std::vector<int> none;
+  EXPECT_EQ(AnswersMutualInformationBits(joint, none, crowd), 0.0);
+  EXPECT_NEAR(ExpectedPosteriorEntropyBits(joint, none, crowd),
+              joint.EntropyBits(), 1e-12);
+}
+
+TEST(InformationTest, MutualInformationMatchesPaperDeltaQ) {
+  // I(F; Ans^T) = H(T) - |T| H(Crowd) = the paper's ΔQ (Section III-B).
+  const JointDistribution joint = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(0.8);
+  const std::vector<int> tasks = {0, 3};
+  EXPECT_NEAR(AnswersMutualInformationBits(joint, tasks, crowd),
+              ExpectedQualityGain(joint, tasks, crowd), 1e-12);
+}
+
+TEST(InformationTest, CoinFlipCrowdGivesZeroInformation) {
+  const JointDistribution joint = RunningExample::Joint();
+  const CrowdModel useless = MakeCrowd(0.5);
+  const std::vector<int> all = {0, 1, 2, 3};
+  EXPECT_NEAR(AnswersMutualInformationBits(joint, all, useless), 0.0, 1e-9);
+}
+
+TEST(InformationTest, PerfectCrowdOnAllFactsRecoversFullEntropy) {
+  const JointDistribution joint = RunningExample::Joint();
+  const CrowdModel perfect = MakeCrowd(1.0);
+  const std::vector<int> all = {0, 1, 2, 3};
+  EXPECT_NEAR(AnswersMutualInformationBits(joint, all, perfect),
+              joint.EntropyBits(), 1e-9);
+  EXPECT_NEAR(ExpectedPosteriorEntropyBits(joint, all, perfect), 0.0, 1e-9);
+}
+
+TEST(InformationTest, InformationBoundedByJointEntropy) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const JointDistribution joint = RandomJoint(5, seed);
+    const CrowdModel crowd = MakeCrowd(0.85);
+    const std::vector<int> tasks = {0, 1, 2, 3, 4};
+    const double mi = AnswersMutualInformationBits(joint, tasks, crowd);
+    EXPECT_GE(mi, 0.0);
+    EXPECT_LE(mi, joint.EntropyBits() + 1e-9);
+  }
+}
+
+TEST(InformationTest, GreedyFirstPickIsProfileArgmax) {
+  const JointDistribution joint = RunningExample::Joint();
+  const CrowdModel crowd = MakeCrowd(0.8);
+  const std::vector<double> profile =
+      SingleTaskInformationProfile(joint, crowd);
+  ASSERT_EQ(profile.size(), 4u);
+  int argmax = 0;
+  for (int i = 1; i < 4; ++i) {
+    if (profile[static_cast<size_t>(i)] >
+        profile[static_cast<size_t>(argmax)]) {
+      argmax = i;
+    }
+  }
+  GreedySelector selector;
+  SelectionRequest request;
+  request.joint = &joint;
+  request.crowd = &crowd;
+  request.k = 1;
+  auto selection = selector.Select(request);
+  ASSERT_TRUE(selection.ok());
+  EXPECT_EQ(selection->tasks[0], argmax);
+  EXPECT_EQ(argmax, 0);  // the paper's walkthrough: f1 first
+}
+
+TEST(InformationTest, FactMutualInformationBasics) {
+  // Two perfectly correlated facts plus an independent third.
+  std::vector<JointDistribution::Entry> entries;
+  for (uint64_t f2 = 0; f2 <= 1; ++f2) {
+    entries.push_back({0b000 | (f2 << 2), 0.25});
+    entries.push_back({0b011 | (f2 << 2), 0.25});
+  }
+  auto joint = JointDistribution::FromEntries(3, entries);
+  ASSERT_TRUE(joint.ok());
+  auto correlated = FactMutualInformationBits(*joint, 0, 1);
+  auto independent = FactMutualInformationBits(*joint, 0, 2);
+  ASSERT_TRUE(correlated.ok());
+  ASSERT_TRUE(independent.ok());
+  EXPECT_NEAR(correlated.value(), 1.0, 1e-9);  // I(X;X-copy) = H(X) = 1
+  EXPECT_NEAR(independent.value(), 0.0, 1e-9);
+  // Self-information is the binary entropy of the marginal.
+  auto self = FactMutualInformationBits(*joint, 0, 0);
+  ASSERT_TRUE(self.ok());
+  EXPECT_NEAR(self.value(), 1.0, 1e-9);
+}
+
+TEST(InformationTest, FactMutualInformationValidatesIds) {
+  const JointDistribution joint = RunningExample::Joint();
+  EXPECT_FALSE(FactMutualInformationBits(joint, -1, 0).ok());
+  EXPECT_FALSE(FactMutualInformationBits(joint, 0, 7).ok());
+}
+
+TEST(InformationTest, CorrelationMatrixSymmetricNonNegative) {
+  const JointDistribution joint = RunningExample::Joint();
+  auto matrix = FactCorrelationMatrix(joint);
+  ASSERT_TRUE(matrix.ok());
+  for (int a = 0; a < 4; ++a) {
+    EXPECT_EQ((*matrix)[static_cast<size_t>(a)][static_cast<size_t>(a)],
+              0.0);
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_GE((*matrix)[static_cast<size_t>(a)][static_cast<size_t>(b)],
+                0.0);
+      EXPECT_DOUBLE_EQ(
+          (*matrix)[static_cast<size_t>(a)][static_cast<size_t>(b)],
+          (*matrix)[static_cast<size_t>(b)][static_cast<size_t>(a)]);
+    }
+  }
+}
+
+class VoiMonotonicityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(VoiMonotonicityTest, InformationGrowsWithCrowdAccuracy) {
+  const JointDistribution joint = RunningExample::Joint();
+  const CrowdModel low = MakeCrowd(GetParam());
+  const CrowdModel high = MakeCrowd(std::min(1.0, GetParam() + 0.1));
+  const std::vector<int> tasks = {0, 1};
+  EXPECT_LE(AnswersMutualInformationBits(joint, tasks, low),
+            AnswersMutualInformationBits(joint, tasks, high) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PcSweep, VoiMonotonicityTest,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9));
+
+}  // namespace
+}  // namespace crowdfusion::core

@@ -1,0 +1,216 @@
+#include "core/joint_distribution.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace crowdfusion::core {
+namespace {
+
+using common::StatusCode;
+
+TEST(JointDistributionTest, FromEntriesValidatesMass) {
+  auto bad = JointDistribution::FromEntries(2, {{0, 0.4}, {1, 0.4}});
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  auto good = JointDistribution::FromEntries(2, {{0, 0.4}, {1, 0.6}});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->num_facts(), 2);
+  EXPECT_EQ(good->support_size(), 2);
+}
+
+TEST(JointDistributionTest, NormalizeFlagRescales) {
+  auto joint =
+      JointDistribution::FromEntries(2, {{0, 1.0}, {3, 3.0}}, true);
+  ASSERT_TRUE(joint.ok());
+  EXPECT_DOUBLE_EQ(joint->Probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(joint->Probability(3), 0.75);
+  EXPECT_TRUE(joint->IsNormalized());
+}
+
+TEST(JointDistributionTest, RejectsNegativeProbability) {
+  auto joint = JointDistribution::FromEntries(1, {{0, -0.5}, {1, 1.5}});
+  EXPECT_EQ(joint.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JointDistributionTest, RejectsMaskBeyondFacts) {
+  auto joint = JointDistribution::FromEntries(2, {{4, 1.0}});
+  EXPECT_EQ(joint.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JointDistributionTest, RejectsZeroMass) {
+  auto joint = JointDistribution::FromEntries(2, {{0, 0.0}});
+  EXPECT_EQ(joint.status().code(), StatusCode::kInvalidArgument);
+  auto empty = JointDistribution::FromEntries(2, {});
+  EXPECT_FALSE(empty.ok());
+}
+
+TEST(JointDistributionTest, RejectsTooManyFacts) {
+  auto joint = JointDistribution::FromEntries(64, {{0, 1.0}});
+  EXPECT_EQ(joint.status().code(), StatusCode::kInvalidArgument);
+  auto negative = JointDistribution::FromEntries(-1, {{0, 1.0}});
+  EXPECT_FALSE(negative.ok());
+}
+
+TEST(JointDistributionTest, MergesDuplicateMasks) {
+  auto joint =
+      JointDistribution::FromEntries(1, {{1, 0.25}, {1, 0.25}, {0, 0.5}});
+  ASSERT_TRUE(joint.ok());
+  EXPECT_EQ(joint->support_size(), 2);
+  EXPECT_DOUBLE_EQ(joint->Probability(1), 0.5);
+}
+
+TEST(JointDistributionTest, DropsZeroEntries) {
+  auto joint = JointDistribution::FromEntries(1, {{0, 1.0}, {1, 0.0}});
+  ASSERT_TRUE(joint.ok());
+  EXPECT_EQ(joint->support_size(), 1);
+}
+
+TEST(JointDistributionTest, SparseMasksAllowedUpTo63Facts) {
+  auto joint = JointDistribution::FromEntries(
+      63, {{1ULL << 62, 0.5}, {0, 0.5}});
+  ASSERT_TRUE(joint.ok());
+  EXPECT_DOUBLE_EQ(joint->Marginal(62), 0.5);
+}
+
+TEST(JointDistributionTest, UniformHasMaxEntropy) {
+  auto joint = JointDistribution::Uniform(3);
+  ASSERT_TRUE(joint.ok());
+  EXPECT_EQ(joint->support_size(), 8);
+  EXPECT_NEAR(joint->EntropyBits(), 3.0, 1e-12);
+  EXPECT_NEAR(joint->Quality(), -3.0, 1e-12);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(joint->Marginal(i), 0.5, 1e-12);
+}
+
+TEST(JointDistributionTest, PointMassHasZeroEntropy) {
+  auto joint = JointDistribution::PointMass(4, 0b1010);
+  ASSERT_TRUE(joint.ok());
+  EXPECT_EQ(joint->EntropyBits(), 0.0);
+  EXPECT_EQ(joint->Mode(), 0b1010u);
+  EXPECT_DOUBLE_EQ(joint->Marginal(1), 1.0);
+  EXPECT_DOUBLE_EQ(joint->Marginal(0), 0.0);
+}
+
+TEST(JointDistributionTest, IndependentMarginalsRoundTrip) {
+  const std::vector<double> marginals = {0.1, 0.5, 0.9, 0.33};
+  auto joint = JointDistribution::FromIndependentMarginals(marginals);
+  ASSERT_TRUE(joint.ok());
+  const std::vector<double> recovered = joint->Marginals();
+  ASSERT_EQ(recovered.size(), marginals.size());
+  for (size_t i = 0; i < marginals.size(); ++i) {
+    EXPECT_NEAR(recovered[i], marginals[i], 1e-12);
+  }
+  // Independence: entropy is the sum of binary entropies.
+  double expected = 0.0;
+  for (double p : marginals) expected += common::BinaryEntropy(p);
+  EXPECT_NEAR(joint->EntropyBits(), expected, 1e-9);
+}
+
+TEST(JointDistributionTest, IndependentMarginalsRejectsBadValues) {
+  EXPECT_FALSE(JointDistribution::FromIndependentMarginals(
+                   std::vector<double>{1.5})
+                   .ok());
+  EXPECT_FALSE(JointDistribution::FromIndependentMarginals(
+                   std::vector<double>{-0.1})
+                   .ok());
+}
+
+TEST(JointDistributionTest, DegenerateIndependentMarginals) {
+  // All-certain marginals give a point mass.
+  auto joint = JointDistribution::FromIndependentMarginals(
+      std::vector<double>{1.0, 0.0, 1.0});
+  ASSERT_TRUE(joint.ok());
+  EXPECT_EQ(joint->support_size(), 1);
+  EXPECT_EQ(joint->Mode(), 0b101u);
+}
+
+TEST(JointDistributionTest, FromDenseRoundTrip) {
+  std::vector<double> dense = {0.1, 0.2, 0.3, 0.4};
+  auto joint = JointDistribution::FromDense(2, dense);
+  ASSERT_TRUE(joint.ok());
+  EXPECT_EQ(joint->ToDense(), dense);
+}
+
+TEST(JointDistributionTest, FromDenseRejectsWrongSize) {
+  EXPECT_FALSE(JointDistribution::FromDense(2, {0.5, 0.5}).ok());
+}
+
+TEST(JointDistributionTest, ProbabilityLookupOutsideSupportIsZero) {
+  auto joint = JointDistribution::FromEntries(3, {{1, 0.5}, {6, 0.5}});
+  ASSERT_TRUE(joint.ok());
+  EXPECT_EQ(joint->Probability(0), 0.0);
+  EXPECT_EQ(joint->Probability(7), 0.0);
+  EXPECT_DOUBLE_EQ(joint->Probability(6), 0.5);
+}
+
+TEST(JointDistributionTest, MarginalizeOntoSubset) {
+  // P(f0=1)=0.3 via masks {1: 0.3, 2: 0.7}.
+  auto joint = JointDistribution::FromEntries(2, {{1, 0.3}, {2, 0.7}});
+  ASSERT_TRUE(joint.ok());
+  const std::vector<int> onto = {0};
+  const std::vector<double> marginal = joint->MarginalizeOnto(onto);
+  ASSERT_EQ(marginal.size(), 2u);
+  EXPECT_DOUBLE_EQ(marginal[0], 0.7);
+  EXPECT_DOUBLE_EQ(marginal[1], 0.3);
+}
+
+TEST(JointDistributionTest, MarginalizeOntoRespectsCoordinateOrder) {
+  auto joint = JointDistribution::FromEntries(2, {{1, 1.0}});
+  ASSERT_TRUE(joint.ok());
+  const std::vector<int> order_a = {0, 1};
+  const std::vector<int> order_b = {1, 0};
+  // fact0=1, fact1=0: packed (f0,f1) -> index 0b01 = 1.
+  EXPECT_DOUBLE_EQ(joint->MarginalizeOnto(order_a)[1], 1.0);
+  // packed (f1,f0) -> index 0b10 = 2.
+  EXPECT_DOUBLE_EQ(joint->MarginalizeOnto(order_b)[2], 1.0);
+}
+
+TEST(JointDistributionTest, MarginalizeOntoEmptyGivesTotalMass) {
+  auto joint = JointDistribution::Uniform(3);
+  ASSERT_TRUE(joint.ok());
+  const std::vector<int> none;
+  const std::vector<double> marginal = joint->MarginalizeOnto(none);
+  ASSERT_EQ(marginal.size(), 1u);
+  EXPECT_NEAR(marginal[0], 1.0, 1e-12);
+}
+
+TEST(JointDistributionTest, ModeBreaksTiesTowardSmallerMask) {
+  auto joint = JointDistribution::FromEntries(2, {{1, 0.5}, {2, 0.5}});
+  ASSERT_TRUE(joint.ok());
+  EXPECT_EQ(joint->Mode(), 1u);
+}
+
+TEST(JointDistributionTest, ToStringMentionsShape) {
+  auto joint = JointDistribution::Uniform(2);
+  ASSERT_TRUE(joint.ok());
+  const std::string s = joint->ToString();
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("|O|=4"), std::string::npos);
+}
+
+class MarginalConsistencyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MarginalConsistencyTest, MarginalsMatchMarginalizeOnto) {
+  // Deterministic pseudo-random dense distribution over `n` facts.
+  const int n = GetParam();
+  std::vector<double> dense(1ULL << n);
+  for (size_t i = 0; i < dense.size(); ++i) {
+    dense[i] = 1.0 + std::sin(static_cast<double>(i) * 2.3);
+  }
+  common::Normalize(dense);
+  auto joint = JointDistribution::FromDense(n, dense);
+  ASSERT_TRUE(joint.ok());
+  for (int f = 0; f < n; ++f) {
+    const std::vector<int> onto = {f};
+    EXPECT_NEAR(joint->Marginal(f), joint->MarginalizeOnto(onto)[1], 1e-12);
+    EXPECT_NEAR(joint->Marginals()[static_cast<size_t>(f)],
+                joint->Marginal(f), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MarginalConsistencyTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace crowdfusion::core

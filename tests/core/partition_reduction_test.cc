@@ -1,0 +1,88 @@
+#include "core/partition_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace crowdfusion::core {
+namespace {
+
+TEST(PartitionReductionTest, ValidatesInstances) {
+  EXPECT_FALSE(ReducePartitionToTaskSelection({{}}).ok());
+  EXPECT_FALSE(ReducePartitionToTaskSelection({{1, 0, 2}}).ok());
+  PartitionInstance too_big;
+  too_big.numbers.assign(64, 1);
+  EXPECT_FALSE(ReducePartitionToTaskSelection(too_big).ok());
+}
+
+TEST(PartitionReductionTest, BuildsNormalizedJoint) {
+  auto reduction = ReducePartitionToTaskSelection({{1, 2, 3, 4}});
+  ASSERT_TRUE(reduction.ok());
+  EXPECT_EQ(reduction->joint.num_facts(), 4);
+  EXPECT_EQ(reduction->joint.support_size(), 4);
+  EXPECT_TRUE(reduction->joint.IsNormalized(1e-12));
+  EXPECT_DOUBLE_EQ(reduction->joint.Probability(0), 0.1);
+  EXPECT_DOUBLE_EQ(reduction->joint.Probability(3), 0.4);
+  EXPECT_DOUBLE_EQ(reduction->target_entropy_bits, 1.0);
+}
+
+TEST(PartitionReductionTest, YesInstances) {
+  // {1,2,3} -> {1,2} vs {3}; {5,5} -> trivially; {3,1,1,2,2,1} sums 10.
+  for (const std::vector<uint64_t>& numbers :
+       {std::vector<uint64_t>{1, 2, 3}, std::vector<uint64_t>{5, 5},
+        std::vector<uint64_t>{3, 1, 1, 2, 2, 1},
+        std::vector<uint64_t>{100, 50, 50}}) {
+    auto direct = DecidePartitionDirectly({numbers});
+    auto via_reduction = DecideViaTaskSelection({numbers});
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(via_reduction.ok());
+    EXPECT_TRUE(direct.value());
+    EXPECT_TRUE(via_reduction.value());
+  }
+}
+
+TEST(PartitionReductionTest, NoInstances) {
+  for (const std::vector<uint64_t>& numbers :
+       {std::vector<uint64_t>{1, 2}, std::vector<uint64_t>{1, 1, 1},
+        std::vector<uint64_t>{2, 3, 7}, std::vector<uint64_t>{1}}) {
+    auto direct = DecidePartitionDirectly({numbers});
+    auto via_reduction = DecideViaTaskSelection({numbers});
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(via_reduction.ok());
+    EXPECT_FALSE(direct.value());
+    EXPECT_FALSE(via_reduction.value());
+  }
+}
+
+class ReductionEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReductionEquivalenceTest, AgreesWithDirectSolverOnRandomInstances) {
+  // Theorem 1's equivalence, checked on random instances: the reduction
+  // answers YES exactly when PARTITION answers YES.
+  common::Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    PartitionInstance instance;
+    const int count = static_cast<int>(rng.NextInt(2, 9));
+    for (int i = 0; i < count; ++i) {
+      instance.numbers.push_back(static_cast<uint64_t>(rng.NextInt(1, 12)));
+    }
+    auto direct = DecidePartitionDirectly(instance);
+    auto via_reduction = DecideViaTaskSelection(instance);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(via_reduction.ok());
+    EXPECT_EQ(direct.value(), via_reduction.value())
+        << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(PartitionReductionTest, ExhaustiveCheckRefusesHugeInstances) {
+  PartitionInstance instance;
+  instance.numbers.assign(30, 1);
+  EXPECT_FALSE(DecideViaTaskSelection(instance).ok());
+}
+
+}  // namespace
+}  // namespace crowdfusion::core

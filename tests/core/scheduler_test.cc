@@ -1,0 +1,207 @@
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/greedy_selector.h"
+#include "core/running_example.h"
+
+namespace crowdfusion::core {
+namespace {
+
+using common::StatusCode;
+
+CrowdModel MakeCrowd(double pc) {
+  auto crowd = CrowdModel::Create(pc);
+  EXPECT_TRUE(crowd.ok());
+  return std::move(crowd).value();
+}
+
+/// Truth-echoing provider (a perfect crowd scripted by the test).
+class OracleProvider : public AnswerProvider {
+ public:
+  explicit OracleProvider(uint64_t truth_mask) : truth_mask_(truth_mask) {}
+
+  common::Result<std::vector<bool>> CollectAnswers(
+      std::span<const int> fact_ids) override {
+    std::vector<bool> answers;
+    for (int id : fact_ids) answers.push_back((truth_mask_ >> id) & 1ULL);
+    return answers;
+  }
+
+ private:
+  uint64_t truth_mask_;
+};
+
+JointDistribution UniformJoint(int n) {
+  auto joint = JointDistribution::Uniform(n);
+  EXPECT_TRUE(joint.ok());
+  return std::move(joint).value();
+}
+
+TEST(BudgetSchedulerTest, CreateValidatesArguments) {
+  const CrowdModel crowd = MakeCrowd(0.8);
+  GreedySelector selector;
+  BudgetScheduler::Options options;
+  EXPECT_FALSE(BudgetScheduler::Create(crowd, nullptr, options).ok());
+  options.total_budget = -1;
+  EXPECT_FALSE(BudgetScheduler::Create(crowd, &selector, options).ok());
+  options.total_budget = 10;
+  options.tasks_per_step = 0;
+  EXPECT_FALSE(BudgetScheduler::Create(crowd, &selector, options).ok());
+}
+
+TEST(BudgetSchedulerTest, AddInstanceValidates) {
+  const CrowdModel crowd = MakeCrowd(0.8);
+  GreedySelector selector;
+  auto scheduler =
+      BudgetScheduler::Create(crowd, &selector, BudgetScheduler::Options{});
+  ASSERT_TRUE(scheduler.ok());
+  EXPECT_EQ(scheduler
+                ->AddInstance("x", RunningExample::Joint(), nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  OracleProvider provider(0);
+  auto id = scheduler->AddInstance("x", RunningExample::Joint(), &provider);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), 0);
+  EXPECT_EQ(scheduler->num_instances(), 1);
+}
+
+TEST(BudgetSchedulerTest, RunStepRequiresBudgetAndInstances) {
+  const CrowdModel crowd = MakeCrowd(0.8);
+  GreedySelector selector;
+  BudgetScheduler::Options options;
+  options.total_budget = 0;
+  auto empty = BudgetScheduler::Create(crowd, &selector, options);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->RunStep().status().code(),
+            StatusCode::kFailedPrecondition);
+  options.total_budget = 5;
+  auto no_instances = BudgetScheduler::Create(crowd, &selector, options);
+  ASSERT_TRUE(no_instances.ok());
+  EXPECT_EQ(no_instances->RunStep().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(BudgetSchedulerTest, PrefersTheUncertainInstance) {
+  // Instance A is nearly certain, instance B maximally uncertain: every
+  // early step must go to B.
+  const CrowdModel crowd = MakeCrowd(0.8);
+  GreedySelector selector;
+  BudgetScheduler::Options options;
+  options.total_budget = 4;
+  auto scheduler = BudgetScheduler::Create(crowd, &selector, options);
+  ASSERT_TRUE(scheduler.ok());
+
+  auto confident = JointDistribution::FromIndependentMarginals(
+      std::vector<double>{0.99, 0.01, 0.99});
+  ASSERT_TRUE(confident.ok());
+  OracleProvider provider_a(0b101);
+  OracleProvider provider_b(0b011);
+  ASSERT_TRUE(scheduler->AddInstance("confident", *confident, &provider_a)
+                  .ok());
+  ASSERT_TRUE(
+      scheduler->AddInstance("uncertain", UniformJoint(3), &provider_b).ok());
+
+  auto records = scheduler->Run();
+  ASSERT_TRUE(records.ok());
+  ASSERT_FALSE(records->empty());
+  for (const auto& record : *records) {
+    if (record.instance < 0) break;
+    EXPECT_EQ(record.instance, 1) << "step " << record.step;
+  }
+  EXPECT_EQ(scheduler->cost_spent(1), 4);
+  EXPECT_EQ(scheduler->cost_spent(0), 0);
+}
+
+TEST(BudgetSchedulerTest, SpendsFullBudgetAcrossInstances) {
+  const CrowdModel crowd = MakeCrowd(0.8);
+  GreedySelector selector;
+  BudgetScheduler::Options options;
+  options.total_budget = 12;
+  options.tasks_per_step = 2;
+  auto scheduler = BudgetScheduler::Create(crowd, &selector, options);
+  ASSERT_TRUE(scheduler.ok());
+  OracleProvider provider_a(0b0111);
+  OracleProvider provider_b(0b1010);
+  ASSERT_TRUE(scheduler
+                  ->AddInstance("a", RunningExample::Joint(), &provider_a)
+                  .ok());
+  ASSERT_TRUE(
+      scheduler->AddInstance("b", UniformJoint(4), &provider_b).ok());
+  auto records = scheduler->Run();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(scheduler->total_cost_spent(), 12);
+  EXPECT_EQ(scheduler->cost_spent(0) + scheduler->cost_spent(1), 12);
+}
+
+TEST(BudgetSchedulerTest, UtilityIncreasesWithTruthfulAnswers) {
+  const CrowdModel crowd = MakeCrowd(0.9);
+  GreedySelector selector;
+  BudgetScheduler::Options options;
+  options.total_budget = 20;
+  auto scheduler = BudgetScheduler::Create(crowd, &selector, options);
+  ASSERT_TRUE(scheduler.ok());
+  OracleProvider provider(0b0111);
+  ASSERT_TRUE(scheduler
+                  ->AddInstance("book", RunningExample::Joint(), &provider)
+                  .ok());
+  const double before = scheduler->TotalUtilityBits();
+  auto records = scheduler->Run();
+  ASSERT_TRUE(records.ok());
+  EXPECT_GT(scheduler->TotalUtilityBits(), before + 2.0);
+}
+
+TEST(BudgetSchedulerTest, StopsWhenNoGainAnywhere) {
+  // Certain joints + perfect crowd: no instance has a useful task.
+  const CrowdModel crowd = MakeCrowd(1.0);
+  GreedySelector selector;
+  BudgetScheduler::Options options;
+  options.total_budget = 50;
+  auto scheduler = BudgetScheduler::Create(crowd, &selector, options);
+  ASSERT_TRUE(scheduler.ok());
+  auto point = JointDistribution::PointMass(3, 0b101);
+  ASSERT_TRUE(point.ok());
+  OracleProvider provider(0b101);
+  ASSERT_TRUE(scheduler->AddInstance("done", *point, &provider).ok());
+  auto records = scheduler->Run();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ(records->front().instance, -1);
+  EXPECT_EQ(scheduler->total_cost_spent(), 0);
+}
+
+TEST(BudgetSchedulerTest, StarvedBooksGetBudgetUnderGlobalAllocation) {
+  // The Section V-D motivation: with one big uncertain book and several
+  // small ones, the global scheduler gives the big book more than a
+  // uniform per-book split would.
+  const CrowdModel crowd = MakeCrowd(0.8);
+  GreedySelector selector;
+  BudgetScheduler::Options options;
+  options.total_budget = 30;
+  auto scheduler = BudgetScheduler::Create(crowd, &selector, options);
+  ASSERT_TRUE(scheduler.ok());
+  OracleProvider big_provider(0b11110000);
+  ASSERT_TRUE(
+      scheduler->AddInstance("big", UniformJoint(8), &big_provider).ok());
+  std::vector<std::unique_ptr<OracleProvider>> providers;
+  for (int i = 0; i < 2; ++i) {
+    auto small = JointDistribution::FromIndependentMarginals(
+        std::vector<double>{0.9, 0.1});
+    ASSERT_TRUE(small.ok());
+    providers.push_back(std::make_unique<OracleProvider>(0b01));
+    ASSERT_TRUE(scheduler
+                    ->AddInstance("small" + std::to_string(i), *small,
+                                  providers.back().get())
+                    .ok());
+  }
+  auto records = scheduler->Run();
+  ASSERT_TRUE(records.ok());
+  // Uniform split would give 10 each; the big book should get well beyond.
+  EXPECT_GT(scheduler->cost_spent(0), 15);
+}
+
+}  // namespace
+}  // namespace crowdfusion::core

@@ -1,0 +1,108 @@
+#include "core/serialization.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/running_example.h"
+
+namespace crowdfusion::core {
+namespace {
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/cf_serialization_test.txt";
+
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(SerializationTest, JointRoundTripIsExact) {
+  const JointDistribution joint = RunningExample::Joint();
+  ASSERT_TRUE(SaveJointDistribution(joint, path_).ok());
+  auto loaded = LoadJointDistribution(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, joint);
+}
+
+TEST_F(SerializationTest, SparseJointRoundTrip) {
+  auto joint = JointDistribution::FromEntries(
+      40, {{1ULL << 39, 0.125}, {5, 0.5}, {0, 0.375}});
+  ASSERT_TRUE(joint.ok());
+  ASSERT_TRUE(SaveJointDistribution(*joint, path_).ok());
+  auto loaded = LoadJointDistribution(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, *joint);
+}
+
+TEST_F(SerializationTest, JointLoadRejectsGarbage) {
+  {
+    std::ofstream out(path_);
+    out << "not a joint file\n";
+  }
+  EXPECT_FALSE(LoadJointDistribution(path_).ok());
+  {
+    std::ofstream out(path_);
+    out << "crowdfusion-joint v1\nentry 0 1.0\n";  // missing facts line
+  }
+  EXPECT_FALSE(LoadJointDistribution(path_).ok());
+  {
+    std::ofstream out(path_);
+    out << "crowdfusion-joint v1\nfacts 2\nbogus 1 2\n";
+  }
+  EXPECT_FALSE(LoadJointDistribution(path_).ok());
+  {
+    std::ofstream out(path_);
+    out << "crowdfusion-joint v1\nfacts 1\nentry 0 0.9\n";  // mass != 1
+  }
+  EXPECT_FALSE(LoadJointDistribution(path_).ok());
+}
+
+TEST_F(SerializationTest, JointLoadMissingFile) {
+  EXPECT_FALSE(LoadJointDistribution("/nonexistent/joint.txt").ok());
+}
+
+TEST_F(SerializationTest, JointFileAllowsComments) {
+  {
+    std::ofstream out(path_);
+    out << "crowdfusion-joint v1\n# a comment\nfacts 1\n\nentry 1 1.0\n";
+  }
+  auto loaded = LoadJointDistribution(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->Probability(1), 1.0);
+}
+
+TEST_F(SerializationTest, FactSetRoundTrip) {
+  const FactSet facts = RunningExample::Facts();
+  ASSERT_TRUE(SaveFactSet(facts, path_).ok());
+  auto loaded = LoadFactSet(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), facts.size());
+  for (int i = 0; i < facts.size(); ++i) {
+    EXPECT_EQ(loaded->at(i), facts.at(i));
+  }
+}
+
+TEST_F(SerializationTest, FactSetRejectsTabsInFields) {
+  FactSet facts;
+  facts.Add({"bad\tsubject", "p", "o"});
+  EXPECT_FALSE(SaveFactSet(facts, path_).ok());
+}
+
+TEST_F(SerializationTest, FactSetLoadRejectsMalformedLines) {
+  {
+    std::ofstream out(path_);
+    out << "crowdfusion-facts v1\nonly-one-field\n";
+  }
+  EXPECT_FALSE(LoadFactSet(path_).ok());
+}
+
+TEST_F(SerializationTest, EmptyFactSetRoundTrip) {
+  ASSERT_TRUE(SaveFactSet(FactSet(), path_).ok());
+  auto loaded = LoadFactSet(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+}  // namespace
+}  // namespace crowdfusion::core

@@ -1,0 +1,101 @@
+#include "crowd/accuracy_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "crowd/simulated_crowd.h"
+
+namespace crowdfusion::crowd {
+namespace {
+
+TEST(WilsonEstimateTest, DegenerateInputs) {
+  const AccuracyEstimate empty = WilsonEstimate(0, 0);
+  EXPECT_EQ(empty.trials, 0);
+  EXPECT_EQ(empty.mean, 0.0);
+}
+
+TEST(WilsonEstimateTest, PerfectScoresStayBelowOne) {
+  const AccuracyEstimate estimate = WilsonEstimate(20, 20);
+  EXPECT_DOUBLE_EQ(estimate.mean, 1.0);
+  EXPECT_LT(estimate.lower, 1.0);   // interval acknowledges finite n
+  EXPECT_GT(estimate.lower, 0.75);
+  EXPECT_DOUBLE_EQ(estimate.upper, 1.0);
+}
+
+TEST(WilsonEstimateTest, IntervalContainsMeanAndShrinksWithN) {
+  const AccuracyEstimate small = WilsonEstimate(8, 10);
+  const AccuracyEstimate large = WilsonEstimate(800, 1000);
+  EXPECT_LE(small.lower, small.mean);
+  EXPECT_GE(small.upper, small.mean);
+  EXPECT_LT(large.upper - large.lower, small.upper - small.lower);
+  EXPECT_NEAR(large.mean, 0.8, 1e-12);
+}
+
+TEST(WilsonEstimateTest, KnownValue) {
+  // p=0.5, n=100, z=1.96: interval approx [0.404, 0.596].
+  const AccuracyEstimate estimate = WilsonEstimate(50, 100);
+  EXPECT_NEAR(estimate.lower, 0.404, 0.005);
+  EXPECT_NEAR(estimate.upper, 0.596, 0.005);
+}
+
+TEST(EstimateAccuracyTest, ValidatesInputs) {
+  SimulatedCrowd crowd =
+      SimulatedCrowd::WithUniformAccuracy({true, false}, 0.8, 1);
+  EXPECT_FALSE(EstimateAccuracy(crowd, {}, {}, 3).ok());
+  EXPECT_FALSE(EstimateAccuracy(crowd, {0}, {true, false}, 3).ok());
+  EXPECT_FALSE(EstimateAccuracy(crowd, {0}, {true}, 0).ok());
+}
+
+TEST(EstimateAccuracyTest, RecoversTrueAccuracy) {
+  // 10 gold tasks x 200 repetitions = 2000 trials; the estimate should be
+  // within the Wilson interval of the true Pc = 0.82.
+  std::vector<bool> truths;
+  std::vector<int> gold;
+  for (int i = 0; i < 10; ++i) {
+    truths.push_back(i % 2 == 0);
+    gold.push_back(i);
+  }
+  SimulatedCrowd crowd = SimulatedCrowd::WithUniformAccuracy(truths, 0.82, 7);
+  auto estimate = EstimateAccuracy(crowd, gold, truths, 200);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate->trials, 2000);
+  EXPECT_NEAR(estimate->mean, 0.82, 0.03);
+  EXPECT_LE(estimate->lower, 0.82);
+  EXPECT_GE(estimate->upper, 0.82);
+}
+
+TEST(EstimateAccuracyTest, ToCrowdModelClampsIntoPaperDomain) {
+  // A garbage crowd (accuracy 0.3) still maps to a valid CrowdModel at
+  // the Pc floor of 0.5.
+  std::vector<bool> truths = {true, false, true, false};
+  SimulatedCrowd bad = SimulatedCrowd::WithUniformAccuracy(truths, 0.3, 3);
+  auto estimate = EstimateAccuracy(bad, {0, 1, 2, 3}, truths, 100);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_LT(estimate->mean, 0.5);
+  auto model = estimate->ToCrowdModel();
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->pc(), 0.5);
+}
+
+TEST(EstimateAccuracyTest, ToCrowdModelRequiresTrials) {
+  AccuracyEstimate estimate;
+  EXPECT_FALSE(estimate.ToCrowdModel().ok());
+}
+
+TEST(EstimateAccuracyTest, BiasedCategoriesLowerTheEstimate) {
+  // Gold tasks drawn from the misspelling category read much lower than
+  // the base accuracy — exactly why the paper recommends calibrating on
+  // representative gold tasks.
+  WorkerBias bias;
+  bias.base_accuracy = 0.9;
+  bias.misspelling_accuracy = 0.4;
+  std::vector<bool> truths = {false, false, false, false};
+  std::vector<data::StatementCategory> categories(
+      4, data::StatementCategory::kMisspelling);
+  SimulatedCrowd crowd(truths, categories, bias, 11);
+  auto estimate = EstimateAccuracy(crowd, {0, 1, 2, 3}, truths, 250);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate->mean, 0.4, 0.04);
+}
+
+}  // namespace
+}  // namespace crowdfusion::crowd

@@ -1,0 +1,136 @@
+#include "crowd/dawid_skene.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace crowdfusion::crowd {
+namespace {
+
+using common::StatusCode;
+
+/// Synthesizes judgments from workers with known accuracies.
+std::vector<Judgment> Synthesize(const std::vector<bool>& truths,
+                                 const std::vector<double>& accuracies,
+                                 common::Rng& rng) {
+  std::vector<Judgment> judgments;
+  for (size_t t = 0; t < truths.size(); ++t) {
+    for (size_t w = 0; w < accuracies.size(); ++w) {
+      const bool correct = rng.NextBernoulli(accuracies[w]);
+      judgments.push_back({static_cast<int>(t), static_cast<int>(w),
+                           correct ? truths[t] : !truths[t]});
+    }
+  }
+  return judgments;
+}
+
+TEST(DawidSkeneTest, ValidatesInputs) {
+  EXPECT_EQ(RunDawidSkene(0, 1, {{0, 0, true}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunDawidSkene(1, 1, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunDawidSkene(1, 1, {{5, 0, true}}).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(RunDawidSkene(1, 1, {{0, 5, true}}).status().code(),
+            StatusCode::kOutOfRange);
+  DawidSkeneOptions options;
+  options.task_prior = 0.0;
+  EXPECT_EQ(RunDawidSkene(1, 1, {{0, 0, true}}, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DawidSkeneTest, UnanimousJudgmentsGiveConfidentPosterior) {
+  std::vector<Judgment> judgments;
+  for (int w = 0; w < 5; ++w) judgments.push_back({0, w, true});
+  for (int w = 0; w < 5; ++w) judgments.push_back({1, w, false});
+  auto result = RunDawidSkene(2, 5, judgments);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->task_posterior[0], 0.95);
+  EXPECT_LT(result->task_posterior[1], 0.05);
+  EXPECT_TRUE(result->converged);
+}
+
+TEST(DawidSkeneTest, RecoversHeterogeneousWorkerAccuracies) {
+  common::Rng rng(99);
+  std::vector<bool> truths;
+  for (int t = 0; t < 400; ++t) truths.push_back(rng.NextBernoulli(0.5));
+  const std::vector<double> accuracies = {0.95, 0.9, 0.75, 0.6, 0.55};
+  const std::vector<Judgment> judgments =
+      Synthesize(truths, accuracies, rng);
+  auto result = RunDawidSkene(400, 5, judgments);
+  ASSERT_TRUE(result.ok());
+  // EM slightly shrinks near-random workers toward 0.5 (their agreement is
+  // weighted by imperfect posteriors), so allow a loose absolute tolerance
+  // and additionally require the recovered *ordering* to be exact.
+  for (size_t w = 0; w < accuracies.size(); ++w) {
+    EXPECT_NEAR(result->worker_accuracy[w], accuracies[w], 0.1)
+        << "worker " << w;
+  }
+  // The clearly-good workers must separate from the clearly-poor ones.
+  for (size_t good : {0u, 1u}) {
+    for (size_t poor : {3u, 4u}) {
+      EXPECT_GT(result->worker_accuracy[good],
+                result->worker_accuracy[poor] + 0.1);
+    }
+  }
+  // EM posteriors recover nearly all truths.
+  int correct = 0;
+  for (size_t t = 0; t < truths.size(); ++t) {
+    if ((result->task_posterior[t] >= 0.5) == truths[t]) ++correct;
+  }
+  EXPECT_GT(correct, 380);
+}
+
+TEST(DawidSkeneTest, BeatsMajorityVotingWithSkewedPool) {
+  // Two excellent workers vs three near-random ones: majority voting is
+  // dominated by the noise; EM learns to trust the good pair.
+  common::Rng rng(7);
+  std::vector<bool> truths;
+  for (int t = 0; t < 500; ++t) truths.push_back(rng.NextBernoulli(0.5));
+  const std::vector<double> accuracies = {0.97, 0.97, 0.52, 0.52, 0.52};
+  const std::vector<Judgment> judgments =
+      Synthesize(truths, accuracies, rng);
+
+  // Majority vote accuracy.
+  std::vector<int> votes(truths.size(), 0);
+  for (const Judgment& j : judgments) {
+    votes[static_cast<size_t>(j.task)] += j.answer ? 1 : -1;
+  }
+  int majority_correct = 0;
+  for (size_t t = 0; t < truths.size(); ++t) {
+    if ((votes[t] > 0) == truths[t]) ++majority_correct;
+  }
+
+  auto result = RunDawidSkene(500, 5, judgments);
+  ASSERT_TRUE(result.ok());
+  int em_correct = 0;
+  for (size_t t = 0; t < truths.size(); ++t) {
+    if ((result->task_posterior[t] >= 0.5) == truths[t]) ++em_correct;
+  }
+  EXPECT_GT(em_correct, majority_correct);
+  EXPECT_GT(em_correct, 450);
+}
+
+TEST(DawidSkeneTest, WorkerWithoutJudgmentsKeepsInitialAccuracy) {
+  const std::vector<Judgment> judgments = {{0, 0, true}, {1, 0, false}};
+  DawidSkeneOptions options;
+  options.initial_accuracy = 0.8;
+  auto result = RunDawidSkene(2, 3, judgments, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->worker_accuracy[1], 0.8);
+  EXPECT_DOUBLE_EQ(result->worker_accuracy[2], 0.8);
+}
+
+TEST(DawidSkeneTest, TaskPriorShiftsUnsupportedTasks) {
+  // A task judged by one mediocre worker follows the prior direction.
+  const std::vector<Judgment> judgments = {{0, 0, true}};
+  DawidSkeneOptions skeptical;
+  skeptical.task_prior = 0.1;
+  skeptical.max_iterations = 1;
+  auto result = RunDawidSkene(1, 1, judgments, skeptical);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->task_posterior[0], 0.5);
+}
+
+}  // namespace
+}  // namespace crowdfusion::crowd

@@ -1,0 +1,108 @@
+#include "crowd/platform.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdfusion::crowd {
+namespace {
+
+std::vector<Worker> UniformPool(int size, double accuracy) {
+  std::vector<Worker> pool;
+  for (int i = 0; i < size; ++i) {
+    pool.emplace_back("w" + std::to_string(i), WorkerBias::Uniform(accuracy));
+  }
+  return pool;
+}
+
+TEST(PlatformTest, CreateValidatesArguments) {
+  EXPECT_FALSE(
+      CrowdPlatform::Create({}, {true}, {}, CrowdPlatform::Options{}).ok());
+  EXPECT_FALSE(CrowdPlatform::Create(UniformPool(2, 0.8), {}, {},
+                                     CrowdPlatform::Options{})
+                   .ok());
+  CrowdPlatform::Options bad;
+  bad.redundancy = 0;
+  EXPECT_FALSE(
+      CrowdPlatform::Create(UniformPool(2, 0.8), {true}, {}, bad).ok());
+  EXPECT_FALSE(CrowdPlatform::Create(
+                   UniformPool(2, 0.8), {true, false},
+                   {data::StatementCategory::kClean},  // size mismatch
+                   CrowdPlatform::Options{})
+                   .ok());
+}
+
+TEST(PlatformTest, RedundancyOneMatchesPaperModelStatistically) {
+  auto platform = CrowdPlatform::Create(UniformPool(10, 0.8), {true, false},
+                                        {}, CrowdPlatform::Options{});
+  ASSERT_TRUE(platform.ok());
+  const std::vector<int> tasks = {0, 1};
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(platform->CollectAnswers(tasks).ok());
+  }
+  EXPECT_NEAR(platform->AggregatedAccuracy(), 0.8, 0.015);
+  EXPECT_EQ(platform->judgments_collected(), 20000);
+}
+
+TEST(PlatformTest, MajorityVotingBoostsAccuracy) {
+  // 3-way redundancy with p = 0.7 workers: majority accuracy is
+  // p^3 + 3 p^2 (1-p) = 0.784.
+  CrowdPlatform::Options options;
+  options.redundancy = 3;
+  auto platform = CrowdPlatform::Create(UniformPool(12, 0.7), {true, false},
+                                        {}, options);
+  ASSERT_TRUE(platform.ok());
+  const std::vector<int> tasks = {0, 1};
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(platform->CollectAnswers(tasks).ok());
+  }
+  EXPECT_NEAR(platform->AggregatedAccuracy(), 0.784, 0.015);
+}
+
+TEST(PlatformTest, RedundancyClampedToPoolSize) {
+  CrowdPlatform::Options options;
+  options.redundancy = 99;
+  auto platform =
+      CrowdPlatform::Create(UniformPool(3, 1.0), {true}, {}, options);
+  ASSERT_TRUE(platform.ok());
+  const std::vector<int> task = {0};
+  auto answers = platform->CollectAnswers(task);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(platform->task_log().back().worker_indices.size(), 3u);
+}
+
+TEST(PlatformTest, TaskLogRecordsAssignments) {
+  auto platform = CrowdPlatform::Create(UniformPool(4, 1.0), {true, false},
+                                        {}, CrowdPlatform::Options{});
+  ASSERT_TRUE(platform.ok());
+  const std::vector<int> tasks = {1, 0};
+  ASSERT_TRUE(platform->CollectAnswers(tasks).ok());
+  ASSERT_EQ(platform->task_log().size(), 2u);
+  EXPECT_EQ(platform->task_log()[0].fact_id, 1);
+  EXPECT_EQ(platform->task_log()[1].fact_id, 0);
+  EXPECT_EQ(platform->task_log()[0].judgments.size(), 1u);
+  EXPECT_FALSE(platform->task_log()[0].aggregated);  // truth of fact 1
+  EXPECT_TRUE(platform->task_log()[1].aggregated);
+}
+
+TEST(PlatformTest, OutOfRangeFactRejected) {
+  auto platform = CrowdPlatform::Create(UniformPool(2, 0.8), {true}, {},
+                                        CrowdPlatform::Options{});
+  ASSERT_TRUE(platform.ok());
+  const std::vector<int> bad = {1};
+  EXPECT_FALSE(platform->CollectAnswers(bad).ok());
+}
+
+TEST(PlatformTest, WorksAsEngineAnswerProvider) {
+  // CrowdPlatform is a drop-in core::AnswerProvider.
+  auto platform = CrowdPlatform::Create(UniformPool(5, 1.0),
+                                        {true, false, true}, {},
+                                        CrowdPlatform::Options{});
+  ASSERT_TRUE(platform.ok());
+  core::AnswerProvider* provider = &platform.value();
+  const std::vector<int> tasks = {0, 2};
+  auto answers = provider->CollectAnswers(tasks);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(*answers, (std::vector<bool>{true, true}));
+}
+
+}  // namespace
+}  // namespace crowdfusion::crowd

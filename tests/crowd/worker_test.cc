@@ -1,0 +1,79 @@
+#include "crowd/worker.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdfusion::crowd {
+namespace {
+
+TEST(WorkerBiasTest, UniformSetsAllCategories) {
+  const WorkerBias bias = WorkerBias::Uniform(0.7);
+  EXPECT_EQ(bias.AccuracyFor(data::StatementCategory::kClean), 0.7);
+  EXPECT_EQ(bias.AccuracyFor(data::StatementCategory::kReordered), 0.7);
+  EXPECT_EQ(bias.AccuracyFor(data::StatementCategory::kAdditionalInfo), 0.7);
+  EXPECT_EQ(bias.AccuracyFor(data::StatementCategory::kMisspelling), 0.7);
+  EXPECT_EQ(bias.AccuracyFor(data::StatementCategory::kWrongAuthor), 0.7);
+}
+
+TEST(WorkerBiasTest, DefaultBiasMatchesPaperErrorAnalysis) {
+  const WorkerBias bias;
+  // Base accuracy ≈ 0.86 as measured on gMission.
+  EXPECT_NEAR(bias.base_accuracy, 0.86, 1e-9);
+  // The three confusing categories are much harder than the base...
+  EXPECT_LT(bias.AccuracyFor(data::StatementCategory::kReordered),
+            bias.base_accuracy);
+  EXPECT_LT(bias.AccuracyFor(data::StatementCategory::kAdditionalInfo),
+            bias.base_accuracy);
+  // ... and misspellings fool the majority (accuracy < 0.5).
+  EXPECT_LT(bias.AccuracyFor(data::StatementCategory::kMisspelling), 0.5);
+}
+
+TEST(WorkerTest, PerfectWorkerAlwaysRight) {
+  const Worker worker("w", WorkerBias::Uniform(1.0));
+  common::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(worker.Judge(true, data::StatementCategory::kClean, rng));
+    EXPECT_FALSE(worker.Judge(false, data::StatementCategory::kClean, rng));
+  }
+}
+
+TEST(WorkerTest, ZeroAccuracyWorkerAlwaysWrong) {
+  const Worker worker("w", WorkerBias::Uniform(0.0));
+  common::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(worker.Judge(true, data::StatementCategory::kClean, rng));
+    EXPECT_TRUE(worker.Judge(false, data::StatementCategory::kClean, rng));
+  }
+}
+
+TEST(WorkerTest, EmpiricalAccuracyMatchesBias) {
+  const Worker worker("w", WorkerBias::Uniform(0.8));
+  common::Rng rng(7);
+  int correct = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const bool truth = (i % 2) == 0;
+    if (worker.Judge(truth, data::StatementCategory::kClean, rng) == truth) {
+      ++correct;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / n, 0.8, 0.01);
+}
+
+TEST(WorkerTest, CategoryBiasAffectsAccuracy) {
+  WorkerBias bias = WorkerBias::Uniform(0.9);
+  bias.misspelling_accuracy = 0.3;
+  const Worker worker("w", bias);
+  common::Rng rng(9);
+  int correct = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    // Misspelled statements are false in ground truth.
+    if (!worker.Judge(false, data::StatementCategory::kMisspelling, rng)) {
+      ++correct;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / n, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace crowdfusion::crowd

@@ -1,0 +1,107 @@
+#include "data/author.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdfusion::data {
+namespace {
+
+const AuthorList kPair = {{"Catherine", "Courage"}, {"Kathy", "Baxter"}};
+
+TEST(AuthorTest, RenderFormats) {
+  const AuthorName a{"Tyrone", "Adams"};
+  EXPECT_EQ(RenderAuthor(a, NameFormat::kFirstLast), "Tyrone Adams");
+  EXPECT_EQ(RenderAuthor(a, NameFormat::kLastCommaFirst), "Adams, Tyrone");
+  EXPECT_EQ(RenderAuthor(a, NameFormat::kAllCapsLastCommaFirst),
+            "ADAMS, TYRONE");
+}
+
+TEST(AuthorTest, RenderListJoinsWithSemicolon) {
+  EXPECT_EQ(RenderAuthorList(kPair, NameFormat::kFirstLast),
+            "Catherine Courage; Kathy Baxter");
+  EXPECT_EQ(RenderAuthorList(kPair, NameFormat::kLastCommaFirst),
+            "Courage, Catherine; Baxter, Kathy");
+}
+
+TEST(AuthorTest, ParseFirstLast) {
+  const ParsedStatement parsed =
+      ParseAuthorListStatement("Catherine Courage; Kathy Baxter");
+  ASSERT_EQ(parsed.authors.size(), 2u);
+  EXPECT_EQ(parsed.authors[0].first, "Catherine");
+  EXPECT_EQ(parsed.authors[0].last, "Courage");
+  EXPECT_FALSE(parsed.has_annotation);
+}
+
+TEST(AuthorTest, ParseLastCommaFirst) {
+  const ParsedStatement parsed =
+      ParseAuthorListStatement("Courage, Catherine; Baxter, Kathy");
+  ASSERT_EQ(parsed.authors.size(), 2u);
+  EXPECT_EQ(parsed.authors[0].first, "Catherine");
+  EXPECT_EQ(parsed.authors[1].last, "Baxter");
+}
+
+TEST(AuthorTest, ParseMultiTokenFirstName) {
+  const ParsedStatement parsed =
+      ParseAuthorListStatement("Mary Jane Watson");
+  ASSERT_EQ(parsed.authors.size(), 1u);
+  EXPECT_EQ(parsed.authors[0].first, "Mary Jane");
+  EXPECT_EQ(parsed.authors[0].last, "Watson");
+}
+
+TEST(AuthorTest, ParseDetectsAnnotation) {
+  // The paper's example: RUCKER, RUDY (SAN JOSE STATE UNIVERSITY, USA).
+  const ParsedStatement parsed = ParseAuthorListStatement(
+      "RUCKER, RUDY (SAN JOSE STATE UNIVERSITY, USA)");
+  EXPECT_TRUE(parsed.has_annotation);
+  ASSERT_EQ(parsed.authors.size(), 1u);
+  EXPECT_EQ(parsed.authors[0].last, "RUCKER");
+}
+
+TEST(AuthorTest, ParseEmptyString) {
+  const ParsedStatement parsed = ParseAuthorListStatement("");
+  EXPECT_TRUE(parsed.authors.empty());
+  EXPECT_FALSE(parsed.has_annotation);
+}
+
+TEST(AuthorTest, RenderParseRoundTripAllFormats) {
+  for (NameFormat format :
+       {NameFormat::kFirstLast, NameFormat::kLastCommaFirst}) {
+    const ParsedStatement parsed =
+        ParseAuthorListStatement(RenderAuthorList(kPair, format));
+    EXPECT_TRUE(SameAuthors(parsed.authors, kPair))
+        << "format " << static_cast<int>(format);
+  }
+  // All-caps round-trips modulo case, which CanonicalKey ignores.
+  const ParsedStatement caps = ParseAuthorListStatement(
+      RenderAuthorList(kPair, NameFormat::kAllCapsLastCommaFirst));
+  EXPECT_TRUE(SameAuthors(caps.authors, kPair));
+}
+
+TEST(AuthorTest, CanonicalKeyIgnoresOrderAndCase) {
+  // The paper's ISBN 1558609350 example: "BAXTER, KATHY; COURAGE,
+  // CATHERINE" is the same list as the cover order.
+  const AuthorList reversed = {{"Kathy", "Baxter"}, {"Catherine", "Courage"}};
+  EXPECT_EQ(CanonicalKey(kPair), CanonicalKey(reversed));
+  const AuthorList caps = {{"KATHY", "BAXTER"}, {"CATHERINE", "COURAGE"}};
+  EXPECT_EQ(CanonicalKey(kPair), CanonicalKey(caps));
+}
+
+TEST(AuthorTest, CanonicalKeySensitiveToSpelling) {
+  // The paper's Pete Loshin example: "Loshin, Peter" is a different (and
+  // wrong) author list.
+  const AuthorList pete = {{"Pete", "Loshin"}};
+  const AuthorList peter = {{"Peter", "Loshin"}};
+  EXPECT_NE(CanonicalKey(pete), CanonicalKey(peter));
+  EXPECT_FALSE(SameAuthors(pete, peter));
+}
+
+TEST(AuthorTest, SameAuthorsRequiresSameMultiset) {
+  const AuthorList missing = {{"Catherine", "Courage"}};
+  EXPECT_FALSE(SameAuthors(kPair, missing));
+  const AuthorList extra = {{"Catherine", "Courage"},
+                            {"Kathy", "Baxter"},
+                            {"Extra", "Person"}};
+  EXPECT_FALSE(SameAuthors(kPair, extra));
+}
+
+}  // namespace
+}  // namespace crowdfusion::data

@@ -1,0 +1,134 @@
+#include "data/correlation_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "data/author.h"
+
+namespace crowdfusion::data {
+namespace {
+
+/// Three statements about one book: two format variants of the true list
+/// (correlated) and one conflicting list.
+std::vector<Statement> VariantStatements() {
+  Statement clean;
+  clean.text = "Alice Smith; Bob Jones";
+  clean.category = StatementCategory::kClean;
+  Statement reordered;
+  reordered.text = "Jones, Bob; Smith, Alice";
+  reordered.category = StatementCategory::kReordered;
+  Statement wrong;
+  wrong.text = "Carol White";
+  wrong.category = StatementCategory::kWrongAuthor;
+  wrong.is_true = false;
+  return {clean, reordered, wrong};
+}
+
+TEST(CorrelationModelTest, ValidatesInputs) {
+  CorrelationModelOptions options;
+  EXPECT_FALSE(BuildBookJoint({0.5}, VariantStatements(), options).ok());
+  EXPECT_FALSE(BuildBookJoint({}, {}, options).ok());
+  EXPECT_FALSE(
+      BuildBookJoint({1.5, 0.5, 0.5}, VariantStatements(), options).ok());
+  options.max_facts = 2;
+  EXPECT_FALSE(
+      BuildBookJoint({0.5, 0.5, 0.5}, VariantStatements(), options).ok());
+}
+
+TEST(CorrelationModelTest, IndependentMatchesMarginals) {
+  CorrelationModelOptions options;
+  options.kind = CorrelationKind::kIndependent;
+  const std::vector<double> marginals = {0.7, 0.6, 0.2};
+  auto joint = BuildBookJoint(marginals, VariantStatements(), options);
+  ASSERT_TRUE(joint.ok());
+  for (size_t i = 0; i < marginals.size(); ++i) {
+    EXPECT_NEAR(joint->Marginal(static_cast<int>(i)), marginals[i], 1e-9);
+  }
+}
+
+TEST(CorrelationModelTest, LatentTruthCorrelatesVariants) {
+  CorrelationModelOptions options;
+  options.kind = CorrelationKind::kLatentTruth;
+  auto joint = BuildBookJoint({0.6, 0.55, 0.3}, VariantStatements(), options);
+  ASSERT_TRUE(joint.ok());
+  EXPECT_TRUE(joint->IsNormalized(1e-9));
+  // Facts 0 and 1 are the same canonical list: the worlds where one is
+  // true without the other must have zero probability.
+  EXPECT_NEAR(joint->Probability(0b001), 0.0, 1e-12);
+  EXPECT_NEAR(joint->Probability(0b010), 0.0, 1e-12);
+  EXPECT_GT(joint->Probability(0b011), 0.3);  // both variants true together
+  // Conflicting fact 2 never true simultaneously with the variants.
+  EXPECT_NEAR(joint->Probability(0b111), 0.0, 1e-12);
+  // Support is tiny compared to 2^3.
+  EXPECT_LE(joint->support_size(), 3);
+}
+
+TEST(CorrelationModelTest, LatentTruthNullWorldMass) {
+  CorrelationModelOptions options;
+  options.kind = CorrelationKind::kLatentTruth;
+  options.null_hypothesis_mass = 0.25;
+  auto joint = BuildBookJoint({0.5, 0.5, 0.5}, VariantStatements(), options);
+  ASSERT_TRUE(joint.ok());
+  EXPECT_NEAR(joint->Probability(0), 0.25, 1e-9);
+}
+
+TEST(CorrelationModelTest, AnnotatedStatementsNeverTrueUnderAnyWorld) {
+  Statement annotated;
+  annotated.text = "Alice Smith (MIT PRESS)";
+  annotated.category = StatementCategory::kAdditionalInfo;
+  annotated.is_true = false;
+  Statement clean;
+  clean.text = "Alice Smith";
+  clean.category = StatementCategory::kClean;
+  CorrelationModelOptions options;
+  options.kind = CorrelationKind::kLatentTruth;
+  auto joint = BuildBookJoint({0.5, 0.5}, {clean, annotated}, options);
+  ASSERT_TRUE(joint.ok());
+  EXPECT_NEAR(joint->Marginal(1), 0.0, 1e-12);
+}
+
+TEST(CorrelationModelTest, MixtureInterpolates) {
+  CorrelationModelOptions mixture;
+  mixture.kind = CorrelationKind::kMixture;
+  mixture.mixture_lambda = 0.5;
+  const std::vector<double> marginals = {0.6, 0.55, 0.3};
+  auto mixed = BuildBookJoint(marginals, VariantStatements(), mixture);
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_TRUE(mixed->IsNormalized(1e-9));
+  // Mixture has full support (independent part) but still correlates the
+  // variants: P(f0=1, f1=0) is much smaller than independence predicts.
+  CorrelationModelOptions indep;
+  indep.kind = CorrelationKind::kIndependent;
+  auto independent = BuildBookJoint(marginals, VariantStatements(), indep);
+  ASSERT_TRUE(independent.ok());
+  EXPECT_GT(mixed->Probability(0b001), 0.0);
+  EXPECT_LT(mixed->Probability(0b001),
+            independent->Probability(0b001));
+}
+
+TEST(CorrelationModelTest, MixtureLambdaZeroIsIndependent) {
+  CorrelationModelOptions options;
+  options.kind = CorrelationKind::kMixture;
+  options.mixture_lambda = 0.0;
+  const std::vector<double> marginals = {0.6, 0.55, 0.3};
+  auto mixed = BuildBookJoint(marginals, VariantStatements(), options);
+  ASSERT_TRUE(mixed.ok());
+  for (size_t i = 0; i < marginals.size(); ++i) {
+    EXPECT_NEAR(mixed->Marginal(static_cast<int>(i)), marginals[i], 1e-9);
+  }
+}
+
+TEST(CorrelationModelTest, AllAnnotatedFallsBackToAllFalseWorld) {
+  Statement a;
+  a.text = "Alice Smith (X)";
+  a.category = StatementCategory::kAdditionalInfo;
+  a.is_true = false;
+  CorrelationModelOptions options;
+  options.kind = CorrelationKind::kLatentTruth;
+  auto joint = BuildBookJoint({0.5}, {a}, options);
+  ASSERT_TRUE(joint.ok());
+  EXPECT_NEAR(joint->Probability(0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace crowdfusion::data

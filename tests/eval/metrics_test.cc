@@ -1,0 +1,69 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdfusion::eval {
+namespace {
+
+TEST(MetricsTest, CountConfusionBasics) {
+  const std::vector<double> probs = {0.9, 0.4, 0.6, 0.1};
+  const std::vector<bool> truth = {true, true, false, false};
+  const ConfusionCounts counts = CountConfusion(probs, truth);
+  EXPECT_EQ(counts.tp, 1);  // 0.9 vs true
+  EXPECT_EQ(counts.fn, 1);  // 0.4 vs true
+  EXPECT_EQ(counts.fp, 1);  // 0.6 vs false
+  EXPECT_EQ(counts.tn, 1);  // 0.1 vs false
+}
+
+TEST(MetricsTest, ThresholdIsInclusive) {
+  const std::vector<double> probs = {0.5};
+  const std::vector<bool> truth = {true};
+  EXPECT_EQ(CountConfusion(probs, truth).tp, 1);
+  EXPECT_EQ(CountConfusion(probs, truth, 0.51).fn, 1);
+}
+
+TEST(MetricsTest, AccumulateCounts) {
+  ConfusionCounts a{1, 2, 3, 4};
+  const ConfusionCounts b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.tp, 11);
+  EXPECT_EQ(a.fp, 22);
+  EXPECT_EQ(a.tn, 33);
+  EXPECT_EQ(a.fn, 44);
+}
+
+TEST(MetricsTest, PerfectPrediction) {
+  const ConfusionCounts counts{10, 0, 10, 0};
+  const PrecisionRecallF1 prf = ComputeF1(counts);
+  EXPECT_DOUBLE_EQ(prf.precision, 1.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 1.0);
+  EXPECT_DOUBLE_EQ(prf.f1, 1.0);
+  EXPECT_DOUBLE_EQ(ComputeAccuracy(counts), 1.0);
+}
+
+TEST(MetricsTest, KnownF1Value) {
+  // precision = 0.8, recall = 0.5 -> F1 = 2*0.4/1.3 = 0.61538...
+  const ConfusionCounts counts{4, 1, 0, 4};
+  const PrecisionRecallF1 prf = ComputeF1(counts);
+  EXPECT_NEAR(prf.precision, 0.8, 1e-12);
+  EXPECT_NEAR(prf.recall, 0.5, 1e-12);
+  EXPECT_NEAR(prf.f1, 0.6153846153846154, 1e-12);
+}
+
+TEST(MetricsTest, DegenerateZeroDenominators) {
+  const ConfusionCounts empty{0, 0, 0, 0};
+  const PrecisionRecallF1 prf = ComputeF1(empty);
+  EXPECT_EQ(prf.precision, 0.0);
+  EXPECT_EQ(prf.recall, 0.0);
+  EXPECT_EQ(prf.f1, 0.0);
+  EXPECT_EQ(ComputeAccuracy(empty), 0.0);
+  // No predicted positives.
+  const ConfusionCounts none_predicted{0, 0, 5, 5};
+  EXPECT_EQ(ComputeF1(none_predicted).precision, 0.0);
+  // No actual positives.
+  const ConfusionCounts none_actual{0, 5, 5, 0};
+  EXPECT_EQ(ComputeF1(none_actual).recall, 0.0);
+}
+
+}  // namespace
+}  // namespace crowdfusion::eval

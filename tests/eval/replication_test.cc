@@ -1,0 +1,89 @@
+#include "eval/replication.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdfusion::eval {
+namespace {
+
+TEST(SummaryStatTest, EmptyAndSingleton) {
+  const SummaryStat empty = SummaryStat::FromSamples({});
+  EXPECT_EQ(empty.mean, 0.0);
+  EXPECT_EQ(empty.stddev, 0.0);
+  const SummaryStat single = SummaryStat::FromSamples({3.5});
+  EXPECT_DOUBLE_EQ(single.mean, 3.5);
+  EXPECT_EQ(single.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(single.min, 3.5);
+  EXPECT_DOUBLE_EQ(single.max, 3.5);
+}
+
+TEST(SummaryStatTest, KnownValues) {
+  const SummaryStat stat = SummaryStat::FromSamples({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(stat.mean, 4.0);
+  EXPECT_DOUBLE_EQ(stat.stddev, 2.0);  // sample stddev of {2,4,6}
+  EXPECT_DOUBLE_EQ(stat.min, 2.0);
+  EXPECT_DOUBLE_EQ(stat.max, 6.0);
+}
+
+ExperimentOptions TinyOptions() {
+  ExperimentOptions options;
+  options.dataset.num_books = 8;
+  options.dataset.num_sources = 10;
+  options.dataset.seed = 15;
+  options.budget_per_book = 6;
+  options.tasks_per_round = 2;
+  return options;
+}
+
+TEST(ReplicationTest, ValidatesReplicationCount) {
+  EXPECT_FALSE(ReplicateExperiment(TinyOptions(), 0).ok());
+  EXPECT_FALSE(ReplicateExperiment(TinyOptions(), -2).ok());
+}
+
+TEST(ReplicationTest, AggregatesAcrossSeeds) {
+  auto result = ReplicateExperiment(TinyOptions(), 4);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->replications, 4);
+  EXPECT_EQ(result->runs.size(), 4u);
+  // Crowd seeds differ, so runs differ (almost surely).
+  bool any_difference = false;
+  for (size_t r = 1; r < result->runs.size(); ++r) {
+    if (result->runs[r].final_utility_bits !=
+        result->runs[0].final_utility_bits) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+  // Aggregates bracket the per-run values.
+  EXPECT_GE(result->final_f1.max, result->final_f1.mean);
+  EXPECT_LE(result->final_f1.min, result->final_f1.mean);
+  EXPECT_GE(result->final_utility_bits.max,
+            result->final_utility_bits.mean);
+}
+
+TEST(ReplicationTest, SingleReplicationMatchesDirectRun) {
+  const ExperimentOptions options = TinyOptions();
+  auto replicated = ReplicateExperiment(options, 1);
+  auto direct = RunExperiment(options);
+  ASSERT_TRUE(replicated.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_DOUBLE_EQ(replicated->final_f1.mean, direct->final_quality.f1);
+  EXPECT_DOUBLE_EQ(replicated->final_utility_bits.mean,
+                   direct->final_utility_bits);
+  EXPECT_EQ(replicated->final_f1.stddev, 0.0);
+}
+
+TEST(ReplicationTest, GreedyBeatsRandomOnAverage) {
+  // The EXPERIMENTS.md shape claim, now across seeds rather than one run.
+  ExperimentOptions options = TinyOptions();
+  options.budget_per_book = 10;
+  auto greedy = ReplicateExperiment(options, 5);
+  options.selector = SelectorKind::kRandom;
+  auto random = ReplicateExperiment(options, 5);
+  ASSERT_TRUE(greedy.ok());
+  ASSERT_TRUE(random.ok());
+  EXPECT_GT(greedy->final_utility_bits.mean,
+            random->final_utility_bits.mean);
+}
+
+}  // namespace
+}  // namespace crowdfusion::eval

@@ -1,0 +1,115 @@
+#include "fusion/source_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "fusion/crh.h"
+#include "fusion/majority_vote.h"
+
+namespace crowdfusion::fusion {
+namespace {
+
+/// Sources 0 and 3 always right, source 1 mixed, source 2 always wrong.
+/// (Two honest sources so that majority voting — and hence CRH's
+/// initialization — aligns with the truth; a lone honest source loses the
+/// initial vote to the mixed+wrong coalition on half the entities.)
+struct Fixture {
+  ClaimDatabase db;
+  std::vector<bool> truth;
+};
+
+Fixture MakeFixture() {
+  Fixture fixture;
+  for (int s = 0; s < 4; ++s) fixture.db.AddSource("s" + std::to_string(s));
+  for (int e = 0; e < 4; ++e) {
+    fixture.db.AddEntity("e" + std::to_string(e));
+    const int good = fixture.db.AddValue(e, "good").value();
+    const int bad = fixture.db.AddValue(e, "bad").value();
+    EXPECT_TRUE(fixture.db.AddClaim(0, good).ok());
+    EXPECT_TRUE(fixture.db.AddClaim(1, e % 2 == 0 ? good : bad).ok());
+    EXPECT_TRUE(fixture.db.AddClaim(2, bad).ok());
+    EXPECT_TRUE(fixture.db.AddClaim(3, good).ok());
+  }
+  fixture.truth.assign(static_cast<size_t>(fixture.db.num_values()), false);
+  for (int e = 0; e < 4; ++e) {
+    fixture.truth[static_cast<size_t>(fixture.db.entity_values(e)[0])] = true;
+  }
+  return fixture;
+}
+
+TEST(SourceMetricsTest, ValidatesInputs) {
+  Fixture fixture = MakeFixture();
+  const std::vector<bool> wrong_size(3, true);
+  EXPECT_FALSE(EvaluateSources(fixture.db, wrong_size).ok());
+  FusionResult incomplete;
+  incomplete.value_probability.assign(
+      static_cast<size_t>(fixture.db.num_values()), 0.5);
+  // No source weights.
+  EXPECT_FALSE(
+      EvaluateSources(fixture.db, fixture.truth, &incomplete).ok());
+}
+
+TEST(SourceMetricsTest, AccuraciesMatchConstruction) {
+  Fixture fixture = MakeFixture();
+  auto reports = EvaluateSources(fixture.db, fixture.truth);
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ(reports->size(), 4u);
+  EXPECT_DOUBLE_EQ((*reports)[0].accuracy, 1.0);
+  EXPECT_DOUBLE_EQ((*reports)[1].accuracy, 0.5);
+  EXPECT_DOUBLE_EQ((*reports)[2].accuracy, 0.0);
+  EXPECT_DOUBLE_EQ((*reports)[3].accuracy, 1.0);
+  EXPECT_EQ((*reports)[0].claims, 4);
+  EXPECT_EQ((*reports)[0].weight_rank, -1);  // no fusion supplied
+}
+
+TEST(SourceMetricsTest, WeightRanksFollowFusionWeights) {
+  Fixture fixture = MakeFixture();
+  CrhFuser fuser;
+  auto fused = fuser.Fuse(fixture.db);
+  ASSERT_TRUE(fused.ok());
+  auto reports = EvaluateSources(fixture.db, fixture.truth, &fused.value());
+  ASSERT_TRUE(reports.ok());
+  // The honest sources take the top two ranks (in some tie order); the
+  // always-wrong source ranks last.
+  EXPECT_LE((*reports)[0].weight_rank, 1);
+  EXPECT_LE((*reports)[3].weight_rank, 1);
+  EXPECT_EQ((*reports)[2].weight_rank, 3);
+}
+
+TEST(SourceMetricsTest, RankCorrelationPerfectForCrhOnFixture) {
+  Fixture fixture = MakeFixture();
+  CrhFuser fuser;
+  auto fused = fuser.Fuse(fixture.db);
+  ASSERT_TRUE(fused.ok());
+  auto rho =
+      WeightAccuracyRankCorrelation(fixture.db, fixture.truth, *fused);
+  ASSERT_TRUE(rho.ok()) << rho.status();
+  EXPECT_GT(rho.value(), 0.99);
+}
+
+TEST(SourceMetricsTest, RankCorrelationUndefinedForConstantWeights) {
+  Fixture fixture = MakeFixture();
+  MajorityVoteFuser fuser;  // all weights are 1.0
+  auto fused = fuser.Fuse(fixture.db);
+  ASSERT_TRUE(fused.ok());
+  auto rho =
+      WeightAccuracyRankCorrelation(fixture.db, fixture.truth, *fused);
+  EXPECT_FALSE(rho.ok());
+  EXPECT_EQ(rho.status().code(), common::StatusCode::kFailedPrecondition);
+}
+
+TEST(SourceMetricsTest, NeedsTwoActiveSources) {
+  ClaimDatabase db;
+  db.AddSource("only");
+  db.AddSource("silent");
+  db.AddEntity("e");
+  const int v = db.AddValue(0, "x").value();
+  ASSERT_TRUE(db.AddClaim(0, v).ok());
+  FusionResult fusion;
+  fusion.value_probability = {0.5};
+  fusion.source_weight = {0.9, 0.1};
+  auto rho = WeightAccuracyRankCorrelation(db, {true}, fusion);
+  EXPECT_FALSE(rho.ok());
+}
+
+}  // namespace
+}  // namespace crowdfusion::fusion
