@@ -96,7 +96,15 @@ class Result {
 
   const Status& status() const {
     static const Status kOk;
-    return ok() ? kOk : std::get<Status>(rep_);
+    // get_if (not get) so GCC's inliner never sees a read of the Status
+    // alternative on the ok() path; std::get here trips a spurious
+    // -Wmaybe-uninitialized in GCC 12's variant handling.
+    const Status* error = std::get_if<Status>(&rep_);
+    if (error != nullptr) return *error;
+    // A valueless-by-exception rep_ holds neither alternative; reporting
+    // OK for it would turn a failure into silent success.
+    if (rep_.valueless_by_exception()) std::abort();
+    return kOk;
   }
 
   /// Precondition: ok(). Aborts otherwise.

@@ -1,0 +1,92 @@
+/// End-to-end budget-exhaustion regression: the engine must never spend
+/// more than its budget B, even when B is not a multiple of k, and the
+/// RoundRecord cost accounting must be exact and monotone.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/crowdfusion.h"
+#include "core/greedy_selector.h"
+#include "core/running_example.h"
+#include "crowd/simulated_crowd.h"
+
+namespace crowdfusion::core {
+namespace {
+
+std::vector<RoundRecord> RunToExhaustion(int budget, int tasks_per_round,
+                                         double pc, uint64_t seed,
+                                         int* cost_spent_out) {
+  const JointDistribution joint = RunningExample::Joint();
+  const CrowdModel crowd = RunningExample::Crowd();
+  GreedySelector selector;
+  // Noisy simulated crowd (the end-to-end provider): answers keep the
+  // distribution off a point mass, so selection never stops early.
+  crowd::SimulatedCrowd provider = crowd::SimulatedCrowd::WithUniformAccuracy(
+      {true, true, true, false}, pc, seed);
+  EngineOptions options;
+  options.budget = budget;
+  options.tasks_per_round = tasks_per_round;
+  auto engine =
+      CrowdFusionEngine::Create(joint, crowd, &selector, &provider, options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  auto records = engine.value().Run();
+  EXPECT_TRUE(records.ok()) << records.status().ToString();
+  *cost_spent_out = engine.value().cost_spent();
+  return std::move(records).value();
+}
+
+TEST(BudgetExhaustionTest, NeverOverspendsWithRaggedLastRound) {
+  // k = 3 does not divide B = 7: rounds must go 3, 3, 1.
+  constexpr int kBudget = 7;
+  int cost_spent = 0;
+  const std::vector<RoundRecord> records =
+      RunToExhaustion(kBudget, /*tasks_per_round=*/3, /*pc=*/0.65,
+                      /*seed=*/42, &cost_spent);
+  EXPECT_LE(cost_spent, kBudget);
+  int total_tasks = 0;
+  for (const RoundRecord& record : records) {
+    EXPECT_LE(static_cast<int>(record.tasks.size()), 3);
+    EXPECT_EQ(record.tasks.size(), record.answers.size());
+    total_tasks += static_cast<int>(record.tasks.size());
+    EXPECT_LE(record.cumulative_cost, kBudget);
+  }
+  EXPECT_EQ(total_tasks, cost_spent);
+  // A noisy crowd keeps entropy positive, so the budget is fully consumed.
+  EXPECT_EQ(cost_spent, kBudget);
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records.back().cumulative_cost, kBudget);
+}
+
+TEST(BudgetExhaustionTest, CumulativeCostIsMonotoneAndExact) {
+  int cost_spent = 0;
+  const std::vector<RoundRecord> records = RunToExhaustion(
+      /*budget=*/20, /*tasks_per_round=*/2, /*pc=*/0.7, /*seed=*/7,
+      &cost_spent);
+  int running = 0;
+  int previous = 0;
+  for (const RoundRecord& record : records) {
+    running += static_cast<int>(record.tasks.size());
+    EXPECT_EQ(record.cumulative_cost, running);
+    EXPECT_GE(record.cumulative_cost, previous);
+    previous = record.cumulative_cost;
+  }
+  EXPECT_EQ(running, cost_spent);
+}
+
+TEST(BudgetExhaustionTest, BudgetSpentIsIndependentOfK) {
+  // Whatever the round size, total spend is capped by (and here equals)
+  // the budget — the paper's cost axis is tasks, not rounds.
+  constexpr int kBudget = 12;
+  for (int k : {1, 2, 3, 4}) {
+    int cost_spent = 0;
+    const std::vector<RoundRecord> records = RunToExhaustion(
+        kBudget, k, /*pc=*/0.65, /*seed=*/static_cast<uint64_t>(100 + k),
+        &cost_spent);
+    EXPECT_EQ(cost_spent, kBudget) << "k=" << k;
+    ASSERT_FALSE(records.empty());
+    EXPECT_EQ(records.back().cumulative_cost, kBudget) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace crowdfusion::core

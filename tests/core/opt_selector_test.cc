@@ -1,0 +1,131 @@
+#include "core/opt_selector.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "core/greedy_selector.h"
+#include "core/running_example.h"
+
+namespace crowdfusion::core {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+CrowdModel MakeCrowd(double pc) {
+  auto crowd = CrowdModel::Create(pc);
+  EXPECT_TRUE(crowd.ok());
+  return std::move(crowd).value();
+}
+
+JointDistribution RandomJoint(int n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> dense(1ULL << n);
+  for (double& p : dense) p = rng.NextDouble() + 1e-3;
+  common::Normalize(dense);
+  auto joint = JointDistribution::FromDense(n, dense);
+  EXPECT_TRUE(joint.ok());
+  return std::move(joint).value();
+}
+
+SelectionRequest MakeRequest(const JointDistribution& joint,
+                             const CrowdModel& crowd, int k) {
+  SelectionRequest request;
+  request.joint = &joint;
+  request.crowd = &crowd;
+  request.k = k;
+  return request;
+}
+
+Selection SelectOrDie(TaskSelector& selector, const SelectionRequest& request) {
+  auto selection = selector.Select(request);
+  EXPECT_TRUE(selection.ok()) << selection.status().ToString();
+  return std::move(selection).value();
+}
+
+/// Figure 2's qualitative claim on the paper's running example: the exact
+/// brute-force OPT never does worse than the greedy approximation, at any
+/// budget k.
+TEST(OptSelectorTest, OptDominatesGreedyOnRunningExample) {
+  const JointDistribution joint = RunningExample::Joint();
+  const CrowdModel crowd = RunningExample::Crowd();
+  OptSelector opt;
+  GreedySelector greedy;
+  for (int k = 1; k <= 3; ++k) {
+    const Selection opt_sel = SelectOrDie(opt, MakeRequest(joint, crowd, k));
+    const Selection greedy_sel =
+        SelectOrDie(greedy, MakeRequest(joint, crowd, k));
+    EXPECT_GE(opt_sel.entropy_bits, greedy_sel.entropy_bits - kTol)
+        << "k=" << k;
+    EXPECT_EQ(static_cast<int>(opt_sel.tasks.size()), k);
+  }
+}
+
+/// For k = 1 the greedy's single pick IS the argmax over candidates, so
+/// both selectors are exact and must agree on the achieved entropy.
+TEST(OptSelectorTest, GreedyIsExactForSingleTask) {
+  const JointDistribution joint = RunningExample::Joint();
+  const CrowdModel crowd = RunningExample::Crowd();
+  OptSelector opt;
+  GreedySelector greedy;
+  const Selection opt_sel = SelectOrDie(opt, MakeRequest(joint, crowd, 1));
+  const Selection greedy_sel = SelectOrDie(greedy, MakeRequest(joint, crowd, 1));
+  ASSERT_EQ(opt_sel.tasks.size(), 1u);
+  ASSERT_EQ(greedy_sel.tasks.size(), 1u);
+  EXPECT_NEAR(opt_sel.entropy_bits, greedy_sel.entropy_bits, kTol);
+  EXPECT_EQ(opt_sel.tasks[0], greedy_sel.tasks[0]);
+}
+
+/// Parity holds beyond the running example and regardless of the greedy's
+/// acceleration flags (pruning/preprocessing must not change its answer
+/// enough to beat the exact optimum).
+TEST(OptSelectorTest, OptDominatesAcceleratedGreedyOnRandomJoints) {
+  const CrowdModel crowd = MakeCrowd(0.8);
+  OptSelector opt;
+  GreedySelector::Options accelerated;
+  accelerated.use_pruning = true;
+  accelerated.use_preprocessing = true;
+  GreedySelector greedy(accelerated);
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    const JointDistribution joint = RandomJoint(6, seed);
+    for (int k = 1; k <= 3; ++k) {
+      const Selection opt_sel = SelectOrDie(opt, MakeRequest(joint, crowd, k));
+      const Selection greedy_sel =
+          SelectOrDie(greedy, MakeRequest(joint, crowd, k));
+      EXPECT_GE(opt_sel.entropy_bits, greedy_sel.entropy_bits - kTol)
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+/// OPT returns k distinct, in-range fact ids.
+TEST(OptSelectorTest, SelectionIsDistinctAndInRange) {
+  const JointDistribution joint = RunningExample::Joint();
+  const CrowdModel crowd = RunningExample::Crowd();
+  OptSelector opt;
+  const Selection selection = SelectOrDie(opt, MakeRequest(joint, crowd, 3));
+  std::vector<int> tasks = selection.tasks;
+  std::sort(tasks.begin(), tasks.end());
+  EXPECT_TRUE(std::adjacent_find(tasks.begin(), tasks.end()) == tasks.end());
+  for (int id : tasks) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, joint.num_facts());
+  }
+}
+
+/// The max_subsets cap rejects runaway instances instead of hanging.
+TEST(OptSelectorTest, SubsetCapRejectsOversizedInstances) {
+  const JointDistribution joint = RandomJoint(8, 11);
+  const CrowdModel crowd = MakeCrowd(0.8);
+  OptSelector::Options options;
+  options.max_subsets = 10;  // C(8,3) = 56 > 10
+  OptSelector opt(options);
+  auto selection = opt.Select(MakeRequest(joint, crowd, 3));
+  EXPECT_FALSE(selection.ok());
+}
+
+}  // namespace
+}  // namespace crowdfusion::core
