@@ -1,16 +1,27 @@
 /// Google-benchmark micro benchmarks of the core primitives: entropy,
 /// marginalization, the BSC butterfly, answer-joint preprocessing,
-/// partition refinement, Bayesian updates, and one-round selection.
+/// partition refinement (dense and sparse), Bayesian updates, and
+/// one-round selection. The custom main additionally times the sparse
+/// greedy at paper scale (n = 64, |O| = 10^5) and merges the measurement
+/// into the BENCH_greedy.json baseline.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
 #include "bench_util.h"
+#include "common/bench_report.h"
 #include "common/math_util.h"
+#include "common/stopwatch.h"
 #include "core/answer_model.h"
 #include "core/bayes.h"
 #include "core/greedy_selector.h"
 #include "core/opt_selector.h"
 #include "core/random_selector.h"
+#include "core/sparse_refiner.h"
+#include "core/utility.h"
 
 namespace crowdfusion {
 namespace {
@@ -112,6 +123,79 @@ void BM_PartitionRefinerCandidate(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionRefinerCandidate)->Arg(8)->Arg(12)->Arg(16);
 
+void BM_SparseRefinerCandidate(benchmark::State& state) {
+  const int n = 64;
+  const int support = static_cast<int>(state.range(0));
+  const core::JointDistribution joint =
+      bench::MakeSparseCorrelatedJoint(n, support, 5);
+  const core::CrowdModel crowd = Crowd();
+  core::SparsePartitionRefiner refiner(joint, crowd);
+  refiner.Commit(0);
+  refiner.Commit(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(refiner.EntropyWithCandidate(3));
+  }
+  state.SetComplexityN(joint.support_size());
+}
+BENCHMARK(BM_SparseRefinerCandidate)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Complexity(benchmark::oN);
+
+void BM_SparseRefinerCommit(benchmark::State& state) {
+  const core::JointDistribution joint =
+      bench::MakeSparseCorrelatedJoint(64, static_cast<int>(state.range(0)),
+                                       6);
+  const core::CrowdModel crowd = Crowd();
+  for (auto _ : state) {
+    core::SparsePartitionRefiner refiner(joint, crowd);
+    refiner.Commit(0);
+    refiner.Commit(7);
+    benchmark::DoNotOptimize(refiner.CommittedEntropyBits());
+  }
+}
+BENCHMARK(BM_SparseRefinerCommit)->Arg(1000)->Arg(10000);
+
+void BM_MarginalGainProfile(benchmark::State& state) {
+  const int n = 64;
+  const core::JointDistribution joint =
+      bench::MakeSparseCorrelatedJoint(n, static_cast<int>(state.range(0)),
+                                       7);
+  const core::CrowdModel crowd = Crowd();
+  const std::vector<int> selected = {0, 5, 9};
+  std::vector<int> candidates;
+  for (int f = 0; f < n; ++f) {
+    if (f != 0 && f != 5 && f != 9) candidates.push_back(f);
+  }
+  for (auto _ : state) {
+    auto gains = core::MarginalGainProfile(joint, selected, candidates,
+                                           crowd);
+    benchmark::DoNotOptimize(gains);
+  }
+}
+BENCHMARK(BM_MarginalGainProfile)->Arg(1000)->Arg(10000);
+
+void BM_SparseGreedySelect(benchmark::State& state) {
+  const core::JointDistribution joint = bench::MakeSparseCorrelatedJoint(
+      64, static_cast<int>(state.range(0)), 8);
+  const core::CrowdModel crowd = Crowd();
+  core::GreedySelector::Options options;
+  options.use_pruning = true;
+  options.use_preprocessing = true;
+  options.preprocessing_mode =
+      core::GreedySelector::PreprocessingMode::kSparse;
+  core::GreedySelector selector(options);
+  for (auto _ : state) {
+    core::SelectionRequest request;
+    request.joint = &joint;
+    request.crowd = &crowd;
+    request.k = 8;
+    benchmark::DoNotOptimize(selector.Select(request));
+  }
+}
+BENCHMARK(BM_SparseGreedySelect)->Arg(1000)->Arg(10000);
+
 void BM_BayesUpdate(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const core::JointDistribution joint = bench::MakeCorrelatedJoint(n, 6);
@@ -171,5 +255,60 @@ void BM_OptSelect(benchmark::State& state) {
 }
 BENCHMARK(BM_OptSelect)->Arg(1)->Arg(2)->Arg(3);
 
+/// Times one full sparse greedy selection at paper scale and merges it
+/// into the shared baseline file next to bench_table5_runtime's rows.
+int EmitBaseline(const std::string& report_path) {
+  const int n = 64;
+  const int support = 100000;
+  const int k = 8;
+  const core::JointDistribution joint =
+      bench::MakeSparseCorrelatedJoint(n, support, 42);
+  const core::CrowdModel crowd = Crowd();
+  core::GreedySelector::Options options;
+  options.use_pruning = true;
+  options.use_preprocessing = true;
+  core::GreedySelector selector(options);
+  core::SelectionRequest request;
+  request.joint = &joint;
+  request.crowd = &crowd;
+  request.k = k;
+  const common::Stopwatch timer;
+  auto selection = selector.Select(request);
+  const double seconds = timer.ElapsedSeconds();
+  CF_CHECK(selection.ok()) << selection.status().ToString();
+  CF_CHECK(selection->stats.sparse_preprocessing);
+
+  common::BenchReport report("bench_micro_core");
+  common::BenchRecord record;
+  record.config = selector.name() + "[sparse]";
+  record.n = n;
+  record.support = joint.support_size();
+  record.k = k;
+  record.wall_ms = seconds * 1e3;
+  record.entropy_bits = selection->entropy_bits;
+  report.Add(std::move(record));
+  const common::Status written = report.MergeToFile(report_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", report_path.c_str(),
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("sparse greedy baseline: n=%d |O|=%d k=%d %.1f ms -> %s\n", n,
+              joint.support_size(), k, seconds * 1e3, report_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace crowdfusion
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // Baseline emission is opt-in so interactive runs (--benchmark_filter,
+  // --benchmark_list_tests) have no side effects; CI sets the variable.
+  const char* path = std::getenv("CROWDFUSION_BENCH_REPORT");
+  if (path == nullptr || path[0] == '\0') return 0;
+  return crowdfusion::EmitBaseline(path);
+}

@@ -1,6 +1,9 @@
 #ifndef CROWDFUSION_BENCH_BENCH_UTIL_H_
 #define CROWDFUSION_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cmath>
+#include <set>
 #include <vector>
 
 #include "common/logging.h"
@@ -10,6 +13,57 @@
 #include "data/correlation_model.h"
 
 namespace crowdfusion::bench {
+
+/// A sparse correlated joint for paper-scale instances: n facts (up to
+/// 64) with exactly `support` distinct outputs. Outputs cluster around a
+/// handful of anchor assignments with per-bit corruption — the same
+/// "correlated facts, few plausible worlds" structure the paper's book
+/// instances have — and carry exponential random weights. Deterministic in
+/// `seed`. Requires 1 <= support and support <= 2^min(n, 62).
+inline core::JointDistribution MakeSparseCorrelatedJoint(int n, int support,
+                                                         uint64_t seed) {
+  CF_CHECK(n >= 1 && n <= core::JointDistribution::kMaxFacts);
+  CF_CHECK(support >= 1);
+  if (n < 62) {
+    CF_CHECK(static_cast<uint64_t>(support) <= (1ULL << n));
+  }
+  common::Rng rng(seed ^ 0x5EED5EEDULL);
+  const uint64_t valid = n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+  const int num_anchors = std::max(2, std::min(8, support / 4 + 1));
+  std::vector<uint64_t> anchors(static_cast<size_t>(num_anchors));
+  for (uint64_t& anchor : anchors) anchor = rng.NextUint64() & valid;
+
+  // Sample distinct masks: an anchor with each bit flipped w.p. ~0.1.
+  // Dense requests (support near 2^n) fall back to sequential fill once
+  // rejection sampling stops finding new masks.
+  std::set<uint64_t> masks;
+  int64_t attempts = 0;
+  const int64_t max_attempts = 64 + 50LL * support;
+  while (static_cast<int>(masks.size()) < support) {
+    if (attempts++ > max_attempts) {
+      for (uint64_t mask = 0;
+           static_cast<int>(masks.size()) < support; ++mask) {
+        masks.insert(mask & valid);
+      }
+      break;
+    }
+    uint64_t mask = anchors[rng.NextBounded(anchors.size())];
+    for (int b = 0; b < n; ++b) {
+      if (rng.NextBernoulli(0.1)) mask ^= 1ULL << b;
+    }
+    masks.insert(mask & valid);
+  }
+  std::vector<core::JointDistribution::Entry> entries;
+  entries.reserve(masks.size());
+  for (uint64_t mask : masks) {
+    // Exponential weights give a heavy-but-not-degenerate distribution.
+    entries.push_back({mask, -std::log(1.0 - rng.NextDouble()) + 1e-9});
+  }
+  auto joint = core::JointDistribution::FromEntries(n, std::move(entries),
+                                                    /*normalize=*/true);
+  CF_CHECK(joint.ok()) << joint.status().ToString();
+  return std::move(joint).value();
+}
 
 /// A correlated n-fact joint distribution in the style of the evaluation
 /// workload: a generated book's statements run through the mixture

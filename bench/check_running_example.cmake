@@ -1,0 +1,17 @@
+# ctest wrapper for the running-example golden smoke: unlike a bare
+# PASS_REGULAR_EXPRESSION (which makes ctest ignore the exit code), this
+# checks BOTH that the bench exits 0 and that Table III's headline value
+# H({f1,f4}) = 1.997 appears in its printed table.
+#
+# Usage: cmake -DBENCH_BIN=<path> -P check_running_example.cmake
+execute_process(COMMAND "${BENCH_BIN}"
+  OUTPUT_VARIABLE bench_output
+  RESULT_VARIABLE bench_result)
+if(NOT bench_result EQUAL 0)
+  message(FATAL_ERROR "bench_running_example exited ${bench_result}")
+endif()
+if(NOT bench_output MATCHES "\\| 1\\.997 \\|")
+  message(FATAL_ERROR
+    "Table III golden H({f1,f4}) = 1.997 missing from bench output")
+endif()
+message(STATUS "running example golden OK (exit 0, H({f1,f4}) = 1.997)")

@@ -1,0 +1,317 @@
+#include "common/bench_report.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace crowdfusion::common {
+
+namespace {
+
+std::string EscapeJsonString(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  for (char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  if (!std::isfinite(value)) return "null";
+  return StrFormat("%.17g", value);  // exact double round-trip
+}
+
+/// Minimal scanner for the report schema: it only has to read back what
+/// ToJson writes (flat objects of string and number values inside one
+/// "records" array), but it skips unknown keys so the format can grow.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipWhitespace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  Result<std::string> ParseString() {
+    SkipWhitespace();
+    if (!Consume('"')) return Malformed("expected string");
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Malformed("bad \\u escape");
+            int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char hex = text_[pos_ + static_cast<size_t>(i)];
+              if (!std::isxdigit(static_cast<unsigned char>(hex))) {
+                return Malformed("bad \\u escape");
+              }
+              code = code * 16 +
+                     (std::isdigit(static_cast<unsigned char>(hex))
+                          ? hex - '0'
+                          : std::tolower(static_cast<unsigned char>(hex)) -
+                                'a' + 10);
+            }
+            pos_ += 4;
+            out += static_cast<char>(code);  // report strings are ASCII
+            break;
+          }
+          default: out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (!Consume('"')) return Malformed("unterminated string");
+    return out;
+  }
+
+  Result<double> ParseNumber() {
+    SkipWhitespace();
+    // "null" stands in for a non-finite measurement.
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return std::nan("");
+    }
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Malformed("expected number");
+    try {
+      return std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      return Malformed("unparsable number");
+    }
+  }
+
+  Status SkipValue() {
+    SkipWhitespace();
+    if (Peek('"')) return ParseString().status();
+    // Bare literals an unknown future field might carry.
+    for (const char* literal : {"true", "false", "null"}) {
+      const size_t len = std::strlen(literal);
+      if (text_.compare(pos_, len, literal) == 0) {
+        pos_ += len;
+        return Status::Ok();
+      }
+    }
+    if (Peek('{') || Peek('[')) {
+      const char open = text_[pos_];
+      const char close = open == '{' ? '}' : ']';
+      int depth = 0;
+      bool in_string = false;
+      while (pos_ < text_.size()) {
+        const char c = text_[pos_++];
+        if (in_string) {
+          if (c == '\\') ++pos_;
+          else if (c == '"') in_string = false;
+        } else if (c == '"') {
+          in_string = true;
+        } else if (c == open) {
+          ++depth;
+        } else if (c == close && --depth == 0) {
+          return Status::Ok();
+        }
+      }
+      return Status::InvalidArgument("unbalanced JSON container");
+    }
+    return ParseNumber().status();
+  }
+
+  Status Malformed(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("malformed bench report at offset %zu: %s", pos_,
+                  what.c_str()));
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Result<BenchRecord> ParseRecord(Scanner& scanner) {
+  BenchRecord record;
+  if (!scanner.Consume('{')) {
+    return scanner.Malformed("expected record object");
+  }
+  while (!scanner.Peek('}')) {
+    CF_ASSIGN_OR_RETURN(const std::string key, scanner.ParseString());
+    if (!scanner.Consume(':')) return scanner.Malformed("expected ':'");
+    if (key == "source" || key == "config") {
+      CF_ASSIGN_OR_RETURN(const std::string value, scanner.ParseString());
+      (key == "source" ? record.source : record.config) = value;
+    } else if (key == "n" || key == "support" || key == "k") {
+      CF_ASSIGN_OR_RETURN(const double value, scanner.ParseNumber());
+      // Integer fields must be finite: casting the NaN that "null" parses
+      // to would be undefined behavior.
+      if (!std::isfinite(value)) {
+        return scanner.Malformed("non-finite integer field " + key);
+      }
+      if (key == "n") record.n = static_cast<int>(value);
+      else if (key == "support") record.support = static_cast<int64_t>(value);
+      else record.k = static_cast<int>(value);
+    } else if (key == "wall_ms" || key == "entropy_bits") {
+      CF_ASSIGN_OR_RETURN(const double value, scanner.ParseNumber());
+      (key == "wall_ms" ? record.wall_ms : record.entropy_bits) = value;
+    } else {
+      CF_RETURN_IF_ERROR(scanner.SkipValue());
+    }
+    if (!scanner.Consume(',')) break;
+  }
+  if (!scanner.Consume('}')) return scanner.Malformed("unterminated record");
+  return record;
+}
+
+std::string RecordKey(const BenchRecord& record) {
+  return StrFormat("%s|%s|%d|%lld|%d", record.source.c_str(),
+                   record.config.c_str(), record.n,
+                   static_cast<long long>(record.support), record.k);
+}
+
+std::string SerializeRecords(const std::vector<BenchRecord>& records) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"crowdfusion-bench-v1\",\n  \"records\": [";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"source\": \"" << EscapeJsonString(r.source)
+       << "\", \"config\": \"" << EscapeJsonString(r.config)
+       << "\", \"n\": " << r.n << ", \"support\": " << r.support
+       << ", \"k\": " << r.k << ", \"wall_ms\": " << FormatDouble(r.wall_ms)
+       << ", \"entropy_bits\": " << FormatDouble(r.entropy_bits) << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+Status WriteText(const std::string& path, const std::string& text) {
+  std::ofstream stream(path, std::ios::out | std::ios::trunc);
+  if (!stream.is_open()) {
+    return Status::NotFound(
+        StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  stream << text;
+  stream.flush();
+  if (!stream.good()) {
+    return Status::Internal(StrFormat("write to %s failed", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string default_source)
+    : default_source_(std::move(default_source)) {}
+
+void BenchReport::Add(BenchRecord record) {
+  if (record.source.empty()) record.source = default_source_;
+  records_.push_back(std::move(record));
+}
+
+std::string BenchReport::ToJson() const { return SerializeRecords(records_); }
+
+Status BenchReport::WriteFile(const std::string& path) const {
+  return WriteText(path, ToJson());
+}
+
+Status BenchReport::MergeToFile(const std::string& path) const {
+  std::vector<BenchRecord> merged;
+  auto existing = Load(path);
+  if (existing.ok()) {
+    merged = std::move(existing).value();
+  } else if (existing.status().code() != StatusCode::kNotFound) {
+    return existing.status();  // corrupt baseline: refuse to clobber it
+  }
+  for (const BenchRecord& record : records_) {
+    bool replaced = false;
+    for (BenchRecord& old : merged) {
+      if (RecordKey(old) == RecordKey(record)) {
+        old = record;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) merged.push_back(record);
+  }
+  return WriteText(path, SerializeRecords(merged));
+}
+
+Result<std::vector<BenchRecord>> BenchReport::Load(const std::string& path) {
+  std::ifstream stream(path);
+  if (!stream.is_open()) {
+    return Status::NotFound(StrFormat("no bench report at %s", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  const std::string text = buffer.str();
+
+  Scanner scanner(text);
+  if (!scanner.Consume('{')) return scanner.Malformed("expected object");
+  std::vector<BenchRecord> records;
+  while (!scanner.Peek('}')) {
+    CF_ASSIGN_OR_RETURN(const std::string key, scanner.ParseString());
+    if (!scanner.Consume(':')) return scanner.Malformed("expected ':'");
+    if (key == "records") {
+      if (!scanner.Consume('[')) return scanner.Malformed("expected array");
+      while (!scanner.Peek(']')) {
+        CF_ASSIGN_OR_RETURN(BenchRecord record, ParseRecord(scanner));
+        records.push_back(std::move(record));
+        if (!scanner.Consume(',')) break;
+      }
+      if (!scanner.Consume(']')) {
+        return scanner.Malformed("unterminated records array");
+      }
+    } else {
+      CF_RETURN_IF_ERROR(scanner.SkipValue());
+    }
+    if (!scanner.Consume(',')) break;
+  }
+  if (!scanner.Consume('}')) return scanner.Malformed("unterminated object");
+  return records;
+}
+
+}  // namespace crowdfusion::common

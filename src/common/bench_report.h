@@ -1,0 +1,83 @@
+#ifndef CROWDFUSION_COMMON_BENCH_REPORT_H_
+#define CROWDFUSION_COMMON_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace crowdfusion::common {
+
+/// One benchmark measurement: a selector (or kernel) configuration run on
+/// an instance of n facts with |O| support outputs, taking wall_ms and
+/// selecting a k-task set of entropy entropy_bits. This is the repo's perf
+/// baseline schema (BENCH_*.json).
+struct BenchRecord {
+  /// Emitting binary, e.g. "bench_table5_runtime".
+  std::string source;
+  /// Configuration label, e.g. "Approx.&Prune&Pre.[sparse]".
+  std::string config;
+  /// Fact count n.
+  int n = 0;
+  /// Support size |O|.
+  int64_t support = 0;
+  /// Tasks selected (k).
+  int k = 0;
+  /// Average wall-clock time of one selection round, milliseconds.
+  double wall_ms = 0.0;
+  /// H(T) of the selected set, bits.
+  double entropy_bits = 0.0;
+
+  friend bool operator==(const BenchRecord& a, const BenchRecord& b) = default;
+};
+
+/// Tiny JSON emitter for benchmark baselines; no third-party JSON
+/// dependency. A report file looks like
+///
+///   {
+///     "schema": "crowdfusion-bench-v1",
+///     "records": [
+///       {"source": "bench_table5_runtime", "config": "Approx.&Pre.",
+///        "n": 14, "support": 16384, "k": 5, "wall_ms": 1.25,
+///        "entropy_bits": 4.31},
+///       ...
+///     ]
+///   }
+///
+/// MergeToFile lets several bench binaries share one baseline file: the
+/// existing file is loaded (it only needs to match the schema above, which
+/// Load parses with a small scanner) and records with the same
+/// (source, config, n, support, k) key are replaced, so re-running a bench
+/// refreshes its own rows without clobbering the others'.
+class BenchReport {
+ public:
+  /// `default_source` stamps records added without an explicit source.
+  explicit BenchReport(std::string default_source);
+
+  void Add(BenchRecord record);
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+  /// Serializes this report alone.
+  std::string ToJson() const;
+
+  /// Overwrites `path` with this report.
+  Status WriteFile(const std::string& path) const;
+
+  /// Loads `path` if present, merges this report's records over it (match
+  /// on source+config+n+support+k), and writes the result back.
+  Status MergeToFile(const std::string& path) const;
+
+  /// Parses a report file produced by WriteFile/MergeToFile. A missing
+  /// file is NotFound; a malformed one is InvalidArgument.
+  static Result<std::vector<BenchRecord>> Load(const std::string& path);
+
+ private:
+  std::string default_source_;
+  std::vector<BenchRecord> records_;
+};
+
+}  // namespace crowdfusion::common
+
+#endif  // CROWDFUSION_COMMON_BENCH_REPORT_H_

@@ -9,7 +9,7 @@
 namespace crowdfusion::common {
 
 /// Bit utilities over uint64_t masks. An "output" in the CrowdFusion data
-/// model is a truth assignment to n <= 63 facts packed into a mask: bit i is
+/// model is a truth assignment to n <= 64 facts packed into a mask: bit i is
 /// 1 iff fact i is judged true.
 
 inline int PopCount(uint64_t mask) { return std::popcount(mask); }

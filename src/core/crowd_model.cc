@@ -21,15 +21,15 @@ double CrowdModel::EntropyBits() const { return common::BinaryEntropy(pc_); }
 
 double CrowdModel::AnswerLikelihood(uint64_t truth_bits, uint64_t answer_bits,
                                     int k) const {
-  CF_DCHECK(k >= 0 && k <= 63);
-  const uint64_t mask = k == 63 ? ~0ULL : ((1ULL << k) - 1);
+  CF_DCHECK(k >= 0 && k <= 64);
+  const uint64_t mask = k >= 64 ? ~0ULL : ((1ULL << k) - 1);
   const int diff = common::PopCount((truth_bits ^ answer_bits) & mask);
   const int same = k - diff;
   return std::pow(pc_, same) * std::pow(1.0 - pc_, diff);
 }
 
 void CrowdModel::PushThroughChannel(std::vector<double>& dist, int k) const {
-  PushThroughChannelOnCoords(dist, k, k == 63 ? ~0ULL : ((1ULL << k) - 1));
+  PushThroughChannelOnCoords(dist, k, k >= 64 ? ~0ULL : ((1ULL << k) - 1));
 }
 
 void CrowdModel::PushThroughChannelOnCoords(std::vector<double>& dist, int m,

@@ -5,7 +5,9 @@
 #include <functional>
 
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "core/answer_model.h"
+#include "core/sparse_refiner.h"
 
 namespace crowdfusion::core {
 
@@ -29,22 +31,23 @@ double PruneOffsetBits(GreedySelector::PruningBound bound,
   return 0.0;
 }
 
-/// Shared greedy loop. `evaluate(fact)` returns H(T ∪ {fact}) for the
-/// current committed set T; `commit(fact)` extends T.
-void RunGreedyLoop(const GreedySelector::Options& options,
-                   std::vector<int> active, int k,
-                   const std::function<double(int)>& evaluate,
-                   const std::function<void(int)>& commit,
-                   Selection& selection) {
+/// Shared greedy loop. `evaluate_all(active)` returns H(T ∪ {fact}) for
+/// every active candidate under the current committed set T (batched so a
+/// refinement engine can shard the scan across threads); `commit(fact)`
+/// extends T.
+void RunGreedyLoop(
+    const GreedySelector::Options& options, std::vector<int> active, int k,
+    const std::function<std::vector<double>(const std::vector<int>&)>&
+        evaluate_all,
+    const std::function<void(int)>& commit, Selection& selection) {
   double current_entropy = 0.0;  // H(∅) = 0.
   for (int iteration = 0; iteration < k; ++iteration) {
     int best_fact = -1;
     double best_entropy = -1.0;
-    std::vector<double> entropies(active.size(), 0.0);
+    const std::vector<double> entropies = evaluate_all(active);
+    selection.stats.evaluations += static_cast<int64_t>(active.size());
     for (size_t c = 0; c < active.size(); ++c) {
-      const double h = evaluate(active[c]);
-      ++selection.stats.evaluations;
-      entropies[c] = h;
+      const double h = entropies[c];
       if (h > best_entropy) {
         best_entropy = h;
         best_fact = active[c];
@@ -103,6 +106,48 @@ void RunGreedyLoop(const GreedySelector::Options& options,
 
 }  // namespace
 
+common::Result<bool> GreedySelector::ResolvePreprocessingEngine(
+    const JointDistribution& joint, int k) const {
+  const int n = joint.num_facts();
+  const bool can_dense = n <= JointDistribution::kMaxDenseFacts;
+  const bool can_sparse = k <= SparsePartitionRefiner::kMaxCommittedTasks;
+  switch (options_.preprocessing_mode) {
+    case PreprocessingMode::kDense:
+      if (!can_dense) {
+        return common::Status::InvalidArgument(common::StrFormat(
+            "dense preprocessing requires n <= %d, got %d",
+            JointDistribution::kMaxDenseFacts, n));
+      }
+      return false;
+    case PreprocessingMode::kSparse:
+      if (!can_sparse) {
+        return common::Status::InvalidArgument(common::StrFormat(
+            "sparse preprocessing caps k at %d, got %d",
+            SparsePartitionRefiner::kMaxCommittedTasks, k));
+      }
+      return true;
+    case PreprocessingMode::kAuto:
+      break;
+  }
+  // Auto: dense only when it is possible, the support already fills most
+  // of the 2^n table (so a sparse scan would touch nearly as many cells),
+  // and k fits no matter what.
+  const bool support_mostly_dense =
+      can_dense && (1ULL << n) <= 8ULL * static_cast<uint64_t>(
+                                            joint.support_size());
+  if (support_mostly_dense || !can_sparse) {
+    if (!can_dense) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "instance needs sparse preprocessing (n = %d > %d) but k = %d "
+          "exceeds its cap of %d tasks",
+          n, JointDistribution::kMaxDenseFacts, k,
+          SparsePartitionRefiner::kMaxCommittedTasks));
+    }
+    return false;
+  }
+  return true;
+}
+
 common::Result<Selection> GreedySelector::Select(
     const SelectionRequest& request) {
   CF_ASSIGN_OR_RETURN(std::vector<int> candidates,
@@ -112,25 +157,55 @@ common::Result<Selection> GreedySelector::Select(
   Selection selection;
 
   if (options_.use_preprocessing) {
+    CF_ASSIGN_OR_RETURN(const bool use_sparse,
+                        ResolvePreprocessingEngine(*request.joint, k));
     const common::Stopwatch preprocessing_timer;
-    CF_ASSIGN_OR_RETURN(AnswerJointTable table,
-                        AnswerJointTable::Build(*request.joint, *request.crowd));
-    selection.stats.preprocessing_seconds =
-        preprocessing_timer.ElapsedSeconds();
-    PartitionRefiner refiner(&table);
-    RunGreedyLoop(
-        options_, std::move(candidates), k,
-        [&refiner](int fact) { return refiner.EntropyWithCandidate(fact); },
-        [&refiner](int fact) { refiner.Commit(fact); }, selection);
+    if (use_sparse) {
+      SparsePartitionRefiner::Options refiner_options;
+      refiner_options.num_threads = options_.preprocessing_threads;
+      SparsePartitionRefiner refiner(*request.joint, *request.crowd,
+                                     refiner_options);
+      selection.stats.preprocessing_seconds =
+          preprocessing_timer.ElapsedSeconds();
+      selection.stats.sparse_preprocessing = true;
+      RunGreedyLoop(
+          options_, std::move(candidates), k,
+          [&refiner](const std::vector<int>& active) {
+            return refiner.EntropiesWithCandidates(active);
+          },
+          [&refiner](int fact) { refiner.Commit(fact); }, selection);
+    } else {
+      CF_ASSIGN_OR_RETURN(
+          AnswerJointTable table,
+          AnswerJointTable::Build(*request.joint, *request.crowd));
+      selection.stats.preprocessing_seconds =
+          preprocessing_timer.ElapsedSeconds();
+      PartitionRefiner refiner(&table);
+      RunGreedyLoop(
+          options_, std::move(candidates), k,
+          [&refiner](const std::vector<int>& active) {
+            std::vector<double> entropies(active.size());
+            for (size_t c = 0; c < active.size(); ++c) {
+              entropies[c] = refiner.EntropyWithCandidate(active[c]);
+            }
+            return entropies;
+          },
+          [&refiner](int fact) { refiner.Commit(fact); }, selection);
+    }
   } else {
     std::vector<int> selected;
     RunGreedyLoop(
         options_, std::move(candidates), k,
-        [&](int fact) {
-          std::vector<int> extended = selected;
-          extended.push_back(fact);
-          return AnswerEntropyBitsBruteForce(*request.joint, extended,
-                                             *request.crowd);
+        [&](const std::vector<int>& active) {
+          std::vector<double> entropies(active.size());
+          for (size_t c = 0; c < active.size(); ++c) {
+            std::vector<int> extended = selected;
+            extended.push_back(active[c]);
+            entropies[c] = AnswerEntropyBitsBruteForce(*request.joint,
+                                                       extended,
+                                                       *request.crowd);
+          }
+          return entropies;
         },
         [&selected](int fact) { selected.push_back(fact); }, selection);
   }

@@ -40,11 +40,18 @@ double ValueOfInformationBits(const JointDistribution& joint,
 
 std::vector<double> SingleTaskInformationProfile(
     const JointDistribution& joint, const CrowdModel& crowd) {
-  std::vector<double> profile(static_cast<size_t>(joint.num_facts()), 0.0);
-  const std::vector<int> none;
-  for (int f = 0; f < joint.num_facts(); ++f) {
-    profile[static_cast<size_t>(f)] =
-        ValueOfInformationBits(joint, none, f, crowd);
+  // A single task's answer distribution is the fact's marginal pushed
+  // through one binary symmetric channel, so the whole profile needs one
+  // scan of the support (Marginals) instead of n separate Equation 2
+  // evaluations: I(F; Ans^{f}) = h(Pc p + (1-Pc)(1-p)) - h(Pc).
+  const std::vector<double> marginals = joint.Marginals();
+  const double h_noise = crowd.EntropyBits();
+  const double keep = crowd.pc();
+  const double flip = 1.0 - crowd.pc();
+  std::vector<double> profile(marginals.size(), 0.0);
+  for (size_t f = 0; f < marginals.size(); ++f) {
+    const double noisy = keep * marginals[f] + flip * (1.0 - marginals[f]);
+    profile[f] = std::max(0.0, common::BinaryEntropy(noisy) - h_noise);
   }
   return profile;
 }

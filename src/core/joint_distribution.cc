@@ -1,6 +1,7 @@
 #include "core/joint_distribution.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 
@@ -22,7 +23,7 @@ common::Result<JointDistribution> JointDistribution::FromEntries(
         "num_facts must be in [0, %d], got %d", kMaxFacts, num_facts));
   }
   const uint64_t valid_bits =
-      num_facts == kMaxFacts ? ~0ULL : ((1ULL << num_facts) - 1);
+      num_facts >= 64 ? ~0ULL : ((1ULL << num_facts) - 1);
   double total = 0.0;
   for (const Entry& e : entries) {
     if (e.prob < 0.0 || !std::isfinite(e.prob)) {
@@ -151,9 +152,12 @@ double JointDistribution::Marginal(int fact_id) const {
 
 std::vector<double> JointDistribution::Marginals() const {
   std::vector<double> out(static_cast<size_t>(num_facts_), 0.0);
+  // Iterate only the set bits of each mask (sparse supports typically have
+  // popcount << n), accumulating in the same ascending-bit order as the
+  // naive loop so results stay bit-identical.
   for (const Entry& e : entries_) {
-    for (int i = 0; i < num_facts_; ++i) {
-      if (common::GetBit(e.mask, i)) out[static_cast<size_t>(i)] += e.prob;
+    for (uint64_t m = e.mask; m != 0; m &= m - 1) {
+      out[static_cast<size_t>(std::countr_zero(m))] += e.prob;
     }
   }
   return out;

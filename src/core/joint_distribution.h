@@ -19,8 +19,8 @@ namespace crowdfusion::core {
 /// dense inputs (the paper's running example, independent products) simply
 /// enumerate all 2^n masks.
 ///
-/// Supports n up to kMaxFacts = 30 when densified; sparse distributions can
-/// use up to 63 fact ids.
+/// Supports n up to kMaxDenseFacts = 30 when densified; sparse
+/// distributions can use the full 64 mask bits (kMaxFacts = 64).
 class JointDistribution {
  public:
   struct Entry {
@@ -33,7 +33,7 @@ class JointDistribution {
   /// Largest fact count for which dense 2^n materialization is permitted.
   static constexpr int kMaxDenseFacts = 30;
   /// Largest fact count representable at all (mask bits).
-  static constexpr int kMaxFacts = 63;
+  static constexpr int kMaxFacts = 64;
 
   JointDistribution() = default;
 

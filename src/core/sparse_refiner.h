@@ -1,0 +1,99 @@
+#ifndef CROWDFUSION_CORE_SPARSE_REFINER_H_
+#define CROWDFUSION_CORE_SPARSE_REFINER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/crowd_model.h"
+#include "core/joint_distribution.h"
+
+namespace crowdfusion::core {
+
+/// Algorithm 2 (the greedy's preprocessing stage) evaluated directly on the
+/// sparse output support, without ever materializing the 2^n answer joint.
+///
+/// The dense `PartitionRefiner` partitions the full answer table; for
+/// n >> 20 facts that table does not fit anywhere. But the refined answer
+/// marginal of the committed set T is also the output-support marginal
+/// pushed through |T| binary symmetric channels, so the partition can be
+/// maintained over the |O| support entries instead: each entry carries the
+/// id of its refined cell (the truth pattern of the committed tasks, in
+/// commit order), a candidate evaluation is one O(|O|) scan that splits
+/// every cell by the candidate's judgment bit, and the crowd noise is
+/// applied to the resulting 2^(|T|+1) cell vector with the usual
+/// O(|T| 2^|T|) butterfly — negligible next to the scan for the k used in
+/// practice.
+///
+/// Layout is struct-of-arrays and the entries are kept counting-sorted by
+/// cell id after every commit ("sort by refined cell"), so the hot scan
+/// reads three parallel arrays sequentially and its cell accumulator walks
+/// monotonically. Candidate batches can be sharded across std::threads;
+/// the shared arrays are read-only during evaluation so threads need no
+/// synchronization.
+///
+/// Supports the full n <= JointDistribution::kMaxFacts = 64 fact range.
+/// The committed set is capped at kMaxCommittedTasks because the noisy
+/// cell vector is dense in 2^(|T|+1).
+class SparsePartitionRefiner {
+ public:
+  struct Options {
+    /// Threads for batch candidate evaluation. 0 = auto (hardware
+    /// concurrency, capped); 1 = always serial.
+    int num_threads = 0;
+    /// Minimum support-entries-times-candidates product before a batch
+    /// evaluation bothers spawning threads.
+    int64_t min_parallel_work = int64_t{1} << 16;
+  };
+
+  /// Largest committed-set size |T|; 2^(|T|+1) cells must stay cheap.
+  static constexpr int kMaxCommittedTasks = 20;
+
+  /// Copies the support out of `joint` (the refiner permutes its own copy)
+  /// and the crowd model by value; neither argument needs to outlive it.
+  SparsePartitionRefiner(const JointDistribution& joint,
+                         const CrowdModel& crowd, Options options);
+  SparsePartitionRefiner(const JointDistribution& joint,
+                         const CrowdModel& crowd);
+
+  int num_facts() const { return num_facts_; }
+  int64_t support_size() const { return static_cast<int64_t>(masks_.size()); }
+
+  /// H(T ∪ {fact}) in bits, where T is the committed set. One O(|O|) scan.
+  double EntropyWithCandidate(int fact) const;
+
+  /// H(T ∪ {fact}) for every fact in `facts`, sharded across threads when
+  /// the batch is large enough. Equivalent to mapping EntropyWithCandidate.
+  std::vector<double> EntropiesWithCandidates(std::span<const int> facts) const;
+
+  /// Adds `fact` to the committed set: refines every cell by its judgment
+  /// bit and re-sorts the support by the new cell ids.
+  void Commit(int fact);
+
+  /// Entropy of the committed task set's answer marginal, H(T).
+  double CommittedEntropyBits() const;
+
+  const std::vector<int>& committed() const { return committed_; }
+  /// Number of refined cells, 2^|T| (empty cells included).
+  uint32_t num_parts() const { return num_parts_; }
+
+ private:
+  /// Unnoised refined cell masses for T ∪ {fact}: cell (part << 1) | bit.
+  std::vector<double> CellSumsWithCandidate(int fact) const;
+
+  int ResolveThreads(size_t num_candidates) const;
+
+  int num_facts_ = 0;
+  CrowdModel crowd_;
+  Options options_;
+  // Parallel arrays over the support, sorted by part_of_ value.
+  std::vector<uint64_t> masks_;
+  std::vector<double> probs_;
+  std::vector<uint32_t> part_of_;
+  uint32_t num_parts_ = 1;
+  std::vector<int> committed_;
+};
+
+}  // namespace crowdfusion::core
+
+#endif  // CROWDFUSION_CORE_SPARSE_REFINER_H_

@@ -3,7 +3,9 @@
 #include "common/bit_util.h"
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/string_util.h"
 #include "core/answer_model.h"
+#include "core/sparse_refiner.h"
 
 namespace crowdfusion::core {
 
@@ -32,6 +34,36 @@ double MarginalGain(const JointDistribution& joint,
   extended.push_back(candidate);
   return TaskEntropyBits(joint, extended, crowd) -
          TaskEntropyBits(joint, selected, crowd);
+}
+
+common::Result<std::vector<double>> MarginalGainProfile(
+    const JointDistribution& joint, std::span<const int> selected,
+    std::span<const int> candidates, const CrowdModel& crowd,
+    int num_threads) {
+  if (static_cast<int>(selected.size()) >=
+      SparsePartitionRefiner::kMaxCommittedTasks) {
+    return Status::InvalidArgument(common::StrFormat(
+        "selected set of %zu tasks exceeds the refiner cap of %d",
+        selected.size(), SparsePartitionRefiner::kMaxCommittedTasks));
+  }
+  for (int id : selected) {
+    if (id < 0 || id >= joint.num_facts()) {
+      return Status::OutOfRange("selected fact id out of range");
+    }
+  }
+  for (int id : candidates) {
+    if (id < 0 || id >= joint.num_facts()) {
+      return Status::OutOfRange("candidate fact id out of range");
+    }
+  }
+  SparsePartitionRefiner::Options options;
+  options.num_threads = num_threads;
+  SparsePartitionRefiner refiner(joint, crowd, options);
+  for (int id : selected) refiner.Commit(id);
+  const double h_selected = refiner.CommittedEntropyBits();
+  std::vector<double> gains = refiner.EntropiesWithCandidates(candidates);
+  for (double& gain : gains) gain -= h_selected;
+  return gains;
 }
 
 common::Result<std::vector<double>> FoiAnswerJointTable(

@@ -31,6 +31,18 @@ double MarginalGain(const JointDistribution& joint,
                     std::span<const int> selected, int candidate,
                     const CrowdModel& crowd);
 
+/// All candidates' marginal gains ρ_j(T) at once via one sparse
+/// partition-refinement pass per candidate (Algorithm 2's inner loop as a
+/// library call): O(|selected| + |candidates|) scans of the support
+/// instead of 2 * |candidates| full H(T) evaluations, sharded across
+/// `num_threads` when the batch is large (0 = auto, 1 = serial). Works for
+/// any n <= 64. Fails on out-of-range ids or |selected| + 1 beyond the
+/// refiner's committed-set cap.
+common::Result<std::vector<double>> MarginalGainProfile(
+    const JointDistribution& joint, std::span<const int> selected,
+    std::span<const int> candidates, const CrowdModel& crowd,
+    int num_threads = 0);
+
 /// Query-based utility machinery (Section IV). `foi` is the
 /// facts-of-interest set I; `tasks` is the candidate task set T.
 

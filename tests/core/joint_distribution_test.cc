@@ -47,7 +47,7 @@ TEST(JointDistributionTest, RejectsZeroMass) {
 }
 
 TEST(JointDistributionTest, RejectsTooManyFacts) {
-  auto joint = JointDistribution::FromEntries(64, {{0, 1.0}});
+  auto joint = JointDistribution::FromEntries(65, {{0, 1.0}});
   EXPECT_EQ(joint.status().code(), StatusCode::kInvalidArgument);
   auto negative = JointDistribution::FromEntries(-1, {{0, 1.0}});
   EXPECT_FALSE(negative.ok());
@@ -67,11 +67,11 @@ TEST(JointDistributionTest, DropsZeroEntries) {
   EXPECT_EQ(joint->support_size(), 1);
 }
 
-TEST(JointDistributionTest, SparseMasksAllowedUpTo63Facts) {
+TEST(JointDistributionTest, SparseMasksAllowedUpTo64Facts) {
   auto joint = JointDistribution::FromEntries(
-      63, {{1ULL << 62, 0.5}, {0, 0.5}});
+      64, {{1ULL << 63, 0.5}, {0, 0.5}});
   ASSERT_TRUE(joint.ok());
-  EXPECT_DOUBLE_EQ(joint->Marginal(62), 0.5);
+  EXPECT_DOUBLE_EQ(joint->Marginal(63), 0.5);
 }
 
 TEST(JointDistributionTest, UniformHasMaxEntropy) {

@@ -1,6 +1,7 @@
 #include "core/opt_selector.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -9,6 +10,7 @@
 #include "common/random.h"
 #include "core/greedy_selector.h"
 #include "core/running_example.h"
+#include "core/utility.h"
 
 namespace crowdfusion::core {
 namespace {
@@ -97,6 +99,86 @@ TEST(OptSelectorTest, OptDominatesAcceleratedGreedyOnRandomJoints) {
           SelectOrDie(greedy, MakeRequest(joint, crowd, k));
       EXPECT_GE(opt_sel.entropy_bits, greedy_sel.entropy_bits - kTol)
           << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+/// Theorem 2's approximation guarantee, checked against the exhaustive
+/// optimum on every seed: H(T) is monotone submodular with H(∅) = 0, so
+/// the greedy's entropy is at least (1 - 1/e) of OPT's — for the exact
+/// selector and for both accelerated variants.
+TEST(OptSelectorTest, GreedyAchievesSubmodularBoundOnEverySeed) {
+  const double kBound = 1.0 - 1.0 / std::exp(1.0);
+  const CrowdModel crowd = MakeCrowd(0.75);
+  OptSelector opt;
+  GreedySelector plain;
+  GreedySelector::Options accelerated;
+  accelerated.use_pruning = true;
+  accelerated.use_preprocessing = true;
+  GreedySelector fast(accelerated);
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    const int n = 6 + static_cast<int>(seed % 7);  // 6..12 facts
+    const JointDistribution joint = RandomJoint(n, seed * 131);
+    for (int k = 2; k <= 3; ++k) {
+      const Selection opt_sel = SelectOrDie(opt, MakeRequest(joint, crowd, k));
+      for (GreedySelector* greedy : {&plain, &fast}) {
+        const Selection greedy_sel =
+            SelectOrDie(*greedy, MakeRequest(joint, crowd, k));
+        EXPECT_GE(greedy_sel.entropy_bits,
+                  kBound * opt_sel.entropy_bits - kTol)
+            << greedy->name() << " seed=" << seed << " n=" << n
+            << " k=" << k;
+        EXPECT_LE(greedy_sel.entropy_bits, opt_sel.entropy_bits + kTol)
+            << greedy->name() << " seed=" << seed << " n=" << n
+            << " k=" << k;
+      }
+    }
+  }
+}
+
+/// Algorithm 1's early stop (K* < k): when some facts carry no
+/// information — deterministic facts asked by a perfect crowd — the greedy
+/// must stop after exhausting the informative ones rather than padding the
+/// selection with zero-gain tasks.
+TEST(OptSelectorTest, EarlyStopNeverSelectsZeroGainTask) {
+  const CrowdModel perfect = MakeCrowd(1.0);
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    common::Rng rng(seed * 977);
+    const int n = 5 + static_cast<int>(seed % 4);  // 5..8 facts
+    // Facts with marginal 0 or 1 are deterministic: zero gain at Pc = 1.
+    std::vector<double> marginals(static_cast<size_t>(n));
+    std::vector<int> informative;
+    for (int f = 0; f < n; ++f) {
+      if (rng.NextBernoulli(0.5)) {
+        marginals[static_cast<size_t>(f)] = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+      } else {
+        marginals[static_cast<size_t>(f)] = rng.NextUniform(0.3, 0.7);
+        informative.push_back(f);
+      }
+    }
+    auto joint = JointDistribution::FromIndependentMarginals(marginals);
+    ASSERT_TRUE(joint.ok()) << joint.status().ToString();
+
+    GreedySelector::Options options;
+    options.use_preprocessing = seed % 2 == 0;  // exercise both paths
+    GreedySelector greedy(options);
+    const Selection selection =
+        SelectOrDie(greedy, MakeRequest(*joint, perfect, n));  // k = n
+    EXPECT_EQ(selection.tasks.size(), informative.size()) << "seed=" << seed;
+    for (int fact : selection.tasks) {
+      EXPECT_TRUE(std::find(informative.begin(), informative.end(), fact) !=
+                  informative.end())
+          << "seed=" << seed << " selected deterministic fact " << fact;
+    }
+    // Every selected prefix must have strictly grown H(T).
+    double previous = 0.0;
+    for (size_t prefix = 1; prefix <= selection.tasks.size(); ++prefix) {
+      const std::vector<int> tasks(
+          selection.tasks.begin(),
+          selection.tasks.begin() + static_cast<std::ptrdiff_t>(prefix));
+      const double h = TaskEntropyBits(*joint, tasks, perfect);
+      EXPECT_GT(h, previous + 1e-12) << "seed=" << seed;
+      previous = h;
     }
   }
 }

@@ -1,0 +1,37 @@
+#ifndef CROWDFUSION_TESTS_CORE_SPARSE_TEST_UTIL_H_
+#define CROWDFUSION_TESTS_CORE_SPARSE_TEST_UTIL_H_
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/joint_distribution.h"
+
+namespace crowdfusion::core {
+
+/// A random sparse joint shared by the differential and stress tests:
+/// `support` distinct masks drawn uniformly from the n-fact output space
+/// with positive weights, normalized. Callers own the Rng so each test
+/// controls its seeding scheme. Precondition: support <= 2^n.
+inline JointDistribution RandomSparseJoint(int n, int support,
+                                           common::Rng& rng) {
+  const uint64_t valid = n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+  std::set<uint64_t> masks;
+  while (static_cast<int>(masks.size()) < support) {
+    masks.insert(rng.NextUint64() & valid);
+  }
+  std::vector<JointDistribution::Entry> entries;
+  for (uint64_t mask : masks) {
+    entries.push_back({mask, rng.NextDouble() + 1e-3});
+  }
+  auto joint = JointDistribution::FromEntries(n, std::move(entries),
+                                              /*normalize=*/true);
+  EXPECT_TRUE(joint.ok()) << joint.status().ToString();
+  return std::move(joint).value();
+}
+
+}  // namespace crowdfusion::core
+
+#endif  // CROWDFUSION_TESTS_CORE_SPARSE_TEST_UTIL_H_
