@@ -1,0 +1,206 @@
+/// Serving-throughput benchmark for the async answer pipeline: many books
+/// served from one global budget by a BudgetScheduler whose simulated
+/// crowd answers with real (slept) latency. Compares the legacy blocking
+/// select-collect-merge loop against the pipelined mode at several
+/// in-flight window sizes, and reports books/sec plus p50/p95
+/// scheduling-step latency into the BENCH_service.json baseline.
+///
+/// In the emitted BenchRecord rows, `n` is facts per book, `support` is
+/// the number of books, `k` is tasks per step; `wall_ms` is the whole
+/// run's wall clock and `entropy_bits` the final total utility Q(F).
+///
+/// usage: bench_service_throughput [books] [facts] [budget_per_book]
+///                                 [tasks_per_step] [median_latency_ms]
+///                                 [report.json]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bench_report.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/greedy_selector.h"
+#include "core/scheduler.h"
+#include "crowd/simulated_crowd.h"
+
+using namespace crowdfusion;
+
+namespace {
+
+struct Workload {
+  int books = 24;
+  int facts = 8;
+  int budget_per_book = 8;
+  int tasks_per_step = 2;
+  double median_latency_ms = 4.0;
+};
+
+struct RunResult {
+  double wall_ms = 0.0;
+  double books_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double total_utility_bits = 0.0;
+  int cost_spent = 0;
+};
+
+core::JointDistribution MakeBookJoint(int facts, common::Rng& rng) {
+  std::vector<double> marginals(static_cast<size_t>(facts));
+  for (double& m : marginals) m = rng.NextUniform(0.25, 0.75);
+  auto joint = core::JointDistribution::FromIndependentMarginals(marginals);
+  CF_CHECK(joint.ok()) << joint.status().ToString();
+  return std::move(joint).value();
+}
+
+std::vector<bool> MakeTruths(int facts, common::Rng& rng) {
+  std::vector<bool> truths(static_cast<size_t>(facts));
+  for (size_t i = 0; i < truths.size(); ++i) {
+    truths[i] = rng.NextBernoulli(0.5);
+  }
+  return truths;
+}
+
+double Percentile(std::vector<double> values, double fraction) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t index = static_cast<size_t>(
+      fraction * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+/// One full serving run. `max_in_flight <= 0` selects the blocking loop.
+RunResult ServeBooks(const Workload& workload, int max_in_flight) {
+  core::GreedySelector::Options selector_options;
+  selector_options.use_pruning = true;
+  selector_options.use_preprocessing = true;
+  core::GreedySelector selector(selector_options);
+
+  auto crowd_model = core::CrowdModel::Create(0.8);
+  CF_CHECK(crowd_model.ok());
+  core::BudgetScheduler::Options options;
+  options.total_budget = workload.books * workload.budget_per_book;
+  options.tasks_per_step = workload.tasks_per_step;
+  options.max_in_flight = std::max(1, max_in_flight);
+  auto scheduler =
+      core::BudgetScheduler::Create(*crowd_model, &selector, options);
+  CF_CHECK(scheduler.ok()) << scheduler.status().ToString();
+
+  // Same seeds for every configuration: identical joints, truths, and
+  // latency draws, so the runs differ only in scheduling.
+  common::Rng rng(0xB00C5EEDULL);
+  std::vector<std::unique_ptr<crowd::SimulatedCrowd>> crowds;
+  crowds.reserve(static_cast<size_t>(workload.books));
+  for (int b = 0; b < workload.books; ++b) {
+    core::JointDistribution joint = MakeBookJoint(workload.facts, rng);
+    crowds.push_back(std::make_unique<crowd::SimulatedCrowd>(
+        crowd::SimulatedCrowd::WithUniformAccuracy(
+            MakeTruths(workload.facts, rng), 0.8,
+            1000 + static_cast<uint64_t>(b))));
+    crowd::LatencyOptions latency;
+    latency.median_seconds = workload.median_latency_ms / 1e3;
+    latency.sigma = 0.4;
+    latency.seed = 7000 + static_cast<uint64_t>(b);
+    crowds.back()->ConfigureAsync(latency);  // real clock: latency is slept
+    auto id = scheduler->AddInstanceAsync("book" + std::to_string(b),
+                                          std::move(joint),
+                                          crowds.back().get());
+    CF_CHECK(id.ok()) << id.status().ToString();
+  }
+
+  common::Stopwatch stopwatch;
+  auto records =
+      max_in_flight <= 0 ? scheduler->Run() : scheduler->RunPipelined();
+  const double wall_ms = stopwatch.ElapsedMillis();
+  CF_CHECK(records.ok()) << records.status().ToString();
+
+  RunResult result;
+  result.wall_ms = wall_ms;
+  result.books_per_sec =
+      static_cast<double>(workload.books) / (wall_ms / 1e3);
+  std::vector<double> step_latencies_ms;
+  for (const auto& record : *records) {
+    if (record.instance < 0) continue;
+    step_latencies_ms.push_back(record.latency_seconds * 1e3);
+  }
+  result.p50_ms = Percentile(step_latencies_ms, 0.50);
+  result.p95_ms = Percentile(step_latencies_ms, 0.95);
+  result.total_utility_bits = scheduler->TotalUtilityBits();
+  result.cost_spent = scheduler->total_cost_spent();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Workload workload;
+  if (argc > 1) workload.books = std::atoi(argv[1]);
+  if (argc > 2) workload.facts = std::atoi(argv[2]);
+  if (argc > 3) workload.budget_per_book = std::atoi(argv[3]);
+  if (argc > 4) workload.tasks_per_step = std::atoi(argv[4]);
+  if (argc > 5) workload.median_latency_ms = std::atof(argv[5]);
+  const std::string report_path = argc > 6 ? argv[6] : "BENCH_service.json";
+
+  std::printf(
+      "serving %d books x %d facts, budget %d/book, k=%d, crowd median "
+      "latency %.1f ms\n\n",
+      workload.books, workload.facts, workload.budget_per_book,
+      workload.tasks_per_step, workload.median_latency_ms);
+  std::printf("%-18s %12s %12s %10s %10s %12s\n", "config", "wall_ms",
+              "books/sec", "p50_ms", "p95_ms", "utility");
+
+  struct Config {
+    std::string label;
+    int max_in_flight;  // <= 0: blocking Run()
+  };
+  const std::vector<Config> configs = {
+      {"blocking", 0},
+      {"pipelined[m=1]", 1},
+      {"pipelined[m=4]", 4},
+      {"pipelined[m=8]", 8},
+  };
+
+  common::BenchReport report("bench_service_throughput");
+  double blocking_throughput = 0.0;
+  double best_pipelined_throughput = 0.0;
+  for (const Config& config : configs) {
+    const RunResult result = ServeBooks(workload, config.max_in_flight);
+    std::printf("%-18s %12.1f %12.1f %10.2f %10.2f %12.2f\n",
+                config.label.c_str(), result.wall_ms, result.books_per_sec,
+                result.p50_ms, result.p95_ms, result.total_utility_bits);
+    if (config.max_in_flight <= 0) {
+      blocking_throughput = result.books_per_sec;
+    } else {
+      best_pipelined_throughput =
+          std::max(best_pipelined_throughput, result.books_per_sec);
+    }
+    common::BenchRecord record;
+    record.config = config.label;
+    record.n = workload.facts;
+    record.support = workload.books;
+    record.k = workload.tasks_per_step;
+    record.wall_ms = result.wall_ms;
+    record.entropy_bits = result.total_utility_bits;
+    record.throughput_per_sec = result.books_per_sec;
+    record.p50_ms = result.p50_ms;
+    record.p95_ms = result.p95_ms;
+    report.Add(record);
+  }
+
+  if (blocking_throughput > 0) {
+    std::printf("\npipelined/blocking speedup: %.2fx\n",
+                best_pipelined_throughput / blocking_throughput);
+  }
+  if (auto status = report.MergeToFile(report_path); !status.ok()) {
+    std::fprintf(stderr, "error writing %s: %s\n", report_path.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("merged %zu records into %s\n", configs.size(),
+              report_path.c_str());
+  return 0;
+}

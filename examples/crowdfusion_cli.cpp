@@ -6,8 +6,15 @@
 ///   crowdfusion_cli fuse <claims.tsv> <joint-dir> [crh|majority|...]
 ///       run machine-only fusion and write one joint file per book
 ///   crowdfusion_cli refine <claims.tsv> <joint-dir> [budget] [pc]
+///                   [--async] [--threads N] [--max-in-flight M]
+///                   [--latency-ms S]
 ///       run CrowdFusion rounds on every saved joint (simulated crowd
-///       seeded from the gold labels) and rewrite the refined joints
+///       seeded from the gold labels) and rewrite the refined joints.
+///       --async serves every book from ONE pipelined BudgetScheduler
+///       (global budget = budget x books, up to M ticket batches in
+///       flight, crowd latency simulated at S ms median) instead of
+///       refining books one blocking engine at a time; --threads caps the
+///       selector's preprocessing shards
 ///   crowdfusion_cli score <claims.tsv> <joint-dir>
 ///       compare the stored joints' marginals against the gold labels
 ///
@@ -18,20 +25,24 @@
 ///   ./crowdfusion_cli refine /tmp/books.tsv /tmp/joints 40 0.8
 ///   ./crowdfusion_cli score /tmp/books.tsv /tmp/joints
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "fusion/crh.h"
 #include "fusion/majority_vote.h"
 #include "fusion/web_link_fusers.h"
 
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/crowdfusion.h"
 #include "core/greedy_selector.h"
+#include "core/scheduler.h"
 #include "core/serialization.h"
 #include "crowd/simulated_crowd.h"
 #include "data/book_dataset.h"
@@ -139,22 +150,130 @@ int CmdFuse(int argc, char** argv) {
   return 0;
 }
 
+/// Serves every book from one pipelined BudgetScheduler: selection for one
+/// book overlaps the simulated crowd latency of the others.
+int RefineAsync(const data::BookDataset& dataset, const char* joint_dir,
+                int budget, double pc, int max_in_flight,
+                double latency_ms, core::GreedySelector* selector) {
+  auto crowd_model = core::CrowdModel::Create(pc);
+  if (!crowd_model.ok()) return Fail(crowd_model.status());
+
+  std::vector<const data::Book*> books;
+  for (const data::Book& book : dataset.books) {
+    if (!book.statements.empty()) books.push_back(&book);
+  }
+  core::BudgetScheduler::Options options;
+  options.total_budget = budget * static_cast<int>(books.size());
+  options.tasks_per_step = 1;
+  options.max_in_flight = max_in_flight;
+  auto scheduler =
+      core::BudgetScheduler::Create(*crowd_model, selector, options);
+  if (!scheduler.ok()) return Fail(scheduler.status());
+
+  std::vector<std::unique_ptr<crowd::SimulatedCrowd>> crowds;
+  uint64_t seed = 12000;
+  for (const data::Book* book : books) {
+    auto joint = core::LoadJointDistribution(JointPath(joint_dir, *book));
+    if (!joint.ok()) return Fail(joint.status());
+    std::vector<bool> truths;
+    std::vector<data::StatementCategory> categories;
+    for (const data::Statement& s : book->statements) {
+      truths.push_back(s.is_true);
+      categories.push_back(s.category);
+    }
+    crowds.push_back(std::make_unique<crowd::SimulatedCrowd>(
+        truths, categories, crowd::WorkerBias::Uniform(pc), seed++));
+    crowd::LatencyOptions latency;
+    latency.median_seconds = latency_ms / 1e3;
+    latency.seed = seed * 31;
+    crowds.back()->ConfigureAsync(latency);
+    if (auto id = scheduler->AddInstanceAsync(
+            book->isbn, std::move(joint).value(), crowds.back().get());
+        !id.ok()) {
+      return Fail(id.status());
+    }
+  }
+
+  common::Stopwatch stopwatch;
+  auto records = scheduler->RunPipelined();
+  if (!records.ok()) return Fail(records.status());
+  const double wall_s = stopwatch.ElapsedSeconds();
+
+  for (size_t i = 0; i < books.size(); ++i) {
+    if (auto status = core::SaveJointDistribution(
+            scheduler->joint(static_cast<int>(i)),
+            JointPath(joint_dir, *books[i]));
+        !status.ok()) {
+      return Fail(status);
+    }
+  }
+  std::printf(
+      "refined %zu joints asynchronously: global budget %d, spent %d in %zu "
+      "steps, %.2fs wall (%.1f books/sec) at Pc=%.2f, max in flight %d, "
+      "crowd latency %.1f ms median\n",
+      books.size(), options.total_budget, scheduler->total_cost_spent(),
+      records->size(), wall_s,
+      static_cast<double>(books.size()) / std::max(wall_s, 1e-9), pc,
+      max_in_flight, latency_ms);
+  return 0;
+}
+
 int CmdRefine(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
-                 "usage: refine <claims.tsv> <joint-dir> [budget] [pc]\n");
+                 "usage: refine <claims.tsv> <joint-dir> [budget] [pc] "
+                 "[--async] [--threads N] [--max-in-flight M] "
+                 "[--latency-ms S]\n");
     return 2;
   }
   auto dataset = data::LoadBookDataset(argv[2]);
   if (!dataset.ok()) return Fail(dataset.status());
-  const int budget = argc > 4 ? std::atoi(argv[4]) : 30;
-  const double pc = argc > 5 ? std::atof(argv[5]) : 0.8;
+
+  // Positional args first, then flags (the async serving knobs).
+  int budget = 30;
+  double pc = 0.8;
+  bool use_async = false;
+  int threads = 0;
+  int max_in_flight = 4;
+  double latency_ms = 5.0;
+  int positional = 0;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--async") {
+      use_async = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--max-in-flight" && i + 1 < argc) {
+      max_in_flight = std::atoi(argv[++i]);
+    } else if (arg == "--latency-ms" && i + 1 < argc) {
+      latency_ms = std::atof(argv[++i]);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown refine flag: %s\n", arg.c_str());
+      return 2;
+    } else if (positional == 0) {
+      budget = std::atoi(arg.c_str());
+      ++positional;
+    } else if (positional == 1) {
+      pc = std::atof(arg.c_str());
+      ++positional;
+    } else {
+      std::fprintf(stderr, "unexpected refine argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
   auto crowd = core::CrowdModel::Create(pc);
   if (!crowd.ok()) return Fail(crowd.status());
   core::GreedySelector::Options greedy_options;
   greedy_options.use_pruning = true;
   greedy_options.use_preprocessing = true;
+  greedy_options.preprocessing_threads = threads;
   core::GreedySelector selector(greedy_options);
+
+  if (use_async) {
+    return RefineAsync(*dataset, argv[3], budget, pc, max_in_flight,
+                       latency_ms, &selector);
+  }
 
   int refined = 0;
   uint64_t seed = 12000;

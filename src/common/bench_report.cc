@@ -197,6 +197,13 @@ Result<BenchRecord> ParseRecord(Scanner& scanner) {
     } else if (key == "wall_ms" || key == "entropy_bits") {
       CF_ASSIGN_OR_RETURN(const double value, scanner.ParseNumber());
       (key == "wall_ms" ? record.wall_ms : record.entropy_bits) = value;
+    } else if (key == "throughput_per_sec" || key == "p50_ms" ||
+               key == "p95_ms") {
+      // v2 serving-throughput fields; absent from v1 files (default 0).
+      CF_ASSIGN_OR_RETURN(const double value, scanner.ParseNumber());
+      if (key == "throughput_per_sec") record.throughput_per_sec = value;
+      else if (key == "p50_ms") record.p50_ms = value;
+      else record.p95_ms = value;
     } else {
       CF_RETURN_IF_ERROR(scanner.SkipValue());
     }
@@ -214,7 +221,7 @@ std::string RecordKey(const BenchRecord& record) {
 
 std::string SerializeRecords(const std::vector<BenchRecord>& records) {
   std::ostringstream os;
-  os << "{\n  \"schema\": \"crowdfusion-bench-v1\",\n  \"records\": [";
+  os << "{\n  \"schema\": \"crowdfusion-bench-v2\",\n  \"records\": [";
   for (size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
     os << (i == 0 ? "\n" : ",\n");
@@ -222,7 +229,15 @@ std::string SerializeRecords(const std::vector<BenchRecord>& records) {
        << "\", \"config\": \"" << EscapeJsonString(r.config)
        << "\", \"n\": " << r.n << ", \"support\": " << r.support
        << ", \"k\": " << r.k << ", \"wall_ms\": " << FormatDouble(r.wall_ms)
-       << ", \"entropy_bits\": " << FormatDouble(r.entropy_bits) << "}";
+       << ", \"entropy_bits\": " << FormatDouble(r.entropy_bits);
+    // Serving-throughput fields only appear on rows that measured them,
+    // keeping selection-kernel rows in the familiar v1 shape.
+    if (r.throughput_per_sec != 0.0 || r.p50_ms != 0.0 || r.p95_ms != 0.0) {
+      os << ", \"throughput_per_sec\": " << FormatDouble(r.throughput_per_sec)
+         << ", \"p50_ms\": " << FormatDouble(r.p50_ms)
+         << ", \"p95_ms\": " << FormatDouble(r.p95_ms);
+    }
+    os << "}";
   }
   os << "\n  ]\n}\n";
   return os.str();

@@ -28,6 +28,13 @@ struct BenchRecord {
   double wall_ms = 0.0;
   /// H(T) of the selected set, bits.
   double entropy_bits = 0.0;
+  /// Serving-throughput rows (bench_service_throughput): completed units
+  /// (books) per wall-clock second. 0 for selection-kernel rows.
+  double throughput_per_sec = 0.0;
+  /// Median scheduling-step latency, milliseconds. 0 when not measured.
+  double p50_ms = 0.0;
+  /// 95th-percentile scheduling-step latency, milliseconds.
+  double p95_ms = 0.0;
 
   friend bool operator==(const BenchRecord& a, const BenchRecord& b) = default;
 };
@@ -36,7 +43,7 @@ struct BenchRecord {
 /// dependency. A report file looks like
 ///
 ///   {
-///     "schema": "crowdfusion-bench-v1",
+///     "schema": "crowdfusion-bench-v2",
 ///     "records": [
 ///       {"source": "bench_table5_runtime", "config": "Approx.&Pre.",
 ///        "n": 14, "support": 16384, "k": 5, "wall_ms": 1.25,

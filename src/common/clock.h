@@ -1,0 +1,56 @@
+#ifndef CROWDFUSION_COMMON_CLOCK_H_
+#define CROWDFUSION_COMMON_CLOCK_H_
+
+#include <mutex>
+
+namespace crowdfusion::common {
+
+/// Monotonic time source behind the async answer pipeline. Production code
+/// uses Clock::Real() (steady_clock + this_thread::sleep_for); tests inject
+/// a ManualClock so deadline/retry/latency paths run instantly and
+/// deterministically. All times are seconds since an arbitrary epoch.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  virtual double NowSeconds() = 0;
+
+  /// Blocks (or, for a manual clock, advances time) for `seconds`.
+  /// Non-positive durations return immediately.
+  virtual void SleepSeconds(double seconds) = 0;
+
+  /// Process-wide wall-clock instance. Never null; not owned by callers.
+  static Clock* Real();
+};
+
+/// Deterministic test clock: time only moves when a caller sleeps or the
+/// test advances it explicitly. Thread-safe, so concurrency tests can share
+/// one instance between a polling scheduler and an advancing test body.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(double start_seconds = 0.0) : now_(start_seconds) {}
+
+  double NowSeconds() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return now_;
+  }
+
+  void SleepSeconds(double seconds) override {
+    if (seconds <= 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_ += seconds;
+  }
+
+  void AdvanceSeconds(double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_ += seconds;
+  }
+
+ private:
+  std::mutex mutex_;
+  double now_;
+};
+
+}  // namespace crowdfusion::common
+
+#endif  // CROWDFUSION_COMMON_CLOCK_H_

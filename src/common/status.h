@@ -20,6 +20,8 @@ enum class StatusCode {
   kNotFound,
   kResourceExhausted,
   kInternal,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -50,6 +52,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,118 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace crowdfusion::common {
+
+namespace {
+
+int DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min(hw, 16u));
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = DefaultThreadCount();
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping so no submitted task is lost.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    int64_t begin, int64_t end,
+    const std::function<void(int64_t, int64_t)>& body, int max_shards) {
+  if (begin >= end) return;
+  const int64_t count = end - begin;
+  int shards = num_threads() + 1;  // workers plus the calling thread
+  if (max_shards > 0) shards = std::min(shards, max_shards);
+  shards = static_cast<int>(
+      std::min<int64_t>(static_cast<int64_t>(shards), count));
+  if (shards <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  // Shard-claiming control block shared with the helpers. The caller
+  // claims shards too, so completion never depends on a free worker.
+  struct Control {
+    std::atomic<int> next_shard{0};
+    std::atomic<int> done_shards{0};
+    std::mutex mutex;
+    std::condition_variable all_done;
+  };
+  auto control = std::make_shared<Control>();
+  const int64_t per_shard = (count + shards - 1) / shards;
+  auto run_shards = [control, shards, begin, end, per_shard, &body] {
+    for (;;) {
+      const int shard =
+          control->next_shard.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= shards) return;
+      const int64_t shard_begin =
+          begin + static_cast<int64_t>(shard) * per_shard;
+      const int64_t shard_end = std::min(shard_begin + per_shard, end);
+      if (shard_begin < shard_end) body(shard_begin, shard_end);
+      if (control->done_shards.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          shards) {
+        std::lock_guard<std::mutex> lock(control->mutex);
+        control->all_done.notify_all();
+      }
+    }
+  };
+  // Helpers capture the control block by value: if every shard is claimed
+  // by the caller before a helper runs, the helper exits immediately and
+  // must not touch the (gone) stack frame. `body` stays borrowed — shards
+  // all finish before ParallelFor returns.
+  for (int i = 0; i < shards - 1; ++i) Submit(run_shards);
+  run_shards();
+  std::unique_lock<std::mutex> lock(control->mutex);
+  control->all_done.wait(lock, [&control, shards] {
+    return control->done_shards.load(std::memory_order_acquire) == shards;
+  });
+}
+
+ThreadPool* ThreadPool::Shared() {
+  // Leaked intentionally: joining workers during static destruction would
+  // race with other teardown.
+  static ThreadPool* const kInstance = new ThreadPool();
+  return kInstance;
+}
+
+}  // namespace crowdfusion::common

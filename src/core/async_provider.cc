@@ -1,0 +1,157 @@
+#include "core/async_provider.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace crowdfusion::core {
+
+using common::Status;
+
+TicketLedger::TicketLedger(common::Clock* clock)
+    : clock_(clock == nullptr ? common::Clock::Real() : clock) {}
+
+TicketId TicketLedger::Add(Outcome outcome) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const TicketId id = next_id_++;
+  Record record;
+  record.ready_at = clock_->NowSeconds() + std::max(0.0, outcome.latency_seconds);
+  record.outcome = std::move(outcome);
+  tickets_.emplace(id, std::move(record));
+  return id;
+}
+
+common::Result<TicketStatus> TicketLedger::Poll(TicketId ticket) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) {
+    return Status::NotFound(
+        common::StrFormat("unknown or already-taken ticket %lld",
+                          static_cast<long long>(ticket)));
+  }
+  const Record& record = it->second;
+  TicketStatus status;
+  status.attempts_used = record.outcome.attempts_used;
+  const double remaining = record.ready_at - clock_->NowSeconds();
+  if (remaining > 0) {
+    status.phase = TicketPhase::kInFlight;
+    status.seconds_until_ready = remaining;
+  } else if (record.outcome.result.ok()) {
+    status.phase = TicketPhase::kReady;
+  } else {
+    status.phase = TicketPhase::kFailed;
+    status.error = record.outcome.result.status();
+  }
+  return status;
+}
+
+common::Result<std::vector<bool>> TicketLedger::Await(TicketId ticket) {
+  double remaining = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = tickets_.find(ticket);
+    if (it == tickets_.end()) {
+      return Status::NotFound(
+          common::StrFormat("unknown or already-taken ticket %lld",
+                            static_cast<long long>(ticket)));
+    }
+    remaining = it->second.ready_at - clock_->NowSeconds();
+  }
+  // Sleep outside the lock: with a real clock this blocks for the
+  // platform's remaining latency and must not stall Submit/Poll callers.
+  if (remaining > 0) clock_->SleepSeconds(remaining);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) {
+    return Status::NotFound(
+        common::StrFormat("ticket %lld taken concurrently",
+                          static_cast<long long>(ticket)));
+  }
+  common::Result<std::vector<bool>> result = std::move(it->second.outcome.result);
+  tickets_.erase(it);
+  return result;
+}
+
+void TicketLedger::Forget(TicketId ticket) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tickets_.erase(ticket);
+}
+
+int64_t TicketLedger::tickets_issued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_id_ - 1;
+}
+
+int64_t TicketLedger::live_tickets() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(tickets_.size());
+}
+
+TicketLedger::Outcome SimulateTicketAttempts(
+    const TicketOptions& options,
+    const std::function<common::Result<std::vector<bool>>(int attempt)>&
+        run_attempt,
+    const std::function<double(int attempt)>& attempt_latency) {
+  TicketLedger::Outcome outcome;
+  const int max_attempts = std::max(1, options.max_attempts);
+  double elapsed = 0.0;
+  Status last_error = Status::Unavailable("no attempt ran");
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) elapsed += std::max(0.0, options.retry_backoff_seconds);
+    if (attempt_latency != nullptr) {
+      elapsed += std::max(0.0, attempt_latency(attempt));
+    }
+    outcome.attempts_used = attempt;
+    if (elapsed > options.deadline_seconds) {
+      // The attempt would land past the deadline; the caller observes the
+      // failure the moment the deadline passes.
+      outcome.latency_seconds = options.deadline_seconds;
+      outcome.result = Status::DeadlineExceeded(common::StrFormat(
+          "ticket deadline of %.3fs passed during attempt %d",
+          options.deadline_seconds, attempt));
+      return outcome;
+    }
+    common::Result<std::vector<bool>> result = run_attempt(attempt);
+    if (result.ok()) {
+      outcome.latency_seconds = elapsed;
+      outcome.result = std::move(result);
+      return outcome;
+    }
+    last_error = result.status();
+  }
+  // Attempts exhausted: surface the last attempt's own status so a
+  // single-attempt ticket fails exactly as the blocking call would have;
+  // attempts_used records that retries happened.
+  outcome.latency_seconds = elapsed;
+  outcome.result = last_error;
+  return outcome;
+}
+
+SyncProviderAdapter::SyncProviderAdapter(AnswerProvider* provider,
+                                         common::Clock* clock)
+    : provider_(provider), ledger_(clock) {}
+
+common::Result<TicketId> SyncProviderAdapter::Submit(
+    std::span<const int> fact_ids, const TicketOptions& options) {
+  if (provider_ == nullptr) {
+    return Status::InvalidArgument("wrapped provider must not be null");
+  }
+  TicketLedger::Outcome outcome = SimulateTicketAttempts(
+      options,
+      [this, fact_ids](int) { return provider_->CollectAnswers(fact_ids); },
+      /*attempt_latency=*/nullptr);
+  return ledger_.Add(std::move(outcome));
+}
+
+common::Result<TicketStatus> SyncProviderAdapter::Poll(TicketId ticket) {
+  return ledger_.Poll(ticket);
+}
+
+common::Result<std::vector<bool>> SyncProviderAdapter::Await(TicketId ticket) {
+  return ledger_.Await(ticket);
+}
+
+void SyncProviderAdapter::Cancel(TicketId ticket) { ledger_.Forget(ticket); }
+
+}  // namespace crowdfusion::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace crowdfusion::core {
@@ -37,6 +38,11 @@ common::Result<CrowdFusionEngine> CrowdFusionEngine::Create(
 }
 
 common::Result<RoundRecord> CrowdFusionEngine::RunRound() {
+  // Debug guard on the borrow contract: Create() validated these non-null,
+  // so a null here means the owner destroyed (and zeroed) them while the
+  // engine was still running — the classic async hand-off footgun.
+  CF_DCHECK(selector_ != nullptr) << "selector destroyed before the engine";
+  CF_DCHECK(provider_ != nullptr) << "provider destroyed before the engine";
   if (!HasBudget()) {
     return Status::FailedPrecondition("budget exhausted");
   }

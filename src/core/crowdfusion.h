@@ -2,6 +2,7 @@
 #define CROWDFUSION_CORE_CROWDFUSION_H_
 
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/status.h"
@@ -15,7 +16,9 @@ namespace crowdfusion::core {
 
 /// Source of crowd answers for selected tasks. The production
 /// implementation is crowd::SimulatedCrowd (the gMission substitute); tests
-/// use scripted providers.
+/// use scripted providers. The asynchronous (ticketed) counterpart is
+/// core::AsyncAnswerProvider in core/async_provider.h; any blocking
+/// provider can be lifted to it with SyncProviderAdapter.
 class AnswerProvider {
  public:
   virtual ~AnswerProvider() = default;
@@ -39,6 +42,12 @@ struct RoundRecord {
   SelectionStats selection_stats;
 };
 
+/// Engine configuration. Copy-safe by design: the struct owns only plain
+/// values, and its single pointer member is an explicitly *borrowed*
+/// reference, so copies share the same policy object and never double-free
+/// or dangle on their own — the caller keeps the policy alive for as long
+/// as any engine configured with it runs (asserted, debug-only, each
+/// round).
 struct EngineOptions {
   /// Total number of tasks the engine may spend (B in Section V-A).
   int budget = 60;
@@ -46,19 +55,30 @@ struct EngineOptions {
   /// min(k, n, remaining budget) tasks.
   int tasks_per_round = 1;
   /// Optional adaptive k policy; when set it overrides tasks_per_round
-  /// each round (still clamped to [1, min(n, remaining budget)]). Not
-  /// owned; must outlive the engine.
+  /// each round (still clamped to [1, min(n, remaining budget)]).
+  /// Borrowed, never owned or deleted; must outlive every engine (and
+  /// every copy of this options struct) that uses it.
   RoundPolicy* round_policy = nullptr;
 };
+
+static_assert(std::is_trivially_copyable_v<EngineOptions>,
+              "EngineOptions must stay trivially copyable: engines and "
+              "experiment configs copy it freely across async hand-offs");
 
 /// The CrowdFusion system loop (Figure 1): starting from any probabilistic
 /// fusion result, repeatedly select tasks, collect crowd answers, and merge
 /// them via Bayes until the budget runs out.
 ///
-/// The engine does not own the selector or the provider; both must outlive
-/// it. The crowd model is the accuracy the *system* assumes — experiments
-/// may pair it with a provider whose true accuracy differs (the paper's Pc
-/// setting study).
+/// Lifetime contract (load-bearing now that engines are handed across
+/// threads and overlap with in-flight crowd tickets): the engine BORROWS
+/// the selector, the provider, and options.round_policy — it never owns or
+/// deletes them, and all three must outlive the engine and every
+/// outstanding round started through it. Violations are asserted
+/// (debug-only) at each round; in release they are undefined behavior.
+/// The crowd model is copied by value, as is the joint — only those three
+/// pointers are borrowed. The crowd model is the accuracy the *system*
+/// assumes — experiments may pair it with a provider whose true accuracy
+/// differs (the paper's Pc setting study).
 class CrowdFusionEngine {
  public:
   static common::Result<CrowdFusionEngine> Create(JointDistribution initial,

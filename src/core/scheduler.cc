@@ -1,6 +1,7 @@
 #include "core/scheduler.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -22,12 +23,36 @@ common::Result<BudgetScheduler> BudgetScheduler::Create(CrowdModel crowd,
   if (options.tasks_per_step <= 0) {
     return Status::InvalidArgument("tasks_per_step must be positive");
   }
+  if (options.max_in_flight < 1) {
+    return Status::InvalidArgument("max_in_flight must be >= 1");
+  }
+  if (options.ticket.max_attempts < 1) {
+    return Status::InvalidArgument("ticket.max_attempts must be >= 1");
+  }
+  if (!(options.max_poll_seconds > 0)) {
+    return Status::InvalidArgument("max_poll_seconds must be positive");
+  }
   return BudgetScheduler(crowd, selector, options);
 }
 
 common::Result<int> BudgetScheduler::AddInstance(std::string name,
                                                  JointDistribution joint,
                                                  AnswerProvider* provider) {
+  if (provider == nullptr) {
+    return Status::InvalidArgument("answer provider must not be null");
+  }
+  auto adapter =
+      std::make_unique<SyncProviderAdapter>(provider, options_.clock);
+  AsyncAnswerProvider* endpoint = adapter.get();
+  CF_ASSIGN_OR_RETURN(const int index,
+                      AddInstanceAsync(std::move(name), std::move(joint),
+                                       endpoint));
+  instances_[static_cast<size_t>(index)].owned_adapter = std::move(adapter);
+  return index;
+}
+
+common::Result<int> BudgetScheduler::AddInstanceAsync(
+    std::string name, JointDistribution joint, AsyncAnswerProvider* provider) {
   if (provider == nullptr) {
     return Status::InvalidArgument("answer provider must not be null");
   }
@@ -46,33 +71,33 @@ common::Result<int> BudgetScheduler::AddInstance(std::string name,
 }
 
 common::Status BudgetScheduler::RefreshSelection(Instance& instance, int k) {
-  if (instance.selection_valid) return Status::Ok();
+  const int effective_k = std::min(k, instance.joint.num_facts());
+  if (instance.selection_valid && instance.cached_k == effective_k) {
+    return Status::Ok();
+  }
   SelectionRequest request;
   request.joint = &instance.joint;
   request.crowd = &crowd_;
-  request.k = std::min(k, instance.joint.num_facts());
+  request.k = effective_k;
   CF_ASSIGN_OR_RETURN(instance.cached_selection,
                       selector_->Select(request));
   instance.selection_valid = true;
+  instance.cached_k = effective_k;
   return Status::Ok();
 }
 
-common::Result<BudgetScheduler::StepRecord> BudgetScheduler::RunStep() {
-  if (!HasBudget()) {
-    return Status::FailedPrecondition("global budget exhausted");
-  }
-  if (instances_.empty()) {
-    return Status::FailedPrecondition("no instances registered");
-  }
-  const int k =
-      std::min(options_.tasks_per_step, options_.total_budget - cost_spent_);
-
-  // Pick the instance whose cached best selection promises the largest
-  // expected quality gain per task.
+common::Result<int> BudgetScheduler::PickBestIdleInstance(int k) {
+  // Debug guard on the borrow contract (see EngineOptions): the selector
+  // and every instance provider are borrowed and must outlive the
+  // scheduler, including while tickets are in flight.
+  CF_DCHECK(selector_ != nullptr) << "selector destroyed under the scheduler";
+  // Pick the idle instance whose cached best selection promises the
+  // largest expected quality gain per task.
   int best_instance = -1;
   double best_gain = 0.0;
   for (size_t i = 0; i < instances_.size(); ++i) {
     Instance& instance = instances_[i];
+    if (instance.in_flight) continue;
     CF_RETURN_IF_ERROR(RefreshSelection(instance, k));
     if (instance.cached_selection.tasks.empty()) continue;
     const double tasks =
@@ -86,39 +111,101 @@ common::Result<BudgetScheduler::StepRecord> BudgetScheduler::RunStep() {
       best_gain = gain;
     }
   }
+  return best_instance;
+}
 
+void BudgetScheduler::AbandonInFlightTickets() {
+  for (Instance& instance : instances_) {
+    if (!instance.in_flight) continue;
+    // The ticket will never be awaited; tell the provider to drop its
+    // bookkeeping so abandoned tickets can't pile up in a long-lived
+    // serving process.
+    instance.provider->Cancel(instance.ticket);
+    instance.in_flight = false;
+  }
+  cost_reserved_ = cost_spent_;
+}
+
+common::Status BudgetScheduler::SubmitSelection(Instance& instance,
+                                                double now) {
+  CF_DCHECK(!instance.in_flight);
+  instance.pending_tasks = instance.cached_selection.tasks;
+  instance.pending_gain_bits =
+      instance.cached_selection.entropy_bits -
+      static_cast<double>(instance.pending_tasks.size()) *
+          crowd_.EntropyBits();
+  CF_ASSIGN_OR_RETURN(instance.ticket,
+                      instance.provider->Submit(instance.pending_tasks,
+                                                options_.ticket));
+  instance.in_flight = true;
+  instance.submitted_at = now;
+  cost_reserved_ += static_cast<int>(instance.pending_tasks.size());
+  return Status::Ok();
+}
+
+common::Result<BudgetScheduler::StepRecord> BudgetScheduler::HarvestTicket(
+    Instance& instance, double now) {
+  CF_DCHECK(instance.in_flight);
   StepRecord record;
   record.step = steps_run_++;
-  record.cumulative_cost = cost_spent_;
-  if (best_instance < 0) {
-    // Nothing anywhere has positive benefit; signal exhaustion.
-    record.instance = -1;
-    record.total_utility_bits = TotalUtilityBits();
-    return record;
-  }
-
-  Instance& winner = instances_[static_cast<size_t>(best_instance)];
-  record.instance = best_instance;
-  record.tasks = winner.cached_selection.tasks;
-  record.expected_gain_bits =
-      winner.cached_selection.entropy_bits -
-      static_cast<double>(record.tasks.size()) * crowd_.EntropyBits();
-
+  record.instance =
+      static_cast<int>(&instance - instances_.data());
+  record.tasks = instance.pending_tasks;
+  record.expected_gain_bits = instance.pending_gain_bits;
+  record.latency_seconds = now - instance.submitted_at;
+  instance.in_flight = false;
   CF_ASSIGN_OR_RETURN(record.answers,
-                      winner.provider->CollectAnswers(record.tasks));
+                      instance.provider->Await(instance.ticket));
   if (record.answers.size() != record.tasks.size()) {
     return Status::Internal(common::StrFormat(
         "provider returned %zu answers for %zu tasks", record.answers.size(),
         record.tasks.size()));
   }
   AnswerSet answer_set{record.tasks, record.answers};
-  CF_ASSIGN_OR_RETURN(winner.joint,
-                      PosteriorGivenAnswers(winner.joint, answer_set, crowd_));
-  winner.selection_valid = false;  // joint changed
-  winner.cost_spent += static_cast<int>(record.tasks.size());
+  CF_ASSIGN_OR_RETURN(instance.joint,
+                      PosteriorGivenAnswers(instance.joint, answer_set,
+                                            crowd_));
+  instance.selection_valid = false;  // joint changed
+  instance.cost_spent += static_cast<int>(record.tasks.size());
   cost_spent_ += static_cast<int>(record.tasks.size());
   record.cumulative_cost = cost_spent_;
   record.total_utility_bits = TotalUtilityBits();
+  return record;
+}
+
+common::Result<BudgetScheduler::StepRecord> BudgetScheduler::RunStep() {
+  if (!HasBudget()) {
+    return Status::FailedPrecondition("global budget exhausted");
+  }
+  if (instances_.empty()) {
+    return Status::FailedPrecondition("no instances registered");
+  }
+  const int k =
+      std::min(options_.tasks_per_step, options_.total_budget - cost_spent_);
+  // Blocking mode has nothing in flight; drop any ticket state an aborted
+  // pipelined run left behind so those instances schedule again.
+  AbandonInFlightTickets();
+  CF_ASSIGN_OR_RETURN(const int best_instance, PickBestIdleInstance(k));
+
+  if (best_instance < 0) {
+    // Nothing anywhere has positive benefit; signal exhaustion.
+    StepRecord record;
+    record.step = steps_run_++;
+    record.cumulative_cost = cost_spent_;
+    record.instance = -1;
+    record.total_utility_bits = TotalUtilityBits();
+    return record;
+  }
+
+  // Submit the winner's ticket and block through the crowd's latency: the
+  // paper's synchronous collect, expressed on the async contract.
+  Instance& winner = instances_[static_cast<size_t>(best_instance)];
+  CF_RETURN_IF_ERROR(SubmitSelection(winner, clock()->NowSeconds()));
+  CF_ASSIGN_OR_RETURN(StepRecord record,
+                      HarvestTicket(winner, clock()->NowSeconds()));
+  // Await slept through the remaining latency; stamp the full wait.
+  record.latency_seconds = clock()->NowSeconds() - winner.submitted_at;
+  cost_reserved_ = cost_spent_;
   return record;
 }
 
@@ -130,6 +217,88 @@ BudgetScheduler::Run() {
     const bool exhausted = record.instance < 0;
     records.push_back(std::move(record));
     if (exhausted) break;
+  }
+  return records;
+}
+
+common::Result<std::vector<BudgetScheduler::StepRecord>>
+BudgetScheduler::RunPipelined() {
+  if (instances_.empty()) {
+    return Status::FailedPrecondition("no instances registered");
+  }
+  // Drop any in-flight state a previously aborted run left behind.
+  AbandonInFlightTickets();
+  int in_flight_count = 0;
+
+  std::vector<StepRecord> records;
+  for (;;) {
+    // Launch: fill the in-flight window with the best idle instances. The
+    // early Poll-break makes the zero-latency schedule merge each batch
+    // before the next launch decision, reproducing the blocking loop
+    // exactly; real-latency tickets stay pending, so the window fills and
+    // answer latencies overlap.
+    while (in_flight_count < options_.max_in_flight &&
+           cost_reserved_ < options_.total_budget) {
+      const int k = std::min(options_.tasks_per_step,
+                             options_.total_budget - cost_reserved_);
+      CF_ASSIGN_OR_RETURN(const int best, PickBestIdleInstance(k));
+      if (best < 0) break;
+      Instance& launched = instances_[static_cast<size_t>(best)];
+      CF_RETURN_IF_ERROR(
+          SubmitSelection(launched, clock()->NowSeconds()));
+      ++in_flight_count;
+      CF_ASSIGN_OR_RETURN(const TicketStatus ticket_status,
+                          launched.provider->Poll(launched.ticket));
+      if (ticket_status.phase != TicketPhase::kInFlight) break;
+    }
+
+    if (in_flight_count == 0) {
+      if (HasBudget()) {
+        // Budget remains but no instance has positive-gain tasks left;
+        // emit the same exhaustion marker the blocking loop does.
+        StepRecord record;
+        record.step = steps_run_++;
+        record.cumulative_cost = cost_spent_;
+        record.instance = -1;
+        record.total_utility_bits = TotalUtilityBits();
+        records.push_back(std::move(record));
+      }
+      break;
+    }
+
+    // Wait: sleep exactly until the earliest outstanding ticket resolves
+    // (capped so a misreporting provider cannot stall the loop forever).
+    for (;;) {
+      bool any_resolved = false;
+      double min_wait = std::numeric_limits<double>::infinity();
+      for (Instance& instance : instances_) {
+        if (!instance.in_flight) continue;
+        CF_ASSIGN_OR_RETURN(const TicketStatus ticket_status,
+                            instance.provider->Poll(instance.ticket));
+        if (ticket_status.phase != TicketPhase::kInFlight) {
+          any_resolved = true;
+        } else {
+          min_wait = std::min(min_wait, ticket_status.seconds_until_ready);
+        }
+      }
+      if (any_resolved) break;
+      clock()->SleepSeconds(
+          std::min(std::max(min_wait, 1.0e-6), options_.max_poll_seconds));
+    }
+
+    // Harvest every resolved ticket (ascending instance order, for
+    // determinism), merging answers and re-ranking lazily: only the merged
+    // instances' cached selections are invalidated.
+    for (Instance& instance : instances_) {
+      if (!instance.in_flight) continue;
+      CF_ASSIGN_OR_RETURN(const TicketStatus ticket_status,
+                          instance.provider->Poll(instance.ticket));
+      if (ticket_status.phase == TicketPhase::kInFlight) continue;
+      CF_ASSIGN_OR_RETURN(StepRecord record,
+                          HarvestTicket(instance, clock()->NowSeconds()));
+      records.push_back(std::move(record));
+      --in_flight_count;
+    }
   }
   return records;
 }

@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
+#include "core/async_provider.h"
 #include "core/crowdfusion.h"
 #include "core/task_selector.h"
 
@@ -26,6 +28,19 @@ namespace crowdfusion::core {
 /// Instances are independent CrowdFusion problems (their joints never
 /// interact); the scheduler owns the joints and queries the selector
 /// lazily, re-evaluating only the instance whose distribution changed.
+///
+/// Two serving modes share that policy:
+///  * Blocking (`RunStep`/`Run`): one ticket at a time — submit the
+///    winner's tasks, block through the crowd's latency, merge. This is
+///    the paper's Figure-1 loop verbatim.
+///  * Pipelined (`RunPipelined`): keeps up to `max_in_flight` ticket
+///    batches outstanding. While one instance's answers are in flight the
+///    scheduler selects and submits for the next-best instances, and
+///    re-ranks ΔQ lazily as merges land (only the merged instance's
+///    cached selection is invalidated). With a zero-latency provider the
+///    pipelined schedule reproduces the blocking one exactly; with real
+///    latency, selection compute for book B overlaps answer latency for
+///    book A.
 class BudgetScheduler {
  public:
   struct Options {
@@ -33,6 +48,20 @@ class BudgetScheduler {
     int total_budget = 600;
     /// Tasks per scheduling step (the k handed to the selector).
     int tasks_per_step = 1;
+    /// Outstanding ticket batches RunPipelined may keep in flight (>= 1).
+    int max_in_flight = 4;
+    /// Service contract stamped on every submitted ticket. max_attempts
+    /// defaults to 1 here (not TicketOptions' 3) so a failing provider
+    /// surfaces its error after exactly one collection call, as the
+    /// blocking loop always did; raise it to opt into retries.
+    TicketOptions ticket = {.max_attempts = 1};
+    /// Time source for poll sleeps; nullptr means Clock::Real(). Tests
+    /// inject a ManualClock shared with the providers. Not owned; must
+    /// outlive the scheduler.
+    common::Clock* clock = nullptr;
+    /// Longest single poll sleep while waiting on in-flight tickets, so a
+    /// provider under-reporting its readiness can't stall the loop.
+    double max_poll_seconds = 0.050;
   };
 
   struct StepRecord {
@@ -45,9 +74,13 @@ class BudgetScheduler {
     /// Sum of Q(F) over all instances after the merge.
     double total_utility_bits = 0.0;
     int cumulative_cost = 0;
+    /// Submit-to-merge delay of this step's ticket, seconds (0 for
+    /// zero-latency providers).
+    double latency_seconds = 0.0;
   };
 
-  /// The selector must outlive the scheduler.
+  /// The selector is borrowed and must outlive the scheduler; the
+  /// scheduler never deletes it.
   static common::Result<BudgetScheduler> Create(CrowdModel crowd,
                                                 TaskSelector* selector,
                                                 Options options);
@@ -55,22 +88,38 @@ class BudgetScheduler {
   BudgetScheduler(BudgetScheduler&&) = default;
   BudgetScheduler& operator=(BudgetScheduler&&) = default;
 
-  /// Registers an instance; returns its index. The provider must outlive
-  /// the scheduler.
+  /// Registers an instance served by a synchronous provider; the scheduler
+  /// wraps it in an owned zero-latency SyncProviderAdapter, so both run
+  /// modes work. Returns the instance index. The provider is borrowed and
+  /// must outlive the scheduler.
   common::Result<int> AddInstance(std::string name, JointDistribution joint,
                                   AnswerProvider* provider);
+
+  /// Registers an instance served natively asynchronously (e.g. a
+  /// latency-simulating crowd). The provider is borrowed and must outlive
+  /// the scheduler.
+  common::Result<int> AddInstanceAsync(std::string name,
+                                       JointDistribution joint,
+                                       AsyncAnswerProvider* provider);
 
   int num_instances() const { return static_cast<int>(instances_.size()); }
   bool HasBudget() const { return cost_spent_ < options_.total_budget; }
 
-  /// Runs one step: find the instance with the best expected gain, ask its
-  /// selected tasks, merge. Precondition: HasBudget() and at least one
-  /// instance. Returns a record with instance = -1 if no instance has any
-  /// positive-gain task left.
+  /// Runs one blocking step: find the instance with the best expected
+  /// gain, submit its selected tasks, block until the answers land, merge.
+  /// Precondition: HasBudget() and at least one instance. Returns a record
+  /// with instance = -1 if no instance has any positive-gain task left.
   common::Result<StepRecord> RunStep();
 
-  /// Runs until the budget is gone or no gain remains anywhere.
+  /// Runs blocking steps until the budget is gone or no gain remains.
   common::Result<std::vector<StepRecord>> Run();
+
+  /// Runs the overlap-capable serving loop until the budget is gone or no
+  /// gain remains anywhere, keeping up to Options::max_in_flight ticket
+  /// batches outstanding. Records are in merge order. A ticket that fails
+  /// terminally (after the provider's own retries) aborts the run with its
+  /// status.
+  common::Result<std::vector<StepRecord>> RunPipelined();
 
   const JointDistribution& joint(int instance) const;
   const std::string& name(int instance) const;
@@ -84,12 +133,26 @@ class BudgetScheduler {
   struct Instance {
     std::string name;
     JointDistribution joint;
-    AnswerProvider* provider = nullptr;
+    /// Serving endpoint. Either borrowed (AddInstanceAsync) or pointing at
+    /// owned_adapter (AddInstance).
+    AsyncAnswerProvider* provider = nullptr;
+    /// Owns the adapter when the instance was registered with a sync
+    /// provider; the wrapped sync provider itself stays borrowed.
+    std::unique_ptr<SyncProviderAdapter> owned_adapter;
     int cost_spent = 0;
     /// Cached best selection for the current joint; empty tasks means the
-    /// selector found no benefit. Invalidated on merge.
+    /// selector found no benefit. Invalidated on merge, and recomputed
+    /// when the requested k changes (a selection cached under a larger k
+    /// must never be submitted against a smaller remaining budget).
     bool selection_valid = false;
+    int cached_k = 0;
     Selection cached_selection;
+    /// In-flight ticket state (RunPipelined).
+    bool in_flight = false;
+    TicketId ticket = 0;
+    std::vector<int> pending_tasks;
+    double pending_gain_bits = 0.0;
+    double submitted_at = 0.0;
   };
 
   BudgetScheduler(CrowdModel crowd, TaskSelector* selector, Options options)
@@ -98,11 +161,32 @@ class BudgetScheduler {
   /// Refreshes the cached selection of one instance if stale.
   common::Status RefreshSelection(Instance& instance, int k);
 
+  /// Best-ΔQ-per-task instance among those not in flight, refreshing stale
+  /// selections; -1 when no instance has a positive-gain selection.
+  common::Result<int> PickBestIdleInstance(int k);
+
+  /// Cancels and clears every in-flight ticket (an aborted run's
+  /// leftovers) and re-bases the budget reservation.
+  void AbandonInFlightTickets();
+
+  /// Submits `instance`'s cached selection and marks it in flight.
+  common::Status SubmitSelection(Instance& instance, double now);
+
+  /// Merges a resolved ticket's answers and emits its StepRecord.
+  common::Result<StepRecord> HarvestTicket(Instance& instance, double now);
+
+  common::Clock* clock() const {
+    return options_.clock == nullptr ? common::Clock::Real() : options_.clock;
+  }
+
   CrowdModel crowd_;
   TaskSelector* selector_;
   Options options_;
   std::vector<Instance> instances_;
   int cost_spent_ = 0;
+  /// cost_spent_ plus tasks reserved by in-flight tickets; launch
+  /// decisions budget against this so overlap cannot overspend.
+  int cost_reserved_ = 0;
   int steps_run_ = 0;
 };
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <numeric>
-#include <thread>
 
 #include "common/logging.h"
 #include "common/math_util.h"
@@ -44,27 +43,70 @@ std::vector<double> SparsePartitionRefiner::CellSumsWithCandidate(
   return sums;
 }
 
-double SparsePartitionRefiner::EntropyWithCandidate(int fact) const {
+std::vector<double> SparsePartitionRefiner::CellSumsWithCandidateSharded(
+    int fact, int shards, common::ThreadPool& pool) const {
+  CF_CHECK(fact >= 0 && fact < num_facts_)
+      << "candidate fact id out of range: " << fact;
+  const size_t count = masks_.size();
+  const size_t cells = static_cast<size_t>(num_parts_) * 2;
+  const size_t per_shard =
+      (count + static_cast<size_t>(shards) - 1) / static_cast<size_t>(shards);
+  // One cell accumulator per shard; boundaries are fixed by the shard
+  // count, so the floating-point reduction order (and thus the result) is
+  // deterministic regardless of which worker runs which shard.
+  std::vector<std::vector<double>> partials(
+      static_cast<size_t>(shards), std::vector<double>(cells, 0.0));
+  pool.ParallelFor(
+      0, shards,
+      [this, fact, count, per_shard, &partials](int64_t shard_begin,
+                                                int64_t shard_end) {
+        for (int64_t shard = shard_begin; shard < shard_end; ++shard) {
+          std::vector<double>& sums = partials[static_cast<size_t>(shard)];
+          const size_t begin = static_cast<size_t>(shard) * per_shard;
+          const size_t end = std::min(begin + per_shard, count);
+          for (size_t i = begin; i < end; ++i) {
+            const size_t cell = (static_cast<size_t>(part_of_[i]) << 1) |
+                                ((masks_[i] >> fact) & 1ULL);
+            sums[cell] += probs_[i];
+          }
+        }
+      },
+      shards);
+  std::vector<double> sums = std::move(partials.front());
+  for (size_t shard = 1; shard < partials.size(); ++shard) {
+    for (size_t cell = 0; cell < cells; ++cell) {
+      sums[cell] += partials[shard][cell];
+    }
+  }
+  return sums;
+}
+
+double SparsePartitionRefiner::EntropyFromCellSums(
+    std::vector<double> sums) const {
   const int k = static_cast<int>(committed_.size());
-  CF_CHECK(k < kMaxCommittedTasks) << "committed set too large to refine";
-  std::vector<double> sums = CellSumsWithCandidate(fact);
   crowd_.PushThroughChannel(sums, k + 1);
   return common::Entropy(sums);
 }
 
+double SparsePartitionRefiner::EntropyWithCandidate(int fact) const {
+  CF_CHECK(static_cast<int>(committed_.size()) < kMaxCommittedTasks)
+      << "committed set too large to refine";
+  return EntropyFromCellSums(CellSumsWithCandidate(fact));
+}
+
 int SparsePartitionRefiner::ResolveThreads(size_t num_candidates) const {
-  if (options_.num_threads == 1 || num_candidates < 2) return 1;
+  if (options_.num_threads == 1 || num_candidates == 0) return 1;
   const int64_t work =
       static_cast<int64_t>(masks_.size()) *
       static_cast<int64_t>(num_candidates);
   if (work < options_.min_parallel_work) return 1;
-  int threads = options_.num_threads;
-  if (threads <= 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw == 0 ? 1 : static_cast<int>(std::min(hw, 8u));
-  }
-  return static_cast<int>(
-      std::min<size_t>(static_cast<size_t>(threads), num_candidates));
+  common::ThreadPool* pool =
+      options_.pool == nullptr ? common::ThreadPool::Shared() : options_.pool;
+  const int available = pool->num_threads() + 1;  // workers + caller
+  const int threads =
+      options_.num_threads > 0 ? std::min(options_.num_threads, available)
+                               : std::min(available, 8);
+  return std::max(1, threads);
 }
 
 std::vector<double> SparsePartitionRefiner::EntropiesWithCandidates(
@@ -77,24 +119,36 @@ std::vector<double> SparsePartitionRefiner::EntropiesWithCandidates(
     }
     return out;
   }
-  // Shard candidates across threads; every evaluation only reads the
-  // shared arrays, so the workers are embarrassingly parallel.
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(threads));
-  const size_t per_thread =
-      (facts.size() + static_cast<size_t>(threads) - 1) /
-      static_cast<size_t>(threads);
-  for (int t = 0; t < threads; ++t) {
-    const size_t begin = static_cast<size_t>(t) * per_thread;
-    const size_t end = std::min(begin + per_thread, facts.size());
-    if (begin >= end) break;
-    workers.emplace_back([this, &facts, &out, begin, end] {
-      for (size_t i = begin; i < end; ++i) {
-        out[i] = EntropyWithCandidate(facts[i]);
-      }
-    });
+  CF_CHECK(static_cast<int>(committed_.size()) < kMaxCommittedTasks)
+      << "committed set too large to refine";
+  common::ThreadPool* pool =
+      options_.pool == nullptr ? common::ThreadPool::Shared() : options_.pool;
+  if (facts.size() >= static_cast<size_t>(threads)) {
+    // Enough candidates to keep every shard busy: shard by candidate.
+    // Evaluations only read the shared arrays, so shards are
+    // embarrassingly parallel.
+    pool->ParallelFor(
+        0, static_cast<int64_t>(facts.size()),
+        [this, &facts, &out](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) {
+            out[static_cast<size_t>(i)] =
+                EntropyWithCandidate(facts[static_cast<size_t>(i)]);
+          }
+        },
+        threads);
+    return out;
   }
-  for (std::thread& worker : workers) worker.join();
+  // Few candidates over a very large support (the tail of a pruned greedy
+  // round): shard the O(|O|) entry scan itself instead, one candidate at
+  // a time. The shard count is a fixed constant — NOT the pool size — so
+  // the floating-point reduction order, and therefore the entropies and
+  // any near-tie greedy argmax they feed, are identical on every machine.
+  const int entry_shards = static_cast<int>(
+      std::min<size_t>(kEntryShards, masks_.size()));
+  for (size_t i = 0; i < facts.size(); ++i) {
+    out[i] = EntropyFromCellSums(
+        CellSumsWithCandidateSharded(facts[i], entry_shards, *pool));
+  }
   return out;
 }
 

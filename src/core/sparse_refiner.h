@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/crowd_model.h"
 #include "core/joint_distribution.h"
 
@@ -28,8 +29,11 @@ namespace crowdfusion::core {
 /// Layout is struct-of-arrays and the entries are kept counting-sorted by
 /// cell id after every commit ("sort by refined cell"), so the hot scan
 /// reads three parallel arrays sequentially and its cell accumulator walks
-/// monotonically. Candidate batches can be sharded across std::threads;
-/// the shared arrays are read-only during evaluation so threads need no
+/// monotonically. Batch evaluation runs on a common::ThreadPool (reused
+/// workers, no per-batch thread spawn): large candidate batches shard by
+/// candidate, while small batches over very large supports shard the
+/// O(|O|) entry scan itself (per-shard cell accumulators, one reduction).
+/// The shared arrays are read-only during evaluation so shards need no
 /// synchronization.
 ///
 /// Supports the full n <= JointDistribution::kMaxFacts = 64 fact range.
@@ -38,16 +42,25 @@ namespace crowdfusion::core {
 class SparsePartitionRefiner {
  public:
   struct Options {
-    /// Threads for batch candidate evaluation. 0 = auto (hardware
-    /// concurrency, capped); 1 = always serial.
+    /// Shard cap for batch evaluation. 0 = auto (the pool's worker count
+    /// plus the calling thread, capped); 1 = always serial.
     int num_threads = 0;
     /// Minimum support-entries-times-candidates product before a batch
-    /// evaluation bothers spawning threads.
+    /// evaluation bothers going parallel.
     int64_t min_parallel_work = int64_t{1} << 16;
+    /// Worker pool for parallel evaluation. Borrowed; must outlive the
+    /// refiner. nullptr uses the process-wide ThreadPool::Shared().
+    common::ThreadPool* pool = nullptr;
   };
 
   /// Largest committed-set size |T|; 2^(|T|+1) cells must stay cheap.
   static constexpr int kMaxCommittedTasks = 20;
+
+  /// Fixed shard count for entry-level sharding. A constant (not the pool
+  /// size) so the partial-sum reduction order — and with it every entropy
+  /// down to the last bit — is machine-independent; the pool merely
+  /// executes however many of these shards it can in parallel.
+  static constexpr size_t kEntryShards = 8;
 
   /// Copies the support out of `joint` (the refiner permutes its own copy)
   /// and the crowd model by value; neither argument needs to outlive it.
@@ -62,8 +75,12 @@ class SparsePartitionRefiner {
   /// H(T ∪ {fact}) in bits, where T is the committed set. One O(|O|) scan.
   double EntropyWithCandidate(int fact) const;
 
-  /// H(T ∪ {fact}) for every fact in `facts`, sharded across threads when
-  /// the batch is large enough. Equivalent to mapping EntropyWithCandidate.
+  /// H(T ∪ {fact}) for every fact in `facts`, sharded across the pool
+  /// when the batch is large enough: by candidate (bit-identical to
+  /// mapping EntropyWithCandidate), or by support entry when candidates
+  /// are few but |O| is very large (same values up to the fixed
+  /// kEntryShards-way summation order — deterministic and
+  /// machine-independent, but not bit-identical to the serial scan).
   std::vector<double> EntropiesWithCandidates(std::span<const int> facts) const;
 
   /// Adds `fact` to the committed set: refines every cell by its judgment
@@ -80,6 +97,14 @@ class SparsePartitionRefiner {
  private:
   /// Unnoised refined cell masses for T ∪ {fact}: cell (part << 1) | bit.
   std::vector<double> CellSumsWithCandidate(int fact) const;
+
+  /// Entry-sharded CellSumsWithCandidate: splits the support scan into
+  /// `shards` fixed ranges on the pool and reduces the per-shard cell
+  /// accumulators. Deterministic for a fixed shard count.
+  std::vector<double> CellSumsWithCandidateSharded(
+      int fact, int shards, common::ThreadPool& pool) const;
+
+  double EntropyFromCellSums(std::vector<double> sums) const;
 
   int ResolveThreads(size_t num_candidates) const;
 

@@ -1,0 +1,67 @@
+#ifndef CROWDFUSION_CROWD_LATENCY_MODEL_H_
+#define CROWDFUSION_CROWD_LATENCY_MODEL_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace crowdfusion::crowd {
+
+/// Shape of the simulated crowd's answer latency and flakiness. Real
+/// platforms answer in seconds-to-minutes with a heavy right tail; the
+/// model is lognormal (median * e^(sigma*N(0,1))) per task, scaled by the
+/// assigned worker's speed, with optional stragglers (tasks that take
+/// `straggler_factor` times longer — the "worker walked away" case that
+/// per-ticket deadlines exist to cut off) and injectable hard failures
+/// (an attempt that never returns answers and must be retried).
+struct LatencyOptions {
+  /// Median per-task latency, seconds. 0 disables latency simulation
+  /// entirely (tickets resolve at submit time).
+  double median_seconds = 0.0;
+  /// Lognormal spread; 0 makes every task take exactly the median.
+  double sigma = 0.5;
+  /// Probability that a whole attempt fails outright (kUnavailable) and
+  /// the provider retries under the ticket's bounded-retry contract.
+  double failure_probability = 0.0;
+  /// Probability a task is a straggler.
+  double straggler_probability = 0.0;
+  /// Latency multiplier for stragglers.
+  double straggler_factor = 10.0;
+  uint64_t seed = 4242;
+};
+
+/// Seeded sampler over LatencyOptions. Latency draws come from their own
+/// RNG stream, so enabling latency never perturbs the judgment stream —
+/// a crowd with and without latency gives identical answers.
+class LatencyModel {
+ public:
+  LatencyModel() : LatencyModel(LatencyOptions{}) {}
+  explicit LatencyModel(LatencyOptions options);
+
+  bool enabled() const { return options_.median_seconds > 0; }
+  const LatencyOptions& options() const { return options_; }
+
+  /// Latency of one task handled by a worker of the given relative speed
+  /// (1.0 = typical; larger = slower). 0 when disabled.
+  double SampleTaskSeconds(double worker_scale = 1.0);
+
+  /// True when an attempt should fail outright.
+  bool SampleFailure();
+
+  /// A per-worker speed scale, uniform in [0.6, 1.6) — slow and fast
+  /// workers for a platform pool.
+  double SampleWorkerScale();
+
+  /// Uniform index in [0, bound), from the latency stream (so assigning
+  /// workers to tickets never perturbs the judgment stream). Precondition:
+  /// bound > 0.
+  uint64_t SampleIndex(uint64_t bound);
+
+ private:
+  LatencyOptions options_;
+  common::Rng rng_;
+};
+
+}  // namespace crowdfusion::crowd
+
+#endif  // CROWDFUSION_CROWD_LATENCY_MODEL_H_

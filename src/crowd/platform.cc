@@ -70,6 +70,73 @@ common::Result<std::vector<bool>> CrowdPlatform::CollectAnswers(
   return answers;
 }
 
+void CrowdPlatform::ConfigureAsync(LatencyOptions latency,
+                                   common::Clock* clock) {
+  latency_ = LatencyModel(latency);
+  async_clock_ = clock;
+  ledger_ = std::make_unique<core::TicketLedger>(clock);
+  worker_speed_.resize(workers_.size());
+  for (double& speed : worker_speed_) speed = latency_.SampleWorkerScale();
+}
+
+core::TicketLedger& CrowdPlatform::ledger() {
+  if (ledger_ == nullptr) {
+    ledger_ = std::make_unique<core::TicketLedger>(async_clock_);
+  }
+  return *ledger_;
+}
+
+double CrowdPlatform::SampleBatchLatencySeconds(size_t batch_size) {
+  if (!latency_.enabled()) return 0.0;
+  const int redundancy =
+      std::min(options_.redundancy, static_cast<int>(workers_.size()));
+  double batch_seconds = 0.0;
+  for (size_t task = 0; task < batch_size; ++task) {
+    for (int r = 0; r < redundancy; ++r) {
+      const double scale =
+          worker_speed_.empty()
+              ? 1.0
+              : worker_speed_[static_cast<size_t>(
+                    latency_.SampleIndex(worker_speed_.size()))];
+      batch_seconds =
+          std::max(batch_seconds, latency_.SampleTaskSeconds(scale));
+    }
+  }
+  return batch_seconds;
+}
+
+common::Result<core::TicketId> CrowdPlatform::Submit(
+    std::span<const int> fact_ids, const core::TicketOptions& options) {
+  // Resolved eagerly in submission order: judgments come from the sync
+  // path's RNG stream; latency and failures from the latency model's own.
+  core::TicketLedger::Outcome outcome = core::SimulateTicketAttempts(
+      options,
+      [this, fact_ids](int) -> common::Result<std::vector<bool>> {
+        if (latency_.SampleFailure()) {
+          return Status::Unavailable("injected platform failure");
+        }
+        return CollectAnswers(fact_ids);
+      },
+      [this, fact_ids](int) {
+        return SampleBatchLatencySeconds(fact_ids.size());
+      });
+  return ledger().Add(std::move(outcome));
+}
+
+common::Result<core::TicketStatus> CrowdPlatform::Poll(
+    core::TicketId ticket) {
+  return ledger().Poll(ticket);
+}
+
+common::Result<std::vector<bool>> CrowdPlatform::Await(
+    core::TicketId ticket) {
+  return ledger().Await(ticket);
+}
+
+void CrowdPlatform::Cancel(core::TicketId ticket) {
+  ledger().Forget(ticket);
+}
+
 double CrowdPlatform::AggregatedAccuracy() const {
   return aggregated_total_ == 0
              ? 0.0

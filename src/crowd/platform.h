@@ -1,11 +1,15 @@
 #ifndef CROWDFUSION_CROWD_PLATFORM_H_
 #define CROWDFUSION_CROWD_PLATFORM_H_
 
+#include <memory>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "core/async_provider.h"
 #include "core/crowdfusion.h"
+#include "crowd/latency_model.h"
 #include "crowd/worker.h"
 #include "data/statement.h"
 
@@ -17,7 +21,15 @@ namespace crowdfusion::crowd {
 /// (ties broken by a fair coin). Extends the paper's single-answer model
 /// to the standard replication practice of real platforms; with
 /// redundancy = 1 it reduces exactly to the paper's model.
-class CrowdPlatform : public core::AnswerProvider {
+///
+/// Like SimulatedCrowd, the platform speaks the async ticket contract
+/// natively (ConfigureAsync): every worker in the pool gets a seeded speed
+/// scale, a task waits for the slowest of its `redundancy` assigned
+/// workers, and the slowest task gates the batch — so higher redundancy
+/// buys answer quality at the price of latency. Submit/CollectAnswers
+/// must be externally serialized; Poll/Await are internally synchronized.
+class CrowdPlatform : public core::AnswerProvider,
+                      public core::AsyncAnswerProvider {
  public:
   struct Options {
     /// Distinct workers asked per task. Clamped to the pool size.
@@ -41,6 +53,21 @@ class CrowdPlatform : public core::AnswerProvider {
   common::Result<std::vector<bool>> CollectAnswers(
       std::span<const int> fact_ids) override;
 
+  /// Installs the latency/failure model and clock for the async interface.
+  /// Without this call, Submit works with zero latency on the real clock.
+  /// `clock` is borrowed and must outlive the platform; nullptr means
+  /// Clock::Real().
+  void ConfigureAsync(LatencyOptions latency,
+                      common::Clock* clock = nullptr);
+
+  common::Result<core::TicketId> Submit(
+      std::span<const int> fact_ids,
+      const core::TicketOptions& options) override;
+  using core::AsyncAnswerProvider::Submit;
+  common::Result<core::TicketStatus> Poll(core::TicketId ticket) override;
+  common::Result<std::vector<bool>> Await(core::TicketId ticket) override;
+  void Cancel(core::TicketId ticket) override;
+
   const std::vector<TaskLog>& task_log() const { return task_log_; }
   int64_t judgments_collected() const { return judgments_collected_; }
 
@@ -57,6 +84,12 @@ class CrowdPlatform : public core::AnswerProvider {
         options_(options),
         rng_(options.seed) {}
 
+  core::TicketLedger& ledger();
+  /// Latency until every assigned worker of every task in a batch of
+  /// `batch_size` answered: max over redundancy × batch_size draws, each
+  /// scaled by a randomly assigned worker's speed.
+  double SampleBatchLatencySeconds(size_t batch_size);
+
   std::vector<Worker> workers_;
   std::vector<bool> truths_;
   std::vector<data::StatementCategory> categories_;
@@ -66,6 +99,12 @@ class CrowdPlatform : public core::AnswerProvider {
   int64_t judgments_collected_ = 0;
   int64_t aggregated_correct_ = 0;
   int64_t aggregated_total_ = 0;
+  LatencyModel latency_;
+  /// Seeded per-worker speed scales (1.0 = typical), drawn at
+  /// ConfigureAsync.
+  std::vector<double> worker_speed_;
+  common::Clock* async_clock_ = nullptr;
+  std::unique_ptr<core::TicketLedger> ledger_;
 };
 
 }  // namespace crowdfusion::crowd

@@ -1,5 +1,7 @@
 #include "crowd/simulated_crowd.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace crowdfusion::crowd {
@@ -38,6 +40,60 @@ common::Result<std::vector<bool>> SimulatedCrowd::CollectAnswers(
     answers.push_back(answer);
   }
   return answers;
+}
+
+void SimulatedCrowd::ConfigureAsync(LatencyOptions latency,
+                                    common::Clock* clock) {
+  latency_ = LatencyModel(latency);
+  async_clock_ = clock;
+  ledger_ = std::make_unique<core::TicketLedger>(clock);
+}
+
+core::TicketLedger& SimulatedCrowd::ledger() {
+  if (ledger_ == nullptr) {
+    ledger_ = std::make_unique<core::TicketLedger>(async_clock_);
+  }
+  return *ledger_;
+}
+
+common::Result<core::TicketId> SimulatedCrowd::Submit(
+    std::span<const int> fact_ids, const core::TicketOptions& options) {
+  // The whole ticket is resolved here, in submission order: judgments come
+  // from the sync path's RNG stream (so sync ≡ async answer-for-answer)
+  // and latency/failures from the latency model's own stream. A failed
+  // attempt abandons the batch before any judgment is drawn.
+  core::TicketLedger::Outcome outcome = core::SimulateTicketAttempts(
+      options,
+      [this, fact_ids](int) -> common::Result<std::vector<bool>> {
+        if (latency_.SampleFailure()) {
+          return Status::Unavailable("injected crowd failure");
+        }
+        return CollectAnswers(fact_ids);
+      },
+      [this, fact_ids](int) {
+        // The batch goes out in parallel; the slowest task gates it.
+        double batch_seconds = 0.0;
+        for (size_t i = 0; i < fact_ids.size(); ++i) {
+          batch_seconds =
+              std::max(batch_seconds, latency_.SampleTaskSeconds());
+        }
+        return batch_seconds;
+      });
+  return ledger().Add(std::move(outcome));
+}
+
+common::Result<core::TicketStatus> SimulatedCrowd::Poll(
+    core::TicketId ticket) {
+  return ledger().Poll(ticket);
+}
+
+common::Result<std::vector<bool>> SimulatedCrowd::Await(
+    core::TicketId ticket) {
+  return ledger().Await(ticket);
+}
+
+void SimulatedCrowd::Cancel(core::TicketId ticket) {
+  ledger().Forget(ticket);
 }
 
 double SimulatedCrowd::EmpiricalAccuracy() const {

@@ -1,10 +1,14 @@
 #ifndef CROWDFUSION_CROWD_SIMULATED_CROWD_H_
 #define CROWDFUSION_CROWD_SIMULATED_CROWD_H_
 
+#include <memory>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/random.h"
+#include "core/async_provider.h"
 #include "core/crowdfusion.h"
+#include "crowd/latency_model.h"
 #include "crowd/worker.h"
 #include "data/statement.h"
 
@@ -18,7 +22,17 @@ namespace crowdfusion::crowd {
 /// to truths[i] / categories[i]. All algorithms observe only the returned
 /// answers, so swapping a real platform in requires only another
 /// AnswerProvider.
-class SimulatedCrowd : public core::AnswerProvider {
+///
+/// The crowd also speaks the asynchronous contract natively: Submit
+/// registers a ticket whose answers land after a seeded simulated latency
+/// (LatencyOptions, ConfigureAsync), with injectable attempt failures
+/// retried under the ticket's bounded-retry/deadline terms. Judgments are
+/// drawn at submit time from the same RNG stream the synchronous path
+/// uses, so a zero-latency async run answers identically to the blocking
+/// one. Submit/CollectAnswers calls must come from one thread at a time;
+/// Poll/Await are internally synchronized.
+class SimulatedCrowd : public core::AnswerProvider,
+                       public core::AsyncAnswerProvider {
  public:
   /// `categories` may be empty, in which case every fact is kClean.
   SimulatedCrowd(std::vector<bool> truths,
@@ -32,6 +46,21 @@ class SimulatedCrowd : public core::AnswerProvider {
   common::Result<std::vector<bool>> CollectAnswers(
       std::span<const int> fact_ids) override;
 
+  /// Installs the latency/failure model and clock for the async interface
+  /// (and resets any outstanding tickets). Without this call, Submit works
+  /// with zero latency on the real clock. `clock` is borrowed and must
+  /// outlive the crowd; nullptr means Clock::Real().
+  void ConfigureAsync(LatencyOptions latency,
+                      common::Clock* clock = nullptr);
+
+  common::Result<core::TicketId> Submit(
+      std::span<const int> fact_ids,
+      const core::TicketOptions& options) override;
+  using core::AsyncAnswerProvider::Submit;
+  common::Result<core::TicketStatus> Poll(core::TicketId ticket) override;
+  common::Result<std::vector<bool>> Await(core::TicketId ticket) override;
+  void Cancel(core::TicketId ticket) override;
+
   /// Total judgments served so far.
   int64_t answers_served() const { return answers_served_; }
   /// Of those, how many matched the ground truth (empirical accuracy).
@@ -39,12 +68,17 @@ class SimulatedCrowd : public core::AnswerProvider {
   double EmpiricalAccuracy() const;
 
  private:
+  core::TicketLedger& ledger();
+
   std::vector<bool> truths_;
   std::vector<data::StatementCategory> categories_;
   Worker worker_;
   common::Rng rng_;
   int64_t answers_served_ = 0;
   int64_t answers_correct_ = 0;
+  LatencyModel latency_;
+  common::Clock* async_clock_ = nullptr;
+  std::unique_ptr<core::TicketLedger> ledger_;
 };
 
 }  // namespace crowdfusion::crowd

@@ -66,6 +66,12 @@ struct ExperimentOptions {
   /// Books with more statements than this are truncated to their first
   /// max_facts_per_book statements (dense joint guard).
   int max_facts_per_book = 16;
+  /// RunPipelinedExperiment only: outstanding ticket batches the serving
+  /// scheduler keeps in flight.
+  int max_in_flight = 4;
+  /// RunPipelinedExperiment only: median simulated crowd latency, seconds
+  /// (0 = instant answers; the differential setting).
+  double crowd_median_latency_seconds = 0.0;
 };
 
 /// One point of a quality-vs-cost curve (the Figures 2-4 series):
@@ -102,6 +108,16 @@ common::Result<ExperimentResult> RunExperiment(const ExperimentOptions& options)
 /// Runs the machine-only initializer alone and scores it; the zero-cost
 /// baseline of every figure.
 common::Result<PrecisionRecallF1> ScoreInitializer(
+    const ExperimentOptions& options);
+
+/// The serving-engine variant of RunExperiment: every generated book is
+/// registered with ONE pipelined core::BudgetScheduler holding the global
+/// budget budget_per_book × books (the Section V-D allocation strategy),
+/// with up to `max_in_flight` crowd ticket batches outstanding and
+/// simulated answer latency of `crowd_median_latency_seconds`. The curve
+/// holds the initial and final points; the per-step trajectory is the
+/// scheduler's record stream.
+common::Result<ExperimentResult> RunPipelinedExperiment(
     const ExperimentOptions& options);
 
 }  // namespace crowdfusion::eval

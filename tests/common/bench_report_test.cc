@@ -133,6 +133,54 @@ TEST(BenchReportTest, LoadSkipsUnknownBooleanAndNullFields) {
   std::remove(path.c_str());
 }
 
+TEST(BenchReportTest, ServiceFieldsRoundTripAndStayOptional) {
+  const std::string path = TempPath("bench_report_service.json");
+  BenchReport report("bench_service_throughput");
+  BenchRecord selection = MakeRecord("Approx.&Pre.", 14, 1.25);
+  BenchRecord service = MakeRecord("pipelined[m=4]", 8, 150.0);
+  service.throughput_per_sec = 160.5;
+  service.p50_ms = 6.25;
+  service.p95_ms = 11.0;
+  report.Add(selection);
+  report.Add(service);
+  ASSERT_TRUE(report.WriteFile(path).ok());
+
+  // Selection rows keep the v1 shape; service rows carry the v2 fields.
+  const std::string json = report.ToJson();
+  EXPECT_EQ(json.find("throughput_per_sec"), json.rfind("throughput_per_sec"));
+
+  auto loaded = BenchReport::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->at(0).throughput_per_sec, 0.0);
+  EXPECT_EQ(loaded->at(1).throughput_per_sec, 160.5);
+  EXPECT_EQ(loaded->at(1).p50_ms, 6.25);
+  EXPECT_EQ(loaded->at(1).p95_ms, 11.0);
+  EXPECT_EQ(*loaded, report.records());
+  std::remove(path.c_str());
+}
+
+TEST(BenchReportTest, LoadsV1FilesWithoutServiceFields) {
+  const std::string path = TempPath("bench_report_v1.json");
+  {
+    std::ofstream stream(path);
+    stream << R"({
+      "schema": "crowdfusion-bench-v1",
+      "records": [
+        {"source": "s", "config": "c", "n": 7, "support": 11, "k": 2,
+         "wall_ms": 0.5, "entropy_bits": 1.5}
+      ]
+    })";
+  }
+  auto loaded = BenchReport::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->at(0).throughput_per_sec, 0.0);
+  EXPECT_EQ(loaded->at(0).p50_ms, 0.0);
+  EXPECT_EQ(loaded->at(0).p95_ms, 0.0);
+  std::remove(path.c_str());
+}
+
 TEST(BenchReportTest, LoadSkipsUnknownKeys) {
   const std::string path = TempPath("bench_report_future.json");
   {

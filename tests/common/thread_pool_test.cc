@@ -1,0 +1,137 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace crowdfusion::common {
+namespace {
+
+TEST(ThreadPoolTest, ReportsRequestedThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+}
+
+TEST(ThreadPoolTest, AutoSizeIsPositive) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllRun) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor drains the queue and joins.
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelFor(0, kCount, [&hits](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&calls](int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(7, 3, [&calls](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForHonorsMaxShards) {
+  ThreadPool pool(8);
+  std::atomic<int> shards{0};
+  std::atomic<int64_t> covered{0};
+  pool.ParallelFor(
+      0, 1000,
+      [&](int64_t begin, int64_t end) {
+        shards.fetch_add(1);
+        covered.fetch_add(end - begin);
+      },
+      /*max_shards=*/2);
+  EXPECT_LE(shards.load(), 2);
+  EXPECT_EQ(covered.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ParallelForWorksWithBusyWorkers) {
+  // Even when every worker is pinned on a long task, ParallelFor completes
+  // because the calling thread claims shards itself.
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&release] {
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  std::atomic<int64_t> covered{0};
+  pool.ParallelFor(0, 100, [&covered](int64_t begin, int64_t end) {
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 100);
+  release.store(true, std::memory_order_release);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> inner_total{0};
+  pool.ParallelFor(0, 8, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      pool.ParallelFor(0, 50, [&inner_total](int64_t b, int64_t e) {
+        inner_total.fetch_add(e - b, std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 50);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsSingletonAndUsable) {
+  ThreadPool* shared = ThreadPool::Shared();
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared, ThreadPool::Shared());
+  std::atomic<int64_t> covered{0};
+  shared->ParallelFor(0, 64, [&covered](int64_t begin, int64_t end) {
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 64);
+}
+
+TEST(ManualClockTest, SleepAdvancesTime) {
+  ManualClock clock(10.0);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 10.0);
+  clock.SleepSeconds(2.5);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 12.5);
+  clock.SleepSeconds(-1.0);  // non-positive sleeps are no-ops
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 12.5);
+  clock.AdvanceSeconds(0.5);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 13.0);
+}
+
+TEST(RealClockTest, MonotoneAndSleepsAtLeastRequested) {
+  Clock* clock = Clock::Real();
+  const double before = clock->NowSeconds();
+  clock->SleepSeconds(0.01);
+  EXPECT_GE(clock->NowSeconds() - before, 0.009);
+}
+
+}  // namespace
+}  // namespace crowdfusion::common

@@ -1,0 +1,246 @@
+#include "core/async_provider.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/clock.h"
+
+namespace crowdfusion::core {
+namespace {
+
+using common::ManualClock;
+using common::Status;
+using common::StatusCode;
+
+/// Echoes each fact id's parity; optionally fails the first N calls.
+class ScriptedProvider : public AnswerProvider {
+ public:
+  explicit ScriptedProvider(int failures_before_success = 0)
+      : failures_left_(failures_before_success) {}
+
+  common::Result<std::vector<bool>> CollectAnswers(
+      std::span<const int> fact_ids) override {
+    ++calls_;
+    if (failures_left_ > 0) {
+      --failures_left_;
+      return Status::Unavailable("scripted outage");
+    }
+    std::vector<bool> answers;
+    for (int id : fact_ids) answers.push_back(id % 2 == 1);
+    return answers;
+  }
+
+  int calls() const { return calls_; }
+
+ private:
+  int failures_left_;
+  int calls_ = 0;
+};
+
+TEST(SyncProviderAdapterTest, TicketResolvesImmediatelyWithSyncAnswers) {
+  ManualClock clock;
+  ScriptedProvider provider;
+  SyncProviderAdapter adapter(&provider, &clock);
+  const std::vector<int> tasks = {0, 1, 2, 3};
+
+  auto ticket = adapter.Submit(tasks);
+  ASSERT_TRUE(ticket.ok());
+  auto status = adapter.Poll(*ticket);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->phase, TicketPhase::kReady);
+  EXPECT_EQ(status->attempts_used, 1);
+  EXPECT_DOUBLE_EQ(status->seconds_until_ready, 0.0);
+
+  auto answers = adapter.Await(*ticket);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(*answers, (std::vector<bool>{false, true, false, true}));
+  // Await consumed the ticket.
+  EXPECT_EQ(adapter.Poll(*ticket).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(adapter.Await(*ticket).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SyncProviderAdapterTest, BoundedRetryRecoversFromTransientFailure) {
+  ManualClock clock;
+  ScriptedProvider provider(/*failures_before_success=*/2);
+  SyncProviderAdapter adapter(&provider, &clock);
+  TicketOptions options;
+  options.max_attempts = 3;
+
+  auto ticket = adapter.Submit(std::vector<int>{1}, options);
+  ASSERT_TRUE(ticket.ok());
+  auto status = adapter.Poll(*ticket);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->phase, TicketPhase::kReady);
+  EXPECT_EQ(status->attempts_used, 3);
+  EXPECT_EQ(provider.calls(), 3);
+  auto answers = adapter.Await(*ticket);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(*answers, std::vector<bool>{true});
+}
+
+TEST(SyncProviderAdapterTest, RetryExhaustionSurfacesTheProviderError) {
+  ManualClock clock;
+  ScriptedProvider provider(/*failures_before_success=*/10);
+  SyncProviderAdapter adapter(&provider, &clock);
+  TicketOptions options;
+  options.max_attempts = 2;
+
+  auto ticket = adapter.Submit(std::vector<int>{0}, options);
+  ASSERT_TRUE(ticket.ok());
+  auto status = adapter.Poll(*ticket);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->phase, TicketPhase::kFailed);
+  EXPECT_EQ(status->attempts_used, 2);
+  EXPECT_EQ(status->error.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(provider.calls(), 2);
+  // Await on a failed ticket returns the terminal error.
+  EXPECT_EQ(adapter.Await(*ticket).status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SyncProviderAdapterTest, SingleAttemptFailsExactlyLikeTheBlockingCall) {
+  ManualClock clock;
+  ScriptedProvider provider(/*failures_before_success=*/1);
+  SyncProviderAdapter adapter(&provider, &clock);
+  TicketOptions options;
+  options.max_attempts = 1;
+
+  auto ticket = adapter.Submit(std::vector<int>{0}, options);
+  ASSERT_TRUE(ticket.ok());
+  const Status error = adapter.Await(*ticket).status();
+  EXPECT_EQ(error.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(error.message(), "scripted outage");
+  EXPECT_EQ(provider.calls(), 1);
+}
+
+TEST(TicketLedgerTest, LatencyElapsesAgainstTheClock) {
+  ManualClock clock(100.0);
+  TicketLedger ledger(&clock);
+  TicketLedger::Outcome outcome;
+  outcome.latency_seconds = 5.0;
+  outcome.result = std::vector<bool>{true, false};
+  outcome.attempts_used = 1;
+  const TicketId ticket = ledger.Add(std::move(outcome));
+
+  auto pending = ledger.Poll(ticket);
+  ASSERT_TRUE(pending.ok());
+  EXPECT_EQ(pending->phase, TicketPhase::kInFlight);
+  EXPECT_NEAR(pending->seconds_until_ready, 5.0, 1e-12);
+
+  clock.AdvanceSeconds(2.0);
+  pending = ledger.Poll(ticket);
+  ASSERT_TRUE(pending.ok());
+  EXPECT_EQ(pending->phase, TicketPhase::kInFlight);
+  EXPECT_NEAR(pending->seconds_until_ready, 3.0, 1e-12);
+
+  clock.AdvanceSeconds(3.0);
+  auto ready = ledger.Poll(ticket);
+  ASSERT_TRUE(ready.ok());
+  EXPECT_EQ(ready->phase, TicketPhase::kReady);
+  EXPECT_DOUBLE_EQ(ready->seconds_until_ready, 0.0);
+}
+
+TEST(TicketLedgerTest, AwaitSleepsThroughRemainingLatency) {
+  ManualClock clock;
+  TicketLedger ledger(&clock);
+  TicketLedger::Outcome outcome;
+  outcome.latency_seconds = 7.5;
+  outcome.result = std::vector<bool>{true};
+  const TicketId ticket = ledger.Add(std::move(outcome));
+
+  auto answers = ledger.Await(ticket);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(*answers, std::vector<bool>{true});
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 7.5);
+  EXPECT_EQ(ledger.tickets_issued(), 1);
+}
+
+TEST(SimulateTicketAttemptsTest, DeadlineCutsOffRetries) {
+  TicketOptions options;
+  options.max_attempts = 5;
+  options.deadline_seconds = 8.0;
+  options.retry_backoff_seconds = 1.0;
+  int attempts_run = 0;
+  TicketLedger::Outcome outcome = SimulateTicketAttempts(
+      options,
+      [&attempts_run](int) -> common::Result<std::vector<bool>> {
+        ++attempts_run;
+        return Status::Unavailable("flaky");
+      },
+      [](int) { return 5.0; });
+  // Attempt 1 resolves at t=5 and fails; attempt 2 would resolve at
+  // t=5+1+5=11 > 8, so the ticket dies at the deadline.
+  EXPECT_EQ(attempts_run, 1);
+  EXPECT_EQ(outcome.attempts_used, 2);
+  EXPECT_DOUBLE_EQ(outcome.latency_seconds, 8.0);
+  EXPECT_EQ(outcome.result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(SimulateTicketAttemptsTest, RetryBackoffAccumulatesIntoLatency) {
+  TicketOptions options;
+  options.max_attempts = 3;
+  options.retry_backoff_seconds = 2.0;
+  int attempts_run = 0;
+  TicketLedger::Outcome outcome = SimulateTicketAttempts(
+      options,
+      [&attempts_run](int attempt) -> common::Result<std::vector<bool>> {
+        ++attempts_run;
+        if (attempt < 3) return Status::Unavailable("flaky");
+        return std::vector<bool>{false};
+      },
+      [](int) { return 1.0; });
+  EXPECT_EQ(attempts_run, 3);
+  EXPECT_EQ(outcome.attempts_used, 3);
+  // 1 + (2 + 1) + (2 + 1) seconds.
+  EXPECT_DOUBLE_EQ(outcome.latency_seconds, 7.0);
+  ASSERT_TRUE(outcome.result.ok());
+}
+
+TEST(SimulateTicketAttemptsTest, ZeroLatencySuccessOnFirstAttempt) {
+  TicketOptions options;
+  TicketLedger::Outcome outcome = SimulateTicketAttempts(
+      options,
+      [](int) -> common::Result<std::vector<bool>> {
+        return std::vector<bool>{true, true};
+      },
+      /*attempt_latency=*/nullptr);
+  EXPECT_EQ(outcome.attempts_used, 1);
+  EXPECT_DOUBLE_EQ(outcome.latency_seconds, 0.0);
+  ASSERT_TRUE(outcome.result.ok());
+  EXPECT_EQ(outcome.result.value().size(), 2u);
+}
+
+TEST(TicketLedgerTest, ForgetReleasesAbandonedTickets) {
+  ManualClock clock;
+  TicketLedger ledger(&clock);
+  TicketLedger::Outcome outcome;
+  outcome.latency_seconds = 100.0;  // still in flight when abandoned
+  outcome.result = std::vector<bool>{true};
+  const TicketId ticket = ledger.Add(std::move(outcome));
+  EXPECT_EQ(ledger.live_tickets(), 1);
+
+  ledger.Forget(ticket);
+  EXPECT_EQ(ledger.live_tickets(), 0);
+  EXPECT_EQ(ledger.Poll(ticket).status().code(), StatusCode::kNotFound);
+  ledger.Forget(ticket);  // idempotent
+  EXPECT_EQ(ledger.live_tickets(), 0);
+}
+
+TEST(SyncProviderAdapterTest, CancelDropsTheTicket) {
+  ManualClock clock;
+  ScriptedProvider provider;
+  SyncProviderAdapter adapter(&provider, &clock);
+  auto ticket = adapter.Submit(std::vector<int>{0, 1});
+  ASSERT_TRUE(ticket.ok());
+  adapter.Cancel(*ticket);
+  EXPECT_EQ(adapter.Poll(*ticket).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SyncProviderAdapterTest, NullProviderIsRejectedAtSubmit) {
+  SyncProviderAdapter adapter(nullptr);
+  EXPECT_EQ(adapter.Submit(std::vector<int>{0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace crowdfusion::core

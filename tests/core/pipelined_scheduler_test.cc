@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "core/greedy_selector.h"
+#include "core/scheduler.h"
+#include "crowd/simulated_crowd.h"
+
+namespace crowdfusion::core {
+namespace {
+
+using common::ManualClock;
+
+CrowdModel MakeCrowd(double pc) {
+  auto crowd = CrowdModel::Create(pc);
+  EXPECT_TRUE(crowd.ok());
+  return std::move(crowd).value();
+}
+
+JointDistribution RandomMarginalJoint(int n, common::Rng& rng) {
+  std::vector<double> marginals(static_cast<size_t>(n));
+  for (double& m : marginals) m = rng.NextUniform(0.2, 0.8);
+  auto joint = JointDistribution::FromIndependentMarginals(marginals);
+  EXPECT_TRUE(joint.ok());
+  return std::move(joint).value();
+}
+
+std::vector<bool> RandomTruths(int n, common::Rng& rng) {
+  std::vector<bool> truths(static_cast<size_t>(n));
+  for (size_t i = 0; i < truths.size(); ++i) {
+    truths[i] = rng.NextBernoulli(0.5);
+  }
+  return truths;
+}
+
+struct SchedulerFixture {
+  std::unique_ptr<BudgetScheduler> scheduler;
+  std::vector<std::unique_ptr<crowd::SimulatedCrowd>> providers;
+};
+
+/// Builds identical multi-book workloads for the blocking and pipelined
+/// runs: same seeds everywhere, so any divergence between the two runs is
+/// the scheduler's doing.
+SchedulerFixture MakeFixture(uint64_t seed, TaskSelector* selector,
+                             BudgetScheduler::Options options) {
+  SchedulerFixture fixture;
+  auto scheduler = BudgetScheduler::Create(MakeCrowd(0.8), selector, options);
+  EXPECT_TRUE(scheduler.ok());
+  fixture.scheduler =
+      std::make_unique<BudgetScheduler>(std::move(scheduler).value());
+  common::Rng rng(seed * 7919 + 13);
+  const int num_instances = 2 + static_cast<int>(rng.NextBounded(3));
+  for (int i = 0; i < num_instances; ++i) {
+    const int n = 3 + static_cast<int>(rng.NextBounded(3));
+    JointDistribution joint = RandomMarginalJoint(n, rng);
+    fixture.providers.push_back(std::make_unique<crowd::SimulatedCrowd>(
+        crowd::SimulatedCrowd::WithUniformAccuracy(
+            RandomTruths(n, rng), 0.8, seed * 131 + static_cast<uint64_t>(i))));
+    auto id = fixture.scheduler->AddInstance(
+        "book" + std::to_string(i), std::move(joint),
+        static_cast<AnswerProvider*>(fixture.providers.back().get()));
+    EXPECT_TRUE(id.ok());
+  }
+  return fixture;
+}
+
+/// The PR's pin: with a zero-latency deterministic provider the pipelined
+/// path must reproduce the legacy blocking path exactly — same step
+/// sequence, same task sets, same answers, same utilities — across many
+/// seeds, even with a wide in-flight window.
+TEST(PipelinedSchedulerDifferentialTest, ZeroLatencyPipelinedEqualsBlocking) {
+  constexpr int kSeeds = 32;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    GreedySelector selector;
+    BudgetScheduler::Options options;
+    options.total_budget = 14;
+    options.tasks_per_step = 1 + static_cast<int>(seed % 3);
+    options.max_in_flight = 4;
+
+    SchedulerFixture blocking = MakeFixture(seed, &selector, options);
+    auto blocking_records = blocking.scheduler->Run();
+    ASSERT_TRUE(blocking_records.ok()) << "seed " << seed;
+
+    SchedulerFixture pipelined = MakeFixture(seed, &selector, options);
+    auto pipelined_records = pipelined.scheduler->RunPipelined();
+    ASSERT_TRUE(pipelined_records.ok()) << "seed " << seed;
+
+    ASSERT_EQ(pipelined_records->size(), blocking_records->size())
+        << "seed " << seed;
+    for (size_t s = 0; s < blocking_records->size(); ++s) {
+      const auto& blocking_step = (*blocking_records)[s];
+      const auto& pipelined_step = (*pipelined_records)[s];
+      SCOPED_TRACE("seed " + std::to_string(seed) + " step " +
+                   std::to_string(s));
+      EXPECT_EQ(pipelined_step.step, blocking_step.step);
+      EXPECT_EQ(pipelined_step.instance, blocking_step.instance);
+      EXPECT_EQ(pipelined_step.tasks, blocking_step.tasks);
+      EXPECT_EQ(pipelined_step.answers, blocking_step.answers);
+      EXPECT_DOUBLE_EQ(pipelined_step.expected_gain_bits,
+                       blocking_step.expected_gain_bits);
+      EXPECT_DOUBLE_EQ(pipelined_step.total_utility_bits,
+                       blocking_step.total_utility_bits);
+      EXPECT_EQ(pipelined_step.cumulative_cost, blocking_step.cumulative_cost);
+    }
+
+    ASSERT_EQ(pipelined.scheduler->num_instances(),
+              blocking.scheduler->num_instances());
+    EXPECT_EQ(pipelined.scheduler->total_cost_spent(),
+              blocking.scheduler->total_cost_spent());
+    for (int i = 0; i < blocking.scheduler->num_instances(); ++i) {
+      EXPECT_EQ(pipelined.scheduler->cost_spent(i),
+                blocking.scheduler->cost_spent(i));
+      const auto blocking_marginals = blocking.scheduler->joint(i).Marginals();
+      const auto pipelined_marginals =
+          pipelined.scheduler->joint(i).Marginals();
+      ASSERT_EQ(pipelined_marginals.size(), blocking_marginals.size());
+      for (size_t f = 0; f < blocking_marginals.size(); ++f) {
+        EXPECT_DOUBLE_EQ(pipelined_marginals[f], blocking_marginals[f])
+            << "seed " << seed << " instance " << i << " fact " << f;
+      }
+    }
+  }
+}
+
+/// Starvation regression: while a slow instance's ticket is in flight, the
+/// other instances with positive gain must keep being scheduled — nobody
+/// waits on someone else's latency.
+TEST(PipelinedSchedulerTest, FastInstanceIsNotStarvedBySlowTicket) {
+  ManualClock clock;
+  GreedySelector selector;
+  BudgetScheduler::Options options;
+  options.total_budget = 10;
+  options.tasks_per_step = 2;
+  options.max_in_flight = 2;
+  options.clock = &clock;
+  options.max_poll_seconds = 1000.0;  // ManualClock: jump straight to ready
+  auto scheduler = BudgetScheduler::Create(MakeCrowd(0.8), &selector, options);
+  ASSERT_TRUE(scheduler.ok());
+
+  // Instance 0: maximally uncertain (always wins the first pick) but its
+  // crowd takes 500 virtual seconds per batch.
+  auto slow_joint = JointDistribution::Uniform(6);
+  ASSERT_TRUE(slow_joint.ok());
+  crowd::SimulatedCrowd slow_crowd = crowd::SimulatedCrowd::WithUniformAccuracy(
+      {true, false, true, false, true, false}, 0.8, 7);
+  crowd::LatencyOptions slow_latency;
+  slow_latency.median_seconds = 500.0;
+  slow_latency.sigma = 0.0;
+  slow_crowd.ConfigureAsync(slow_latency, &clock);
+  ASSERT_TRUE(scheduler
+                  ->AddInstanceAsync("slow", std::move(slow_joint).value(),
+                                     &slow_crowd)
+                  .ok());
+
+  // Instance 1: less uncertain, but answers instantly.
+  auto fast_joint = JointDistribution::FromIndependentMarginals(
+      std::vector<double>{0.35, 0.65, 0.4, 0.6});
+  ASSERT_TRUE(fast_joint.ok());
+  crowd::SimulatedCrowd fast_crowd = crowd::SimulatedCrowd::WithUniformAccuracy(
+      {true, true, false, false}, 0.8, 11);
+  fast_crowd.ConfigureAsync(crowd::LatencyOptions{}, &clock);
+  ASSERT_TRUE(
+      scheduler->AddInstanceAsync("fast", std::move(fast_joint).value(),
+                                  &fast_crowd)
+          .ok());
+
+  auto records = scheduler->RunPipelined();
+  ASSERT_TRUE(records.ok());
+  ASSERT_FALSE(records->empty());
+
+  // The fast instance must land merges before the slow ticket does.
+  int fast_merges_before_first_slow = 0;
+  bool slow_seen = false;
+  for (const auto& record : *records) {
+    if (record.instance == 0) {
+      slow_seen = true;
+      break;
+    }
+    if (record.instance == 1) ++fast_merges_before_first_slow;
+  }
+  EXPECT_TRUE(slow_seen) << "slow ticket never landed";
+  EXPECT_GE(fast_merges_before_first_slow, 1)
+      << "fast instance starved behind the slow ticket";
+  // Both instances got budget and the global budget was fully spent.
+  EXPECT_EQ(scheduler->total_cost_spent(), 10);
+  EXPECT_GT(scheduler->cost_spent(0), 0);
+  EXPECT_GT(scheduler->cost_spent(1), 0);
+}
+
+/// Overlap accounting: in-flight reservations must never oversubscribe the
+/// global budget even when the window is wider than what remains.
+TEST(PipelinedSchedulerTest, InFlightReservationsRespectBudget) {
+  ManualClock clock;
+  GreedySelector selector;
+  BudgetScheduler::Options options;
+  options.total_budget = 6;
+  options.tasks_per_step = 2;
+  options.max_in_flight = 8;  // wider than budget/tasks_per_step
+  options.clock = &clock;
+  options.max_poll_seconds = 1000.0;
+  auto scheduler = BudgetScheduler::Create(MakeCrowd(0.8), &selector, options);
+  ASSERT_TRUE(scheduler.ok());
+
+  std::vector<std::unique_ptr<crowd::SimulatedCrowd>> crowds;
+  for (int i = 0; i < 5; ++i) {
+    auto joint = JointDistribution::Uniform(4);
+    ASSERT_TRUE(joint.ok());
+    crowds.push_back(std::make_unique<crowd::SimulatedCrowd>(
+        crowd::SimulatedCrowd::WithUniformAccuracy(
+            {true, false, true, false}, 0.8, 100 + static_cast<uint64_t>(i))));
+    crowd::LatencyOptions latency;
+    latency.median_seconds = 50.0;
+    latency.sigma = 0.0;
+    crowds.back()->ConfigureAsync(latency, &clock);
+    ASSERT_TRUE(scheduler
+                    ->AddInstanceAsync("book" + std::to_string(i),
+                                       std::move(joint).value(),
+                                       crowds.back().get())
+                    .ok());
+  }
+
+  auto records = scheduler->RunPipelined();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(scheduler->total_cost_spent(), 6);
+  int merged_tasks = 0;
+  for (const auto& record : *records) {
+    if (record.instance >= 0) {
+      merged_tasks += static_cast<int>(record.tasks.size());
+    }
+  }
+  EXPECT_EQ(merged_tasks, 6);
+}
+
+/// Regression: a selection cached under a larger k must never overspend a
+/// budget that is not a multiple of tasks_per_step (stale-k cache bug).
+TEST(PipelinedSchedulerTest, NonMultipleBudgetIsNeverOverspent) {
+  for (const bool pipelined : {false, true}) {
+    GreedySelector selector;
+    BudgetScheduler::Options options;
+    options.total_budget = 7;  // not a multiple of tasks_per_step
+    options.tasks_per_step = 2;
+    options.max_in_flight = 4;
+    auto scheduler =
+        BudgetScheduler::Create(MakeCrowd(0.8), &selector, options);
+    ASSERT_TRUE(scheduler.ok());
+    std::vector<std::unique_ptr<crowd::SimulatedCrowd>> crowds;
+    for (int i = 0; i < 3; ++i) {
+      auto joint = JointDistribution::Uniform(5);
+      ASSERT_TRUE(joint.ok());
+      crowds.push_back(std::make_unique<crowd::SimulatedCrowd>(
+          crowd::SimulatedCrowd::WithUniformAccuracy(
+              {true, false, true, false, true}, 0.8,
+              50 + static_cast<uint64_t>(i))));
+      ASSERT_TRUE(scheduler
+                      ->AddInstance("book" + std::to_string(i),
+                                    std::move(joint).value(),
+                                    crowds[static_cast<size_t>(i)].get())
+                      .ok());
+    }
+    auto records = pipelined ? scheduler->RunPipelined() : scheduler->Run();
+    ASSERT_TRUE(records.ok());
+    EXPECT_EQ(scheduler->total_cost_spent(), 7)
+        << (pipelined ? "pipelined" : "blocking");
+  }
+}
+
+/// Regression: a pipelined run aborted with tickets still outstanding must
+/// not leave instances stuck in_flight — a later blocking run has to
+/// schedule them again (and the abandoned tickets must be released).
+TEST(PipelinedSchedulerTest, BlockingRunRecoversAfterAbortedPipelinedRun) {
+  ManualClock clock;
+  GreedySelector selector;
+  BudgetScheduler::Options options;
+  options.total_budget = 8;
+  options.tasks_per_step = 2;
+  options.max_in_flight = 2;
+  options.clock = &clock;
+  options.max_poll_seconds = 1000.0;
+  auto scheduler = BudgetScheduler::Create(MakeCrowd(0.8), &selector, options);
+  ASSERT_TRUE(scheduler.ok());
+
+  // Instance 0: highest gain, slow and healthy — in flight when the run
+  // aborts. Instance 1: lower gain, fast but terminally failing.
+  auto healthy_joint = JointDistribution::Uniform(6);
+  ASSERT_TRUE(healthy_joint.ok());
+  crowd::SimulatedCrowd healthy = crowd::SimulatedCrowd::WithUniformAccuracy(
+      {true, false, true, false, true, false}, 0.8, 3);
+  crowd::LatencyOptions slow_latency;
+  slow_latency.median_seconds = 50.0;
+  slow_latency.sigma = 0.0;
+  healthy.ConfigureAsync(slow_latency, &clock);
+  ASSERT_TRUE(scheduler
+                  ->AddInstanceAsync("healthy",
+                                     std::move(healthy_joint).value(),
+                                     &healthy)
+                  .ok());
+
+  auto doomed_joint = JointDistribution::Uniform(3);
+  ASSERT_TRUE(doomed_joint.ok());
+  crowd::SimulatedCrowd doomed = crowd::SimulatedCrowd::WithUniformAccuracy(
+      {true, false, true}, 0.8, 4);
+  crowd::LatencyOptions failing_latency;
+  failing_latency.median_seconds = 1.0;
+  failing_latency.sigma = 0.0;
+  failing_latency.failure_probability = 1.0;
+  doomed.ConfigureAsync(failing_latency, &clock);
+  ASSERT_TRUE(
+      scheduler->AddInstanceAsync("doomed", std::move(doomed_joint).value(),
+                                  &doomed)
+          .ok());
+
+  // Healthy (higher gain) launches first and is pending for 50s; doomed
+  // launches second, fails at t=1, and aborts the run with healthy still
+  // in flight.
+  auto aborted = scheduler->RunPipelined();
+  ASSERT_FALSE(aborted.ok());
+
+  // Blocking step must pick the healthy instance again, not skip it as
+  // "in flight" and not die on the doomed one.
+  auto step = scheduler->RunStep();
+  ASSERT_TRUE(step.ok()) << step.status().ToString();
+  EXPECT_EQ(step->instance, 0);
+  EXPECT_FALSE(step->tasks.empty());
+}
+
+/// A terminally failing ticket aborts the pipelined run with its status.
+TEST(PipelinedSchedulerTest, TerminalTicketFailureAbortsTheRun) {
+  ManualClock clock;
+  GreedySelector selector;
+  BudgetScheduler::Options options;
+  options.total_budget = 4;
+  options.clock = &clock;
+  options.max_poll_seconds = 1000.0;
+  options.ticket.max_attempts = 2;
+  auto scheduler = BudgetScheduler::Create(MakeCrowd(0.8), &selector, options);
+  ASSERT_TRUE(scheduler.ok());
+
+  auto joint = JointDistribution::Uniform(3);
+  ASSERT_TRUE(joint.ok());
+  crowd::SimulatedCrowd crowd = crowd::SimulatedCrowd::WithUniformAccuracy(
+      {true, false, true}, 0.8, 5);
+  crowd::LatencyOptions latency;
+  latency.median_seconds = 1.0;
+  latency.sigma = 0.0;
+  latency.failure_probability = 1.0;  // every attempt fails
+  crowd.ConfigureAsync(latency, &clock);
+  ASSERT_TRUE(
+      scheduler->AddInstanceAsync("doomed", std::move(joint).value(), &crowd)
+          .ok());
+
+  auto records = scheduler->RunPipelined();
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), common::StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace crowdfusion::core

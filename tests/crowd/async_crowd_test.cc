@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/clock.h"
+#include "core/async_provider.h"
+#include "crowd/latency_model.h"
+#include "crowd/platform.h"
+#include "crowd/simulated_crowd.h"
+
+namespace crowdfusion::crowd {
+namespace {
+
+using common::ManualClock;
+using common::StatusCode;
+using core::TicketOptions;
+using core::TicketPhase;
+
+const std::vector<bool> kTruths = {true, false, true, false, true, false};
+
+TEST(AsyncSimulatedCrowdTest, ZeroLatencyAsyncMatchesSyncAnswerForAnswer) {
+  // Same seed, same batches, different interfaces: the judgment streams
+  // must be identical, so flipping a pipeline to async can never change
+  // the experiment's answers.
+  SimulatedCrowd sync_crowd =
+      SimulatedCrowd::WithUniformAccuracy(kTruths, 0.7, 99);
+  SimulatedCrowd async_crowd =
+      SimulatedCrowd::WithUniformAccuracy(kTruths, 0.7, 99);
+  ManualClock clock;
+  async_crowd.ConfigureAsync(LatencyOptions{}, &clock);
+
+  const std::vector<std::vector<int>> batches = {
+      {0, 1, 2}, {3, 4}, {5, 0, 1, 2, 3}, {4, 5}};
+  for (const auto& batch : batches) {
+    auto sync_answers = sync_crowd.CollectAnswers(batch);
+    ASSERT_TRUE(sync_answers.ok());
+    auto ticket = async_crowd.Submit(batch);
+    ASSERT_TRUE(ticket.ok());
+    auto async_answers = async_crowd.Await(*ticket);
+    ASSERT_TRUE(async_answers.ok());
+    EXPECT_EQ(*async_answers, *sync_answers);
+  }
+  EXPECT_EQ(async_crowd.answers_served(), sync_crowd.answers_served());
+  EXPECT_EQ(async_crowd.answers_correct(), sync_crowd.answers_correct());
+}
+
+TEST(AsyncSimulatedCrowdTest, LatencyElapsesOnTheInjectedClock) {
+  SimulatedCrowd crowd = SimulatedCrowd::WithUniformAccuracy(kTruths, 0.8, 3);
+  ManualClock clock;
+  LatencyOptions latency;
+  latency.median_seconds = 2.0;
+  latency.sigma = 0.0;  // every task takes exactly the median
+  crowd.ConfigureAsync(latency, &clock);
+
+  auto ticket = crowd.Submit(std::vector<int>{0, 1, 2});
+  ASSERT_TRUE(ticket.ok());
+  auto pending = crowd.Poll(*ticket);
+  ASSERT_TRUE(pending.ok());
+  EXPECT_EQ(pending->phase, TicketPhase::kInFlight);
+  EXPECT_NEAR(pending->seconds_until_ready, 2.0, 1e-9);
+
+  clock.AdvanceSeconds(1.0);
+  pending = crowd.Poll(*ticket);
+  ASSERT_TRUE(pending.ok());
+  EXPECT_EQ(pending->phase, TicketPhase::kInFlight);
+
+  clock.AdvanceSeconds(1.0);
+  auto ready = crowd.Poll(*ticket);
+  ASSERT_TRUE(ready.ok());
+  EXPECT_EQ(ready->phase, TicketPhase::kReady);
+  auto answers = crowd.Await(*ticket);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 3u);
+}
+
+TEST(AsyncSimulatedCrowdTest, InjectedFailuresAreRetriedUnderTheContract) {
+  SimulatedCrowd crowd = SimulatedCrowd::WithUniformAccuracy(kTruths, 0.8, 3);
+  ManualClock clock;
+  LatencyOptions latency;
+  latency.median_seconds = 1.0;
+  latency.sigma = 0.0;
+  latency.failure_probability = 1.0;  // every attempt fails
+  crowd.ConfigureAsync(latency, &clock);
+
+  TicketOptions options;
+  options.max_attempts = 3;
+  options.retry_backoff_seconds = 0.5;
+  auto ticket = crowd.Submit(std::vector<int>{0}, options);
+  ASSERT_TRUE(ticket.ok());
+  // Resolution lands after 1 + (0.5+1) + (0.5+1) = 4 seconds of trying.
+  auto pending = crowd.Poll(*ticket);
+  ASSERT_TRUE(pending.ok());
+  EXPECT_EQ(pending->phase, TicketPhase::kInFlight);
+  EXPECT_NEAR(pending->seconds_until_ready, 4.0, 1e-9);
+
+  clock.AdvanceSeconds(4.0);
+  auto failed = crowd.Poll(*ticket);
+  ASSERT_TRUE(failed.ok());
+  EXPECT_EQ(failed->phase, TicketPhase::kFailed);
+  EXPECT_EQ(failed->attempts_used, 3);
+  EXPECT_EQ(failed->error.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(crowd.Await(*ticket).status().code(), StatusCode::kUnavailable);
+  // Failed attempts never drew judgments.
+  EXPECT_EQ(crowd.answers_served(), 0);
+}
+
+TEST(AsyncSimulatedCrowdTest, DeadlineExceededWhenTheCrowdIsTooSlow) {
+  SimulatedCrowd crowd = SimulatedCrowd::WithUniformAccuracy(kTruths, 0.8, 3);
+  ManualClock clock;
+  LatencyOptions latency;
+  latency.median_seconds = 5.0;
+  latency.sigma = 0.0;
+  crowd.ConfigureAsync(latency, &clock);
+
+  TicketOptions options;
+  options.deadline_seconds = 3.0;
+  auto ticket = crowd.Submit(std::vector<int>{0, 1}, options);
+  ASSERT_TRUE(ticket.ok());
+  clock.AdvanceSeconds(3.0);
+  auto resolved = crowd.Poll(*ticket);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->phase, TicketPhase::kFailed);
+  EXPECT_EQ(resolved->error.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(AsyncSimulatedCrowdTest, StragglersStretchTheTail) {
+  // With straggler injection the batch latency distribution must actually
+  // produce outliers: max over many batches >> median.
+  SimulatedCrowd crowd = SimulatedCrowd::WithUniformAccuracy(kTruths, 0.8, 3);
+  ManualClock clock;
+  LatencyOptions latency;
+  latency.median_seconds = 1.0;
+  latency.sigma = 0.0;
+  latency.straggler_probability = 0.1;
+  latency.straggler_factor = 50.0;
+  latency.seed = 21;
+  crowd.ConfigureAsync(latency, &clock);
+
+  double max_wait = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    auto ticket = crowd.Submit(std::vector<int>{0});
+    ASSERT_TRUE(ticket.ok());
+    auto pending = crowd.Poll(*ticket);
+    ASSERT_TRUE(pending.ok());
+    max_wait = std::max(max_wait, pending->seconds_until_ready);
+    ASSERT_TRUE(crowd.Await(*ticket).ok());
+  }
+  EXPECT_GE(max_wait, 25.0) << "no straggler in 40 batches at p=0.1";
+}
+
+TEST(AsyncSimulatedCrowdTest, UnknownTicketIsNotFound) {
+  SimulatedCrowd crowd = SimulatedCrowd::WithUniformAccuracy(kTruths, 0.8, 3);
+  EXPECT_EQ(crowd.Poll(1234).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(crowd.Await(1234).status().code(), StatusCode::kNotFound);
+}
+
+TEST(AsyncCrowdPlatformTest, RedundantAsyncBatchesResolveWithAggregates) {
+  std::vector<Worker> workers;
+  for (int i = 0; i < 5; ++i) {
+    workers.emplace_back("w" + std::to_string(i), WorkerBias::Uniform(0.9));
+  }
+  CrowdPlatform::Options options;
+  options.redundancy = 3;
+  options.seed = 17;
+  auto platform = CrowdPlatform::Create(workers, kTruths, {}, options);
+  ASSERT_TRUE(platform.ok());
+  ManualClock clock;
+  LatencyOptions latency;
+  latency.median_seconds = 1.5;
+  latency.sigma = 0.0;
+  latency.seed = 23;
+  platform->ConfigureAsync(latency, &clock);
+
+  auto ticket = platform->Submit(std::vector<int>{0, 1, 2, 3});
+  ASSERT_TRUE(ticket.ok());
+  auto pending = platform->Poll(*ticket);
+  ASSERT_TRUE(pending.ok());
+  EXPECT_EQ(pending->phase, TicketPhase::kInFlight);
+  // Worker speed scales sit in [0.6, 1.6), so the slowest of the batch's
+  // assignments gates it somewhere in [0.9, 2.4).
+  EXPECT_GT(pending->seconds_until_ready, 0.0);
+  EXPECT_LT(pending->seconds_until_ready, 1.5 * 1.6 + 1e-9);
+
+  auto answers = platform->Await(*ticket);  // sleeps the manual clock
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 4u);
+  EXPECT_EQ(platform->judgments_collected(), 4 * 3);
+  EXPECT_EQ(platform->task_log().size(), 4u);
+}
+
+TEST(AsyncCrowdPlatformTest, ZeroLatencyAsyncMatchesSyncAggregates) {
+  std::vector<Worker> workers;
+  for (int i = 0; i < 4; ++i) {
+    workers.emplace_back("w" + std::to_string(i), WorkerBias::Uniform(0.85));
+  }
+  CrowdPlatform::Options options;
+  options.redundancy = 3;
+  options.seed = 29;
+  auto sync_platform = CrowdPlatform::Create(workers, kTruths, {}, options);
+  auto async_platform = CrowdPlatform::Create(workers, kTruths, {}, options);
+  ASSERT_TRUE(sync_platform.ok());
+  ASSERT_TRUE(async_platform.ok());
+  ManualClock clock;
+  async_platform->ConfigureAsync(LatencyOptions{}, &clock);
+
+  const std::vector<int> batch = {0, 1, 2, 3, 4, 5};
+  auto sync_answers = sync_platform->CollectAnswers(batch);
+  ASSERT_TRUE(sync_answers.ok());
+  auto ticket = async_platform->Submit(batch);
+  ASSERT_TRUE(ticket.ok());
+  auto async_answers = async_platform->Await(*ticket);
+  ASSERT_TRUE(async_answers.ok());
+  EXPECT_EQ(*async_answers, *sync_answers);
+}
+
+TEST(LatencyModelTest, DisabledModelIsInstantAndNeverFails) {
+  LatencyModel model;
+  EXPECT_FALSE(model.enabled());
+  EXPECT_DOUBLE_EQ(model.SampleTaskSeconds(), 0.0);
+  EXPECT_FALSE(model.SampleFailure());
+}
+
+TEST(LatencyModelTest, DeterministicInSeed) {
+  LatencyOptions options;
+  options.median_seconds = 3.0;
+  options.seed = 77;
+  LatencyModel a(options);
+  LatencyModel b(options);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.SampleTaskSeconds(), b.SampleTaskSeconds());
+  }
+}
+
+}  // namespace
+}  // namespace crowdfusion::crowd
