@@ -1,0 +1,87 @@
+# CLI smoke test (ISSUE 4 satellite): drives crowdfusion_cli through its
+# whole pipeline in a scratch directory AND pins the error contract — an
+# unknown subcommand or flag must print usage to stderr and exit nonzero
+# (the seed binary exited quietly on several of these paths), while
+# runtime errors (bad fuser key, missing file) must exit nonzero with a
+# diagnostic.
+#
+# Invoked by ctest as:
+#   cmake -DCLI_BIN=<path> -DWORK_DIR=<scratch> -P check_cli.cmake
+
+if(NOT DEFINED CLI_BIN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "CLI_BIN and WORK_DIR are required")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# run(<mode> <name> <args...>): executes the CLI and asserts on <mode>:
+#   SUCCESS    — exit 0
+#   FAIL_USAGE — nonzero exit AND usage text on stderr (arg-parse errors)
+#   FAIL       — nonzero exit with any diagnostic (runtime errors)
+function(run mode name)
+  execute_process(
+    COMMAND "${CLI_BIN}" ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(mode STREQUAL "SUCCESS")
+    if(NOT code EQUAL 0)
+      message(FATAL_ERROR
+        "${name}: expected success, got exit ${code}\nstderr: ${err}")
+    endif()
+  else()
+    if(code EQUAL 0)
+      message(FATAL_ERROR
+        "${name}: expected a nonzero exit, got 0\nstdout: ${out}")
+    endif()
+    if(mode STREQUAL "FAIL_USAGE" AND NOT err MATCHES "usage:")
+      message(FATAL_ERROR
+        "${name}: expected usage on stderr, got: ${err}")
+    endif()
+    if(mode STREQUAL "FAIL" AND err STREQUAL "")
+      message(FATAL_ERROR "${name}: expected a diagnostic on stderr")
+    endif()
+  endif()
+endfunction()
+
+# Error contract: arg-parse problems print usage and exit nonzero.
+run(FAIL_USAGE no-args)
+run(FAIL_USAGE unknown-command frobnicate)
+run(FAIL_USAGE generate-missing-path generate)
+run(FAIL_USAGE refine-unknown-flag refine books.tsv joints --frob)
+run(FAIL_USAGE generate-unknown-flag generate books.tsv --frob)
+run(FAIL_USAGE score-extra-args score a b c)
+
+# Happy path: generate -> fuse -> score -> refine (engine) -> refine
+# (pipelined) -> score, plus a serialized request through `request`.
+run(SUCCESS generate generate books.tsv 8 10 5)
+run(SUCCESS fuse fuse books.tsv joints crh)
+run(SUCCESS score-initial score books.tsv joints)
+run(SUCCESS refine-engine refine books.tsv joints 6 0.8)
+run(SUCCESS refine-async refine books.tsv joints 4 0.8 --async
+    --max-in-flight 3 --latency-ms 0.5 --skip-failed)
+run(SUCCESS score-refined score books.tsv joints)
+
+# Runtime errors: nonzero with a diagnostic.
+run(FAIL fuse-unknown-fuser fuse books.tsv joints2 blockchain)
+run(FAIL request-missing-file request nope.json)
+
+file(WRITE "${WORK_DIR}/request.json" [=[
+{
+  "schema": "crowdfusion-request-v1",
+  "mode": "blocking",
+  "assumed_pc": 0.8,
+  "selector": {"kind": "greedy"},
+  "provider": {"kind": "scripted"},
+  "budget": {"budget_per_instance": 2, "tasks_per_step": 1},
+  "instances": [
+    {"name": "demo", "joint": {"num_facts": 2,
+     "entries": [["0", 0.25], ["1", 0.25], ["2", 0.25], ["3", 0.25]]}}
+  ]
+}
+]=])
+run(SUCCESS request request request.json)
+
+message(STATUS "crowdfusion_cli smoke: all checks passed")

@@ -1,22 +1,33 @@
-/// File-driven command-line front end, chaining the library's persistence
-/// formats so each pipeline stage can run as its own process:
+/// File-driven command-line front end — a thin client of
+/// service::FusionService, chaining the library's persistence formats so
+/// each pipeline stage can run as its own process:
 ///
 ///   crowdfusion_cli generate <claims.tsv> [books] [sources] [seed]
 ///       synthesize a Book dataset and write it in the TSV claim format
-///   crowdfusion_cli fuse <claims.tsv> <joint-dir> [crh|majority|...]
-///       run machine-only fusion and write one joint file per book
+///   crowdfusion_cli fuse <claims.tsv> <joint-dir> [fuser]
+///       run a machine-only fuser from the registry (crh, majority_vote,
+///       accu, truthfinder, sums, averagelog, investment) and write one
+///       joint file per book
 ///   crowdfusion_cli refine <claims.tsv> <joint-dir> [budget] [pc]
 ///                   [--async] [--threads N] [--max-in-flight M]
-///                   [--latency-ms S]
-///       run CrowdFusion rounds on every saved joint (simulated crowd
-///       seeded from the gold labels) and rewrite the refined joints.
-///       --async serves every book from ONE pipelined BudgetScheduler
-///       (global budget = budget x books, up to M ticket batches in
-///       flight, crowd latency simulated at S ms median) instead of
-///       refining books one blocking engine at a time; --threads caps the
-///       selector's preprocessing shards
+///                   [--latency-ms S] [--skip-failed]
+///       run CrowdFusion rounds on every saved joint through the service
+///       facade (simulated crowd seeded from the gold labels) and rewrite
+///       the refined joints. Default: engine mode, one blocking engine
+///       per book. --async serves every book from ONE pipelined
+///       BudgetScheduler (global budget = budget x books, up to M ticket
+///       batches in flight, crowd latency simulated at S ms median);
+///       --skip-failed keeps serving when a ticket fails terminally
+///       instead of aborting; --threads caps the selector's
+///       preprocessing shards
+///   crowdfusion_cli request <request.json>
+///       parse a serialized FusionRequest, run it, and print the response
+///       JSON to stdout — the full service boundary from the shell
 ///   crowdfusion_cli score <claims.tsv> <joint-dir>
 ///       compare the stored joints' marginals against the gold labels
+///
+/// Any unknown subcommand or flag prints usage to stderr and exits
+/// nonzero (pinned by the CLI smoke tests).
 ///
 /// Example session:
 ///   ./crowdfusion_cli generate /tmp/books.tsv 20 16 7
@@ -28,32 +39,41 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include "fusion/crh.h"
-#include "fusion/majority_vote.h"
-#include "fusion/web_link_fusers.h"
-
 #include "common/stopwatch.h"
 #include "common/string_util.h"
-#include "core/crowdfusion.h"
-#include "core/greedy_selector.h"
-#include "core/scheduler.h"
 #include "core/serialization.h"
-#include "crowd/simulated_crowd.h"
 #include "data/book_dataset.h"
 #include "data/correlation_model.h"
 #include "data/dataset_io.h"
-#include "eval/experiment.h"
 #include "eval/metrics.h"
+#include "fusion/registry.h"
+#include "service/fusion_service.h"
+#include "service/request_json.h"
 
 using namespace crowdfusion;
 
 namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: crowdfusion_cli <command> ...\n"
+      "  generate <claims.tsv> [books] [sources] [seed]\n"
+      "  fuse     <claims.tsv> <joint-dir> [fuser]\n"
+      "  refine   <claims.tsv> <joint-dir> [budget] [pc] [--async]\n"
+      "           [--threads N] [--max-in-flight M] [--latency-ms S]\n"
+      "           [--skip-failed]\n"
+      "  request  <request.json>\n"
+      "  score    <claims.tsv> <joint-dir>\n");
+  return 2;
+}
 
 std::string JointPath(const std::string& dir, const data::Book& book) {
   return dir + "/" + book.isbn + ".joint";
@@ -64,11 +84,19 @@ int Fail(const common::Status& status) {
   return 1;
 }
 
-int CmdGenerate(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr, "usage: generate <claims.tsv> [books] [sources] [seed]\n");
-    return 2;
+/// Rejects flag-looking arguments in commands that take none.
+bool RejectFlags(int argc, char** argv, int first) {
+  for (int i = first; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag for this command: %s\n", argv[i]);
+      return false;
+    }
   }
+  return true;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 3 || argc > 6 || !RejectFlags(argc, argv, 2)) return Usage();
   data::BookDatasetOptions options;
   options.num_books = argc > 3 ? std::atoi(argv[3]) : 20;
   options.num_sources = argc > 4 ? std::atoi(argv[4]) : 16;
@@ -84,46 +112,19 @@ int CmdGenerate(int argc, char** argv) {
   return 0;
 }
 
-common::Result<eval::Initializer> ParseInitializer(const std::string& name) {
-  if (name == "crh") return eval::Initializer::kCrh;
-  if (name == "majority") return eval::Initializer::kMajorityVote;
-  if (name == "truthfinder") return eval::Initializer::kTruthFinder;
-  if (name == "accu") return eval::Initializer::kAccu;
-  if (name == "sums") return eval::Initializer::kSums;
-  if (name == "averagelog") return eval::Initializer::kAverageLog;
-  if (name == "investment") return eval::Initializer::kInvestment;
-  return common::Status::InvalidArgument("unknown fuser: " + name);
-}
-
 int CmdFuse(int argc, char** argv) {
-  if (argc < 4) {
-    std::fprintf(stderr, "usage: fuse <claims.tsv> <joint-dir> [fuser]\n");
-    return 2;
-  }
+  if (argc < 4 || argc > 5 || !RejectFlags(argc, argv, 2)) return Usage();
   auto dataset = data::LoadBookDataset(argv[2]);
   if (!dataset.ok()) return Fail(dataset.status());
-  auto initializer = ParseInitializer(argc > 4 ? argv[4] : "crh");
-  if (!initializer.ok()) return Fail(initializer.status());
-  std::printf("fusing with %s...\n", eval::InitializerName(*initializer));
-  std::unique_ptr<fusion::Fuser> fuser;
-  switch (*initializer) {
-    case eval::Initializer::kMajorityVote:
-      fuser = std::make_unique<fusion::MajorityVoteFuser>();
-      break;
-    case eval::Initializer::kSums:
-      fuser = std::make_unique<fusion::SumsFuser>();
-      break;
-    case eval::Initializer::kAverageLog:
-      fuser = std::make_unique<fusion::AverageLogFuser>();
-      break;
-    case eval::Initializer::kInvestment:
-      fuser = std::make_unique<fusion::InvestmentFuser>();
-      break;
-    default:
-      fuser = std::make_unique<fusion::CrhFuser>();
-      break;
-  }
-  auto fused = fuser->Fuse(dataset->claims);
+
+  fusion::FuserSpec spec;
+  spec.kind = argc > 4 ? argv[4] : "crh";
+  if (spec.kind == "majority") spec.kind = "majority_vote";  // legacy alias
+  const fusion::FuserRegistry registry = fusion::BuiltinFuserRegistry();
+  auto fuser = registry.Create(spec.kind, spec);
+  if (!fuser.ok()) return Fail(fuser.status());
+  std::printf("fusing with %s...\n", (*fuser)->name().c_str());
+  auto fused = (*fuser)->Fuse(dataset->claims);
   if (!fused.ok()) return Fail(fused.status());
 
   std::filesystem::create_directories(argv[3]);
@@ -133,11 +134,9 @@ int CmdFuse(int argc, char** argv) {
     if (book.statements.empty()) continue;
     std::vector<double> marginals;
     for (int vid : book.value_ids) {
-      marginals.push_back(
-          fused->value_probability[static_cast<size_t>(vid)]);
+      marginals.push_back(fused->value_probability[static_cast<size_t>(vid)]);
     }
-    auto joint =
-        data::BuildBookJoint(marginals, book.statements, correlation);
+    auto joint = data::BuildBookJoint(marginals, book.statements, correlation);
     if (!joint.ok()) return Fail(joint.status());
     if (auto status =
             core::SaveJointDistribution(*joint, JointPath(argv[3], book));
@@ -150,89 +149,16 @@ int CmdFuse(int argc, char** argv) {
   return 0;
 }
 
-/// Serves every book from one pipelined BudgetScheduler: selection for one
-/// book overlaps the simulated crowd latency of the others.
-int RefineAsync(const data::BookDataset& dataset, const char* joint_dir,
-                int budget, double pc, int max_in_flight,
-                double latency_ms, core::GreedySelector* selector) {
-  auto crowd_model = core::CrowdModel::Create(pc);
-  if (!crowd_model.ok()) return Fail(crowd_model.status());
-
-  std::vector<const data::Book*> books;
-  for (const data::Book& book : dataset.books) {
-    if (!book.statements.empty()) books.push_back(&book);
-  }
-  core::BudgetScheduler::Options options;
-  options.total_budget = budget * static_cast<int>(books.size());
-  options.tasks_per_step = 1;
-  options.max_in_flight = max_in_flight;
-  auto scheduler =
-      core::BudgetScheduler::Create(*crowd_model, selector, options);
-  if (!scheduler.ok()) return Fail(scheduler.status());
-
-  std::vector<std::unique_ptr<crowd::SimulatedCrowd>> crowds;
-  uint64_t seed = 12000;
-  for (const data::Book* book : books) {
-    auto joint = core::LoadJointDistribution(JointPath(joint_dir, *book));
-    if (!joint.ok()) return Fail(joint.status());
-    std::vector<bool> truths;
-    std::vector<data::StatementCategory> categories;
-    for (const data::Statement& s : book->statements) {
-      truths.push_back(s.is_true);
-      categories.push_back(s.category);
-    }
-    crowds.push_back(std::make_unique<crowd::SimulatedCrowd>(
-        truths, categories, crowd::WorkerBias::Uniform(pc), seed++));
-    crowd::LatencyOptions latency;
-    latency.median_seconds = latency_ms / 1e3;
-    latency.seed = seed * 31;
-    crowds.back()->ConfigureAsync(latency);
-    if (auto id = scheduler->AddInstanceAsync(
-            book->isbn, std::move(joint).value(), crowds.back().get());
-        !id.ok()) {
-      return Fail(id.status());
-    }
-  }
-
-  common::Stopwatch stopwatch;
-  auto records = scheduler->RunPipelined();
-  if (!records.ok()) return Fail(records.status());
-  const double wall_s = stopwatch.ElapsedSeconds();
-
-  for (size_t i = 0; i < books.size(); ++i) {
-    if (auto status = core::SaveJointDistribution(
-            scheduler->joint(static_cast<int>(i)),
-            JointPath(joint_dir, *books[i]));
-        !status.ok()) {
-      return Fail(status);
-    }
-  }
-  std::printf(
-      "refined %zu joints asynchronously: global budget %d, spent %d in %zu "
-      "steps, %.2fs wall (%.1f books/sec) at Pc=%.2f, max in flight %d, "
-      "crowd latency %.1f ms median\n",
-      books.size(), options.total_budget, scheduler->total_cost_spent(),
-      records->size(), wall_s,
-      static_cast<double>(books.size()) / std::max(wall_s, 1e-9), pc,
-      max_in_flight, latency_ms);
-  return 0;
-}
-
 int CmdRefine(int argc, char** argv) {
-  if (argc < 4) {
-    std::fprintf(stderr,
-                 "usage: refine <claims.tsv> <joint-dir> [budget] [pc] "
-                 "[--async] [--threads N] [--max-in-flight M] "
-                 "[--latency-ms S]\n");
-    return 2;
-  }
-  auto dataset = data::LoadBookDataset(argv[2]);
-  if (!dataset.ok()) return Fail(dataset.status());
+  if (argc < 4) return Usage();
+  const std::string joint_dir = argv[3];
 
-  // Positional args first, then flags (the async serving knobs).
+  // Positional args first, then flags (the async serving knobs). Argument
+  // errors are reported before any file I/O is attempted.
   int budget = 30;
   double pc = 0.8;
   bool use_async = false;
+  bool skip_failed = false;
   int threads = 0;
   int max_in_flight = 4;
   double latency_ms = 5.0;
@@ -241,6 +167,8 @@ int CmdRefine(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--async") {
       use_async = true;
+    } else if (arg == "--skip-failed") {
+      skip_failed = true;
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
     } else if (arg == "--max-in-flight" && i + 1 < argc) {
@@ -249,7 +177,7 @@ int CmdRefine(int argc, char** argv) {
       latency_ms = std::atof(argv[++i]);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown refine flag: %s\n", arg.c_str());
-      return 2;
+      return Usage();
     } else if (positional == 0) {
       budget = std::atoi(arg.c_str());
       ++positional;
@@ -258,64 +186,115 @@ int CmdRefine(int argc, char** argv) {
       ++positional;
     } else {
       std::fprintf(stderr, "unexpected refine argument: %s\n", arg.c_str());
-      return 2;
+      return Usage();
     }
   }
 
-  auto crowd = core::CrowdModel::Create(pc);
-  if (!crowd.ok()) return Fail(crowd.status());
-  core::GreedySelector::Options greedy_options;
-  greedy_options.use_pruning = true;
-  greedy_options.use_preprocessing = true;
-  greedy_options.preprocessing_threads = threads;
-  core::GreedySelector selector(greedy_options);
+  auto dataset = data::LoadBookDataset(argv[2]);
+  if (!dataset.ok()) return Fail(dataset.status());
 
+  // One typed request: the workload is the saved joints, the provider a
+  // simulated crowd judging each book's gold labels; the mode flag flips
+  // between the blocking engine loop and the pipelined scheduler.
+  service::FusionRequest request;
+  request.mode =
+      use_async ? service::RunMode::kPipelined : service::RunMode::kEngine;
+  request.assumed_pc = pc;
+  request.selector.kind = "greedy";
+  request.selector.use_pruning = true;
+  request.selector.use_preprocessing = true;
+  request.selector.preprocessing_threads = threads;
+  request.provider.kind = "simulated_crowd";
+  request.provider.accuracy = pc;
+  request.provider.seed = 12000;
   if (use_async) {
-    return RefineAsync(*dataset, argv[3], budget, pc, max_in_flight,
-                       latency_ms, &selector);
+    request.provider.latency_median_seconds = latency_ms / 1e3;
   }
+  request.budget.budget_per_instance = budget;
+  request.budget.tasks_per_step = 1;
+  request.pipeline.max_in_flight = max_in_flight;
+  request.pipeline.on_ticket_failure =
+      skip_failed
+          ? core::BudgetScheduler::TicketFailurePolicy::kSkipInstance
+          : core::BudgetScheduler::TicketFailurePolicy::kAbort;
 
-  int refined = 0;
-  uint64_t seed = 12000;
+  std::vector<const data::Book*> books;
   for (const data::Book& book : dataset->books) {
     if (book.statements.empty()) continue;
-    auto joint = core::LoadJointDistribution(JointPath(argv[3], book));
+    auto joint = core::LoadJointDistribution(JointPath(joint_dir, book));
     if (!joint.ok()) return Fail(joint.status());
-    std::vector<bool> truths;
-    std::vector<data::StatementCategory> categories;
+    service::InstanceSpec instance;
+    instance.name = book.isbn;
+    instance.joint = std::move(joint).value();
     for (const data::Statement& s : book.statements) {
-      truths.push_back(s.is_true);
-      categories.push_back(s.category);
+      instance.truths.push_back(s.is_true);
+      instance.categories.push_back(static_cast<int>(s.category));
     }
-    crowd::SimulatedCrowd provider(truths, categories,
-                                   crowd::WorkerBias::Uniform(pc), seed++);
-    core::EngineOptions engine_options;
-    engine_options.budget = budget;
-    engine_options.tasks_per_round = 1;
-    auto engine = core::CrowdFusionEngine::Create(
-        std::move(joint).value(), *crowd, &selector, &provider,
-        engine_options);
-    if (!engine.ok()) return Fail(engine.status());
-    if (auto records = engine->Run(); !records.ok()) {
-      return Fail(records.status());
+    request.instances.push_back(std::move(instance));
+    books.push_back(&book);
+  }
+
+  service::FusionService fusion_service;
+  common::Stopwatch stopwatch;
+  auto session = fusion_service.CreateSession(std::move(request));
+  if (!session.ok()) return Fail(session.status());
+  while (!(*session)->done()) {
+    if (auto outcomes = (*session)->Step(); !outcomes.ok()) {
+      return Fail(outcomes.status());
     }
-    if (auto status = core::SaveJointDistribution(engine->current(),
-                                                  JointPath(argv[3], book));
+  }
+  const double wall_s = stopwatch.ElapsedSeconds();
+
+  for (size_t i = 0; i < books.size(); ++i) {
+    if (auto status = core::SaveJointDistribution(
+            (*session)->joint(static_cast<int>(i)),
+            JointPath(joint_dir, *books[i]));
         !status.ok()) {
       return Fail(status);
     }
-    ++refined;
   }
-  std::printf("refined %d joints with budget %d/book at Pc=%.2f\n", refined,
-              budget, pc);
+  const service::SessionProgress progress = (*session)->Poll();
+  if (use_async) {
+    std::printf(
+        "refined %zu joints asynchronously: global budget %d, spent %d in "
+        "%d steps, %.2fs wall (%.1f books/sec) at Pc=%.2f, max in flight "
+        "%d, crowd latency %.1f ms median%s\n",
+        books.size(), progress.total_budget, progress.total_cost_spent,
+        progress.steps_completed, wall_s,
+        static_cast<double>(books.size()) / std::max(wall_s, 1e-9), pc,
+        max_in_flight, latency_ms,
+        progress.dead_instances > 0
+            ? common::StrFormat(" (%d instances skipped)",
+                                progress.dead_instances)
+                  .c_str()
+            : "");
+  } else {
+    std::printf("refined %zu joints with budget %d/book at Pc=%.2f\n",
+                books.size(), budget, pc);
+  }
+  return 0;
+}
+
+int CmdRequest(int argc, char** argv) {
+  if (argc != 3 || !RejectFlags(argc, argv, 2)) return Usage();
+  std::ifstream file(argv[2]);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open %s\n", argv[2]);
+    return 1;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  auto request = service::ParseFusionRequest(text.str());
+  if (!request.ok()) return Fail(request.status());
+  service::FusionService fusion_service;
+  auto response = fusion_service.Run(std::move(request).value());
+  if (!response.ok()) return Fail(response.status());
+  std::printf("%s\n", service::SerializeFusionResponse(*response).c_str());
   return 0;
 }
 
 int CmdScore(int argc, char** argv) {
-  if (argc < 4) {
-    std::fprintf(stderr, "usage: score <claims.tsv> <joint-dir>\n");
-    return 2;
-  }
+  if (argc != 4 || !RejectFlags(argc, argv, 2)) return Usage();
   auto dataset = data::LoadBookDataset(argv[2]);
   if (!dataset.ok()) return Fail(dataset.status());
   eval::ConfusionCounts counts;
@@ -344,16 +323,13 @@ int CmdScore(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: crowdfusion_cli <generate|fuse|refine|score> ...\n");
-    return 2;
-  }
+  if (argc < 2) return Usage();
   const std::string command = argv[1];
   if (command == "generate") return CmdGenerate(argc, argv);
   if (command == "fuse") return CmdFuse(argc, argv);
   if (command == "refine") return CmdRefine(argc, argv);
+  if (command == "request") return CmdRequest(argc, argv);
   if (command == "score") return CmdScore(argc, argv);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
-  return 2;
+  return Usage();
 }

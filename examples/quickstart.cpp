@@ -1,9 +1,12 @@
-/// Quickstart: the paper's running example end to end.
+/// Quickstart: the paper's running example end to end, served through the
+/// FusionService facade.
 ///
 /// Builds the four Hong Kong facts and their 16-output joint distribution
-/// (Tables I/II), selects the best two crowd tasks with the greedy
-/// approximation (Algorithm 1), merges a simulated crowd answer via Bayes
-/// (Equation 3), and shows the utility improving.
+/// (Tables I/II), then issues ONE typed FusionRequest: greedy selection of
+/// the best two crowd tasks (Algorithm 1), a simulated crowd answering
+/// them, and the Bayesian merge (Equation 3) — the whole Figure-1 loop
+/// behind a single request/response API. The same request, with only
+/// `mode` changed, runs on the blocking or pipelined scheduler instead.
 ///
 ///   ./quickstart
 
@@ -12,11 +15,10 @@
 
 #include "common/string_util.h"
 #include "common/table_printer.h"
-#include "core/bayes.h"
-#include "core/greedy_selector.h"
 #include "core/running_example.h"
 #include "core/utility.h"
-#include "crowd/simulated_crowd.h"
+#include "service/fusion_service.h"
+#include "service/request_json.h"
 
 using namespace crowdfusion;
 
@@ -32,59 +34,70 @@ int main() {
                   common::StrFormat("%.2f", joint.Marginal(i))});
   }
   table.Print(std::cout);
-
   std::printf("\nInitial quality Q(F) = -H(F) = %.4f bits\n",
               core::QualityBits(joint));
 
-  // Select k = 2 tasks with the full-featured greedy.
-  core::GreedySelector::Options options;
-  options.use_pruning = true;
-  options.use_preprocessing = true;
-  core::GreedySelector selector(options);
-  core::SelectionRequest request;
-  request.joint = &joint;
-  request.crowd = &crowd;
-  request.k = 2;
-  auto selection = selector.Select(request);
-  if (!selection.ok()) {
-    std::fprintf(stderr, "selection failed: %s\n",
-                 selection.status().ToString().c_str());
+  // One typed request: the running-example joint, the full-featured
+  // greedy, a simulated crowd (ground truth: f1,f2,f3 true, f4 false).
+  service::FusionRequest request;
+  request.mode = service::RunMode::kEngine;
+  request.label = "quickstart";
+  service::InstanceSpec instance;
+  instance.name = "hong-kong";
+  instance.joint = joint;
+  instance.truths = {true, true, true, false};
+  request.instances.push_back(std::move(instance));
+  request.selector.kind = "greedy";
+  request.selector.use_pruning = true;
+  request.selector.use_preprocessing = true;
+  request.provider.kind = "simulated_crowd";
+  request.provider.accuracy = crowd.pc();
+  request.provider.seed = 2024;
+  request.assumed_pc = crowd.pc();
+  request.budget.budget_per_instance = 2;  // one round of k = 2 tasks
+  request.budget.tasks_per_step = 2;
+
+  service::FusionService fusion_service;
+  auto response = fusion_service.Run(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "service run failed: %s\n",
+                 response.status().ToString().c_str());
     return 1;
   }
+
+  const service::StepOutcome& round = response->steps.front();
   std::printf("\nSelected tasks (k=2, Pc=%.1f):\n", crowd.pc());
-  for (int t : selection->tasks) {
+  for (int t : round.tasks) {
     std::printf("  ask the crowd: \"Is it true that %s?\"\n",
                 facts.at(t).ToString().c_str());
   }
   std::printf("H(T) = %.4f bits, expected quality gain %.4f bits\n",
-              selection->entropy_bits,
-              core::ExpectedQualityGain(joint, selection->tasks, crowd));
+              round.selected_entropy_bits, round.expected_gain_bits);
 
-  // Simulate the crowd: ground truth is f1,f2,f3 true and f4 false.
-  crowd::SimulatedCrowd provider = crowd::SimulatedCrowd::WithUniformAccuracy(
-      {true, true, true, false}, crowd.pc(), /*seed=*/2024);
-  auto answers = provider.CollectAnswers(selection->tasks);
-  if (!answers.ok()) return 1;
   std::printf("\nCrowd answered:");
-  for (size_t i = 0; i < answers->size(); ++i) {
-    std::printf(" f%d=%s", selection->tasks[i] + 1,
-                (*answers)[i] ? "true" : "false");
+  for (size_t i = 0; i < round.answers.size(); ++i) {
+    std::printf(" f%d=%s", round.tasks[i] + 1,
+                round.answers[i] ? "true" : "false");
   }
   std::printf("\n");
 
-  core::AnswerSet answer_set{selection->tasks, *answers};
-  auto posterior = core::PosteriorGivenAnswers(joint, answer_set, crowd);
-  if (!posterior.ok()) return 1;
-
+  const service::InstanceReport& report = response->instances.front();
   std::printf("\nAfter the Bayesian merge (Equation 3):\n");
   common::TablePrinter after({"Fid", "P(f) before", "P(f) after"});
   for (int i = 0; i < facts.size(); ++i) {
     after.AddRow({"f" + std::to_string(i + 1),
                   common::StrFormat("%.3f", joint.Marginal(i)),
-                  common::StrFormat("%.3f", posterior->Marginal(i))});
+                  common::StrFormat("%.3f",
+                                    report.final_marginals[
+                                        static_cast<size_t>(i)])});
   }
   after.Print(std::cout);
   std::printf("\nQuality: %.4f -> %.4f bits\n", core::QualityBits(joint),
-              core::QualityBits(*posterior));
+              report.utility_bits);
+
+  // The request is a plain value: here is the exact JSON a remote client
+  // would POST to run the same thing.
+  std::printf("\nThis run as a serialized FusionRequest:\n%s\n",
+              service::SerializeFusionRequest(request).c_str());
   return 0;
 }

@@ -1,0 +1,482 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace crowdfusion::common {
+
+using common::Status;
+
+JsonValue::JsonValue(uint64_t value) {
+  if (value <= static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    rep_ = static_cast<int64_t>(value);
+  } else {
+    // Values past int64 range would be lossy as doubles too; the schemas in
+    // this repo carry uint64 masks as strings for exactly this reason.
+    rep_ = static_cast<double>(value);
+  }
+}
+
+common::Result<bool> JsonValue::GetBool() const {
+  if (const bool* b = std::get_if<bool>(&rep_)) return *b;
+  return Status::InvalidArgument("JSON value is not a bool");
+}
+
+common::Result<int64_t> JsonValue::GetInt() const {
+  if (const int64_t* i = std::get_if<int64_t>(&rep_)) return *i;
+  return Status::InvalidArgument("JSON value is not an integer");
+}
+
+common::Result<double> JsonValue::GetDouble() const {
+  if (const double* d = std::get_if<double>(&rep_)) return *d;
+  if (const int64_t* i = std::get_if<int64_t>(&rep_)) {
+    return static_cast<double>(*i);
+  }
+  return Status::InvalidArgument("JSON value is not a number");
+}
+
+common::Result<std::string> JsonValue::GetString() const {
+  if (const std::string* s = std::get_if<std::string>(&rep_)) return *s;
+  return Status::InvalidArgument("JSON value is not a string");
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  const Object* object = std::get_if<Object>(&rep_);
+  if (object == nullptr) return nullptr;
+  for (const auto& [name, value] : *object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+common::Result<const JsonValue*> JsonValue::Get(std::string_view key) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr) {
+    return Status::NotFound("missing JSON member \"" + std::string(key) +
+                            "\"");
+  }
+  return value;
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  Object& members = object();
+  for (auto& [name, existing] : members) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  members.emplace_back(std::move(key), std::move(value));
+}
+
+void JsonValue::Append(JsonValue value) { array().push_back(std::move(value)); }
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+void DumpTo(const JsonValue& value, int indent, int depth, std::string& out) {
+  const bool pretty = indent >= 0;
+  // Indentation is appended directly (never materialized as strings):
+  // scalars dominate real documents and need none of it.
+  const auto pad = [&] {
+    out.append(static_cast<size_t>(indent * (depth + 1)), ' ');
+  };
+  const auto close_pad = [&] {
+    out.append(static_cast<size_t>(indent * depth), ' ');
+  };
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      out += value.GetBool().value() ? "true" : "false";
+      return;
+    case JsonValue::Kind::kInt:
+      out += std::to_string(value.GetInt().value());
+      return;
+    case JsonValue::Kind::kDouble: {
+      const double d = value.GetDouble().value();
+      if (std::isnan(d)) {
+        out += "null";  // JSON has no NaN; null is the conventional stand-in.
+      } else if (std::isinf(d)) {
+        out += d > 0 ? "1e999" : "-1e999";  // parses back to +-infinity
+      } else {
+        // 17 significant digits: doubles round-trip bit-exactly. Integral
+        // doubles get an explicit ".0" so they reparse as kDouble, not
+        // kInt — Parse(Dump(x)) == x holds for the kind too.
+        const size_t start = out.size();
+        out += StrFormat("%.17g", d);
+        if (out.find_first_of(".eE", start) == std::string::npos) {
+          out += ".0";
+        }
+      }
+      return;
+    }
+    case JsonValue::Kind::kString:
+      out += JsonEscape(value.GetString().value());
+      return;
+    case JsonValue::Kind::kArray: {
+      const auto& items = value.array();
+      if (items.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        if (pretty) {
+          out.push_back('\n');
+          pad();
+        }
+        DumpTo(items[i], indent, depth + 1, out);
+      }
+      if (pretty) {
+        out.push_back('\n');
+        close_pad();
+      }
+      out.push_back(']');
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      const auto& members = value.object();
+      if (members.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      for (size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        if (pretty) {
+          out.push_back('\n');
+          pad();
+        }
+        out += JsonEscape(members[i].first);
+        out.push_back(':');
+        if (pretty) out.push_back(' ');
+        DumpTo(members[i].second, indent, depth + 1, out);
+      }
+      if (pretty) {
+        out.push_back('\n');
+        close_pad();
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+/// Recursive-descent parser over a string_view with a hard depth cap (the
+/// fuzz seeds include pathological nesting).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  common::Result<JsonValue> ParseDocument() {
+    CF_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  common::Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Fail("JSON nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of JSON input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        CF_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue(std::move(s));
+      }
+      case 't':
+        CF_RETURN_IF_ERROR(Expect("true"));
+        return JsonValue(true);
+      case 'f':
+        CF_RETURN_IF_ERROR(Expect("false"));
+        return JsonValue(false);
+      case 'n':
+        CF_RETURN_IF_ERROR(Expect("null"));
+        return JsonValue(nullptr);
+      default:
+        return ParseNumber();
+    }
+  }
+
+  common::Result<JsonValue> ParseObject(int depth) {
+    ++pos_;  // consume '{'
+    JsonValue object = JsonValue::MakeObject();
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (Peek() != '"') return Fail("expected object key string");
+      CF_ASSIGN_OR_RETURN(std::string key, ParseString());
+      if (object.Find(key) != nullptr) {
+        return Fail("duplicate object key \"" + key + "\"");
+      }
+      SkipWhitespace();
+      if (Peek() != ':') return Fail("expected ':' after object key");
+      ++pos_;
+      CF_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      object.Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return object;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  common::Result<JsonValue> ParseArray(int depth) {
+    ++pos_;  // consume '['
+    JsonValue array = JsonValue::MakeArray();
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    for (;;) {
+      CF_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      array.Append(std::move(value));
+      SkipWhitespace();
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return array;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  common::Result<std::string> ParseString() {
+    ++pos_;  // consume '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return Fail("dangling escape");
+        const char esc = text_[pos_ + 1];
+        pos_ += 2;
+        switch (esc) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+            unsigned int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned int>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned int>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned int>(h - 'A' + 10);
+              } else {
+                return Fail("bad \\u escape digit");
+              }
+            }
+            pos_ += 4;
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // produced by this repo's emitters; reject them cleanly).
+            if (code >= 0xD800 && code <= 0xDFFF) {
+              return Fail("surrogate \\u escapes are not supported");
+            }
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Fail("unknown escape sequence");
+        }
+        continue;
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  common::Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return Fail("malformed number");
+    if (!is_double) {
+      int64_t integer = 0;
+      const auto [ptr, ec] = std::from_chars(
+          token.data(), token.data() + token.size(), integer);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        return JsonValue(integer);
+      }
+      // Out-of-range integer literal: fall through to double parsing.
+    }
+    double number = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), number);
+    if (ec == std::errc::result_out_of_range &&
+        ptr == token.data() + token.size()) {
+      // from_chars reports out-of-range for BOTH overflow and underflow.
+      // strtod distinguishes them: overflow saturates to +-HUGE_VAL (the
+      // 1e999 infinity convention), underflow to ~0 — a literal like
+      // 1e-999 must parse as zero, not infinity.
+      return JsonValue(std::strtod(std::string(token).c_str(), nullptr));
+    }
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return Fail("malformed number");
+    }
+    return JsonValue(number);
+  }
+
+  Status Expect(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Fail("malformed JSON literal");
+    }
+    pos_ += literal.size();
+    return Status::Ok();
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  Status Fail(std::string message) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at offset %zu: %s", pos_,
+                  message.c_str()));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(*this, indent, 0, out);
+  return out;
+}
+
+common::Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace crowdfusion::common

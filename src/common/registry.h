@@ -1,0 +1,87 @@
+#ifndef CROWDFUSION_COMMON_REGISTRY_H_
+#define CROWDFUSION_COMMON_REGISTRY_H_
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace crowdfusion::common {
+
+/// String-keyed factory registry: the building block behind
+/// core::SelectorRegistry, core::ProviderRegistry, and
+/// fusion::FuserRegistry. Keys are config-file spellings ("greedy",
+/// "majority_vote", ...); factories build a Product from a Spec.
+///
+/// Error contract (tested): creating with an unknown key is
+/// InvalidArgument and the message names both the key and the sorted list
+/// of registered keys; registering a duplicate key is InvalidArgument.
+/// Registries are plain values — copy one to extend it locally.
+template <typename Product, typename Spec>
+class FactoryRegistry {
+ public:
+  using Factory = std::function<common::Result<Product>(const Spec&)>;
+
+  /// `category` names the product family in error messages ("selector",
+  /// "provider", "fuser").
+  explicit FactoryRegistry(std::string category)
+      : category_(std::move(category)) {}
+
+  /// Registers a factory under `key`. Duplicate keys are rejected.
+  Status Register(const std::string& key, Factory factory) {
+    if (key.empty()) {
+      return Status::InvalidArgument(category_ + " key must not be empty");
+    }
+    if (factory == nullptr) {
+      return Status::InvalidArgument(category_ + " factory for \"" + key +
+                                     "\" must not be null");
+    }
+    const auto [it, inserted] = factories_.emplace(key, std::move(factory));
+    (void)it;
+    if (!inserted) {
+      return Status::InvalidArgument(StrFormat(
+          "duplicate %s key \"%s\": already registered", category_.c_str(),
+          key.c_str()));
+    }
+    return Status::Ok();
+  }
+
+  /// Builds a Product. Unknown keys fail with the key and the registered
+  /// alternatives in the message.
+  common::Result<Product> Create(const std::string& key,
+                                 const Spec& spec) const {
+    const auto it = factories_.find(key);
+    if (it == factories_.end()) {
+      return Status::InvalidArgument(StrFormat(
+          "unknown %s key \"%s\"; registered: %s", category_.c_str(),
+          key.c_str(), Join(Keys(), ", ").c_str()));
+    }
+    return it->second(spec);
+  }
+
+  bool Contains(const std::string& key) const {
+    return factories_.find(key) != factories_.end();
+  }
+
+  /// Registered keys, sorted (std::map keeps them ordered already).
+  std::vector<std::string> Keys() const {
+    std::vector<std::string> keys;
+    keys.reserve(factories_.size());
+    for (const auto& [key, factory] : factories_) keys.push_back(key);
+    return keys;
+  }
+
+  const std::string& category() const { return category_; }
+
+ private:
+  std::string category_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace crowdfusion::common
+
+#endif  // CROWDFUSION_COMMON_REGISTRY_H_

@@ -1,0 +1,132 @@
+#ifndef CROWDFUSION_CORE_REGISTRY_H_
+#define CROWDFUSION_CORE_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/registry.h"
+#include "common/status.h"
+#include "core/async_provider.h"
+#include "core/crowdfusion.h"
+#include "core/task_selector.h"
+
+namespace crowdfusion::core {
+
+/// Config-shaped description of a task selector: a registry key plus the
+/// union of every builtin selector's knobs, as plain serializable values.
+/// Fields a selector does not consume are ignored by its factory.
+struct SelectorSpec {
+  /// Registry key: "greedy", "opt", "sampled", "random", "query_based".
+  std::string kind = "greedy";
+
+  // --- greedy ---
+  bool use_pruning = true;
+  bool use_preprocessing = true;
+  /// "auto", "dense", or "sparse" (GreedySelector::PreprocessingMode).
+  std::string preprocessing_mode = "auto";
+  /// Threads for sparse candidate batches: 0 = auto, 1 = serial.
+  int preprocessing_threads = 0;
+
+  // --- opt ---
+  bool brute_force_entropy = false;
+  /// Subset cap for OPT (0 = uncapped).
+  int64_t max_subsets = 0;
+
+  // --- sampled ---
+  int samples = 4096;
+  bool bias_correction = true;
+
+  // --- sampled / random ---
+  uint64_t seed = 42;
+
+  // --- query_based ---
+  /// Facts of interest; required non-empty for "query_based".
+  std::vector<int> foi;
+
+  /// Early-stop gain threshold; negative means "the selector's default"
+  /// (1e-12 for the exact greedies, 1e-6 for the sampled one).
+  double min_gain_bits = -1.0;
+
+  friend bool operator==(const SelectorSpec& a,
+                         const SelectorSpec& b) = default;
+};
+
+/// String-keyed factory registry over TaskSelector implementations.
+using SelectorRegistry =
+    common::FactoryRegistry<std::unique_ptr<TaskSelector>, SelectorSpec>;
+
+/// A fresh registry holding every selector defined in core: "greedy",
+/// "opt", "sampled", "random", "query_based". Copy and extend it to add
+/// custom selectors.
+SelectorRegistry BuiltinSelectorRegistry();
+
+/// Config-shaped description of an answer provider. The spec doubles as a
+/// per-instance template: workload builders clone it for every instance,
+/// filling `truths`/`categories` from that instance's gold labels and
+/// deriving per-instance seeds (base seed + instance index).
+struct ProviderSpec {
+  /// Registry key: "simulated_crowd" (registered by the crowd layer) or
+  /// "scripted" (registered here in core).
+  std::string kind = "simulated_crowd";
+
+  // --- ground-truth binding (per instance) ---
+  std::vector<bool> truths;
+  /// data::StatementCategory values as ints; empty means all-clean.
+  std::vector<int> categories;
+
+  // --- simulated_crowd ---
+  /// Worker accuracy (the experiments' true_accuracy, may differ from the
+  /// system's assumed Pc).
+  double accuracy = 0.8;
+  /// Use the Section V-D category-biased worker pool instead of the
+  /// uniform one; base accuracy is still `accuracy`.
+  bool biased = false;
+  uint64_t seed = 0;
+  /// Simulated answer latency (0 = instant; the differential setting).
+  double latency_median_seconds = 0.0;
+  double latency_sigma = 0.5;
+  /// Probability a whole collection attempt fails (kUnavailable).
+  double failure_probability = 0.0;
+  double straggler_probability = 0.0;
+  double straggler_factor = 10.0;
+  uint64_t latency_seed = 4242;
+
+  // --- scripted ---
+  /// Per-fact scripted answers; empty means the parity rule (id % 2 == 1).
+  std::vector<bool> script;
+  int failures_before_success = 0;
+
+  friend bool operator==(const ProviderSpec& a,
+                         const ProviderSpec& b) = default;
+};
+
+/// An owned provider plus typed views onto its contracts. `sync` and
+/// `async` point into the object `owner` keeps alive; either view may be
+/// null when the provider does not speak that contract (the scheduler
+/// wraps sync-only providers in SyncProviderAdapter itself).
+struct ProviderHandle {
+  std::shared_ptr<void> owner;
+  AnswerProvider* sync = nullptr;
+  AsyncAnswerProvider* async = nullptr;
+  /// Optional stats hook: (answers_served, answers_correct) so far, for
+  /// empirical-accuracy reporting. Null when the provider has no notion
+  /// of correctness.
+  std::function<std::pair<int64_t, int64_t>()> served_correct;
+};
+
+/// String-keyed factory registry over answer providers.
+using ProviderRegistry =
+    common::FactoryRegistry<ProviderHandle, ProviderSpec>;
+
+/// A fresh registry holding the providers defined in core ("scripted").
+/// The crowd layer adds "simulated_crowd" via
+/// crowd::RegisterCrowdProviders; the service facade composes both.
+ProviderRegistry BuiltinProviderRegistry();
+
+}  // namespace crowdfusion::core
+
+#endif  // CROWDFUSION_CORE_REGISTRY_H_

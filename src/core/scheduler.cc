@@ -97,7 +97,7 @@ common::Result<int> BudgetScheduler::PickBestIdleInstance(int k) {
   double best_gain = 0.0;
   for (size_t i = 0; i < instances_.size(); ++i) {
     Instance& instance = instances_[i];
-    if (instance.in_flight) continue;
+    if (instance.in_flight || instance.dead) continue;
     CF_RETURN_IF_ERROR(RefreshSelection(instance, k));
     if (instance.cached_selection.tasks.empty()) continue;
     const double tasks =
@@ -228,79 +228,117 @@ BudgetScheduler::RunPipelined() {
   }
   // Drop any in-flight state a previously aborted run left behind.
   AbandonInFlightTickets();
-  int in_flight_count = 0;
 
   std::vector<StepRecord> records;
   for (;;) {
-    // Launch: fill the in-flight window with the best idle instances. The
-    // early Poll-break makes the zero-latency schedule merge each batch
-    // before the next launch decision, reproducing the blocking loop
-    // exactly; real-latency tickets stay pending, so the window fills and
-    // answer latencies overlap.
-    while (in_flight_count < options_.max_in_flight &&
-           cost_reserved_ < options_.total_budget) {
-      const int k = std::min(options_.tasks_per_step,
-                             options_.total_budget - cost_reserved_);
-      CF_ASSIGN_OR_RETURN(const int best, PickBestIdleInstance(k));
-      if (best < 0) break;
-      Instance& launched = instances_[static_cast<size_t>(best)];
-      CF_RETURN_IF_ERROR(
-          SubmitSelection(launched, clock()->NowSeconds()));
-      ++in_flight_count;
-      CF_ASSIGN_OR_RETURN(const TicketStatus ticket_status,
-                          launched.provider->Poll(launched.ticket));
-      if (ticket_status.phase != TicketPhase::kInFlight) break;
-    }
+    CF_ASSIGN_OR_RETURN(const bool more, RunPipelinedStep(records));
+    if (!more) break;
+  }
+  return records;
+}
 
-    if (in_flight_count == 0) {
-      if (HasBudget()) {
-        // Budget remains but no instance has positive-gain tasks left;
-        // emit the same exhaustion marker the blocking loop does.
-        StepRecord record;
-        record.step = steps_run_++;
-        record.cumulative_cost = cost_spent_;
-        record.instance = -1;
-        record.total_utility_bits = TotalUtilityBits();
-        records.push_back(std::move(record));
-      }
-      break;
-    }
+common::Result<bool> BudgetScheduler::RunPipelinedStep(
+    std::vector<StepRecord>& records) {
+  if (instances_.empty()) {
+    return Status::FailedPrecondition("no instances registered");
+  }
+  int in_flight_count = 0;
+  for (const Instance& instance : instances_) {
+    if (instance.in_flight) ++in_flight_count;
+  }
 
-    // Wait: sleep exactly until the earliest outstanding ticket resolves
-    // (capped so a misreporting provider cannot stall the loop forever).
-    for (;;) {
-      bool any_resolved = false;
-      double min_wait = std::numeric_limits<double>::infinity();
-      for (Instance& instance : instances_) {
-        if (!instance.in_flight) continue;
-        CF_ASSIGN_OR_RETURN(const TicketStatus ticket_status,
-                            instance.provider->Poll(instance.ticket));
-        if (ticket_status.phase != TicketPhase::kInFlight) {
-          any_resolved = true;
-        } else {
-          min_wait = std::min(min_wait, ticket_status.seconds_until_ready);
-        }
-      }
-      if (any_resolved) break;
-      clock()->SleepSeconds(
-          std::min(std::max(min_wait, 1.0e-6), options_.max_poll_seconds));
-    }
+  // Launch: fill the in-flight window with the best idle instances. The
+  // early Poll-break makes the zero-latency schedule merge each batch
+  // before the next launch decision, reproducing the blocking loop
+  // exactly; real-latency tickets stay pending, so the window fills and
+  // answer latencies overlap.
+  while (in_flight_count < options_.max_in_flight &&
+         cost_reserved_ < options_.total_budget) {
+    const int k = std::min(options_.tasks_per_step,
+                           options_.total_budget - cost_reserved_);
+    CF_ASSIGN_OR_RETURN(const int best, PickBestIdleInstance(k));
+    if (best < 0) break;
+    Instance& launched = instances_[static_cast<size_t>(best)];
+    CF_RETURN_IF_ERROR(SubmitSelection(launched, clock()->NowSeconds()));
+    ++in_flight_count;
+    CF_ASSIGN_OR_RETURN(const TicketStatus ticket_status,
+                        launched.provider->Poll(launched.ticket));
+    if (ticket_status.phase != TicketPhase::kInFlight) break;
+  }
 
-    // Harvest every resolved ticket (ascending instance order, for
-    // determinism), merging answers and re-ranking lazily: only the merged
-    // instances' cached selections are invalidated.
+  if (in_flight_count == 0) {
+    if (HasBudget()) {
+      // Budget remains but no instance has positive-gain tasks left;
+      // emit the same exhaustion marker the blocking loop does.
+      StepRecord record;
+      record.step = steps_run_++;
+      record.cumulative_cost = cost_spent_;
+      record.instance = -1;
+      record.total_utility_bits = TotalUtilityBits();
+      records.push_back(std::move(record));
+    }
+    return false;
+  }
+
+  // Wait: sleep exactly until the earliest outstanding ticket resolves
+  // (capped so a misreporting provider cannot stall the loop forever).
+  for (;;) {
+    bool any_resolved = false;
+    double min_wait = std::numeric_limits<double>::infinity();
     for (Instance& instance : instances_) {
       if (!instance.in_flight) continue;
       CF_ASSIGN_OR_RETURN(const TicketStatus ticket_status,
                           instance.provider->Poll(instance.ticket));
-      if (ticket_status.phase == TicketPhase::kInFlight) continue;
-      CF_ASSIGN_OR_RETURN(StepRecord record,
-                          HarvestTicket(instance, clock()->NowSeconds()));
-      records.push_back(std::move(record));
-      --in_flight_count;
+      if (ticket_status.phase != TicketPhase::kInFlight) {
+        any_resolved = true;
+      } else {
+        min_wait = std::min(min_wait, ticket_status.seconds_until_ready);
+      }
     }
+    if (any_resolved) break;
+    clock()->SleepSeconds(
+        std::min(std::max(min_wait, 1.0e-6), options_.max_poll_seconds));
   }
-  return records;
+
+  // Harvest every resolved ticket (ascending instance order, for
+  // determinism), merging answers and re-ranking lazily: only the merged
+  // instances' cached selections are invalidated.
+  for (Instance& instance : instances_) {
+    if (!instance.in_flight) continue;
+    CF_ASSIGN_OR_RETURN(const TicketStatus ticket_status,
+                        instance.provider->Poll(instance.ticket));
+    if (ticket_status.phase == TicketPhase::kInFlight) continue;
+    if (ticket_status.phase == TicketPhase::kFailed &&
+        options_.on_ticket_failure == TicketFailurePolicy::kSkipInstance) {
+      // Kill only this instance: release its budget reservation, drop the
+      // ticket's bookkeeping, and keep serving everyone else.
+      instance.provider->Cancel(instance.ticket);
+      instance.in_flight = false;
+      instance.dead = true;
+      instance.selection_valid = false;
+      cost_reserved_ -= static_cast<int>(instance.pending_tasks.size());
+      --in_flight_count;
+      continue;
+    }
+    CF_ASSIGN_OR_RETURN(StepRecord record,
+                        HarvestTicket(instance, clock()->NowSeconds()));
+    records.push_back(std::move(record));
+    --in_flight_count;
+  }
+  return true;
+}
+
+bool BudgetScheduler::instance_dead(int instance) const {
+  CF_CHECK(instance >= 0 && instance < num_instances());
+  return instances_[static_cast<size_t>(instance)].dead;
+}
+
+int BudgetScheduler::dead_instances() const {
+  int dead = 0;
+  for (const Instance& instance : instances_) {
+    if (instance.dead) ++dead;
+  }
+  return dead;
 }
 
 const JointDistribution& BudgetScheduler::joint(int instance) const {

@@ -43,6 +43,18 @@ namespace crowdfusion::core {
 ///    book A.
 class BudgetScheduler {
  public:
+  /// What RunPipelined does when a ticket fails terminally (the provider's
+  /// own retries exhausted, or its deadline expired).
+  enum class TicketFailurePolicy {
+    /// Abort the whole run with the ticket's status (the historical
+    /// behavior and the default).
+    kAbort,
+    /// Mark only the failed ticket's instance dead — it stops receiving
+    /// budget — release the reserved tasks, and keep serving everyone
+    /// else.
+    kSkipInstance,
+  };
+
   struct Options {
     /// Total tasks across all instances.
     int total_budget = 600;
@@ -50,6 +62,8 @@ class BudgetScheduler {
     int tasks_per_step = 1;
     /// Outstanding ticket batches RunPipelined may keep in flight (>= 1).
     int max_in_flight = 4;
+    /// Failure policy for terminally failed pipelined tickets.
+    TicketFailurePolicy on_ticket_failure = TicketFailurePolicy::kAbort;
     /// Service contract stamped on every submitted ticket. max_attempts
     /// defaults to 1 here (not TicketOptions' 3) so a failing provider
     /// surfaces its error after exactly one collection call, as the
@@ -118,8 +132,26 @@ class BudgetScheduler {
   /// gain remains anywhere, keeping up to Options::max_in_flight ticket
   /// batches outstanding. Records are in merge order. A ticket that fails
   /// terminally (after the provider's own retries) aborts the run with its
-  /// status.
+  /// status under TicketFailurePolicy::kAbort, or kills only its instance
+  /// under kSkipInstance.
   common::Result<std::vector<StepRecord>> RunPipelined();
+
+  /// One pipelined serving quantum, for callers that interleave serving
+  /// with other work (the service facade's Session::Step): fills the
+  /// in-flight window with the best idle instances, sleeps until the
+  /// earliest outstanding ticket resolves, and harvests every resolved
+  /// ticket, appending the merged records. Returns false when the run is
+  /// complete (budget gone or no gain anywhere; the exhaustion marker
+  /// record is appended exactly as RunPipelined emits it). Assumes no
+  /// aborted run's tickets are pending — start a fresh scheduler, or go
+  /// through RunPipelined which clears them.
+  common::Result<bool> RunPipelinedStep(std::vector<StepRecord>& records);
+
+  /// Number of instances marked dead by TicketFailurePolicy::kSkipInstance.
+  int dead_instances() const;
+
+  /// True when kSkipInstance killed this instance.
+  bool instance_dead(int instance) const;
 
   const JointDistribution& joint(int instance) const;
   const std::string& name(int instance) const;
@@ -140,6 +172,9 @@ class BudgetScheduler {
     /// provider; the wrapped sync provider itself stays borrowed.
     std::unique_ptr<SyncProviderAdapter> owned_adapter;
     int cost_spent = 0;
+    /// Set by TicketFailurePolicy::kSkipInstance when this instance's
+    /// ticket failed terminally; dead instances never receive budget again.
+    bool dead = false;
     /// Cached best selection for the current joint; empty tasks means the
     /// selector found no benefit. Invalidated on merge, and recomputed
     /// when the requested k changes (a selection cached under a larger k

@@ -55,6 +55,9 @@ struct BookDatasetOptions {
   double weight_wrong_author = 0.3;
   double weight_missing_author = 0.2;
   uint64_t seed = 7;
+
+  friend bool operator==(const BookDatasetOptions& a,
+                         const BookDatasetOptions& b) = default;
 };
 
 /// One generated book with its candidate statements. The statement order

@@ -45,6 +45,9 @@ struct CorrelationModelOptions {
   double null_hypothesis_mass = 0.05;
   /// Hard cap on facts per joint (dense representation is 2^n).
   int max_facts = JointDistribution::kMaxDenseFacts;
+
+  friend bool operator==(const CorrelationModelOptions& a,
+                         const CorrelationModelOptions& b) = default;
 };
 
 /// Builds the joint distribution of one book's statements. `marginals[i]`

@@ -1,27 +1,15 @@
 #include "eval/experiment.h"
 
-#include <algorithm>
+#include <utility>
 
-#include "common/stopwatch.h"
+#include "common/logging.h"
 #include "common/string_util.h"
-#include "core/bayes.h"
-#include "core/crowd_model.h"
-#include "core/greedy_selector.h"
-#include "core/opt_selector.h"
-#include "core/random_selector.h"
-#include "core/scheduler.h"
-#include "crowd/simulated_crowd.h"
-#include "fusion/accu.h"
-#include "fusion/crh.h"
-#include "fusion/majority_vote.h"
-#include "fusion/truthfinder.h"
-#include "fusion/web_link_fusers.h"
+#include "core/registry.h"
+#include "service/fusion_service.h"
 
 namespace crowdfusion::eval {
 
 using common::Status;
-using core::CrowdModel;
-using core::JointDistribution;
 
 const char* InitializerName(Initializer initializer) {
   switch (initializer) {
@@ -61,131 +49,116 @@ const char* SelectorKindName(SelectorKind kind) {
   return "Unknown";
 }
 
-std::unique_ptr<core::TaskSelector> MakeSelector(SelectorKind kind,
-                                                 uint64_t seed) {
-  core::GreedySelector::Options greedy;
-  switch (kind) {
-    case SelectorKind::kGreedy:
-      break;
-    case SelectorKind::kGreedyPrune:
-      greedy.use_pruning = true;
-      break;
-    case SelectorKind::kGreedyPre:
-      greedy.use_preprocessing = true;
-      break;
-    case SelectorKind::kGreedyPrunePre:
-      greedy.use_pruning = true;
-      greedy.use_preprocessing = true;
-      break;
-    case SelectorKind::kOpt:
-      return std::make_unique<core::OptSelector>();
-    case SelectorKind::kRandom:
-      return std::make_unique<core::RandomSelector>(seed);
-  }
-  return std::make_unique<core::GreedySelector>(greedy);
-}
-
 namespace {
 
-std::unique_ptr<fusion::Fuser> MakeFuser(Initializer initializer) {
+/// The fuser-registry key of an Initializer (the config spelling).
+const char* InitializerKey(Initializer initializer) {
   switch (initializer) {
     case Initializer::kCrh:
-      return std::make_unique<fusion::CrhFuser>();
+      return "crh";
     case Initializer::kMajorityVote:
-      return std::make_unique<fusion::MajorityVoteFuser>();
+      return "majority_vote";
     case Initializer::kTruthFinder:
-      return std::make_unique<fusion::TruthFinderFuser>();
+      return "truthfinder";
     case Initializer::kAccu:
-      return std::make_unique<fusion::AccuFuser>();
+      return "accu";
     case Initializer::kSums:
-      return std::make_unique<fusion::SumsFuser>();
+      return "sums";
     case Initializer::kAverageLog:
-      return std::make_unique<fusion::AverageLogFuser>();
+      return "averagelog";
     case Initializer::kInvestment:
-      return std::make_unique<fusion::InvestmentFuser>();
+      return "investment";
   }
-  return nullptr;
+  return "unknown";
 }
 
-/// Per-book working state during a run.
-struct BookState {
-  const data::Book* book = nullptr;
-  JointDistribution joint;
-  std::unique_ptr<crowd::SimulatedCrowd> crowd;
-  std::vector<bool> truths;  // per in-book fact
-  int cost_spent = 0;
-  int num_facts = 0;
-};
-
-struct PreparedRun {
-  data::BookDataset dataset;
-  std::vector<BookState> states;
-};
-
-common::Result<PreparedRun> Prepare(const ExperimentOptions& options) {
-  PreparedRun run;
-  CF_ASSIGN_OR_RETURN(run.dataset,
-                      data::GenerateBookDataset(options.dataset));
-  std::unique_ptr<fusion::Fuser> fuser = MakeFuser(options.initializer);
-  if (fuser == nullptr) return Status::InvalidArgument("bad initializer");
-  CF_ASSIGN_OR_RETURN(fusion::FusionResult fused,
-                      fuser->Fuse(run.dataset.claims));
-  CF_RETURN_IF_ERROR(ValidateFusionResult(run.dataset.claims, fused));
-
-  uint64_t crowd_seed = options.crowd_seed;
-  for (const data::Book& book : run.dataset.books) {
-    BookState state;
-    state.book = &book;
-    state.num_facts = std::min<int>(static_cast<int>(book.statements.size()),
-                                    options.max_facts_per_book);
-    if (state.num_facts == 0) continue;
-
-    std::vector<double> marginals(static_cast<size_t>(state.num_facts));
-    std::vector<data::Statement> statements(
-        book.statements.begin(), book.statements.begin() + state.num_facts);
-    std::vector<data::StatementCategory> categories(
-        static_cast<size_t>(state.num_facts));
-    state.truths.resize(static_cast<size_t>(state.num_facts));
-    for (int i = 0; i < state.num_facts; ++i) {
-      const int vid = book.value_ids[static_cast<size_t>(i)];
-      marginals[static_cast<size_t>(i)] =
-          fused.value_probability[static_cast<size_t>(vid)];
-      categories[static_cast<size_t>(i)] =
-          run.dataset.value_category[static_cast<size_t>(vid)];
-      state.truths[static_cast<size_t>(i)] =
-          run.dataset.value_truth[static_cast<size_t>(vid)];
-    }
-    CF_ASSIGN_OR_RETURN(
-        state.joint,
-        data::BuildBookJoint(marginals, statements, options.correlation));
-
-    const crowd::WorkerBias bias =
-        options.biased_crowd
-            ? [&] {
-                crowd::WorkerBias b;  // Section V-D defaults...
-                b.base_accuracy = options.true_accuracy;
-                return b;
-              }()
-            : crowd::WorkerBias::Uniform(options.true_accuracy);
-    state.crowd = std::make_unique<crowd::SimulatedCrowd>(
-        state.truths, categories, bias, crowd_seed++);
-    run.states.push_back(std::move(state));
+/// The selector-registry spec of a SelectorKind.
+core::SelectorSpec SelectorSpecFor(SelectorKind kind, uint64_t seed) {
+  core::SelectorSpec spec;
+  spec.seed = seed;
+  switch (kind) {
+    case SelectorKind::kGreedy:
+      spec.kind = "greedy";
+      spec.use_pruning = false;
+      spec.use_preprocessing = false;
+      break;
+    case SelectorKind::kGreedyPrune:
+      spec.kind = "greedy";
+      spec.use_pruning = true;
+      spec.use_preprocessing = false;
+      break;
+    case SelectorKind::kGreedyPre:
+      spec.kind = "greedy";
+      spec.use_pruning = false;
+      spec.use_preprocessing = true;
+      break;
+    case SelectorKind::kGreedyPrunePre:
+      spec.kind = "greedy";
+      spec.use_pruning = true;
+      spec.use_preprocessing = true;
+      break;
+    case SelectorKind::kOpt:
+      // The fast entropy path (quality comparisons); the Table V harness
+      // constructs its paper-faithful brute-force variants directly.
+      spec.kind = "opt";
+      break;
+    case SelectorKind::kRandom:
+      spec.kind = "random";
+      break;
   }
-  if (run.states.empty()) {
-    return Status::InvalidArgument("no books with facts were generated");
-  }
-  return run;
+  return spec;
 }
 
-CurvePoint Score(const std::vector<BookState>& states, int total_cost) {
+/// Translates ExperimentOptions into the one typed request the service
+/// facade consumes — the experiment harness is a thin client now.
+service::FusionRequest BuildRequest(const ExperimentOptions& options,
+                                    service::RunMode mode) {
+  service::FusionRequest request;
+  request.mode = mode;
+  service::DatasetSpec dataset;
+  dataset.generate = options.dataset;
+  dataset.correlation = options.correlation;
+  dataset.fuser.kind = InitializerKey(options.initializer);
+  dataset.max_facts_per_book = options.max_facts_per_book;
+  request.dataset = std::move(dataset);
+  request.selector = SelectorSpecFor(options.selector, options.selector_seed);
+  request.provider.kind = "simulated_crowd";
+  request.provider.accuracy = options.true_accuracy;
+  request.provider.biased = options.biased_crowd;
+  request.provider.seed = options.crowd_seed;
+  request.provider.latency_median_seconds =
+      mode == service::RunMode::kPipelined
+          ? options.crowd_median_latency_seconds
+          : 0.0;
+  // The pipelined experiments' historical latency-stream lineage.
+  request.provider.latency_seed = options.crowd_seed ^ 0x1A7E9C1ULL;
+  request.assumed_pc = options.assumed_pc;
+  request.budget.budget_per_instance = options.budget_per_book;
+  request.budget.tasks_per_step = options.tasks_per_round;
+  request.pipeline.max_in_flight = options.max_in_flight;
+  return request;
+}
+
+common::Status ValidateOptions(const ExperimentOptions& options) {
+  if (options.budget_per_book < 0) {
+    return Status::InvalidArgument("budget must be non-negative");
+  }
+  if (options.tasks_per_round <= 0) {
+    return Status::InvalidArgument("tasks_per_round must be positive");
+  }
+  return Status::Ok();
+}
+
+/// Scores the session's current joints against its gold labels — one
+/// quality-vs-cost curve point (the Figures 2-4 series).
+CurvePoint ScoreSession(const service::Session& session, int total_cost) {
   CurvePoint point;
   point.cost = total_cost;
   ConfusionCounts counts;
   double utility = 0.0;
-  for (const BookState& state : states) {
-    const std::vector<double> marginals = state.joint.Marginals();
-    counts += CountConfusion(marginals, state.truths);
-    utility += -state.joint.EntropyBits();
+  for (int i = 0; i < session.num_instances(); ++i) {
+    counts += CountConfusion(session.joint(i).Marginals(), session.truths(i));
+    utility += -session.joint(i).EntropyBits();
   }
   const PrecisionRecallF1 prf = ComputeF1(counts);
   point.f1 = prf.f1;
@@ -195,175 +168,111 @@ CurvePoint Score(const std::vector<BookState>& states, int total_cost) {
   return point;
 }
 
+void FillWorkloadStats(const service::Session& session,
+                       ExperimentResult& result) {
+  result.books_evaluated = session.num_instances();
+  for (int i = 0; i < session.num_instances(); ++i) {
+    result.total_facts += session.num_facts(i);
+  }
+  const auto [served, correct] = session.answers_served_correct();
+  result.crowd_empirical_accuracy =
+      served > 0 ? static_cast<double>(correct) / static_cast<double>(served)
+                 : 0.0;
+}
+
 }  // namespace
+
+std::unique_ptr<core::TaskSelector> MakeSelector(SelectorKind kind,
+                                                 uint64_t seed) {
+  static const core::SelectorRegistry registry =
+      core::BuiltinSelectorRegistry();
+  const core::SelectorSpec spec = SelectorSpecFor(kind, seed);
+  auto selector = registry.Create(spec.kind, spec);
+  CF_CHECK(selector.ok()) << selector.status();
+  return std::move(selector).value();
+}
 
 common::Result<ExperimentResult> RunExperiment(
     const ExperimentOptions& options) {
-  if (options.budget_per_book < 0) {
-    return Status::InvalidArgument("budget must be non-negative");
-  }
-  if (options.tasks_per_round <= 0) {
-    return Status::InvalidArgument("tasks_per_round must be positive");
-  }
-  CF_ASSIGN_OR_RETURN(PreparedRun run, Prepare(options));
-  CF_ASSIGN_OR_RETURN(CrowdModel crowd, CrowdModel::Create(options.assumed_pc));
-  std::unique_ptr<core::TaskSelector> selector =
-      MakeSelector(options.selector, options.selector_seed);
+  CF_RETURN_IF_ERROR(ValidateOptions(options));
+  service::FusionService service;
+  CF_ASSIGN_OR_RETURN(
+      const std::unique_ptr<service::Session> session,
+      service.CreateSession(BuildRequest(options, service::RunMode::kEngine)));
 
   ExperimentResult result;
   result.label = common::StrFormat(
       "%s k=%d Pc=%.2f", SelectorKindName(options.selector),
       options.tasks_per_round, options.assumed_pc);
-  result.books_evaluated = static_cast<int>(run.states.size());
-  for (const BookState& state : run.states) {
-    result.total_facts += state.num_facts;
-  }
 
-  int total_cost = 0;
-  CurvePoint initial = Score(run.states, total_cost);
+  const CurvePoint initial = ScoreSession(*session, 0);
   result.curve.push_back(initial);
   result.initial_quality = {initial.precision, initial.recall, initial.f1};
   result.initial_utility_bits = initial.utility_bits;
 
-  // Advance every book one round per global round, so curve costs are the
-  // paper's global task counts.
-  const int rounds = (options.budget_per_book + options.tasks_per_round - 1) /
-                     options.tasks_per_round;
-  common::Stopwatch selection_timer;
-  double selection_seconds = 0.0;
-  for (int round = 0; round < rounds; ++round) {
-    bool any_progress = false;
-    for (BookState& state : run.states) {
-      const int remaining = options.budget_per_book - state.cost_spent;
-      if (remaining <= 0) continue;
-      const int k = std::min(
-          {options.tasks_per_round, state.num_facts, remaining});
-      core::SelectionRequest request;
-      request.joint = &state.joint;
-      request.crowd = &crowd;
-      request.k = k;
-      selection_timer.Restart();
-      CF_ASSIGN_OR_RETURN(core::Selection selection,
-                          selector->Select(request));
-      selection_seconds += selection_timer.ElapsedSeconds();
-      if (selection.tasks.empty()) {
-        // Selector sees no gain; spend the budget anyway? The paper stops
-        // asking (K* < k); we mark the book done.
-        state.cost_spent = options.budget_per_book;
-        continue;
-      }
-      CF_ASSIGN_OR_RETURN(std::vector<bool> answers,
-                          state.crowd->CollectAnswers(selection.tasks));
-      core::AnswerSet answer_set{selection.tasks, answers};
-      CF_ASSIGN_OR_RETURN(
-          state.joint,
-          core::PosteriorGivenAnswers(state.joint, answer_set, crowd));
-      state.cost_spent += static_cast<int>(selection.tasks.size());
-      total_cost += static_cast<int>(selection.tasks.size());
-      any_progress = true;
-    }
-    result.curve.push_back(Score(run.states, total_cost));
-    if (!any_progress) break;
+  // Each Step is one global round: every live book advances one engine
+  // round, so curve costs are the paper's global task counts.
+  while (!session->done()) {
+    CF_ASSIGN_OR_RETURN(const std::vector<service::StepOutcome> outcomes,
+                        session->Step());
+    if (outcomes.empty()) break;
+    result.curve.push_back(
+        ScoreSession(*session, session->total_cost_spent()));
   }
 
   const CurvePoint& final_point = result.curve.back();
   result.final_quality = {final_point.precision, final_point.recall,
                           final_point.f1};
   result.final_utility_bits = final_point.utility_bits;
-  result.selection_seconds = selection_seconds;
-
-  int64_t served = 0;
-  int64_t correct = 0;
-  for (const BookState& state : run.states) {
-    served += state.crowd->answers_served();
-    correct += state.crowd->answers_correct();
-  }
-  result.crowd_empirical_accuracy =
-      served > 0 ? static_cast<double>(correct) / static_cast<double>(served)
-                 : 0.0;
+  result.selection_seconds = session->selection_seconds();
+  FillWorkloadStats(*session, result);
   return result;
 }
 
 common::Result<PrecisionRecallF1> ScoreInitializer(
     const ExperimentOptions& options) {
-  CF_ASSIGN_OR_RETURN(PreparedRun run, Prepare(options));
-  const CurvePoint point = Score(run.states, 0);
+  service::FusionService service;
+  service::FusionRequest request =
+      BuildRequest(options, service::RunMode::kEngine);
+  request.budget.budget_per_instance = 0;  // the zero-cost baseline
+  CF_ASSIGN_OR_RETURN(const std::unique_ptr<service::Session> session,
+                      service.CreateSession(std::move(request)));
+  const CurvePoint point = ScoreSession(*session, 0);
   return PrecisionRecallF1{point.precision, point.recall, point.f1};
 }
 
 common::Result<ExperimentResult> RunPipelinedExperiment(
     const ExperimentOptions& options) {
-  if (options.budget_per_book < 0) {
-    return Status::InvalidArgument("budget must be non-negative");
-  }
-  if (options.tasks_per_round <= 0) {
-    return Status::InvalidArgument("tasks_per_round must be positive");
-  }
-  CF_ASSIGN_OR_RETURN(PreparedRun run, Prepare(options));
-  CF_ASSIGN_OR_RETURN(CrowdModel crowd,
-                      CrowdModel::Create(options.assumed_pc));
-  std::unique_ptr<core::TaskSelector> selector =
-      MakeSelector(options.selector, options.selector_seed);
-
-  core::BudgetScheduler::Options scheduler_options;
-  scheduler_options.total_budget =
-      options.budget_per_book * static_cast<int>(run.states.size());
-  scheduler_options.tasks_per_step = options.tasks_per_round;
-  scheduler_options.max_in_flight = options.max_in_flight;
-  CF_ASSIGN_OR_RETURN(
-      core::BudgetScheduler scheduler,
-      core::BudgetScheduler::Create(crowd, selector.get(),
-                                    scheduler_options));
-  uint64_t latency_seed = options.crowd_seed ^ 0x1A7E9C1ULL;
-  for (BookState& state : run.states) {
-    crowd::LatencyOptions latency;
-    latency.median_seconds = options.crowd_median_latency_seconds;
-    latency.seed = latency_seed++;
-    state.crowd->ConfigureAsync(latency);
-    CF_RETURN_IF_ERROR(scheduler
-                           .AddInstanceAsync(state.book->isbn, state.joint,
-                                             state.crowd.get())
-                           .status());
-  }
+  CF_RETURN_IF_ERROR(ValidateOptions(options));
+  service::FusionService service;
+  CF_ASSIGN_OR_RETURN(const std::unique_ptr<service::Session> session,
+                      service.CreateSession(BuildRequest(
+                          options, service::RunMode::kPipelined)));
 
   ExperimentResult result;
   result.label = common::StrFormat(
       "%s pipelined m=%d k=%d Pc=%.2f", SelectorKindName(options.selector),
       options.max_in_flight, options.tasks_per_round, options.assumed_pc);
-  result.books_evaluated = static_cast<int>(run.states.size());
-  for (const BookState& state : run.states) {
-    result.total_facts += state.num_facts;
-  }
 
-  CurvePoint initial = Score(run.states, 0);
+  const CurvePoint initial = ScoreSession(*session, 0);
   result.curve.push_back(initial);
   result.initial_quality = {initial.precision, initial.recall, initial.f1};
   result.initial_utility_bits = initial.utility_bits;
 
-  common::Stopwatch run_timer;
-  CF_ASSIGN_OR_RETURN(const auto records, scheduler.RunPipelined());
-  result.selection_seconds = run_timer.ElapsedSeconds();
-  (void)records;
-
-  // Copy the refined joints back so Score sees the served state.
-  for (size_t i = 0; i < run.states.size(); ++i) {
-    run.states[i].joint = scheduler.joint(static_cast<int>(i));
+  while (!session->done()) {
+    CF_RETURN_IF_ERROR(session->Step().status());
   }
-  CurvePoint final_point = Score(run.states, scheduler.total_cost_spent());
+
+  const CurvePoint final_point =
+      ScoreSession(*session, session->total_cost_spent());
   result.curve.push_back(final_point);
   result.final_quality = {final_point.precision, final_point.recall,
                           final_point.f1};
   result.final_utility_bits = final_point.utility_bits;
-
-  int64_t served = 0;
-  int64_t correct = 0;
-  for (const BookState& state : run.states) {
-    served += state.crowd->answers_served();
-    correct += state.crowd->answers_correct();
-  }
-  result.crowd_empirical_accuracy =
-      served > 0 ? static_cast<double>(correct) / static_cast<double>(served)
-                 : 0.0;
+  // The pipelined trajectory has no per-selection timing; report the
+  // serving wall-clock, as the pre-facade harness did.
+  result.selection_seconds = session->wall_seconds();
+  FillWorkloadStats(*session, result);
   return result;
 }
 

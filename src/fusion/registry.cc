@@ -1,0 +1,74 @@
+#include "fusion/registry.h"
+
+#include "common/logging.h"
+#include "fusion/accu.h"
+#include "fusion/crh.h"
+#include "fusion/majority_vote.h"
+#include "fusion/truthfinder.h"
+#include "fusion/web_link_fusers.h"
+
+namespace crowdfusion::fusion {
+
+using common::Status;
+
+namespace {
+
+common::Status ValidateIterations(const FuserSpec& spec) {
+  if (spec.max_iterations < 0) {
+    return Status::InvalidArgument("max_iterations must be non-negative");
+  }
+  return Status::Ok();
+}
+
+common::Result<std::unique_ptr<Fuser>> MakeCrh(const FuserSpec& spec) {
+  CF_RETURN_IF_ERROR(ValidateIterations(spec));
+  CrhFuser::Options options;
+  if (spec.max_iterations > 0) options.max_iterations = spec.max_iterations;
+  return std::unique_ptr<Fuser>(std::make_unique<CrhFuser>(options));
+}
+
+common::Result<std::unique_ptr<Fuser>> MakeMajorityVote(
+    const FuserSpec& spec) {
+  CF_RETURN_IF_ERROR(ValidateIterations(spec));
+  return std::unique_ptr<Fuser>(std::make_unique<MajorityVoteFuser>());
+}
+
+common::Result<std::unique_ptr<Fuser>> MakeAccu(const FuserSpec& spec) {
+  CF_RETURN_IF_ERROR(ValidateIterations(spec));
+  AccuFuser::Options options;
+  if (spec.max_iterations > 0) options.max_iterations = spec.max_iterations;
+  return std::unique_ptr<Fuser>(std::make_unique<AccuFuser>(options));
+}
+
+common::Result<std::unique_ptr<Fuser>> MakeTruthFinder(
+    const FuserSpec& spec) {
+  CF_RETURN_IF_ERROR(ValidateIterations(spec));
+  TruthFinderFuser::Options options;
+  if (spec.max_iterations > 0) options.max_iterations = spec.max_iterations;
+  return std::unique_ptr<Fuser>(
+      std::make_unique<TruthFinderFuser>(std::move(options)));
+}
+
+template <typename FuserT>
+common::Result<std::unique_ptr<Fuser>> MakeWebLink(const FuserSpec& spec) {
+  CF_RETURN_IF_ERROR(ValidateIterations(spec));
+  WebLinkOptions options;
+  if (spec.max_iterations > 0) options.max_iterations = spec.max_iterations;
+  return std::unique_ptr<Fuser>(std::make_unique<FuserT>(options));
+}
+
+}  // namespace
+
+FuserRegistry BuiltinFuserRegistry() {
+  FuserRegistry registry("fuser");
+  CF_CHECK_OK(registry.Register("crh", MakeCrh));
+  CF_CHECK_OK(registry.Register("majority_vote", MakeMajorityVote));
+  CF_CHECK_OK(registry.Register("accu", MakeAccu));
+  CF_CHECK_OK(registry.Register("truthfinder", MakeTruthFinder));
+  CF_CHECK_OK(registry.Register("sums", MakeWebLink<SumsFuser>));
+  CF_CHECK_OK(registry.Register("averagelog", MakeWebLink<AverageLogFuser>));
+  CF_CHECK_OK(registry.Register("investment", MakeWebLink<InvestmentFuser>));
+  return registry;
+}
+
+}  // namespace crowdfusion::fusion

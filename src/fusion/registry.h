@@ -1,0 +1,36 @@
+#ifndef CROWDFUSION_FUSION_REGISTRY_H_
+#define CROWDFUSION_FUSION_REGISTRY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/registry.h"
+#include "fusion/fusion_result.h"
+
+namespace crowdfusion::fusion {
+
+/// Config-shaped description of a machine-only fuser. All builtin fusers
+/// run fine on their defaults; the spec carries the one knob they share.
+struct FuserSpec {
+  /// Registry key: "crh", "majority_vote", "accu", "truthfinder", "sums",
+  /// "averagelog", "investment".
+  std::string kind = "crh";
+  /// Iteration cap for the iterative methods; 0 keeps each fuser's
+  /// default. Ignored by single-pass fusers (majority_vote).
+  int max_iterations = 0;
+
+  friend bool operator==(const FuserSpec& a, const FuserSpec& b) = default;
+};
+
+/// String-keyed factory registry over machine-only fusion methods.
+using FuserRegistry =
+    common::FactoryRegistry<std::unique_ptr<Fuser>, FuserSpec>;
+
+/// A fresh registry holding every fuser defined in this layer:
+/// "crh", "majority_vote", "accu", "truthfinder", "sums", "averagelog",
+/// "investment".
+FuserRegistry BuiltinFuserRegistry();
+
+}  // namespace crowdfusion::fusion
+
+#endif  // CROWDFUSION_FUSION_REGISTRY_H_

@@ -1,0 +1,486 @@
+#include "service/fusion_service.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "crowd/provider_registry.h"
+#include "data/statement.h"
+#include "fusion/fusion_result.h"
+
+namespace crowdfusion::service {
+
+using common::Status;
+
+const char* RunModeName(RunMode mode) {
+  switch (mode) {
+    case RunMode::kEngine:
+      return "engine";
+    case RunMode::kBlocking:
+      return "blocking";
+    case RunMode::kPipelined:
+      return "pipelined";
+  }
+  return "unknown";
+}
+
+common::Result<RunMode> ParseRunMode(const std::string& name) {
+  if (name == "engine") return RunMode::kEngine;
+  if (name == "blocking") return RunMode::kBlocking;
+  if (name == "pipelined") return RunMode::kPipelined;
+  return Status::InvalidArgument(
+      "unknown run mode \"" + name +
+      "\"; expected \"engine\", \"blocking\", or \"pipelined\"");
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+const std::string& Session::instance_name(int instance) const {
+  CF_CHECK(instance >= 0 && instance < num_instances());
+  return instances_[static_cast<size_t>(instance)].name;
+}
+
+const core::JointDistribution& Session::joint(int instance) const {
+  CF_CHECK(instance >= 0 && instance < num_instances());
+  if (scheduler_.has_value()) return scheduler_->joint(instance);
+  return instances_[static_cast<size_t>(instance)].engine->current();
+}
+
+const std::vector<bool>& Session::truths(int instance) const {
+  CF_CHECK(instance >= 0 && instance < num_instances());
+  return instances_[static_cast<size_t>(instance)].truths;
+}
+
+int Session::num_facts(int instance) const {
+  CF_CHECK(instance >= 0 && instance < num_instances());
+  return instances_[static_cast<size_t>(instance)].num_facts;
+}
+
+int Session::cost_spent(int instance) const {
+  CF_CHECK(instance >= 0 && instance < num_instances());
+  if (scheduler_.has_value()) return scheduler_->cost_spent(instance);
+  return instances_[static_cast<size_t>(instance)].engine->cost_spent();
+}
+
+int Session::total_cost_spent() const {
+  if (scheduler_.has_value()) return scheduler_->total_cost_spent();
+  int total = 0;
+  for (const Instance& instance : instances_) {
+    total += instance.engine->cost_spent();
+  }
+  return total;
+}
+
+double Session::total_utility_bits() const {
+  if (scheduler_.has_value()) return scheduler_->TotalUtilityBits();
+  double total = 0.0;
+  for (const Instance& instance : instances_) {
+    total += -instance.engine->current().EntropyBits();
+  }
+  return total;
+}
+
+std::pair<int64_t, int64_t> Session::answers_served_correct() const {
+  int64_t served = 0;
+  int64_t correct = 0;
+  for (const Instance& instance : instances_) {
+    if (instance.provider.served_correct == nullptr) continue;
+    const auto [s, c] = instance.provider.served_correct();
+    served += s;
+    correct += c;
+  }
+  return {served, correct};
+}
+
+StepOutcome Session::FromRoundRecord(int instance,
+                                     const core::RoundRecord& record) {
+  StepOutcome outcome;
+  outcome.step = steps_emitted_++;
+  outcome.instance = instance;
+  outcome.round = record.round;
+  outcome.tasks = record.tasks;
+  outcome.answers = record.answers;
+  outcome.selected_entropy_bits = record.selected_entropy_bits;
+  outcome.expected_gain_bits =
+      record.tasks.empty()
+          ? 0.0
+          : record.selected_entropy_bits -
+                static_cast<double>(record.tasks.size()) *
+                    crowd_->EntropyBits();
+  outcome.utility_bits = record.utility_bits;
+  outcome.cumulative_cost = record.cumulative_cost;
+  selection_seconds_ += record.selection_stats.elapsed_seconds;
+  return outcome;
+}
+
+StepOutcome Session::FromStepRecord(
+    const core::BudgetScheduler::StepRecord& record) {
+  StepOutcome outcome;
+  outcome.step = steps_emitted_++;
+  outcome.instance = record.instance;
+  outcome.tasks = record.tasks;
+  outcome.answers = record.answers;
+  outcome.expected_gain_bits = record.expected_gain_bits;
+  outcome.selected_entropy_bits =
+      record.tasks.empty()
+          ? 0.0
+          : record.expected_gain_bits +
+                static_cast<double>(record.tasks.size()) *
+                    crowd_->EntropyBits();
+  outcome.utility_bits = record.total_utility_bits;
+  outcome.cumulative_cost = record.cumulative_cost;
+  outcome.latency_seconds = record.latency_seconds;
+  return outcome;
+}
+
+common::Result<std::vector<StepOutcome>> Session::StepEngine() {
+  // One round-robin pass: every instance that still has budget and gain
+  // runs one engine round, in registration order — exactly the global
+  // rounds eval::RunExperiment reported before this facade existed.
+  std::vector<StepOutcome> outcomes;
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    Instance& instance = instances_[i];
+    if (instance.exhausted || !instance.engine->HasBudget()) continue;
+    CF_ASSIGN_OR_RETURN(const core::RoundRecord record,
+                        instance.engine->RunRound());
+    if (record.tasks.empty()) {
+      // Selector sees no gain for this instance; stop asking (K* < k).
+      instance.exhausted = true;
+    }
+    outcomes.push_back(FromRoundRecord(static_cast<int>(i), record));
+  }
+  if (outcomes.empty()) done_ = true;
+  return outcomes;
+}
+
+common::Result<std::vector<StepOutcome>> Session::StepBlocking() {
+  std::vector<StepOutcome> outcomes;
+  if (!scheduler_->HasBudget()) {
+    done_ = true;
+    return outcomes;
+  }
+  CF_ASSIGN_OR_RETURN(const core::BudgetScheduler::StepRecord record,
+                      scheduler_->RunStep());
+  if (record.instance < 0) done_ = true;
+  outcomes.push_back(FromStepRecord(record));
+  if (!scheduler_->HasBudget()) done_ = true;
+  return outcomes;
+}
+
+common::Result<std::vector<StepOutcome>> Session::StepPipelined() {
+  std::vector<core::BudgetScheduler::StepRecord> records;
+  CF_ASSIGN_OR_RETURN(const bool more, scheduler_->RunPipelinedStep(records));
+  std::vector<StepOutcome> outcomes;
+  outcomes.reserve(records.size());
+  for (const auto& record : records) {
+    outcomes.push_back(FromStepRecord(record));
+  }
+  if (!more) done_ = true;
+  return outcomes;
+}
+
+common::Result<std::vector<StepOutcome>> Session::Step() {
+  if (done_) return std::vector<StepOutcome>{};
+  common::Stopwatch stopwatch;
+  common::Result<std::vector<StepOutcome>> outcomes =
+      mode_ == RunMode::kEngine
+          ? StepEngine()
+          : (mode_ == RunMode::kBlocking ? StepBlocking() : StepPipelined());
+  wall_seconds_ += stopwatch.ElapsedSeconds();
+  if (!outcomes.ok()) return outcomes.status();
+  steps_.insert(steps_.end(), outcomes.value().begin(),
+                outcomes.value().end());
+  return outcomes;
+}
+
+SessionProgress Session::Poll() const {
+  SessionProgress progress;
+  progress.done = done_;
+  progress.steps_completed = static_cast<int>(steps_.size());
+  progress.total_cost_spent = total_cost_spent();
+  progress.total_budget = total_budget_;
+  progress.total_utility_bits = total_utility_bits();
+  progress.dead_instances =
+      scheduler_.has_value() ? scheduler_->dead_instances() : 0;
+  return progress;
+}
+
+FusionResponse Session::Finish() const {
+  FusionResponse response;
+  response.label = label_;
+  response.mode = mode_;
+  response.steps = steps_;
+  response.total_cost_spent = total_cost_spent();
+  response.total_utility_bits = total_utility_bits();
+  response.dead_instances =
+      scheduler_.has_value() ? scheduler_->dead_instances() : 0;
+
+  response.instances.reserve(instances_.size());
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    InstanceReport report;
+    report.name = instances_[i].name;
+    report.final_joint = joint(static_cast<int>(i));
+    report.final_marginals = report.final_joint.Marginals();
+    report.utility_bits = -report.final_joint.EntropyBits();
+    report.cost_spent = cost_spent(static_cast<int>(i));
+    report.num_facts = instances_[i].num_facts;
+    report.dead = scheduler_.has_value() &&
+                  scheduler_->instance_dead(static_cast<int>(i));
+    response.instances.push_back(std::move(report));
+  }
+
+  RunStats& stats = response.stats;
+  stats.wall_seconds = wall_seconds_;
+  stats.selection_seconds = selection_seconds_;
+  const auto [served, correct] = answers_served_correct();
+  stats.answers_served = served;
+  stats.answers_correct = correct;
+  if (wall_seconds_ > 0) {
+    stats.steps_per_second =
+        static_cast<double>(steps_.size()) / wall_seconds_;
+  }
+  std::vector<double> latencies;
+  latencies.reserve(steps_.size());
+  for (const StepOutcome& outcome : steps_) {
+    if (outcome.instance >= 0) {
+      latencies.push_back(outcome.latency_seconds * 1e3);
+    }
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const auto percentile = [&](double p) {
+      const size_t index = static_cast<size_t>(
+          p * static_cast<double>(latencies.size() - 1) + 0.5);
+      return latencies[std::min(index, latencies.size() - 1)];
+    };
+    stats.p50_latency_ms = percentile(0.50);
+    stats.p95_latency_ms = percentile(0.95);
+  }
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// FusionService
+// ---------------------------------------------------------------------------
+
+FusionService::FusionService() : FusionService(Config{}) {}
+
+FusionService::FusionService(Config config)
+    : config_(config),
+      selectors_(core::BuiltinSelectorRegistry()),
+      fusers_(fusion::BuiltinFuserRegistry()),
+      providers_(crowd::FullProviderRegistry(config.clock)) {}
+
+common::Result<std::vector<InstanceSpec>> FusionService::BuildWorkload(
+    FusionRequest& request) const {
+  if (!request.instances.empty() && request.dataset.has_value()) {
+    return Status::InvalidArgument(
+        "request must carry inline instances or a dataset spec, not both");
+  }
+  if (!request.instances.empty()) {
+    std::vector<InstanceSpec> instances = std::move(request.instances);
+    for (const InstanceSpec& instance : instances) {
+      if (instance.joint.num_facts() == 0) {
+        return Status::InvalidArgument("instance \"" + instance.name +
+                                       "\" has no facts");
+      }
+      if (!instance.truths.empty() &&
+          static_cast<int>(instance.truths.size()) !=
+              instance.joint.num_facts()) {
+        return Status::InvalidArgument(
+            "instance \"" + instance.name +
+            "\" truths do not match its fact count");
+      }
+    }
+    return instances;
+  }
+  if (!request.dataset.has_value()) {
+    return Status::InvalidArgument(
+        "request carries neither inline instances nor a dataset spec");
+  }
+
+  // The Book-dataset pipeline: generate claims, fuse machine-only, build
+  // one correlation-aware joint per book (eval::Prepare's former job).
+  const DatasetSpec& spec = *request.dataset;
+  if (spec.max_facts_per_book <= 0) {
+    return Status::InvalidArgument("max_facts_per_book must be positive");
+  }
+  CF_ASSIGN_OR_RETURN(const data::BookDataset dataset,
+                      data::GenerateBookDataset(spec.generate));
+  CF_ASSIGN_OR_RETURN(const std::unique_ptr<fusion::Fuser> fuser,
+                      fusers_.Create(spec.fuser.kind, spec.fuser));
+  CF_ASSIGN_OR_RETURN(const fusion::FusionResult fused,
+                      fuser->Fuse(dataset.claims));
+  CF_RETURN_IF_ERROR(ValidateFusionResult(dataset.claims, fused));
+
+  std::vector<InstanceSpec> instances;
+  for (const data::Book& book : dataset.books) {
+    const int num_facts =
+        std::min<int>(static_cast<int>(book.statements.size()),
+                      spec.max_facts_per_book);
+    if (num_facts == 0) continue;
+    InstanceSpec instance;
+    instance.name = book.isbn;
+    std::vector<double> marginals(static_cast<size_t>(num_facts));
+    std::vector<data::Statement> statements(
+        book.statements.begin(), book.statements.begin() + num_facts);
+    instance.truths.resize(static_cast<size_t>(num_facts));
+    instance.categories.resize(static_cast<size_t>(num_facts));
+    for (int i = 0; i < num_facts; ++i) {
+      const int vid = book.value_ids[static_cast<size_t>(i)];
+      marginals[static_cast<size_t>(i)] =
+          fused.value_probability[static_cast<size_t>(vid)];
+      instance.categories[static_cast<size_t>(i)] = static_cast<int>(
+          dataset.value_category[static_cast<size_t>(vid)]);
+      instance.truths[static_cast<size_t>(i)] =
+          dataset.value_truth[static_cast<size_t>(vid)];
+    }
+    CF_ASSIGN_OR_RETURN(
+        instance.joint,
+        data::BuildBookJoint(marginals, statements, spec.correlation));
+    instances.push_back(std::move(instance));
+  }
+  if (instances.empty()) {
+    return Status::InvalidArgument("no books with facts were generated");
+  }
+  return instances;
+}
+
+common::Result<std::unique_ptr<Session>> FusionService::CreateSession(
+    FusionRequest request) const {
+  if (request.budget.budget_per_instance < 0) {
+    return Status::InvalidArgument(
+        "budget_per_instance must be non-negative");
+  }
+  if (request.budget.tasks_per_step <= 0) {
+    return Status::InvalidArgument("tasks_per_step must be positive");
+  }
+  if (request.mode == RunMode::kEngine && request.budget.total_budget > 0) {
+    return Status::InvalidArgument(
+        "engine mode budgets per instance (budget_per_instance); "
+        "total_budget is a scheduler-mode knob");
+  }
+  CF_ASSIGN_OR_RETURN(const core::CrowdModel crowd,
+                      core::CrowdModel::Create(request.assumed_pc));
+  CF_ASSIGN_OR_RETURN(std::vector<InstanceSpec> workload,
+                      BuildWorkload(request));
+
+  // Raw `new`: Session's constructor is private and make_unique cannot
+  // reach it through friendship.
+  std::unique_ptr<Session> session(new Session());
+  session->mode_ = request.mode;
+  session->crowd_ = crowd;
+  session->label_ =
+      request.label.empty()
+          ? common::StrFormat("%s %s x%d", RunModeName(request.mode),
+                              request.selector.kind.c_str(),
+                              static_cast<int>(workload.size()))
+          : request.label;
+  CF_ASSIGN_OR_RETURN(session->selector_,
+                      selectors_.Create(request.selector.kind,
+                                        request.selector));
+
+  const int num_instances = static_cast<int>(workload.size());
+  const int total_budget =
+      request.budget.total_budget > 0
+          ? request.budget.total_budget
+          : request.budget.budget_per_instance * num_instances;
+  session->total_budget_ = request.mode == RunMode::kEngine
+                               ? request.budget.budget_per_instance *
+                                     num_instances
+                               : total_budget;
+
+  if (request.mode != RunMode::kEngine) {
+    core::BudgetScheduler::Options options;
+    options.total_budget = total_budget;
+    options.tasks_per_step = request.budget.tasks_per_step;
+    options.max_in_flight = request.pipeline.max_in_flight;
+    options.ticket.max_attempts = request.pipeline.ticket_max_attempts;
+    options.ticket.deadline_seconds =
+        request.pipeline.ticket_deadline_seconds;
+    options.ticket.retry_backoff_seconds =
+        request.pipeline.retry_backoff_seconds;
+    options.on_ticket_failure = request.pipeline.on_ticket_failure;
+    options.max_poll_seconds = request.pipeline.max_poll_seconds;
+    options.clock = config_.clock;
+    CF_ASSIGN_OR_RETURN(core::BudgetScheduler scheduler,
+                        core::BudgetScheduler::Create(
+                            crowd, session->selector_.get(), options));
+    session->scheduler_.emplace(std::move(scheduler));
+  }
+
+  // Bind one provider per instance from the request's template: fill the
+  // instance's gold labels and derive per-instance seeds, then build
+  // through the registry. The session owns every provider handle, so the
+  // engine/scheduler borrow contracts hold by construction.
+  for (int index = 0; index < num_instances; ++index) {
+    InstanceSpec& spec = workload[static_cast<size_t>(index)];
+    Session::Instance instance;
+    instance.name =
+        spec.name.empty() ? common::StrFormat("instance-%d", index)
+                          : spec.name;
+    instance.truths = spec.truths;
+    instance.num_facts = spec.joint.num_facts();
+
+    core::ProviderSpec provider_spec = request.provider;
+    if (provider_spec.truths.empty()) {
+      provider_spec.truths = spec.truths;
+      provider_spec.categories = spec.categories;
+    }
+    provider_spec.seed = request.provider.seed + static_cast<uint64_t>(index);
+    provider_spec.latency_seed =
+        request.provider.latency_seed + static_cast<uint64_t>(index);
+    CF_ASSIGN_OR_RETURN(instance.provider,
+                        providers_.Create(provider_spec.kind,
+                                          provider_spec));
+
+    if (request.mode == RunMode::kEngine) {
+      if (instance.provider.sync == nullptr) {
+        return Status::InvalidArgument(
+            "provider \"" + provider_spec.kind +
+            "\" has no synchronous interface; engine mode needs one");
+      }
+      core::EngineOptions options;
+      options.budget = request.budget.budget_per_instance;
+      options.tasks_per_round = request.budget.tasks_per_step;
+      CF_ASSIGN_OR_RETURN(
+          core::CrowdFusionEngine engine,
+          core::CrowdFusionEngine::Create(
+              std::move(spec.joint), crowd, session->selector_.get(),
+              instance.provider.sync, options));
+      instance.engine.emplace(std::move(engine));
+    } else if (instance.provider.async != nullptr) {
+      CF_RETURN_IF_ERROR(session->scheduler_
+                             ->AddInstanceAsync(instance.name,
+                                                std::move(spec.joint),
+                                                instance.provider.async)
+                             .status());
+    } else if (instance.provider.sync != nullptr) {
+      CF_RETURN_IF_ERROR(session->scheduler_
+                             ->AddInstance(instance.name,
+                                           std::move(spec.joint),
+                                           instance.provider.sync)
+                             .status());
+    } else {
+      return Status::Internal("provider \"" + provider_spec.kind +
+                              "\" produced no usable interface");
+    }
+    session->instances_.push_back(std::move(instance));
+  }
+  return session;
+}
+
+common::Result<FusionResponse> FusionService::Run(
+    FusionRequest request) const {
+  CF_ASSIGN_OR_RETURN(const std::unique_ptr<Session> session,
+                      CreateSession(std::move(request)));
+  while (!session->done()) {
+    CF_RETURN_IF_ERROR(session->Step().status());
+  }
+  return session->Finish();
+}
+
+}  // namespace crowdfusion::service

@@ -1,0 +1,337 @@
+#ifndef CROWDFUSION_SERVICE_FUSION_SERVICE_H_
+#define CROWDFUSION_SERVICE_FUSION_SERVICE_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "core/crowdfusion.h"
+#include "core/joint_distribution.h"
+#include "core/registry.h"
+#include "core/scheduler.h"
+#include "data/book_dataset.h"
+#include "data/correlation_model.h"
+#include "fusion/registry.h"
+
+namespace crowdfusion::service {
+
+/// Which serving backend executes the request. All three run the same
+/// select -> collect -> merge loop; they differ in how budget and latency
+/// are scheduled:
+///  * kEngine: one CrowdFusionEngine per instance with a per-instance
+///    budget, advanced round-robin (the paper's Figure-1 loop, and the
+///    trajectory eval::RunExperiment reports).
+///  * kBlocking: one BudgetScheduler holding a global budget, one ticket
+///    at a time (the Section V-D allocation strategy).
+///  * kPipelined: the same scheduler with up to max_in_flight ticket
+///    batches outstanding, overlapping crowd latency.
+enum class RunMode { kEngine, kBlocking, kPipelined };
+
+/// Config spelling of a RunMode ("engine", "blocking", "pipelined").
+const char* RunModeName(RunMode mode);
+common::Result<RunMode> ParseRunMode(const std::string& name);
+
+/// One fact universe handed in directly (e.g. a joint loaded from disk).
+struct InstanceSpec {
+  std::string name;
+  core::JointDistribution joint;
+  /// Gold labels per fact; used to bind ground-truth providers
+  /// (simulated_crowd, scripted-without-script) and for client-side
+  /// scoring. May be empty when the provider needs no truth.
+  std::vector<bool> truths;
+  /// data::StatementCategory per fact, as ints; empty = all clean.
+  std::vector<int> categories;
+
+  friend bool operator==(const InstanceSpec& a,
+                         const InstanceSpec& b) = default;
+};
+
+/// Synthesized Book-dataset workload: generate claims, run a machine-only
+/// fuser from the registry, build one correlation-aware joint per book.
+/// Exactly the pipeline eval::Prepare ran before this facade existed.
+struct DatasetSpec {
+  data::BookDatasetOptions generate;
+  data::CorrelationModelOptions correlation;
+  fusion::FuserSpec fuser;
+  /// Books with more statements are truncated to their first
+  /// max_facts_per_book statements (dense joint guard).
+  int max_facts_per_book = 16;
+
+  friend bool operator==(const DatasetSpec& a,
+                         const DatasetSpec& b) = default;
+};
+
+struct BudgetSpec {
+  /// Engine mode: tasks each instance may spend. Scheduler modes: the
+  /// default total budget is budget_per_instance x instances.
+  int budget_per_instance = 60;
+  /// Scheduler modes: explicit global budget; 0 derives it from
+  /// budget_per_instance.
+  int total_budget = 0;
+  /// Tasks per round (engine) / per scheduling step (schedulers).
+  int tasks_per_step = 1;
+
+  friend bool operator==(const BudgetSpec& a, const BudgetSpec& b) = default;
+};
+
+/// Pipelined-mode serving knobs (ignored by the other modes except
+/// max_poll_seconds, which the blocking scheduler also respects).
+struct PipelineSpec {
+  int max_in_flight = 4;
+  int ticket_max_attempts = 1;
+  double ticket_deadline_seconds = std::numeric_limits<double>::infinity();
+  double retry_backoff_seconds = 0.0;
+  core::BudgetScheduler::TicketFailurePolicy on_ticket_failure =
+      core::BudgetScheduler::TicketFailurePolicy::kAbort;
+  double max_poll_seconds = 0.050;
+
+  friend bool operator==(const PipelineSpec& a,
+                         const PipelineSpec& b) = default;
+};
+
+/// One fusion-serving request: a workload (inline instances XOR a
+/// synthesized dataset), a selector, a provider template, and the budget /
+/// serving options — all plain values, JSON-(de)serializable via
+/// service/request_json.h.
+struct FusionRequest {
+  RunMode mode = RunMode::kEngine;
+  /// Inline workload. Mutually exclusive with `dataset`.
+  std::vector<InstanceSpec> instances;
+  /// Synthesized workload. Mutually exclusive with `instances`.
+  std::optional<DatasetSpec> dataset;
+  core::SelectorSpec selector;
+  /// Per-instance provider template: the session clones it for every
+  /// instance, binding that instance's truths/categories and deriving
+  /// seeds as spec.seed + instance index (latency_seed likewise).
+  core::ProviderSpec provider;
+  /// Pc the system's Bayesian update assumes (the CrowdModel).
+  double assumed_pc = 0.8;
+  BudgetSpec budget;
+  PipelineSpec pipeline;
+  /// Optional label echoed into the response.
+  std::string label;
+
+  friend bool operator==(const FusionRequest& a,
+                         const FusionRequest& b) = default;
+};
+
+/// One select-collect-merge quantum, unified across backends.
+/// Mode-dependent fields (the differential tests pin these semantics):
+///  * kEngine: `round`/`cumulative_cost`/`utility_bits` are per-instance
+///    (mirroring core::RoundRecord); latency_seconds is 0.
+///  * scheduler modes: `utility_bits` is the TOTAL utility over all
+///    instances and `cumulative_cost` the global spend (mirroring
+///    core::BudgetScheduler::StepRecord); `round` is -1.
+/// An outcome with instance == -1 is the exhaustion marker: budget
+/// remained but no instance had a positive-gain task left.
+struct StepOutcome {
+  int step = 0;
+  int instance = -1;
+  int round = -1;
+  std::vector<int> tasks;
+  std::vector<bool> answers;
+  double selected_entropy_bits = 0.0;
+  /// H(T) - |T| * H(Crowd), the gain that won the step.
+  double expected_gain_bits = 0.0;
+  double utility_bits = 0.0;
+  int cumulative_cost = 0;
+  double latency_seconds = 0.0;
+
+  friend bool operator==(const StepOutcome& a, const StepOutcome& b) = default;
+};
+
+/// Final per-instance state.
+struct InstanceReport {
+  std::string name;
+  core::JointDistribution final_joint;
+  std::vector<double> final_marginals;
+  double utility_bits = 0.0;
+  int cost_spent = 0;
+  int num_facts = 0;
+  /// True when a pipelined kSkipInstance policy killed this instance.
+  bool dead = false;
+
+  friend bool operator==(const InstanceReport& a,
+                         const InstanceReport& b) = default;
+};
+
+/// Bench-ready aggregate statistics of one run.
+struct RunStats {
+  double wall_seconds = 0.0;
+  /// Selector wall-clock summed over every round (engine mode; 0 for the
+  /// scheduler modes, whose StepRecords do not carry selector stats).
+  double selection_seconds = 0.0;
+  double steps_per_second = 0.0;
+  /// Submit-to-merge latency percentiles over the run's steps, ms.
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  /// Crowd answers served / of those correct (empirical accuracy), when
+  /// the providers track it; 0 otherwise.
+  int64_t answers_served = 0;
+  int64_t answers_correct = 0;
+
+  friend bool operator==(const RunStats& a, const RunStats& b) = default;
+};
+
+struct FusionResponse {
+  std::string label;
+  RunMode mode = RunMode::kEngine;
+  std::vector<StepOutcome> steps;
+  std::vector<InstanceReport> instances;
+  double total_utility_bits = 0.0;
+  int total_cost_spent = 0;
+  int dead_instances = 0;
+  RunStats stats;
+
+  friend bool operator==(const FusionResponse& a,
+                         const FusionResponse& b) = default;
+};
+
+/// Snapshot returned by Session::Poll.
+struct SessionProgress {
+  bool done = false;
+  int steps_completed = 0;
+  int total_cost_spent = 0;
+  int total_budget = 0;
+  double total_utility_bits = 0.0;
+  int dead_instances = 0;
+};
+
+/// An in-flight serving run: the incremental face of the facade, so an
+/// HTTP/queue front-end can drive one request with repeated Step() calls
+/// (returning each quantum's merged records as they land) instead of one
+/// blocking Run(). The session OWNS everything the run needs — selector,
+/// providers, joints, engines/scheduler — so the engine/scheduler borrow
+/// contracts are satisfied by construction and cannot dangle.
+class Session {
+ public:
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  bool done() const { return done_; }
+
+  /// Advances one quantum and returns its outcomes, in merge order:
+  /// engine mode runs every live instance one round (round-robin pass);
+  /// blocking mode runs one scheduler step; pipelined mode fills the
+  /// in-flight window and harvests everything that resolved. An empty
+  /// vector means the run just completed (the exhaustion marker, when
+  /// emitted, arrives as a final instance == -1 outcome first).
+  common::Result<std::vector<StepOutcome>> Step();
+
+  /// Non-blocking progress snapshot.
+  SessionProgress Poll() const;
+
+  /// Assembles the final response from the state so far. Typically called
+  /// after done(); safe to call mid-run for a partial report.
+  FusionResponse Finish() const;
+
+  // --- introspection for thin clients (eval scoring, CLI save-back) ---
+  int num_instances() const { return static_cast<int>(instances_.size()); }
+  const std::string& instance_name(int instance) const;
+  /// Current (not final) joint of one instance.
+  const core::JointDistribution& joint(int instance) const;
+  /// Gold labels bound at creation; empty when the workload carried none.
+  const std::vector<bool>& truths(int instance) const;
+  int num_facts(int instance) const;
+  int cost_spent(int instance) const;
+  int total_cost_spent() const;
+  double total_utility_bits() const;
+  double selection_seconds() const { return selection_seconds_; }
+  /// Wall-clock accumulated across Step() calls so far.
+  double wall_seconds() const { return wall_seconds_; }
+  /// (served, correct) summed over providers that track it.
+  std::pair<int64_t, int64_t> answers_served_correct() const;
+  const std::vector<StepOutcome>& steps() const { return steps_; }
+
+ private:
+  friend class FusionService;
+
+  struct Instance {
+    std::string name;
+    std::vector<bool> truths;
+    core::ProviderHandle provider;
+    int num_facts = 0;
+    /// Engine mode only: the per-instance loop and its no-gain flag.
+    std::optional<core::CrowdFusionEngine> engine;
+    bool exhausted = false;
+  };
+
+  Session() = default;
+
+  common::Result<std::vector<StepOutcome>> StepEngine();
+  common::Result<std::vector<StepOutcome>> StepBlocking();
+  common::Result<std::vector<StepOutcome>> StepPipelined();
+
+  StepOutcome FromRoundRecord(int instance, const core::RoundRecord& record);
+  StepOutcome FromStepRecord(const core::BudgetScheduler::StepRecord& record);
+
+  RunMode mode_ = RunMode::kEngine;
+  std::string label_;
+  std::optional<core::CrowdModel> crowd_;
+  std::unique_ptr<core::TaskSelector> selector_;
+  std::vector<Instance> instances_;
+  /// Scheduler modes only.
+  std::optional<core::BudgetScheduler> scheduler_;
+  int total_budget_ = 0;
+  std::vector<StepOutcome> steps_;
+  int steps_emitted_ = 0;
+  double selection_seconds_ = 0.0;
+  double wall_seconds_ = 0.0;
+  bool done_ = false;
+};
+
+/// The facade: one typed request/response API over the engine, the
+/// blocking scheduler, and the pipelined scheduler, with every backend
+/// constructed from string-keyed registries. Thread-compatible: one
+/// service may mint many sessions; each session is single-caller.
+class FusionService {
+ public:
+  struct Config {
+    /// Time source injected into schedulers and latency-simulating
+    /// providers; nullptr means Clock::Real(). Borrowed; must outlive the
+    /// service and its sessions.
+    common::Clock* clock = nullptr;
+  };
+
+  /// A service over the builtin registries (every selector/provider/fuser
+  /// in the repo).
+  FusionService();
+  explicit FusionService(Config config);
+
+  /// Mutable registry access, so embedders can register custom backends
+  /// before serving.
+  core::SelectorRegistry& selectors() { return selectors_; }
+  fusion::FuserRegistry& fusers() { return fusers_; }
+  core::ProviderRegistry& providers() { return providers_; }
+
+  /// Validates the request, builds the workload (generating + fusing the
+  /// dataset when requested), constructs selector and providers from the
+  /// registries, and returns a ready-to-step session.
+  common::Result<std::unique_ptr<Session>> CreateSession(
+      FusionRequest request) const;
+
+  /// CreateSession + drain: runs the request to completion.
+  common::Result<FusionResponse> Run(FusionRequest request) const;
+
+ private:
+  /// Consumes the request's inline instances (moved out, not copied — a
+  /// large workload's joints travel once).
+  common::Result<std::vector<InstanceSpec>> BuildWorkload(
+      FusionRequest& request) const;
+
+  Config config_;
+  core::SelectorRegistry selectors_;
+  fusion::FuserRegistry fusers_;
+  core::ProviderRegistry providers_;
+};
+
+}  // namespace crowdfusion::service
+
+#endif  // CROWDFUSION_SERVICE_FUSION_SERVICE_H_

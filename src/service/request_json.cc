@@ -1,0 +1,742 @@
+#include "service/request_json.h"
+
+#include <charconv>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace crowdfusion::service {
+
+using common::JsonValue;
+using common::Status;
+
+namespace {
+
+// --- primitive field plumbing ---------------------------------------------
+// Readers keep the out-param untouched when the member is absent, so the
+// C++ struct defaults survive a minimal document; a present member of the
+// wrong type is an error.
+
+Status ReadBool(const JsonValue& obj, const char* key, bool* out) {
+  const JsonValue* member = obj.Find(key);
+  if (member == nullptr) return Status::Ok();
+  CF_ASSIGN_OR_RETURN(*out, member->GetBool());
+  return Status::Ok();
+}
+
+Status ReadInt(const JsonValue& obj, const char* key, int* out) {
+  const JsonValue* member = obj.Find(key);
+  if (member == nullptr) return Status::Ok();
+  CF_ASSIGN_OR_RETURN(const int64_t wide, member->GetInt());
+  if (wide < std::numeric_limits<int>::min() ||
+      wide > std::numeric_limits<int>::max()) {
+    return Status::InvalidArgument(
+        common::StrFormat("member \"%s\" out of int range", key));
+  }
+  *out = static_cast<int>(wide);
+  return Status::Ok();
+}
+
+Status ReadInt64(const JsonValue& obj, const char* key, int64_t* out) {
+  const JsonValue* member = obj.Find(key);
+  if (member == nullptr) return Status::Ok();
+  CF_ASSIGN_OR_RETURN(*out, member->GetInt());
+  return Status::Ok();
+}
+
+Status ReadDouble(const JsonValue& obj, const char* key, double* out) {
+  const JsonValue* member = obj.Find(key);
+  if (member == nullptr) return Status::Ok();
+  CF_ASSIGN_OR_RETURN(*out, member->GetDouble());
+  return Status::Ok();
+}
+
+Status ReadString(const JsonValue& obj, const char* key, std::string* out) {
+  const JsonValue* member = obj.Find(key);
+  if (member == nullptr) return Status::Ok();
+  CF_ASSIGN_OR_RETURN(*out, member->GetString());
+  return Status::Ok();
+}
+
+common::Result<uint64_t> ParseU64Text(const std::string& text) {
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("malformed uint64 \"" + text + "\"");
+  }
+  return value;
+}
+
+/// Seeds: emitted as JSON integers when they fit int64, as decimal
+/// strings otherwise (lossless either way); both spellings parse.
+JsonValue U64ToJson(uint64_t value) {
+  if (value <= static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    return JsonValue(static_cast<int64_t>(value));
+  }
+  return JsonValue(std::to_string(value));
+}
+
+Status ReadU64(const JsonValue& obj, const char* key, uint64_t* out) {
+  const JsonValue* member = obj.Find(key);
+  if (member == nullptr) return Status::Ok();
+  if (member->is_string()) {
+    CF_ASSIGN_OR_RETURN(const std::string text, member->GetString());
+    CF_ASSIGN_OR_RETURN(*out, ParseU64Text(text));
+    return Status::Ok();
+  }
+  CF_ASSIGN_OR_RETURN(const int64_t wide, member->GetInt());
+  if (wide < 0) {
+    return Status::InvalidArgument(
+        common::StrFormat("member \"%s\" must be non-negative", key));
+  }
+  *out = static_cast<uint64_t>(wide);
+  return Status::Ok();
+}
+
+JsonValue FromBoolVec(const std::vector<bool>& values) {
+  JsonValue array = JsonValue::MakeArray();
+  for (const bool value : values) array.Append(JsonValue(value));
+  return array;
+}
+
+Status ReadBoolVec(const JsonValue& obj, const char* key,
+                   std::vector<bool>* out) {
+  const JsonValue* member = obj.Find(key);
+  if (member == nullptr) return Status::Ok();
+  if (!member->is_array()) {
+    return Status::InvalidArgument(
+        common::StrFormat("member \"%s\" must be an array", key));
+  }
+  std::vector<bool> values;
+  for (const JsonValue& item : member->array()) {
+    CF_ASSIGN_OR_RETURN(const bool value, item.GetBool());
+    values.push_back(value);
+  }
+  *out = std::move(values);
+  return Status::Ok();
+}
+
+JsonValue FromIntVec(const std::vector<int>& values) {
+  JsonValue array = JsonValue::MakeArray();
+  for (const int value : values) array.Append(JsonValue(value));
+  return array;
+}
+
+Status ReadIntVec(const JsonValue& obj, const char* key,
+                  std::vector<int>* out) {
+  const JsonValue* member = obj.Find(key);
+  if (member == nullptr) return Status::Ok();
+  if (!member->is_array()) {
+    return Status::InvalidArgument(
+        common::StrFormat("member \"%s\" must be an array", key));
+  }
+  std::vector<int> values;
+  for (const JsonValue& item : member->array()) {
+    CF_ASSIGN_OR_RETURN(const int64_t value, item.GetInt());
+    if (value < std::numeric_limits<int>::min() ||
+        value > std::numeric_limits<int>::max()) {
+      return Status::InvalidArgument(
+          common::StrFormat("member \"%s\" element out of int range", key));
+    }
+    values.push_back(static_cast<int>(value));
+  }
+  *out = std::move(values);
+  return Status::Ok();
+}
+
+JsonValue FromDoubleVec(const std::vector<double>& values) {
+  JsonValue array = JsonValue::MakeArray();
+  for (const double value : values) array.Append(JsonValue(value));
+  return array;
+}
+
+Status ReadDoubleVec(const JsonValue& obj, const char* key,
+                     std::vector<double>* out) {
+  const JsonValue* member = obj.Find(key);
+  if (member == nullptr) return Status::Ok();
+  if (!member->is_array()) {
+    return Status::InvalidArgument(
+        common::StrFormat("member \"%s\" must be an array", key));
+  }
+  std::vector<double> values;
+  for (const JsonValue& item : member->array()) {
+    CF_ASSIGN_OR_RETURN(const double value, item.GetDouble());
+    values.push_back(value);
+  }
+  *out = std::move(values);
+  return Status::Ok();
+}
+
+common::Result<const JsonValue*> RequireObject(const JsonValue& json,
+                                               const char* what) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " must be a JSON object");
+  }
+  return &json;
+}
+
+// --- enums -----------------------------------------------------------------
+
+const char* FailurePolicyName(
+    core::BudgetScheduler::TicketFailurePolicy policy) {
+  switch (policy) {
+    case core::BudgetScheduler::TicketFailurePolicy::kAbort:
+      return "abort";
+    case core::BudgetScheduler::TicketFailurePolicy::kSkipInstance:
+      return "skip_instance";
+  }
+  return "unknown";
+}
+
+common::Result<core::BudgetScheduler::TicketFailurePolicy>
+ParseFailurePolicy(const std::string& name) {
+  if (name == "abort") {
+    return core::BudgetScheduler::TicketFailurePolicy::kAbort;
+  }
+  if (name == "skip_instance") {
+    return core::BudgetScheduler::TicketFailurePolicy::kSkipInstance;
+  }
+  return Status::InvalidArgument(
+      "unknown on_ticket_failure \"" + name +
+      "\"; expected \"abort\" or \"skip_instance\"");
+}
+
+const char* CorrelationKindName(data::CorrelationKind kind) {
+  switch (kind) {
+    case data::CorrelationKind::kIndependent:
+      return "independent";
+    case data::CorrelationKind::kLatentTruth:
+      return "latent_truth";
+    case data::CorrelationKind::kMixture:
+      return "mixture";
+  }
+  return "unknown";
+}
+
+common::Result<data::CorrelationKind> ParseCorrelationKind(
+    const std::string& name) {
+  if (name == "independent") return data::CorrelationKind::kIndependent;
+  if (name == "latent_truth") return data::CorrelationKind::kLatentTruth;
+  if (name == "mixture") return data::CorrelationKind::kMixture;
+  return Status::InvalidArgument(
+      "unknown correlation kind \"" + name +
+      "\"; expected \"independent\", \"latent_truth\", or \"mixture\"");
+}
+
+// --- nested specs ----------------------------------------------------------
+
+JsonValue SelectorSpecToJson(const core::SelectorSpec& spec) {
+  JsonValue json = JsonValue::MakeObject();
+  json.Set("kind", spec.kind);
+  json.Set("use_pruning", spec.use_pruning);
+  json.Set("use_preprocessing", spec.use_preprocessing);
+  json.Set("preprocessing_mode", spec.preprocessing_mode);
+  json.Set("preprocessing_threads", spec.preprocessing_threads);
+  json.Set("brute_force_entropy", spec.brute_force_entropy);
+  json.Set("max_subsets", spec.max_subsets);
+  json.Set("samples", spec.samples);
+  json.Set("bias_correction", spec.bias_correction);
+  json.Set("seed", U64ToJson(spec.seed));
+  json.Set("foi", FromIntVec(spec.foi));
+  json.Set("min_gain_bits", spec.min_gain_bits);
+  return json;
+}
+
+common::Result<core::SelectorSpec> SelectorSpecFromJson(
+    const JsonValue& json) {
+  CF_RETURN_IF_ERROR(RequireObject(json, "selector").status());
+  core::SelectorSpec spec;
+  CF_RETURN_IF_ERROR(ReadString(json, "kind", &spec.kind));
+  CF_RETURN_IF_ERROR(ReadBool(json, "use_pruning", &spec.use_pruning));
+  CF_RETURN_IF_ERROR(
+      ReadBool(json, "use_preprocessing", &spec.use_preprocessing));
+  CF_RETURN_IF_ERROR(
+      ReadString(json, "preprocessing_mode", &spec.preprocessing_mode));
+  CF_RETURN_IF_ERROR(
+      ReadInt(json, "preprocessing_threads", &spec.preprocessing_threads));
+  CF_RETURN_IF_ERROR(
+      ReadBool(json, "brute_force_entropy", &spec.brute_force_entropy));
+  CF_RETURN_IF_ERROR(ReadInt64(json, "max_subsets", &spec.max_subsets));
+  CF_RETURN_IF_ERROR(ReadInt(json, "samples", &spec.samples));
+  CF_RETURN_IF_ERROR(
+      ReadBool(json, "bias_correction", &spec.bias_correction));
+  CF_RETURN_IF_ERROR(ReadU64(json, "seed", &spec.seed));
+  CF_RETURN_IF_ERROR(ReadIntVec(json, "foi", &spec.foi));
+  CF_RETURN_IF_ERROR(ReadDouble(json, "min_gain_bits", &spec.min_gain_bits));
+  return spec;
+}
+
+JsonValue ProviderSpecToJson(const core::ProviderSpec& spec) {
+  JsonValue json = JsonValue::MakeObject();
+  json.Set("kind", spec.kind);
+  json.Set("truths", FromBoolVec(spec.truths));
+  json.Set("categories", FromIntVec(spec.categories));
+  json.Set("accuracy", spec.accuracy);
+  json.Set("biased", spec.biased);
+  json.Set("seed", U64ToJson(spec.seed));
+  json.Set("latency_median_seconds", spec.latency_median_seconds);
+  json.Set("latency_sigma", spec.latency_sigma);
+  json.Set("failure_probability", spec.failure_probability);
+  json.Set("straggler_probability", spec.straggler_probability);
+  json.Set("straggler_factor", spec.straggler_factor);
+  json.Set("latency_seed", U64ToJson(spec.latency_seed));
+  json.Set("script", FromBoolVec(spec.script));
+  json.Set("failures_before_success", spec.failures_before_success);
+  return json;
+}
+
+common::Result<core::ProviderSpec> ProviderSpecFromJson(
+    const JsonValue& json) {
+  CF_RETURN_IF_ERROR(RequireObject(json, "provider").status());
+  core::ProviderSpec spec;
+  CF_RETURN_IF_ERROR(ReadString(json, "kind", &spec.kind));
+  CF_RETURN_IF_ERROR(ReadBoolVec(json, "truths", &spec.truths));
+  CF_RETURN_IF_ERROR(ReadIntVec(json, "categories", &spec.categories));
+  CF_RETURN_IF_ERROR(ReadDouble(json, "accuracy", &spec.accuracy));
+  CF_RETURN_IF_ERROR(ReadBool(json, "biased", &spec.biased));
+  CF_RETURN_IF_ERROR(ReadU64(json, "seed", &spec.seed));
+  CF_RETURN_IF_ERROR(ReadDouble(json, "latency_median_seconds",
+                                &spec.latency_median_seconds));
+  CF_RETURN_IF_ERROR(ReadDouble(json, "latency_sigma", &spec.latency_sigma));
+  CF_RETURN_IF_ERROR(
+      ReadDouble(json, "failure_probability", &spec.failure_probability));
+  CF_RETURN_IF_ERROR(ReadDouble(json, "straggler_probability",
+                                &spec.straggler_probability));
+  CF_RETURN_IF_ERROR(
+      ReadDouble(json, "straggler_factor", &spec.straggler_factor));
+  CF_RETURN_IF_ERROR(ReadU64(json, "latency_seed", &spec.latency_seed));
+  CF_RETURN_IF_ERROR(ReadBoolVec(json, "script", &spec.script));
+  CF_RETURN_IF_ERROR(ReadInt(json, "failures_before_success",
+                             &spec.failures_before_success));
+  return spec;
+}
+
+JsonValue DatasetSpecToJson(const DatasetSpec& spec) {
+  JsonValue generate = JsonValue::MakeObject();
+  const data::BookDatasetOptions& g = spec.generate;
+  generate.Set("num_books", g.num_books);
+  generate.Set("num_sources", g.num_sources);
+  generate.Set("min_authors", g.min_authors);
+  generate.Set("max_authors", g.max_authors);
+  generate.Set("textbook_fraction", g.textbook_fraction);
+  generate.Set("coverage", g.coverage);
+  generate.Set("strong_accuracy_low", g.strong_accuracy_low);
+  generate.Set("strong_accuracy_high", g.strong_accuracy_high);
+  generate.Set("weak_accuracy_low", g.weak_accuracy_low);
+  generate.Set("weak_accuracy_high", g.weak_accuracy_high);
+  generate.Set("skewed_source_fraction", g.skewed_source_fraction);
+  generate.Set("true_variants", g.true_variants);
+  generate.Set("false_variants", g.false_variants);
+  generate.Set("reorder_fraction", g.reorder_fraction);
+  generate.Set("weight_additional_info", g.weight_additional_info);
+  generate.Set("weight_misspelling", g.weight_misspelling);
+  generate.Set("weight_wrong_author", g.weight_wrong_author);
+  generate.Set("weight_missing_author", g.weight_missing_author);
+  generate.Set("seed", U64ToJson(g.seed));
+
+  JsonValue correlation = JsonValue::MakeObject();
+  correlation.Set("kind", CorrelationKindName(spec.correlation.kind));
+  correlation.Set("mixture_lambda", spec.correlation.mixture_lambda);
+  correlation.Set("null_hypothesis_mass",
+                  spec.correlation.null_hypothesis_mass);
+  correlation.Set("max_facts", spec.correlation.max_facts);
+
+  JsonValue fuser = JsonValue::MakeObject();
+  fuser.Set("kind", spec.fuser.kind);
+  fuser.Set("max_iterations", spec.fuser.max_iterations);
+
+  JsonValue json = JsonValue::MakeObject();
+  json.Set("generate", std::move(generate));
+  json.Set("correlation", std::move(correlation));
+  json.Set("fuser", std::move(fuser));
+  json.Set("max_facts_per_book", spec.max_facts_per_book);
+  return json;
+}
+
+common::Result<DatasetSpec> DatasetSpecFromJson(const JsonValue& json) {
+  CF_RETURN_IF_ERROR(RequireObject(json, "dataset").status());
+  DatasetSpec spec;
+  if (const JsonValue* generate = json.Find("generate")) {
+    CF_RETURN_IF_ERROR(RequireObject(*generate, "dataset.generate").status());
+    data::BookDatasetOptions& g = spec.generate;
+    CF_RETURN_IF_ERROR(ReadInt(*generate, "num_books", &g.num_books));
+    CF_RETURN_IF_ERROR(ReadInt(*generate, "num_sources", &g.num_sources));
+    CF_RETURN_IF_ERROR(ReadInt(*generate, "min_authors", &g.min_authors));
+    CF_RETURN_IF_ERROR(ReadInt(*generate, "max_authors", &g.max_authors));
+    CF_RETURN_IF_ERROR(
+        ReadDouble(*generate, "textbook_fraction", &g.textbook_fraction));
+    CF_RETURN_IF_ERROR(ReadDouble(*generate, "coverage", &g.coverage));
+    CF_RETURN_IF_ERROR(ReadDouble(*generate, "strong_accuracy_low",
+                                  &g.strong_accuracy_low));
+    CF_RETURN_IF_ERROR(ReadDouble(*generate, "strong_accuracy_high",
+                                  &g.strong_accuracy_high));
+    CF_RETURN_IF_ERROR(
+        ReadDouble(*generate, "weak_accuracy_low", &g.weak_accuracy_low));
+    CF_RETURN_IF_ERROR(
+        ReadDouble(*generate, "weak_accuracy_high", &g.weak_accuracy_high));
+    CF_RETURN_IF_ERROR(ReadDouble(*generate, "skewed_source_fraction",
+                                  &g.skewed_source_fraction));
+    CF_RETURN_IF_ERROR(ReadInt(*generate, "true_variants", &g.true_variants));
+    CF_RETURN_IF_ERROR(
+        ReadInt(*generate, "false_variants", &g.false_variants));
+    CF_RETURN_IF_ERROR(
+        ReadDouble(*generate, "reorder_fraction", &g.reorder_fraction));
+    CF_RETURN_IF_ERROR(ReadDouble(*generate, "weight_additional_info",
+                                  &g.weight_additional_info));
+    CF_RETURN_IF_ERROR(ReadDouble(*generate, "weight_misspelling",
+                                  &g.weight_misspelling));
+    CF_RETURN_IF_ERROR(ReadDouble(*generate, "weight_wrong_author",
+                                  &g.weight_wrong_author));
+    CF_RETURN_IF_ERROR(ReadDouble(*generate, "weight_missing_author",
+                                  &g.weight_missing_author));
+    CF_RETURN_IF_ERROR(ReadU64(*generate, "seed", &g.seed));
+  }
+  if (const JsonValue* correlation = json.Find("correlation")) {
+    CF_RETURN_IF_ERROR(
+        RequireObject(*correlation, "dataset.correlation").status());
+    std::string kind = CorrelationKindName(spec.correlation.kind);
+    CF_RETURN_IF_ERROR(ReadString(*correlation, "kind", &kind));
+    CF_ASSIGN_OR_RETURN(spec.correlation.kind, ParseCorrelationKind(kind));
+    CF_RETURN_IF_ERROR(ReadDouble(*correlation, "mixture_lambda",
+                                  &spec.correlation.mixture_lambda));
+    CF_RETURN_IF_ERROR(ReadDouble(*correlation, "null_hypothesis_mass",
+                                  &spec.correlation.null_hypothesis_mass));
+    CF_RETURN_IF_ERROR(
+        ReadInt(*correlation, "max_facts", &spec.correlation.max_facts));
+  }
+  if (const JsonValue* fuser = json.Find("fuser")) {
+    CF_RETURN_IF_ERROR(RequireObject(*fuser, "dataset.fuser").status());
+    CF_RETURN_IF_ERROR(ReadString(*fuser, "kind", &spec.fuser.kind));
+    CF_RETURN_IF_ERROR(
+        ReadInt(*fuser, "max_iterations", &spec.fuser.max_iterations));
+  }
+  CF_RETURN_IF_ERROR(
+      ReadInt(json, "max_facts_per_book", &spec.max_facts_per_book));
+  return spec;
+}
+
+JsonValue StepOutcomeToJson(const StepOutcome& outcome) {
+  JsonValue json = JsonValue::MakeObject();
+  json.Set("step", outcome.step);
+  json.Set("instance", outcome.instance);
+  json.Set("round", outcome.round);
+  json.Set("tasks", FromIntVec(outcome.tasks));
+  json.Set("answers", FromBoolVec(outcome.answers));
+  json.Set("selected_entropy_bits", outcome.selected_entropy_bits);
+  json.Set("expected_gain_bits", outcome.expected_gain_bits);
+  json.Set("utility_bits", outcome.utility_bits);
+  json.Set("cumulative_cost", outcome.cumulative_cost);
+  json.Set("latency_seconds", outcome.latency_seconds);
+  return json;
+}
+
+common::Result<StepOutcome> StepOutcomeFromJson(const JsonValue& json) {
+  CF_RETURN_IF_ERROR(RequireObject(json, "step").status());
+  StepOutcome outcome;
+  CF_RETURN_IF_ERROR(ReadInt(json, "step", &outcome.step));
+  CF_RETURN_IF_ERROR(ReadInt(json, "instance", &outcome.instance));
+  CF_RETURN_IF_ERROR(ReadInt(json, "round", &outcome.round));
+  CF_RETURN_IF_ERROR(ReadIntVec(json, "tasks", &outcome.tasks));
+  CF_RETURN_IF_ERROR(ReadBoolVec(json, "answers", &outcome.answers));
+  CF_RETURN_IF_ERROR(ReadDouble(json, "selected_entropy_bits",
+                                &outcome.selected_entropy_bits));
+  CF_RETURN_IF_ERROR(
+      ReadDouble(json, "expected_gain_bits", &outcome.expected_gain_bits));
+  CF_RETURN_IF_ERROR(ReadDouble(json, "utility_bits", &outcome.utility_bits));
+  CF_RETURN_IF_ERROR(
+      ReadInt(json, "cumulative_cost", &outcome.cumulative_cost));
+  CF_RETURN_IF_ERROR(
+      ReadDouble(json, "latency_seconds", &outcome.latency_seconds));
+  return outcome;
+}
+
+}  // namespace
+
+JsonValue JointToJson(const core::JointDistribution& joint) {
+  JsonValue entries = JsonValue::MakeArray();
+  for (const core::JointDistribution::Entry& entry : joint.entries()) {
+    JsonValue pair = JsonValue::MakeArray();
+    pair.Append(std::to_string(entry.mask));
+    pair.Append(entry.prob);
+    entries.Append(std::move(pair));
+  }
+  JsonValue json = JsonValue::MakeObject();
+  json.Set("num_facts", joint.num_facts());
+  json.Set("entries", std::move(entries));
+  return json;
+}
+
+common::Result<core::JointDistribution> JointFromJson(const JsonValue& json) {
+  CF_RETURN_IF_ERROR(RequireObject(json, "joint").status());
+  int num_facts = 0;
+  CF_RETURN_IF_ERROR(ReadInt(json, "num_facts", &num_facts));
+  CF_ASSIGN_OR_RETURN(const JsonValue* entries, json.Get("entries"));
+  if (!entries->is_array()) {
+    return Status::InvalidArgument("joint entries must be an array");
+  }
+  std::vector<core::JointDistribution::Entry> parsed;
+  parsed.reserve(entries->array().size());
+  for (const JsonValue& item : entries->array()) {
+    if (!item.is_array() || item.array().size() != 2) {
+      return Status::InvalidArgument(
+          "joint entry must be a [mask, probability] pair");
+    }
+    core::JointDistribution::Entry entry;
+    CF_ASSIGN_OR_RETURN(const std::string mask_text,
+                        item.array()[0].GetString());
+    CF_ASSIGN_OR_RETURN(entry.mask, ParseU64Text(mask_text));
+    CF_ASSIGN_OR_RETURN(entry.prob, item.array()[1].GetDouble());
+    parsed.push_back(entry);
+  }
+  return core::JointDistribution::FromEntries(num_facts, std::move(parsed));
+}
+
+JsonValue FusionRequestToJson(const FusionRequest& request) {
+  JsonValue json = JsonValue::MakeObject();
+  json.Set("schema", kRequestSchema);
+  json.Set("mode", RunModeName(request.mode));
+  json.Set("label", request.label);
+  json.Set("assumed_pc", request.assumed_pc);
+  json.Set("selector", SelectorSpecToJson(request.selector));
+  json.Set("provider", ProviderSpecToJson(request.provider));
+
+  JsonValue budget = JsonValue::MakeObject();
+  budget.Set("budget_per_instance", request.budget.budget_per_instance);
+  budget.Set("total_budget", request.budget.total_budget);
+  budget.Set("tasks_per_step", request.budget.tasks_per_step);
+  json.Set("budget", std::move(budget));
+
+  JsonValue pipeline = JsonValue::MakeObject();
+  pipeline.Set("max_in_flight", request.pipeline.max_in_flight);
+  pipeline.Set("ticket_max_attempts", request.pipeline.ticket_max_attempts);
+  pipeline.Set("ticket_deadline_seconds",
+               request.pipeline.ticket_deadline_seconds);
+  pipeline.Set("retry_backoff_seconds",
+               request.pipeline.retry_backoff_seconds);
+  pipeline.Set("on_ticket_failure",
+               FailurePolicyName(request.pipeline.on_ticket_failure));
+  pipeline.Set("max_poll_seconds", request.pipeline.max_poll_seconds);
+  json.Set("pipeline", std::move(pipeline));
+
+  if (!request.instances.empty()) {
+    JsonValue instances = JsonValue::MakeArray();
+    for (const InstanceSpec& instance : request.instances) {
+      JsonValue item = JsonValue::MakeObject();
+      item.Set("name", instance.name);
+      item.Set("joint", JointToJson(instance.joint));
+      item.Set("truths", FromBoolVec(instance.truths));
+      item.Set("categories", FromIntVec(instance.categories));
+      instances.Append(std::move(item));
+    }
+    json.Set("instances", std::move(instances));
+  }
+  if (request.dataset.has_value()) {
+    json.Set("dataset", DatasetSpecToJson(*request.dataset));
+  }
+  return json;
+}
+
+common::Result<FusionRequest> FusionRequestFromJson(const JsonValue& json) {
+  CF_RETURN_IF_ERROR(RequireObject(json, "request").status());
+  if (const JsonValue* schema = json.Find("schema")) {
+    CF_ASSIGN_OR_RETURN(const std::string text, schema->GetString());
+    if (text != kRequestSchema) {
+      return Status::InvalidArgument("unsupported request schema \"" + text +
+                                     "\"");
+    }
+  }
+  FusionRequest request;
+  std::string mode = RunModeName(request.mode);
+  CF_RETURN_IF_ERROR(ReadString(json, "mode", &mode));
+  CF_ASSIGN_OR_RETURN(request.mode, ParseRunMode(mode));
+  CF_RETURN_IF_ERROR(ReadString(json, "label", &request.label));
+  CF_RETURN_IF_ERROR(ReadDouble(json, "assumed_pc", &request.assumed_pc));
+  if (const JsonValue* selector = json.Find("selector")) {
+    CF_ASSIGN_OR_RETURN(request.selector, SelectorSpecFromJson(*selector));
+  }
+  if (const JsonValue* provider = json.Find("provider")) {
+    CF_ASSIGN_OR_RETURN(request.provider, ProviderSpecFromJson(*provider));
+  }
+  if (const JsonValue* budget = json.Find("budget")) {
+    CF_RETURN_IF_ERROR(RequireObject(*budget, "budget").status());
+    CF_RETURN_IF_ERROR(ReadInt(*budget, "budget_per_instance",
+                               &request.budget.budget_per_instance));
+    CF_RETURN_IF_ERROR(
+        ReadInt(*budget, "total_budget", &request.budget.total_budget));
+    CF_RETURN_IF_ERROR(
+        ReadInt(*budget, "tasks_per_step", &request.budget.tasks_per_step));
+  }
+  if (const JsonValue* pipeline = json.Find("pipeline")) {
+    CF_RETURN_IF_ERROR(RequireObject(*pipeline, "pipeline").status());
+    CF_RETURN_IF_ERROR(ReadInt(*pipeline, "max_in_flight",
+                               &request.pipeline.max_in_flight));
+    CF_RETURN_IF_ERROR(ReadInt(*pipeline, "ticket_max_attempts",
+                               &request.pipeline.ticket_max_attempts));
+    CF_RETURN_IF_ERROR(ReadDouble(*pipeline, "ticket_deadline_seconds",
+                                  &request.pipeline.ticket_deadline_seconds));
+    CF_RETURN_IF_ERROR(ReadDouble(*pipeline, "retry_backoff_seconds",
+                                  &request.pipeline.retry_backoff_seconds));
+    std::string policy =
+        FailurePolicyName(request.pipeline.on_ticket_failure);
+    CF_RETURN_IF_ERROR(ReadString(*pipeline, "on_ticket_failure", &policy));
+    CF_ASSIGN_OR_RETURN(request.pipeline.on_ticket_failure,
+                        ParseFailurePolicy(policy));
+    CF_RETURN_IF_ERROR(ReadDouble(*pipeline, "max_poll_seconds",
+                                  &request.pipeline.max_poll_seconds));
+  }
+  if (const JsonValue* instances = json.Find("instances")) {
+    if (!instances->is_array()) {
+      return Status::InvalidArgument("instances must be an array");
+    }
+    for (const JsonValue& item : instances->array()) {
+      CF_RETURN_IF_ERROR(RequireObject(item, "instance").status());
+      InstanceSpec instance;
+      CF_RETURN_IF_ERROR(ReadString(item, "name", &instance.name));
+      CF_ASSIGN_OR_RETURN(const JsonValue* joint, item.Get("joint"));
+      CF_ASSIGN_OR_RETURN(instance.joint, JointFromJson(*joint));
+      CF_RETURN_IF_ERROR(ReadBoolVec(item, "truths", &instance.truths));
+      CF_RETURN_IF_ERROR(
+          ReadIntVec(item, "categories", &instance.categories));
+      request.instances.push_back(std::move(instance));
+    }
+  }
+  if (const JsonValue* dataset = json.Find("dataset")) {
+    CF_ASSIGN_OR_RETURN(DatasetSpec spec, DatasetSpecFromJson(*dataset));
+    request.dataset = std::move(spec);
+  }
+  return request;
+}
+
+std::string SerializeFusionRequest(const FusionRequest& request) {
+  return FusionRequestToJson(request).Dump(2);
+}
+
+common::Result<FusionRequest> ParseFusionRequest(const std::string& text) {
+  CF_ASSIGN_OR_RETURN(const JsonValue json, JsonValue::Parse(text));
+  return FusionRequestFromJson(json);
+}
+
+JsonValue FusionResponseToJson(const FusionResponse& response) {
+  JsonValue json = JsonValue::MakeObject();
+  json.Set("schema", kResponseSchema);
+  json.Set("label", response.label);
+  json.Set("mode", RunModeName(response.mode));
+  json.Set("total_utility_bits", response.total_utility_bits);
+  json.Set("total_cost_spent", response.total_cost_spent);
+  json.Set("dead_instances", response.dead_instances);
+
+  JsonValue stats = JsonValue::MakeObject();
+  stats.Set("wall_seconds", response.stats.wall_seconds);
+  stats.Set("selection_seconds", response.stats.selection_seconds);
+  stats.Set("steps_per_second", response.stats.steps_per_second);
+  stats.Set("p50_latency_ms", response.stats.p50_latency_ms);
+  stats.Set("p95_latency_ms", response.stats.p95_latency_ms);
+  stats.Set("answers_served", response.stats.answers_served);
+  stats.Set("answers_correct", response.stats.answers_correct);
+  json.Set("stats", std::move(stats));
+
+  JsonValue steps = JsonValue::MakeArray();
+  for (const StepOutcome& outcome : response.steps) {
+    steps.Append(StepOutcomeToJson(outcome));
+  }
+  json.Set("steps", std::move(steps));
+
+  JsonValue instances = JsonValue::MakeArray();
+  for (const InstanceReport& report : response.instances) {
+    JsonValue item = JsonValue::MakeObject();
+    item.Set("name", report.name);
+    item.Set("final_joint", JointToJson(report.final_joint));
+    item.Set("final_marginals", FromDoubleVec(report.final_marginals));
+    item.Set("utility_bits", report.utility_bits);
+    item.Set("cost_spent", report.cost_spent);
+    item.Set("num_facts", report.num_facts);
+    item.Set("dead", report.dead);
+    instances.Append(std::move(item));
+  }
+  json.Set("instances", std::move(instances));
+  return json;
+}
+
+common::Result<FusionResponse> FusionResponseFromJson(const JsonValue& json) {
+  CF_RETURN_IF_ERROR(RequireObject(json, "response").status());
+  if (const JsonValue* schema = json.Find("schema")) {
+    CF_ASSIGN_OR_RETURN(const std::string text, schema->GetString());
+    if (text != kResponseSchema) {
+      return Status::InvalidArgument("unsupported response schema \"" + text +
+                                     "\"");
+    }
+  }
+  FusionResponse response;
+  CF_RETURN_IF_ERROR(ReadString(json, "label", &response.label));
+  std::string mode = RunModeName(response.mode);
+  CF_RETURN_IF_ERROR(ReadString(json, "mode", &mode));
+  CF_ASSIGN_OR_RETURN(response.mode, ParseRunMode(mode));
+  CF_RETURN_IF_ERROR(
+      ReadDouble(json, "total_utility_bits", &response.total_utility_bits));
+  CF_RETURN_IF_ERROR(
+      ReadInt(json, "total_cost_spent", &response.total_cost_spent));
+  CF_RETURN_IF_ERROR(
+      ReadInt(json, "dead_instances", &response.dead_instances));
+  if (const JsonValue* stats = json.Find("stats")) {
+    CF_RETURN_IF_ERROR(RequireObject(*stats, "stats").status());
+    CF_RETURN_IF_ERROR(
+        ReadDouble(*stats, "wall_seconds", &response.stats.wall_seconds));
+    CF_RETURN_IF_ERROR(ReadDouble(*stats, "selection_seconds",
+                                  &response.stats.selection_seconds));
+    CF_RETURN_IF_ERROR(ReadDouble(*stats, "steps_per_second",
+                                  &response.stats.steps_per_second));
+    CF_RETURN_IF_ERROR(
+        ReadDouble(*stats, "p50_latency_ms", &response.stats.p50_latency_ms));
+    CF_RETURN_IF_ERROR(
+        ReadDouble(*stats, "p95_latency_ms", &response.stats.p95_latency_ms));
+    CF_RETURN_IF_ERROR(
+        ReadInt64(*stats, "answers_served", &response.stats.answers_served));
+    CF_RETURN_IF_ERROR(ReadInt64(*stats, "answers_correct",
+                                 &response.stats.answers_correct));
+  }
+  if (const JsonValue* steps = json.Find("steps")) {
+    if (!steps->is_array()) {
+      return Status::InvalidArgument("steps must be an array");
+    }
+    for (const JsonValue& item : steps->array()) {
+      CF_ASSIGN_OR_RETURN(StepOutcome outcome, StepOutcomeFromJson(item));
+      response.steps.push_back(std::move(outcome));
+    }
+  }
+  if (const JsonValue* instances = json.Find("instances")) {
+    if (!instances->is_array()) {
+      return Status::InvalidArgument("instances must be an array");
+    }
+    for (const JsonValue& item : instances->array()) {
+      CF_RETURN_IF_ERROR(RequireObject(item, "instance report").status());
+      InstanceReport report;
+      CF_RETURN_IF_ERROR(ReadString(item, "name", &report.name));
+      CF_ASSIGN_OR_RETURN(const JsonValue* joint, item.Get("final_joint"));
+      CF_ASSIGN_OR_RETURN(report.final_joint, JointFromJson(*joint));
+      CF_RETURN_IF_ERROR(ReadDoubleVec(item, "final_marginals",
+                                       &report.final_marginals));
+      CF_RETURN_IF_ERROR(
+          ReadDouble(item, "utility_bits", &report.utility_bits));
+      CF_RETURN_IF_ERROR(ReadInt(item, "cost_spent", &report.cost_spent));
+      CF_RETURN_IF_ERROR(ReadInt(item, "num_facts", &report.num_facts));
+      CF_RETURN_IF_ERROR(ReadBool(item, "dead", &report.dead));
+      response.instances.push_back(std::move(report));
+    }
+  }
+  return response;
+}
+
+std::string SerializeFusionResponse(const FusionResponse& response) {
+  return FusionResponseToJson(response).Dump(2);
+}
+
+common::Result<FusionResponse> ParseFusionResponse(const std::string& text) {
+  CF_ASSIGN_OR_RETURN(const JsonValue json, JsonValue::Parse(text));
+  return FusionResponseFromJson(json);
+}
+
+}  // namespace crowdfusion::service

@@ -1,0 +1,53 @@
+#ifndef CROWDFUSION_SERVICE_REQUEST_JSON_H_
+#define CROWDFUSION_SERVICE_REQUEST_JSON_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "service/fusion_service.h"
+
+namespace crowdfusion::service {
+
+/// JSON wire format of the service boundary, so a future HTTP/queue
+/// front-end is a parse -> FusionService::Run -> dump shim.
+///
+/// Contract (pinned by the round-trip fuzz tests):
+///  * Lossless: parse(dump(request)) == request for every representable
+///    request, including inline joints (masks travel as decimal strings,
+///    probabilities with 17 significant digits) and 64-bit seeds (emitted
+///    as integers when they fit in int64, as decimal strings otherwise;
+///    both spellings parse).
+///  * Tolerant of missing members: absent fields keep their C++ defaults,
+///    so a minimal request is just {"schema": ..., "mode": "engine", ...}.
+///  * Strict about types and enum spellings: a wrong-typed member or an
+///    unknown mode/policy/kind string is kInvalidArgument, never a crash.
+
+inline constexpr const char* kRequestSchema = "crowdfusion-request-v1";
+inline constexpr const char* kResponseSchema = "crowdfusion-response-v1";
+
+common::JsonValue FusionRequestToJson(const FusionRequest& request);
+common::Result<FusionRequest> FusionRequestFromJson(
+    const common::JsonValue& json);
+
+/// Convenience string forms (Dump with 2-space indent / Parse).
+std::string SerializeFusionRequest(const FusionRequest& request);
+common::Result<FusionRequest> ParseFusionRequest(const std::string& text);
+
+common::JsonValue FusionResponseToJson(const FusionResponse& response);
+common::Result<FusionResponse> FusionResponseFromJson(
+    const common::JsonValue& json);
+
+std::string SerializeFusionResponse(const FusionResponse& response);
+common::Result<FusionResponse> ParseFusionResponse(const std::string& text);
+
+/// Joint distributions as {"num_facts": n, "entries": [["mask", p], ...]}
+/// with masks as decimal strings (uint64-lossless). Shared by request
+/// instances and response reports.
+common::JsonValue JointToJson(const core::JointDistribution& joint);
+common::Result<core::JointDistribution> JointFromJson(
+    const common::JsonValue& json);
+
+}  // namespace crowdfusion::service
+
+#endif  // CROWDFUSION_SERVICE_REQUEST_JSON_H_

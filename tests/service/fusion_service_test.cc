@@ -1,0 +1,278 @@
+/// FusionService facade behavior: validation, session lifecycle
+/// (Step/Poll/Finish), ownership (providers and selectors live inside the
+/// session), dataset workloads, and the pipelined failure policy seen
+/// through the typed API.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/running_example.h"
+#include "core/scripted_provider.h"
+#include "service/fusion_service.h"
+
+namespace crowdfusion::service {
+namespace {
+
+using common::StatusCode;
+
+FusionRequest RunningExampleRequest() {
+  FusionRequest request;
+  request.mode = RunMode::kEngine;
+  InstanceSpec instance;
+  instance.name = "hong-kong";
+  instance.joint = core::RunningExample::Joint();
+  instance.truths = {true, true, true, false};
+  request.instances.push_back(std::move(instance));
+  request.selector.kind = "greedy";
+  request.provider.kind = "simulated_crowd";
+  request.provider.accuracy = 0.8;
+  request.provider.seed = 2024;
+  request.assumed_pc = 0.8;
+  request.budget.budget_per_instance = 2;
+  request.budget.tasks_per_step = 2;
+  return request;
+}
+
+TEST(FusionServiceTest, RunningExampleSelectsThePaperTasks) {
+  FusionService service;
+  auto response = service.Run(RunningExampleRequest());
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response->steps.size(), 1u);
+  // Table III: the greedy picks {f1, f4} (ids 0 and 3), H(T) = 1.997.
+  EXPECT_EQ(response->steps[0].tasks, (std::vector<int>{0, 3}));
+  EXPECT_NEAR(response->steps[0].selected_entropy_bits, 1.997, 5e-4);
+  EXPECT_EQ(response->total_cost_spent, 2);
+  ASSERT_EQ(response->instances.size(), 1u);
+  EXPECT_EQ(response->instances[0].cost_spent, 2);
+  EXPECT_GT(response->total_utility_bits,
+            -core::RunningExample::Joint().EntropyBits());
+  EXPECT_EQ(response->stats.answers_served, 2);
+}
+
+TEST(FusionServiceTest, SessionStepPollFinishLifecycle) {
+  FusionService service;
+  FusionRequest request = RunningExampleRequest();
+  request.mode = RunMode::kBlocking;
+  request.budget.budget_per_instance = 4;
+  request.budget.tasks_per_step = 1;
+  auto session = service.CreateSession(request);
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  SessionProgress progress = (*session)->Poll();
+  EXPECT_FALSE(progress.done);
+  EXPECT_EQ(progress.steps_completed, 0);
+  EXPECT_EQ(progress.total_cost_spent, 0);
+  EXPECT_EQ(progress.total_budget, 4);
+
+  int spent_before = 0;
+  while (!(*session)->done()) {
+    auto outcomes = (*session)->Step();
+    ASSERT_TRUE(outcomes.ok()) << outcomes.status();
+    progress = (*session)->Poll();
+    EXPECT_GE(progress.total_cost_spent, spent_before);
+    spent_before = progress.total_cost_spent;
+  }
+  EXPECT_TRUE((*session)->Poll().done);
+  // Step after done is a harmless no-op.
+  auto extra = (*session)->Step();
+  ASSERT_TRUE(extra.ok());
+  EXPECT_TRUE(extra->empty());
+
+  const FusionResponse response = (*session)->Finish();
+  EXPECT_EQ(response.mode, RunMode::kBlocking);
+  EXPECT_EQ(response.total_cost_spent, (*session)->total_cost_spent());
+  EXPECT_EQ(static_cast<int>(response.steps.size()),
+            (*session)->Poll().steps_completed);
+  EXPECT_LE(response.total_cost_spent, 4);
+}
+
+TEST(FusionServiceTest, ValidatesWorkloadShape) {
+  FusionService service;
+  // Neither instances nor dataset.
+  FusionRequest empty;
+  EXPECT_EQ(service.CreateSession(empty).status().code(),
+            StatusCode::kInvalidArgument);
+  // Both at once.
+  FusionRequest both = RunningExampleRequest();
+  both.dataset = DatasetSpec{};
+  EXPECT_EQ(service.CreateSession(both).status().code(),
+            StatusCode::kInvalidArgument);
+  // Truths not matching the joint.
+  FusionRequest bad_truths = RunningExampleRequest();
+  bad_truths.instances[0].truths = {true};
+  EXPECT_EQ(service.CreateSession(bad_truths).status().code(),
+            StatusCode::kInvalidArgument);
+  // total_budget is a scheduler-mode knob; engine mode must reject it
+  // loudly rather than silently running on budget_per_instance.
+  FusionRequest engine_total = RunningExampleRequest();
+  engine_total.budget.total_budget = 100;
+  EXPECT_EQ(service.CreateSession(engine_total).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FusionServiceTest, UnknownRegistryKeysSurfaceWithAlternatives) {
+  FusionService service;
+  FusionRequest request = RunningExampleRequest();
+  request.selector.kind = "magic";
+  auto result = service.CreateSession(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("magic"), std::string::npos);
+  EXPECT_NE(result.status().message().find("greedy"), std::string::npos);
+
+  request = RunningExampleRequest();
+  request.provider.kind = "telepathy";
+  result = service.CreateSession(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("simulated_crowd"),
+            std::string::npos);
+}
+
+TEST(FusionServiceTest, DatasetWorkloadRunsEndToEnd) {
+  FusionService service;
+  FusionRequest request;
+  request.mode = RunMode::kPipelined;
+  DatasetSpec dataset;
+  dataset.generate.num_books = 8;
+  dataset.generate.num_sources = 10;
+  dataset.generate.seed = 21;
+  dataset.fuser.kind = "majority_vote";
+  request.dataset = dataset;
+  request.provider.kind = "simulated_crowd";
+  request.provider.seed = 500;
+  request.budget.budget_per_instance = 4;
+  auto response = service.Run(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_GT(response->instances.size(), 0u);
+  EXPECT_GT(response->total_cost_spent, 0);
+  EXPECT_LE(response->total_cost_spent,
+            4 * static_cast<int>(response->instances.size()));
+  EXPECT_GT(response->stats.answers_served, 0);
+  // Gold labels flowed through: empirical accuracy should be near 0.8.
+  EXPECT_NEAR(static_cast<double>(response->stats.answers_correct) /
+                  static_cast<double>(response->stats.answers_served),
+              0.8, 0.15);
+}
+
+TEST(FusionServiceTest, DatasetUnknownFuserNamesAlternatives) {
+  FusionService service;
+  FusionRequest request;
+  DatasetSpec dataset;
+  dataset.fuser.kind = "blockchain";
+  request.dataset = dataset;
+  auto result = service.CreateSession(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("blockchain"), std::string::npos);
+  EXPECT_NE(result.status().message().find("crh"), std::string::npos);
+}
+
+TEST(FusionServiceTest, ScriptedProviderServesAllThreeModes) {
+  for (const RunMode mode :
+       {RunMode::kEngine, RunMode::kBlocking, RunMode::kPipelined}) {
+    FusionService service;
+    FusionRequest request = RunningExampleRequest();
+    request.mode = mode;
+    request.provider = core::ProviderSpec{};
+    request.provider.kind = "scripted";  // answers = bound gold labels
+    auto response = service.Run(request);
+    ASSERT_TRUE(response.ok()) << RunModeName(mode) << ": "
+                               << response.status();
+    EXPECT_GT(response->total_cost_spent, 0) << RunModeName(mode);
+  }
+}
+
+TEST(FusionServiceTest, PipelinedSkipInstancePolicySkipsOnlyTheFailingBook) {
+  // Two instances: one served by a provider that always fails, one
+  // healthy. kAbort kills the run; kSkipInstance serves the healthy book.
+  const auto make_request = [](core::BudgetScheduler::TicketFailurePolicy
+                                   policy) {
+    FusionRequest request;
+    request.mode = RunMode::kPipelined;
+    for (int i = 0; i < 2; ++i) {
+      InstanceSpec instance;
+      instance.name = i == 0 ? "doomed" : "healthy";
+      instance.joint = core::RunningExample::Joint();
+      instance.truths = {true, true, true, false};
+      request.instances.push_back(std::move(instance));
+    }
+    request.provider.kind = "scripted";
+    request.budget.budget_per_instance = 3;
+    request.pipeline.max_in_flight = 2;
+    request.pipeline.on_ticket_failure = policy;
+    return request;
+  };
+
+  // The failing provider: instance 0's seed-derived spec is identical to
+  // instance 1's except for the seed, so fail via a per-instance script
+  // is not expressible from the template — instead register a custom
+  // provider that fails for the first instance only.
+  const auto install_failing_provider = [](FusionService& service) {
+    ASSERT_TRUE(service.providers()
+                    .Register("flaky",
+                              [](const core::ProviderSpec& spec)
+                                  -> common::Result<core::ProviderHandle> {
+                                core::ScriptedProvider::Options options;
+                                options.script = spec.truths;
+                                // Seeds are derived base + index; base 0
+                                // means instance 0 fails forever.
+                                options.failures_before_success =
+                                    spec.seed == 0 ? 1000000 : 0;
+                                auto provider =
+                                    std::make_shared<core::ScriptedProvider>(
+                                        options);
+                                core::ProviderHandle handle;
+                                handle.sync = provider.get();
+                                handle.owner = std::move(provider);
+                                return handle;
+                              })
+                    .ok());
+  };
+
+  {
+    FusionService service;
+    install_failing_provider(service);
+    FusionRequest request = make_request(
+        core::BudgetScheduler::TicketFailurePolicy::kAbort);
+    request.provider.kind = "flaky";
+    auto response = service.Run(request);
+    ASSERT_FALSE(response.ok());
+    EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  }
+  {
+    FusionService service;
+    install_failing_provider(service);
+    FusionRequest request = make_request(
+        core::BudgetScheduler::TicketFailurePolicy::kSkipInstance);
+    request.provider.kind = "flaky";
+    auto response = service.Run(request);
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->dead_instances, 1);
+    ASSERT_EQ(response->instances.size(), 2u);
+    EXPECT_TRUE(response->instances[0].dead);
+    EXPECT_FALSE(response->instances[1].dead);
+    EXPECT_EQ(response->instances[0].cost_spent, 0);
+    EXPECT_GT(response->instances[1].cost_spent, 0);
+    for (const StepOutcome& outcome : response->steps) {
+      EXPECT_NE(outcome.instance, 0);
+    }
+  }
+}
+
+TEST(FusionServiceTest, ResponsesAreDeterministicAcrossRuns) {
+  FusionService service;
+  const FusionRequest request = RunningExampleRequest();
+  auto first = service.Run(request);
+  auto second = service.Run(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // Wall-clock stats differ run to run; everything semantic must not.
+  EXPECT_EQ(first->steps, second->steps);
+  EXPECT_EQ(first->instances, second->instances);
+  EXPECT_EQ(first->total_cost_spent, second->total_cost_spent);
+  EXPECT_EQ(first->total_utility_bits, second->total_utility_bits);
+}
+
+}  // namespace
+}  // namespace crowdfusion::service

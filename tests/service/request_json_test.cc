@@ -1,0 +1,214 @@
+/// Wire-format coverage (ISSUE 4 satellite): FusionRequest JSON
+/// round-trips losslessly for every registered selector/provider/fuser
+/// key, responses serialize and parse, and seeded fuzz inputs (malformed
+/// documents, truncations, type confusion) fail cleanly instead of
+/// crashing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/running_example.h"
+#include "service/fusion_service.h"
+#include "service/request_json.h"
+
+namespace crowdfusion::service {
+namespace {
+
+FusionRequest BaseRequest() {
+  FusionRequest request;
+  request.mode = RunMode::kBlocking;
+  request.label = "round-trip";
+  InstanceSpec instance;
+  instance.name = "hk";
+  instance.joint = core::RunningExample::Joint();
+  instance.truths = {true, true, true, false};
+  instance.categories = {0, 1, 0, 3};
+  request.instances.push_back(std::move(instance));
+  request.assumed_pc = 0.85;
+  request.budget.budget_per_instance = 7;
+  request.budget.tasks_per_step = 2;
+  request.pipeline.max_in_flight = 3;
+  request.pipeline.on_ticket_failure =
+      core::BudgetScheduler::TicketFailurePolicy::kSkipInstance;
+  return request;
+}
+
+void ExpectRoundTrips(const FusionRequest& request, const std::string& what) {
+  const std::string serialized = SerializeFusionRequest(request);
+  auto reparsed = ParseFusionRequest(serialized);
+  ASSERT_TRUE(reparsed.ok()) << what << ": " << reparsed.status();
+  EXPECT_EQ(request, *reparsed) << what << "\n" << serialized;
+  // Idempotence: dump(parse(dump(r))) == dump(r).
+  EXPECT_EQ(serialized, SerializeFusionRequest(*reparsed)) << what;
+}
+
+TEST(RequestJsonTest, RoundTripsEverySelectorKey) {
+  FusionService service;
+  for (const std::string& key : service.selectors().Keys()) {
+    FusionRequest request = BaseRequest();
+    request.selector.kind = key;
+    request.selector.foi = {0, 2};
+    request.selector.seed = 0xDEADBEEFCAFEULL;
+    request.selector.min_gain_bits = 1e-9;
+    ExpectRoundTrips(request, "selector " + key);
+  }
+}
+
+TEST(RequestJsonTest, RoundTripsEveryProviderKey) {
+  FusionService service;
+  for (const std::string& key : service.providers().Keys()) {
+    FusionRequest request = BaseRequest();
+    request.provider.kind = key;
+    request.provider.accuracy = 0.77;
+    request.provider.biased = true;
+    request.provider.seed = 1234567890123ULL;
+    request.provider.latency_median_seconds = 0.003;
+    request.provider.script = {true, false, true, true};
+    request.provider.failures_before_success = 2;
+    ExpectRoundTrips(request, "provider " + key);
+  }
+}
+
+TEST(RequestJsonTest, RoundTripsEveryFuserKeyInDatasetRequests) {
+  FusionService service;
+  for (const std::string& key : service.fusers().Keys()) {
+    FusionRequest request;
+    request.mode = RunMode::kPipelined;
+    DatasetSpec dataset;
+    dataset.generate.num_books = 17;
+    dataset.generate.seed = 0xFFFFFFFFFFFFFFFFULL;  // uint64 extreme
+    dataset.correlation.kind = data::CorrelationKind::kLatentTruth;
+    dataset.correlation.mixture_lambda = 0.125;
+    dataset.fuser.kind = key;
+    dataset.fuser.max_iterations = 11;
+    dataset.max_facts_per_book = 12;
+    request.dataset = dataset;
+    ExpectRoundTrips(request, "fuser " + key);
+  }
+}
+
+TEST(RequestJsonTest, JointEntriesAreBitExact) {
+  // Awkward doubles: probabilities that do not round-trip through fewer
+  // than 17 significant digits.
+  common::Rng rng(99);
+  std::vector<core::JointDistribution::Entry> entries;
+  double total = 0.0;
+  for (int i = 0; i < 7; ++i) {
+    const double p = rng.NextUniform(0.01, 0.2);
+    entries.push_back({static_cast<uint64_t>(i * 9) % 64, p});
+    total += p;
+  }
+  entries.push_back({63, 1.0 - total});
+  auto joint = core::JointDistribution::FromEntries(6, entries);
+  ASSERT_TRUE(joint.ok()) << joint.status();
+  auto reparsed = JointFromJson(JointToJson(*joint));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(*joint, *reparsed);  // Entry-wise bit equality.
+}
+
+TEST(RequestJsonTest, MinimalDocumentGetsDefaults) {
+  auto request = ParseFusionRequest(R"({"mode": "engine"})");
+  ASSERT_TRUE(request.ok()) << request.status();
+  const FusionRequest defaults;
+  EXPECT_EQ(request->selector, defaults.selector);
+  EXPECT_EQ(request->provider, defaults.provider);
+  EXPECT_EQ(request->budget, defaults.budget);
+  EXPECT_EQ(request->pipeline, defaults.pipeline);
+  EXPECT_EQ(request->assumed_pc, defaults.assumed_pc);
+}
+
+TEST(RequestJsonTest, InfinityDeadlineSurvivesTheWire) {
+  FusionRequest request = BaseRequest();
+  ASSERT_TRUE(std::isinf(request.pipeline.ticket_deadline_seconds));
+  auto reparsed = ParseFusionRequest(SerializeFusionRequest(request));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(std::isinf(reparsed->pipeline.ticket_deadline_seconds));
+}
+
+TEST(RequestJsonTest, RejectsBadEnumsAndTypes) {
+  EXPECT_FALSE(ParseFusionRequest(R"({"mode": "warp"})").ok());
+  EXPECT_FALSE(ParseFusionRequest(R"({"mode": 3})").ok());
+  EXPECT_FALSE(
+      ParseFusionRequest(R"({"schema": "crowdfusion-request-v9"})").ok());
+  EXPECT_FALSE(ParseFusionRequest(
+                   R"({"pipeline": {"on_ticket_failure": "explode"}})")
+                   .ok());
+  EXPECT_FALSE(ParseFusionRequest(
+                   R"({"dataset": {"correlation": {"kind": "psychic"}}})")
+                   .ok());
+  EXPECT_FALSE(
+      ParseFusionRequest(R"({"budget": {"tasks_per_step": "many"}})").ok());
+  EXPECT_FALSE(ParseFusionRequest(R"({"instances": [{"name": "x"}]})").ok())
+      << "instance without a joint must fail";
+  EXPECT_FALSE(ParseFusionRequest(
+                   R"({"instances": [{"joint": {"num_facts": 2,
+                       "entries": [["4", 1.0]]}}]})")
+                   .ok())
+      << "mask outside num_facts must fail";
+}
+
+TEST(RequestJsonTest, FuzzSeedsFailCleanly) {
+  const std::vector<std::string> seeds = {
+      "",
+      "   ",
+      "nul",
+      "{",
+      "}",
+      "[",
+      R"({"mode")",
+      R"({"mode": })",
+      R"({"mode": "engine", })",
+      R"({"mode": "engine"} trailing)",
+      R"({"mode": "engine", "mode": "blocking"})",  // duplicate key
+      R"({"assumed_pc": "high"})",
+      R"({"label": "\u12"})",
+      R"({"label": "\q"})",
+      R"({"label": "unterminated)",
+      R"({"instances": {}})",
+      R"({"instances": [42]})",
+      R"({"selector": []})",
+      R"({"selector": {"seed": -1}})",
+      R"({"selector": {"seed": "99999999999999999999999999"}})",
+      R"({"budget": {"budget_per_instance": 99999999999999999999}})",
+      std::string(100, '['),  // nesting bomb
+      std::string("{\"a\":") + std::string(80, '{'),
+  };
+  for (const std::string& seed : seeds) {
+    auto request = ParseFusionRequest(seed);
+    EXPECT_FALSE(request.ok()) << "accepted: " << seed;
+  }
+}
+
+TEST(RequestJsonTest, TruncationFuzzNeverCrashes) {
+  const std::string serialized = SerializeFusionRequest(BaseRequest());
+  common::Rng rng(4242);
+  for (int i = 0; i < 200; ++i) {
+    const size_t cut = rng.NextBounded(serialized.size());
+    // Parse must return (usually an error), never crash or hang.
+    (void)ParseFusionRequest(serialized.substr(0, cut));
+    // Also with a corrupted byte in the middle.
+    std::string corrupted = serialized;
+    corrupted[rng.NextBounded(corrupted.size())] =
+        static_cast<char>('!' + rng.NextBounded(90));
+    (void)ParseFusionRequest(corrupted);
+  }
+}
+
+TEST(ResponseJsonTest, ResponsesRoundTrip) {
+  FusionService service;
+  FusionRequest request = BaseRequest();
+  request.provider.kind = "scripted";
+  auto response = service.Run(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  const std::string serialized = SerializeFusionResponse(*response);
+  auto reparsed = ParseFusionResponse(serialized);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(*response, *reparsed) << serialized;
+}
+
+}  // namespace
+}  // namespace crowdfusion::service
