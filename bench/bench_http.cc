@@ -1,0 +1,196 @@
+/// HTTP serving bench (ISSUE 5 satellite): drives service::HttpFrontend
+/// over loopback sockets with concurrent keep-alive clients and reports
+/// requests/sec plus p50/p95 call latency for three traffic shapes —
+/// /healthz (pure transport), POST /v1/fusion:run with a small engine
+/// request (parse + serve + dump), and a create/step*/delete session
+/// conversation. Emits BENCH_http.json (BenchReport schema v2:
+/// `throughput_per_sec` requests/sec, `p50_ms`/`p95_ms` call latency,
+/// `support` total requests, `k` client threads).
+///
+/// usage: bench_http [requests_per_thread] [threads] [report.json]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_report.h"
+#include "common/math_util.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "net/http_client.h"
+#include "service/http_frontend.h"
+#include "service/request_json.h"
+
+using namespace crowdfusion;
+
+namespace {
+
+/// Small deterministic engine request: 2 books x 4 facts, scripted
+/// provider, budget 4 — a few selector rounds per call, so fusion:run
+/// measures serving overhead, not selector scaling.
+std::string SmallRequestJson() {
+  service::FusionRequest request;
+  request.mode = service::RunMode::kEngine;
+  request.label = "bench_http";
+  for (int i = 0; i < 2; ++i) {
+    service::InstanceSpec instance;
+    instance.name = "b" + std::to_string(i);
+    const std::vector<double> marginals = {0.35, 0.6, 0.45, 0.7};
+    auto joint = core::JointDistribution::FromIndependentMarginals(marginals);
+    CF_CHECK(joint.ok());
+    instance.joint = std::move(joint).value();
+    instance.truths = {true, false, true, false};
+    request.instances.push_back(std::move(instance));
+  }
+  request.provider.kind = "scripted";
+  request.provider.script = {true, false, true, false};
+  request.budget.budget_per_instance = 4;
+  return service::SerializeFusionRequest(request);
+}
+
+struct Shape {
+  const char* name;
+  /// Runs one logical call; returns HTTP calls made (>= 1) or 0 on error.
+  int (*run)(net::HttpClient&, const std::string& body);
+};
+
+int RunHealthz(net::HttpClient& client, const std::string&) {
+  auto response = client.Get("/healthz");
+  return response.ok() && response->status_code == 200 ? 1 : 0;
+}
+
+int RunFusion(net::HttpClient& client, const std::string& body) {
+  auto response = client.Post("/v1/fusion:run", body);
+  return response.ok() && response->status_code == 200 ? 1 : 0;
+}
+
+int RunSessionConversation(net::HttpClient& client, const std::string& body) {
+  auto created = client.Post("/v1/sessions", body);
+  if (!created.ok() || created->status_code != 201) return 0;
+  auto parsed = common::JsonValue::Parse(created->body);
+  CF_CHECK(parsed.ok());
+  const std::string id =
+      parsed->Find("session_id")->GetString().value();
+  int calls = 1;
+  for (int i = 0; i < 16; ++i) {
+    auto stepped = client.Post("/v1/sessions/" + id + "/step", "{}");
+    if (!stepped.ok() || stepped->status_code != 200) return 0;
+    ++calls;
+    auto step_body = common::JsonValue::Parse(stepped->body);
+    CF_CHECK(step_body.ok());
+    if (step_body->Find("done")->GetBool().value()) break;
+  }
+  auto deleted = client.Delete("/v1/sessions/" + id);
+  if (!deleted.ok() || deleted->status_code != 200) return 0;
+  return calls + 1;
+}
+
+struct ShapeResult {
+  double requests_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  int64_t requests = 0;
+};
+
+ShapeResult DriveShape(const Shape& shape, int port, int threads,
+                       int calls_per_thread, const std::string& body) {
+  std::atomic<int64_t> total_calls{0};
+  std::atomic<int64_t> failures{0};
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(threads));
+  common::Stopwatch stopwatch;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      net::HttpClient::Options client_options;
+      client_options.host = "127.0.0.1";
+      client_options.port = port;
+      net::HttpClient client(client_options);
+      auto& local = latencies[static_cast<size_t>(t)];
+      local.reserve(static_cast<size_t>(calls_per_thread));
+      for (int i = 0; i < calls_per_thread; ++i) {
+        common::Stopwatch call_watch;
+        const int calls = shape.run(client, body);
+        local.push_back(call_watch.ElapsedSeconds() * 1e3);
+        if (calls == 0) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          total_calls.fetch_add(calls, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_s = stopwatch.ElapsedSeconds();
+  CF_CHECK(failures.load() == 0)
+      << shape.name << ": " << failures.load() << " failed calls";
+
+  std::vector<double> merged;
+  for (const auto& local : latencies) {
+    merged.insert(merged.end(), local.begin(), local.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  ShapeResult result;
+  result.requests = total_calls.load();
+  result.requests_per_sec =
+      static_cast<double>(result.requests) / std::max(wall_s, 1e-9);
+  result.p50_ms = common::PercentileOfSorted(merged, 0.50);
+  result.p95_ms = common::PercentileOfSorted(merged, 0.95);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int calls_per_thread = argc > 1 ? std::atoi(argv[1]) : 200;
+  int threads = argc > 2 ? std::atoi(argv[2]) : 4;
+  const std::string report_path = argc > 3 ? argv[3] : "";
+
+  service::HttpFrontend::Options options;
+  options.port = 0;  // ephemeral: bench never collides with anything
+  options.threads = std::max(4, threads);
+  service::HttpFrontend frontend(options);
+  CF_CHECK_OK(frontend.Start());
+  const std::string body = SmallRequestJson();
+  std::printf("http bench on port %d: %d threads x %d calls/shape\n",
+              frontend.port(), threads, calls_per_thread);
+
+  const Shape shapes[] = {
+      {"healthz", RunHealthz},
+      {"fusion_run", RunFusion},
+      {"session_conversation", RunSessionConversation},
+  };
+  common::BenchReport report("bench_http");
+  for (const Shape& shape : shapes) {
+    const ShapeResult result = DriveShape(
+        shape, frontend.port(), threads, calls_per_thread, body);
+    std::printf(
+        "  %-22s %9.0f req/s   p50 %7.3f ms   p95 %7.3f ms   (%lld "
+        "requests)\n",
+        shape.name, result.requests_per_sec, result.p50_ms, result.p95_ms,
+        static_cast<long long>(result.requests));
+    common::BenchRecord record;
+    record.config = shape.name;
+    record.support = result.requests;
+    record.k = threads;
+    record.throughput_per_sec = result.requests_per_sec;
+    record.p50_ms = result.p50_ms;
+    record.p95_ms = result.p95_ms;
+    report.Add(record);
+  }
+  frontend.Stop();
+
+  if (!report_path.empty()) {
+    if (auto status = report.MergeToFile(report_path); !status.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n", report_path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", report_path.c_str());
+  }
+  return 0;
+}

@@ -22,6 +22,7 @@
 
 #include "common/bench_report.h"
 #include "common/logging.h"
+#include "common/math_util.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "core/greedy_selector.h"
@@ -66,11 +67,8 @@ std::vector<bool> MakeTruths(int facts, common::Rng& rng) {
 }
 
 double Percentile(std::vector<double> values, double fraction) {
-  if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());
-  const size_t index = static_cast<size_t>(
-      fraction * static_cast<double>(values.size() - 1) + 0.5);
-  return values[std::min(index, values.size() - 1)];
+  return common::PercentileOfSorted(values, fraction);
 }
 
 /// One full serving run. `max_in_flight <= 0` selects the blocking loop.

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Bench-regression gate (ISSUE 5 satellite).
+
+Compares the current run's BENCH_*.json baselines against the previous
+successful run's uploaded artifact and fails when a gated headline
+regressed by more than --max-regress (default 25%):
+
+  * bench_service_facade: the facade overhead (service wall - direct wall)
+    must not grow past old_overhead * (1 + max_regress) + 2 ms slack.
+  * bench_table5_runtime: every (config, n, support, k) row present in
+    both baselines must keep wall_ms <= old * (1 + max_regress) + 1 ms.
+
+Rows that exist only on one side are reported but never fail the gate
+(benches come and go); a missing previous artifact should be handled by
+the caller (the CI step skips the gate entirely then).
+
+usage: check_bench_regression.py <old_dir> <new_dir> [--max-regress 0.25]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+FACADE_SLACK_MS = 2.0
+TABLE5_SLACK_MS = 1.0
+
+
+def load_records(directory):
+    """{(source, config, n, support, k): record} over every BENCH_*.json."""
+    records = {}
+    for path in sorted(pathlib.Path(directory).glob("**/BENCH_*.json")):
+        with open(path) as fh:
+            doc = json.load(fh)
+        for record in doc.get("records", []):
+            key = (
+                record.get("source", ""),
+                record.get("config", ""),
+                record.get("n", 0),
+                record.get("support", 0),
+                record.get("k", 0),
+            )
+            records[key] = record
+    return records
+
+
+def facade_overhead_ms(records):
+    direct = wall = None
+    for key, record in records.items():
+        if key[0] != "bench_service_facade":
+            continue
+        if key[1] == "direct_scheduler":
+            direct = record["wall_ms"]
+        elif key[1] == "service_facade":
+            wall = record["wall_ms"]
+    if direct is None or wall is None:
+        return None
+    return wall - direct
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("old_dir")
+    parser.add_argument("new_dir")
+    parser.add_argument("--max-regress", type=float, default=0.25)
+    args = parser.parse_args()
+
+    old = load_records(args.old_dir)
+    new = load_records(args.new_dir)
+    if not old:
+        print(f"no BENCH_*.json under {args.old_dir}; nothing to gate")
+        return 0
+    if not new:
+        print(f"FAIL: no BENCH_*.json under {args.new_dir}")
+        return 1
+
+    failures = []
+
+    old_overhead = facade_overhead_ms(old)
+    new_overhead = facade_overhead_ms(new)
+    if old_overhead is not None and new_overhead is not None:
+        # The measured overhead can be negative on a noisy runner (min-of-
+        # reps jitter); percentage-scale only a non-negative base so an
+        # unchanged run can never fail its own budget.
+        budget = max(old_overhead, 0.0) * (1.0 + args.max_regress) \
+            + FACADE_SLACK_MS
+        verdict = "ok" if new_overhead <= budget else "FAIL"
+        print(
+            f"[{verdict}] facade overhead: {old_overhead:.3f} ms -> "
+            f"{new_overhead:.3f} ms (budget {budget:.3f} ms)"
+        )
+        if new_overhead > budget:
+            failures.append("bench_service_facade overhead")
+
+    for key in sorted(new):
+        if key[0] != "bench_table5_runtime":
+            continue
+        if key not in old:
+            print(f"[new ] {key}: no previous row; skipping")
+            continue
+        old_ms = old[key]["wall_ms"]
+        new_ms = new[key]["wall_ms"]
+        budget = old_ms * (1.0 + args.max_regress) + TABLE5_SLACK_MS
+        verdict = "ok" if new_ms <= budget else "FAIL"
+        print(
+            f"[{verdict}] {key[1]} n={key[2]} |O|={key[3]} k={key[4]}: "
+            f"{old_ms:.3f} ms -> {new_ms:.3f} ms (budget {budget:.3f} ms)"
+        )
+        if new_ms > budget:
+            failures.append(f"bench_table5_runtime {key[1]}")
+
+    if failures:
+        print("FAIL: regressions beyond "
+              f"{100 * args.max_regress:.0f}%: {failures}")
+        return 1
+    print("PASS: no gated bench regressed beyond "
+          f"{100 * args.max_regress:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

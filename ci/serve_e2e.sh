@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# End-to-end serving check (ISSUE 5 satellite): boots `crowdfusion_cli
+# serve` (front-end + loopback crowd platform), curls golden requests at
+# /v1/fusion:run and the session endpoints, diffs normalized responses
+# against the checked-in goldens, and asserts a clean SIGTERM shutdown
+# (exit 0). Run UPDATE_GOLDENS=1 to regenerate the goldens after an
+# intentional serving-behavior change.
+#
+# usage: ci/serve_e2e.sh <path-to-crowdfusion_cli> [workdir]
+set -euo pipefail
+
+CLI="${1:?usage: serve_e2e.sh <crowdfusion_cli> [workdir]}"
+WORK="${2:-$(mktemp -d)}"
+HERE="$(cd "$(dirname "$0")" && pwd)"
+FIXTURES="$HERE/serve_e2e"
+GOLDEN="$FIXTURES/golden"
+
+mkdir -p "$WORK" "$GOLDEN"
+
+# Ephemeral ports everywhere (the repo's parallel-socket-test rule):
+# `serve` prints the bound ports, which we scrape from its log.
+"$CLI" serve --port 0 --crowd-port 0 >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+cleanup() { kill -9 "$SERVE_PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+echo "waiting for serve to report its ports ..."
+for _ in $(seq 1 100); do
+  if grep -q "^serving on " "$WORK/serve.log" 2>/dev/null; then break; fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "FAIL: server died during startup"; cat "$WORK/serve.log"; exit 1
+  fi
+  sleep 0.1
+done
+PORT=$(sed -n 's#^serving on http://127.0.0.1:\([0-9]*\).*#\1#p' \
+  "$WORK/serve.log")
+CROWD_PORT=$(sed -n 's#^crowd platform on http://127.0.0.1:\([0-9]*\).*#\1#p' \
+  "$WORK/serve.log")
+test -n "$PORT" && test -n "$CROWD_PORT"
+BASE="http://127.0.0.1:$PORT"
+echo "front-end on $PORT, crowd platform on $CROWD_PORT"
+curl -fsS "$BASE/healthz" | grep -q '"status":"ok"'
+
+# The http-provider request names the crowd endpoint; point the fixture's
+# template at the actual ephemeral port (the response golden is
+# endpoint-free, so this keeps the diff exact).
+python3 - "$FIXTURES/run_crowd_http.json" "$CROWD_PORT" \
+  >"$WORK/run_crowd_http.request.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["provider"]["endpoint"] = "127.0.0.1:" + sys.argv[2]
+json.dump(doc, sys.stdout, indent=2)
+PYEOF
+
+check_golden() {
+  local name="$1"
+  python3 "$FIXTURES/normalize_response.py" \
+    <"$WORK/$name.out" >"$WORK/$name.norm"
+  if [ "${UPDATE_GOLDENS:-0}" = "1" ]; then
+    cp "$WORK/$name.norm" "$GOLDEN/$name.golden.json"
+    echo "updated golden: $name"
+  else
+    diff -u "$GOLDEN/$name.golden.json" "$WORK/$name.norm" \
+      || { echo "FAIL: $name diverged from its golden"; exit 1; }
+    echo "golden ok: $name"
+  fi
+}
+
+# --- one-shot fusion:run, scripted (pure in-process determinism) ---------
+curl -fsS -X POST --data @"$FIXTURES/run_scripted.json" \
+  "$BASE/v1/fusion:run" >"$WORK/run_scripted.out"
+check_golden run_scripted
+
+# --- one-shot fusion:run through the remote crowd (provider "http"):
+# client -> HTTP -> service -> HTTP -> crowd, all over real sockets ------
+curl -fsS -X POST --data @"$WORK/run_crowd_http.request.json" \
+  "$BASE/v1/fusion:run" >"$WORK/run_crowd_http.out"
+check_golden run_crowd_http
+
+# --- incremental session lifecycle --------------------------------------
+SID=$(curl -fsS -X POST --data @"$FIXTURES/run_scripted.json" \
+  "$BASE/v1/sessions" |
+  python3 -c 'import json,sys; print(json.load(sys.stdin)["session_id"])')
+echo "created session $SID"
+test "$SID" = "s-1"  # counter-based ids: a fresh server always starts here
+
+for _ in $(seq 1 64); do
+  DONE=$(curl -fsS -X POST -d '{}' "$BASE/v1/sessions/$SID/step" |
+    python3 -c 'import json,sys; print(json.load(sys.stdin)["done"])')
+  [ "$DONE" = "True" ] && break
+done
+test "$DONE" = "True"
+
+curl -fsS "$BASE/v1/sessions/$SID" |
+  python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["done"]'
+curl -fsS "$BASE/v1/sessions/$SID/result" >"$WORK/session_result.out"
+check_golden session_result
+
+# The incremental run must reproduce the one-shot response exactly.
+if [ "${UPDATE_GOLDENS:-0}" != "1" ]; then
+  diff -u "$WORK/run_scripted.norm" "$WORK/session_result.norm" \
+    || { echo "FAIL: session result != one-shot run"; exit 1; }
+fi
+
+curl -fsS -X DELETE "$BASE/v1/sessions/$SID" >/dev/null
+STATUS=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/sessions/$SID")
+test "$STATUS" = "404"
+
+# --- metrics gauges ------------------------------------------------------
+curl -fsS "$BASE/metricsz" | python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+assert m["requests_served"] >= 10, m
+assert m["requests_failed"] >= 1, m        # the 404 probe above
+assert m["sessions_created"] == 1, m
+assert m["sessions_active"] == 0, m
+assert "p50_handler_ms" in m and "p95_handler_ms" in m, m
+print("metricsz ok:", json.dumps(m))
+'
+
+# --- clean SIGTERM shutdown ----------------------------------------------
+kill -TERM "$SERVE_PID"
+RC=0
+wait "$SERVE_PID" || RC=$?
+trap - EXIT
+if [ "$RC" != "0" ]; then
+  echo "FAIL: serve exited $RC on SIGTERM"; cat "$WORK/serve.log"; exit 1
+fi
+grep -q "shut down cleanly" "$WORK/serve.log"
+echo "PASS: serve-e2e (clean shutdown, goldens matched)"

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Normalizes a crowdfusion HTTP response for golden diffing.
+
+Strips the fields that legitimately vary run-to-run — wall-clock stats and
+per-step transport latency — and re-serializes deterministically (2-space
+indent, insertion order preserved). Everything else (steps, answers,
+joints, utilities) must match the checked-in golden byte-for-byte.
+"""
+
+import json
+import sys
+
+
+def normalize(doc):
+    if isinstance(doc, dict):
+        if "stats" in doc:
+            doc["stats"] = "NORMALIZED"
+        if "latency_seconds" in doc:
+            doc["latency_seconds"] = 0
+        for value in doc.values():
+            normalize(value)
+    elif isinstance(doc, list):
+        for value in doc:
+            normalize(value)
+    return doc
+
+
+def main():
+    doc = normalize(json.load(sys.stdin))
+    json.dump(doc, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()

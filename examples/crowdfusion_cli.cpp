@@ -23,6 +23,14 @@
 ///   crowdfusion_cli request <request.json>
 ///       parse a serialized FusionRequest, run it, and print the response
 ///       JSON to stdout — the full service boundary from the shell
+///   crowdfusion_cli serve [--port N] [--threads T] [--session-ttl S]
+///                   [--crowd-port M]
+///       run the HTTP serving front-end (POST /v1/fusion:run, the
+///       /v1/sessions endpoints, /healthz, /metricsz) until SIGTERM or
+///       SIGINT, then shut down cleanly (exit 0). --crowd-port also
+///       starts a loopback crowd platform on port M, so requests with
+///       provider kind "http" and endpoint "127.0.0.1:M" exercise the
+///       full client -> HTTP -> service -> HTTP -> crowd loop
 ///   crowdfusion_cli score <claims.tsv> <joint-dir>
 ///       compare the stored joints' marginals against the gold labels
 ///
@@ -37,6 +45,8 @@
 ///   ./crowdfusion_cli score /tmp/books.tsv /tmp/joints
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -44,6 +54,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/stopwatch.h"
@@ -54,7 +65,9 @@
 #include "data/dataset_io.h"
 #include "eval/metrics.h"
 #include "fusion/registry.h"
+#include "net/loopback_crowd_server.h"
 #include "service/fusion_service.h"
+#include "service/http_frontend.h"
 #include "service/request_json.h"
 
 using namespace crowdfusion;
@@ -71,6 +84,8 @@ int Usage() {
       "           [--threads N] [--max-in-flight M] [--latency-ms S]\n"
       "           [--skip-failed]\n"
       "  request  <request.json>\n"
+      "  serve    [--port N] [--threads T] [--session-ttl S]\n"
+      "           [--crowd-port M]\n"
       "  score    <claims.tsv> <joint-dir>\n");
   return 2;
 }
@@ -293,6 +308,70 @@ int CmdRequest(int argc, char** argv) {
   return 0;
 }
 
+/// Set by SIGTERM/SIGINT; the serve loop polls it. Signal-handler-safe by
+/// construction (lock-free flag, no allocation in the handler).
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleShutdownSignal(int) { g_shutdown = 1; }
+
+int CmdServe(int argc, char** argv) {
+  int port = 8080;
+  int threads = 4;
+  double session_ttl = 300.0;
+  int crowd_port = -1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--session-ttl" && i + 1 < argc) {
+      session_ttl = std::atof(argv[++i]);
+    } else if (arg == "--crowd-port" && i + 1 < argc) {
+      crowd_port = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown serve flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  std::unique_ptr<net::LoopbackCrowdServer> crowd_server;
+  if (crowd_port >= 0) {
+    net::LoopbackCrowdServer::Options options;
+    options.port = crowd_port;
+    crowd_server = std::make_unique<net::LoopbackCrowdServer>(options);
+    if (auto status = crowd_server->Start(); !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("crowd platform on http://%s\n",
+                crowd_server->endpoint().c_str());
+  }
+
+  service::HttpFrontend::Options options;
+  options.port = port;
+  options.threads = threads;
+  options.session_ttl_seconds = session_ttl;
+  service::HttpFrontend frontend(options);
+  if (auto status = frontend.Start(); !status.ok()) return Fail(status);
+  // Handlers BEFORE the readiness line: once it prints, a harness may
+  // SIGTERM at any moment and must always observe the clean exit 0.
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+  // The e2e harness waits for this exact line before sending traffic.
+  std::printf("serving on http://127.0.0.1:%d (threads %d, session TTL "
+              "%.0f s)\n",
+              frontend.port(), threads, session_ttl);
+  std::fflush(stdout);
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  frontend.Stop();
+  if (crowd_server != nullptr) crowd_server->Stop();
+  std::printf("shut down cleanly\n");
+  return 0;
+}
+
 int CmdScore(int argc, char** argv) {
   if (argc != 4 || !RejectFlags(argc, argv, 2)) return Usage();
   auto dataset = data::LoadBookDataset(argv[2]);
@@ -329,6 +408,7 @@ int main(int argc, char** argv) {
   if (command == "fuse") return CmdFuse(argc, argv);
   if (command == "refine") return CmdRefine(argc, argv);
   if (command == "request") return CmdRequest(argc, argv);
+  if (command == "serve") return CmdServe(argc, argv);
   if (command == "score") return CmdScore(argc, argv);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return Usage();

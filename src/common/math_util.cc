@@ -43,6 +43,13 @@ double KlDivergence(std::span<const double> p, std::span<const double> q) {
   return d;
 }
 
+double PercentileOfSorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[index < sorted.size() ? index : sorted.size() - 1];
+}
+
 uint64_t BinomialCoefficient(int n, int k) {
   CF_CHECK(n >= 0 && k >= 0);
   if (k > n) return 0;

@@ -47,6 +47,11 @@ inline double Clamp(double v, double lo, double hi) {
   return v < lo ? lo : (v > hi ? hi : v);
 }
 
+/// p-th percentile (p in [0, 1], nearest-rank with rounding) of an
+/// ascending-sorted sample; 0 for an empty one. The latency-gauge helper
+/// shared by the serving stats, /metricsz, and the benches.
+double PercentileOfSorted(std::span<const double> sorted, double p);
+
 }  // namespace crowdfusion::common
 
 #endif  // CROWDFUSION_COMMON_MATH_UTIL_H_

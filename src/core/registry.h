@@ -100,6 +100,16 @@ struct ProviderSpec {
   std::vector<bool> script;
   int failures_before_success = 0;
 
+  // --- http (registered by the net layer) ---
+  /// Remote crowd platform serving the ticket wire, as "host:port".
+  /// Required non-empty for "http".
+  std::string endpoint;
+  /// Concrete provider kind the platform hosts for this instance's
+  /// universe; empty means "simulated_crowd". The remaining fields above
+  /// (truths, accuracy, seeds, ...) travel to the platform as that
+  /// universe's template.
+  std::string universe_kind;
+
   friend bool operator==(const ProviderSpec& a,
                          const ProviderSpec& b) = default;
 };

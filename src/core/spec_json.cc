@@ -1,0 +1,64 @@
+#include "core/spec_json.h"
+
+#include "common/json_util.h"
+
+namespace crowdfusion::core {
+
+using common::JsonValue;
+
+JsonValue ProviderSpecToJson(const ProviderSpec& spec) {
+  JsonValue json = JsonValue::MakeObject();
+  json.Set("kind", spec.kind);
+  json.Set("truths", common::JsonFromBoolVec(spec.truths));
+  json.Set("categories", common::JsonFromIntVec(spec.categories));
+  json.Set("accuracy", spec.accuracy);
+  json.Set("biased", spec.biased);
+  json.Set("seed", common::JsonU64(spec.seed));
+  json.Set("latency_median_seconds", spec.latency_median_seconds);
+  json.Set("latency_sigma", spec.latency_sigma);
+  json.Set("failure_probability", spec.failure_probability);
+  json.Set("straggler_probability", spec.straggler_probability);
+  json.Set("straggler_factor", spec.straggler_factor);
+  json.Set("latency_seed", common::JsonU64(spec.latency_seed));
+  json.Set("script", common::JsonFromBoolVec(spec.script));
+  json.Set("failures_before_success", spec.failures_before_success);
+  json.Set("endpoint", spec.endpoint);
+  json.Set("universe_kind", spec.universe_kind);
+  return json;
+}
+
+common::Result<ProviderSpec> ProviderSpecFromJson(const JsonValue& json) {
+  CF_RETURN_IF_ERROR(
+      common::JsonRequireObject(json, "provider").status());
+  ProviderSpec spec;
+  CF_RETURN_IF_ERROR(common::JsonReadString(json, "kind", &spec.kind));
+  CF_RETURN_IF_ERROR(common::JsonReadBoolVec(json, "truths", &spec.truths));
+  CF_RETURN_IF_ERROR(
+      common::JsonReadIntVec(json, "categories", &spec.categories));
+  CF_RETURN_IF_ERROR(
+      common::JsonReadDouble(json, "accuracy", &spec.accuracy));
+  CF_RETURN_IF_ERROR(common::JsonReadBool(json, "biased", &spec.biased));
+  CF_RETURN_IF_ERROR(common::JsonReadU64(json, "seed", &spec.seed));
+  CF_RETURN_IF_ERROR(common::JsonReadDouble(json, "latency_median_seconds",
+                                            &spec.latency_median_seconds));
+  CF_RETURN_IF_ERROR(
+      common::JsonReadDouble(json, "latency_sigma", &spec.latency_sigma));
+  CF_RETURN_IF_ERROR(common::JsonReadDouble(json, "failure_probability",
+                                            &spec.failure_probability));
+  CF_RETURN_IF_ERROR(common::JsonReadDouble(json, "straggler_probability",
+                                            &spec.straggler_probability));
+  CF_RETURN_IF_ERROR(common::JsonReadDouble(json, "straggler_factor",
+                                            &spec.straggler_factor));
+  CF_RETURN_IF_ERROR(
+      common::JsonReadU64(json, "latency_seed", &spec.latency_seed));
+  CF_RETURN_IF_ERROR(common::JsonReadBoolVec(json, "script", &spec.script));
+  CF_RETURN_IF_ERROR(common::JsonReadInt(json, "failures_before_success",
+                                         &spec.failures_before_success));
+  CF_RETURN_IF_ERROR(
+      common::JsonReadString(json, "endpoint", &spec.endpoint));
+  CF_RETURN_IF_ERROR(
+      common::JsonReadString(json, "universe_kind", &spec.universe_kind));
+  return spec;
+}
+
+}  // namespace crowdfusion::core

@@ -1,0 +1,22 @@
+#ifndef CROWDFUSION_CORE_SPEC_JSON_H_
+#define CROWDFUSION_CORE_SPEC_JSON_H_
+
+#include "common/json.h"
+#include "common/status.h"
+#include "core/registry.h"
+
+namespace crowdfusion::core {
+
+/// JSON form of the provider template (core::ProviderSpec) — ONE field
+/// list shared by every wire that ships provider specs: the service
+/// request format (`provider` member of crowdfusion-request-v1) and the
+/// net crowd wire (universe registration). Field conventions follow
+/// common/json_util.h: absent members keep C++ defaults, seeds are
+/// int64-or-decimal-string lossless, wrong types are kInvalidArgument.
+common::JsonValue ProviderSpecToJson(const ProviderSpec& spec);
+common::Result<ProviderSpec> ProviderSpecFromJson(
+    const common::JsonValue& json);
+
+}  // namespace crowdfusion::core
+
+#endif  // CROWDFUSION_CORE_SPEC_JSON_H_

@@ -1,0 +1,374 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace crowdfusion::net {
+
+using common::Status;
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::string* FindHeaderIn(const std::vector<HttpHeader>& headers,
+                                std::string_view name) {
+  for (const HttpHeader& header : headers) {
+    if (EqualsIgnoreCase(header.name, name)) return &header.value;
+  }
+  return nullptr;
+}
+
+/// RFC 9110 token characters, the legal alphabet of methods and header
+/// names.
+bool IsTokenChar(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(std::string_view text) {
+  if (text.empty()) return false;
+  return std::all_of(text.begin(), text.end(), IsTokenChar);
+}
+
+/// Parses the header block after the start line: lines of "name: value"
+/// terminated by CRLF, up to the blank line (which the caller located).
+common::Status ParseHeaderLines(std::string_view block,
+                                std::vector<HttpHeader>* headers) {
+  while (!block.empty()) {
+    const size_t eol = block.find("\r\n");
+    if (eol == std::string_view::npos) {
+      return Status::InvalidArgument("header line missing CRLF");
+    }
+    const std::string_view line = block.substr(0, eol);
+    block.remove_prefix(eol + 2);
+    if (line.empty()) continue;  // defensive; caller strips the blank line
+    if (line.front() == ' ' || line.front() == '\t') {
+      return Status::InvalidArgument("obsolete header folding rejected");
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("header line missing ':'");
+    }
+    const std::string_view name = line.substr(0, colon);
+    if (!IsToken(name)) {
+      return Status::InvalidArgument("malformed header name");
+    }
+    HttpHeader header;
+    header.name = std::string(name);
+    header.value = common::Trim(line.substr(colon + 1));
+    headers->push_back(std::move(header));
+  }
+  return Status::Ok();
+}
+
+/// Marker distinguishing the two ResourceExhausted overflows; every
+/// header-cap error below spells it, and HttpStatusForParseError keys on
+/// it (both live in this file — keep them together).
+constexpr const char* kHeaderOverflowMarker = "header block";
+
+/// Resolves the body length of a buffered message: 0 when no
+/// Content-Length, the parsed length otherwise. Transfer-Encoding is not
+/// supported by this server and is rejected outright.
+common::Result<size_t> BodyLength(const std::vector<HttpHeader>& headers,
+                                  const HttpLimits& limits) {
+  if (FindHeaderIn(headers, "Transfer-Encoding") != nullptr) {
+    return Status::InvalidArgument("Transfer-Encoding is not supported");
+  }
+  const std::string* value = FindHeaderIn(headers, "Content-Length");
+  if (value == nullptr) return static_cast<size_t>(0);
+  if (value->empty() ||
+      !std::all_of(value->begin(), value->end(), [](char c) {
+        return std::isdigit(static_cast<unsigned char>(c));
+      })) {
+    return Status::InvalidArgument("malformed Content-Length");
+  }
+  // Reject before converting so a 100-digit length cannot overflow.
+  if (value->size() > 15) {
+    return Status::ResourceExhausted("declared body too large");
+  }
+  const size_t length = static_cast<size_t>(std::stoll(*value));
+  if (length > limits.max_body_bytes) {
+    return Status::ResourceExhausted(
+        common::StrFormat("declared body of %zu bytes exceeds the %zu-byte "
+                          "cap",
+                          length, limits.max_body_bytes));
+  }
+  return length;
+}
+
+struct FramedMessage {
+  std::string_view start_line;
+  std::vector<HttpHeader> headers;
+  std::string_view body;
+  size_t total_bytes = 0;
+};
+
+/// Locates and frames one complete message (start line + headers + body)
+/// at the front of `data`. Returns false when more bytes are needed.
+common::Result<bool> FrameMessage(std::string_view data,
+                                  const HttpLimits& limits,
+                                  FramedMessage* out) {
+  const size_t header_end = data.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    if (data.size() > limits.max_header_bytes) {
+      return Status::ResourceExhausted(
+          common::StrFormat("%s exceeds the %zu-byte cap",
+                            kHeaderOverflowMarker,
+                            limits.max_header_bytes));
+    }
+    return false;
+  }
+  if (header_end + 4 > limits.max_header_bytes) {
+    return Status::ResourceExhausted(
+        common::StrFormat("%s exceeds the %zu-byte cap",
+                          kHeaderOverflowMarker, limits.max_header_bytes));
+  }
+  const size_t line_end = data.find("\r\n");
+  out->start_line = data.substr(0, line_end);
+  out->headers.clear();
+  CF_RETURN_IF_ERROR(ParseHeaderLines(
+      data.substr(line_end + 2, header_end + 2 - (line_end + 2)),
+      &out->headers));
+  CF_ASSIGN_OR_RETURN(const size_t body_length,
+                      BodyLength(out->headers, limits));
+  const size_t body_start = header_end + 4;
+  if (data.size() - body_start < body_length) return false;
+  out->body = data.substr(body_start, body_length);
+  out->total_bytes = body_start + body_length;
+  return true;
+}
+
+void Compact(std::string* buffer, size_t* consumed) {
+  if (*consumed > 4096 && *consumed >= buffer->size() / 2) {
+    buffer->erase(0, *consumed);
+    *consumed = 0;
+  }
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  return FindHeaderIn(headers, name);
+}
+
+const std::string* HttpResponse::FindHeader(std::string_view name) const {
+  return FindHeaderIn(headers, name);
+}
+
+bool HttpRequest::KeepAlive() const {
+  const std::string* connection = FindHeader("Connection");
+  if (version == "HTTP/1.0") {
+    return connection != nullptr && EqualsIgnoreCase(*connection, "keep-alive");
+  }
+  return connection == nullptr || !EqualsIgnoreCase(*connection, "close");
+}
+
+const char* ReasonPhrase(int status_code) {
+  switch (status_code) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 410: return "Gone";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+int HttpStatusForParseError(const common::Status& status) {
+  if (status.code() == common::StatusCode::kResourceExhausted) {
+    return status.message().find(kHeaderOverflowMarker) != std::string::npos
+               ? 431
+               : 413;
+  }
+  return 400;
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out = common::StrFormat(
+      "HTTP/1.1 %d %s\r\n", response.status_code,
+      response.reason.empty() ? ReasonPhrase(response.status_code)
+                              : response.reason.c_str());
+  for (const HttpHeader& header : response.headers) {
+    out += header.name;
+    out += ": ";
+    out += header.value;
+    out += "\r\n";
+  }
+  if (response.FindHeader("Content-Length") == nullptr) {
+    out += common::StrFormat("Content-Length: %zu\r\n", response.body.size());
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string SerializeRequest(const HttpRequest& request,
+                             std::string_view host) {
+  std::string out = request.method + " " + request.target + " " +
+                    request.version + "\r\n";
+  if (request.FindHeader("Host") == nullptr) {
+    out += "Host: ";
+    out += host;
+    out += "\r\n";
+  }
+  for (const HttpHeader& header : request.headers) {
+    out += header.name;
+    out += ": ";
+    out += header.value;
+    out += "\r\n";
+  }
+  if (request.FindHeader("Content-Length") == nullptr &&
+      (!request.body.empty() || request.method == "POST" ||
+       request.method == "PUT")) {
+    out += common::StrFormat("Content-Length: %zu\r\n", request.body.size());
+  }
+  out += "\r\n";
+  out += request.body;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// HttpRequestParser
+// ---------------------------------------------------------------------------
+
+HttpRequestParser::HttpRequestParser(HttpLimits limits) : limits_(limits) {}
+
+void HttpRequestParser::Consume(std::string_view bytes) {
+  buffer_.append(bytes);
+}
+
+common::Result<bool> HttpRequestParser::Next(HttpRequest* out) {
+  if (!sticky_error_.ok()) return sticky_error_;
+  const std::string_view data =
+      std::string_view(buffer_).substr(consumed_);
+  FramedMessage message;
+  auto framed = FrameMessage(data, limits_, &message);
+  if (!framed.ok()) {
+    sticky_error_ = framed.status();
+    return sticky_error_;
+  }
+  if (!*framed) return false;
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  const std::string_view line = message.start_line;
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string_view::npos
+                         ? std::string_view::npos
+                         : line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    sticky_error_ = Status::InvalidArgument("malformed request line");
+    return sticky_error_;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (!IsToken(method)) {
+    sticky_error_ = Status::InvalidArgument("malformed request method");
+    return sticky_error_;
+  }
+  if (target.empty() || target.front() != '/') {
+    sticky_error_ =
+        Status::InvalidArgument("request target must be origin-form");
+    return sticky_error_;
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    sticky_error_ = Status::InvalidArgument("unsupported HTTP version");
+    return sticky_error_;
+  }
+
+  out->method = std::string(method);
+  out->target = std::string(target);
+  out->version = std::string(version);
+  out->headers = std::move(message.headers);
+  out->body = std::string(message.body);
+  consumed_ += message.total_bytes;
+  Compact(&buffer_, &consumed_);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// HttpResponseParser
+// ---------------------------------------------------------------------------
+
+HttpResponseParser::HttpResponseParser(HttpLimits limits) : limits_(limits) {}
+
+void HttpResponseParser::Consume(std::string_view bytes) {
+  buffer_.append(bytes);
+}
+
+common::Result<bool> HttpResponseParser::Next(HttpResponse* out) {
+  if (!sticky_error_.ok()) return sticky_error_;
+  const std::string_view data =
+      std::string_view(buffer_).substr(consumed_);
+  FramedMessage message;
+  auto framed = FrameMessage(data, limits_, &message);
+  if (!framed.ok()) {
+    sticky_error_ = framed.status();
+    return sticky_error_;
+  }
+  if (!*framed) return false;
+
+  // Status line: HTTP/1.x SP 3-digit-code SP reason (reason may be empty
+  // and may contain spaces).
+  const std::string_view line = message.start_line;
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos ||
+      (line.substr(0, sp1) != "HTTP/1.1" &&
+       line.substr(0, sp1) != "HTTP/1.0")) {
+    sticky_error_ = Status::InvalidArgument("malformed status line");
+    return sticky_error_;
+  }
+  const std::string_view rest = line.substr(sp1 + 1);
+  const size_t sp2 = rest.find(' ');
+  const std::string_view code_text =
+      sp2 == std::string_view::npos ? rest : rest.substr(0, sp2);
+  if (code_text.size() != 3 ||
+      !std::all_of(code_text.begin(), code_text.end(), [](char c) {
+        return std::isdigit(static_cast<unsigned char>(c));
+      })) {
+    sticky_error_ = Status::InvalidArgument("malformed status code");
+    return sticky_error_;
+  }
+  out->status_code = (code_text[0] - '0') * 100 + (code_text[1] - '0') * 10 +
+                     (code_text[2] - '0');
+  out->reason = sp2 == std::string_view::npos
+                    ? std::string()
+                    : std::string(rest.substr(sp2 + 1));
+  out->headers = std::move(message.headers);
+  out->body = std::string(message.body);
+  consumed_ += message.total_bytes;
+  Compact(&buffer_, &consumed_);
+  return true;
+}
+
+}  // namespace crowdfusion::net

@@ -1,0 +1,129 @@
+#ifndef CROWDFUSION_NET_HTTP_H_
+#define CROWDFUSION_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace crowdfusion::net {
+
+/// One HTTP header field. Name comparisons are case-insensitive per RFC
+/// 9110; stored spelling is preserved.
+struct HttpHeader {
+  std::string name;
+  std::string value;
+
+  friend bool operator==(const HttpHeader& a, const HttpHeader& b) = default;
+};
+
+/// Parser hard caps. The request parser enforces these while buffering, so
+/// a hostile peer can neither balloon memory with an unbounded header
+/// block nor stream an unbounded body.
+struct HttpLimits {
+  /// Request line + all header bytes (up to the blank line).
+  size_t max_header_bytes = 16 * 1024;
+  /// Content-Length ceiling.
+  size_t max_body_bytes = 8 * 1024 * 1024;
+};
+
+struct HttpRequest {
+  std::string method;
+  /// Request target as received, e.g. "/v1/sessions/s-1/step".
+  std::string target;
+  std::string version = "HTTP/1.1";
+  std::vector<HttpHeader> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* FindHeader(std::string_view name) const;
+
+  /// HTTP/1.1 keep-alive semantics: persistent unless "Connection: close"
+  /// (HTTP/1.0 is persistent only with "Connection: keep-alive").
+  bool KeepAlive() const;
+
+  friend bool operator==(const HttpRequest& a, const HttpRequest& b) = default;
+};
+
+struct HttpResponse {
+  int status_code = 200;
+  /// Derived from status_code when empty.
+  std::string reason;
+  std::vector<HttpHeader> headers;
+  std::string body;
+
+  const std::string* FindHeader(std::string_view name) const;
+
+  friend bool operator==(const HttpResponse& a,
+                         const HttpResponse& b) = default;
+};
+
+/// Standard reason phrase for a status code ("OK", "Not Found", ...).
+const char* ReasonPhrase(int status_code);
+
+/// HTTP status a server should answer for a parser failure: 431 for a
+/// header-block overflow, 413 for a body overflow, 400 for malformed
+/// framing. Lives beside the parser (not in the server) so the mapping
+/// and the error sites stay in one file and cannot drift apart.
+int HttpStatusForParseError(const common::Status& status);
+
+/// Serializes a response (adding Content-Length; reason derived when
+/// empty). The server appends its own Connection header before calling.
+std::string SerializeResponse(const HttpResponse& response);
+
+/// Serializes a request (adding Content-Length and Host when absent).
+std::string SerializeRequest(const HttpRequest& request, std::string_view host);
+
+/// Incremental HTTP/1.1 request parser: feed raw bytes as they arrive,
+/// take parsed requests out as they complete. Tolerates pipelining (the
+/// internal buffer may hold several requests; each Next() pops one) and
+/// arbitrary chunk boundaries (the fuzz tests feed byte-at-a-time).
+///
+/// Error contract: malformed syntax is InvalidArgument, an oversized
+/// header block or declared body is ResourceExhausted; both are sticky —
+/// the connection cannot be resynchronized and must be closed.
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(HttpLimits limits = HttpLimits());
+
+  /// Appends bytes to the parse buffer. Cheap; validation happens in Next.
+  void Consume(std::string_view bytes);
+
+  /// Attempts to pop one complete request. Returns true and fills `out`
+  /// when a full request was buffered, false when more bytes are needed.
+  common::Result<bool> Next(HttpRequest* out);
+
+  /// Bytes currently buffered (un-consumed by Next).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  HttpLimits limits_;
+  std::string buffer_;
+  /// Prefix of buffer_ already handed out as parsed requests; compacted
+  /// lazily so pipelined parsing is amortized O(bytes).
+  size_t consumed_ = 0;
+  common::Status sticky_error_;
+};
+
+/// Incremental HTTP/1.1 response parser for the client side. Same feeding
+/// contract as HttpRequestParser; bodies require Content-Length (the only
+/// framing this repo's peers emit).
+class HttpResponseParser {
+ public:
+  explicit HttpResponseParser(HttpLimits limits = HttpLimits());
+
+  void Consume(std::string_view bytes);
+  common::Result<bool> Next(HttpResponse* out);
+
+ private:
+  HttpLimits limits_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+  common::Status sticky_error_;
+};
+
+}  // namespace crowdfusion::net
+
+#endif  // CROWDFUSION_NET_HTTP_H_

@@ -1,0 +1,124 @@
+#include "net/http_client.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace crowdfusion::net {
+
+using common::Status;
+
+HttpClient::HttpClient(Options options) : options_(std::move(options)) {}
+
+void HttpClient::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  connection_.Close();
+}
+
+common::Result<HttpResponse> HttpClient::Call(const HttpRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return CallLocked(request, /*allow_retry=*/true);
+}
+
+common::Result<HttpResponse> HttpClient::CallLocked(const HttpRequest& request,
+                                                    bool allow_retry) {
+  // Blind post-send replay is only safe when re-executing cannot change
+  // server state: GET and DELETE (idempotent on every wire in this repo).
+  // POSTs (ticket Submit, session create) must not be silently doubled —
+  // for them, a stale kept-alive connection is detected BEFORE sending
+  // (cheap MSG_PEEK probe: the common idle-timeout race shows up as an
+  // already-received FIN), and a mid-flight failure surfaces to the
+  // caller instead of retrying.
+  const bool idempotent =
+      request.method == "GET" || request.method == "DELETE" ||
+      request.method == "HEAD";
+  if (connection_.valid() && !idempotent && connection_.LooksClosed()) {
+    connection_.Close();
+  }
+  const bool reused = connection_.valid();
+  if (!reused) {
+    CF_ASSIGN_OR_RETURN(connection_,
+                        ConnectTcp(options_.host, options_.port,
+                                   options_.timeout_seconds));
+  }
+  const std::string host =
+      common::StrFormat("%s:%d", options_.host.c_str(), options_.port);
+  const std::string wire = SerializeRequest(request, host);
+
+  // A reused connection may have been closed by the server since the last
+  // call; retry exactly once on a fresh connection. A request that never
+  // reached a fresh connection is never retried blindly.
+  auto retry = [&](const Status& status) -> common::Result<HttpResponse> {
+    connection_.Close();
+    if (reused && allow_retry && idempotent) {
+      return CallLocked(request, /*allow_retry=*/false);
+    }
+    return status;
+  };
+
+  if (Status status = connection_.WriteAll(wire, options_.timeout_seconds);
+      !status.ok()) {
+    return retry(status);
+  }
+
+  HttpResponseParser parser(options_.limits);
+  HttpResponse response;
+  char buf[8192];
+  for (;;) {
+    auto parsed = parser.Next(&response);
+    if (!parsed.ok()) {
+      // Unparseable response: the byte stream is desynchronized and the
+      // connection must not be reused (leftover bytes would masquerade as
+      // the next call's response).
+      connection_.Close();
+      return parsed.status();
+    }
+    if (*parsed) break;
+    auto n = connection_.Read(buf, sizeof(buf), options_.timeout_seconds);
+    if (!n.ok()) {
+      if (n.status().code() == common::StatusCode::kDeadlineExceeded) {
+        connection_.Close();
+        return n.status();
+      }
+      return retry(n.status());
+    }
+    if (*n == 0) {
+      return retry(Status::Unavailable("server closed the connection"));
+    }
+    parser.Consume(std::string_view(buf, *n));
+  }
+
+  const std::string* connection_header = response.FindHeader("Connection");
+  if (connection_header != nullptr &&
+      common::ToLower(*connection_header) == "close") {
+    connection_.Close();
+  }
+  return response;
+}
+
+common::Result<HttpResponse> HttpClient::Get(const std::string& target) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = target;
+  return Call(request);
+}
+
+common::Result<HttpResponse> HttpClient::Post(const std::string& target,
+                                              std::string body,
+                                              const std::string& content_type) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = target;
+  request.headers.push_back({"Content-Type", content_type});
+  request.body = std::move(body);
+  return Call(request);
+}
+
+common::Result<HttpResponse> HttpClient::Delete(const std::string& target) {
+  HttpRequest request;
+  request.method = "DELETE";
+  request.target = target;
+  return Call(request);
+}
+
+}  // namespace crowdfusion::net

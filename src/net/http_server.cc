@@ -1,0 +1,253 @@
+#include "net/http_server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace crowdfusion::net {
+
+using common::Status;
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+HttpResponse MakeErrorResponse(int code, const std::string& message) {
+  HttpResponse response;
+  response.status_code = code;
+  response.headers.push_back({"Content-Type", "application/json"});
+  response.body = common::StrFormat(
+      "{\"error\": {\"code\": %d, \"message\": \"%s\"}}", code,
+      message.c_str());
+  return response;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Handler handler, Options options)
+    : handler_(std::move(handler)), options_(std::move(options)) {
+  CF_CHECK(handler_ != nullptr) << "HttpServer needs a handler";
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+common::Status HttpServer::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  CF_ASSIGN_OR_RETURN(listener_,
+                      Listener::Bind(options_.host, options_.port));
+  if (::pipe(wake_pipe_) != 0) {
+    listener_.Close();
+    return Status::Unavailable("pipe failed");
+  }
+  ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+  port_ = listener_.port();
+  stopping_.store(false, std::memory_order_release);
+  pool_ = std::make_unique<common::ThreadPool>(
+      options_.threads > 0 ? options_.threads : 4);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  poll_thread_ = std::thread([this] { PollLoop(); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  WakePoller();
+  // Order matters: stop minting and dispatching connections first, then
+  // unblock the ones inside workers, then join the workers.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (poll_thread_.joinable()) poll_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& [id, socket] : active_) socket->ShutdownBoth();
+    idle_.clear();  // parked connections just close
+  }
+  pool_.reset();  // drains and joins every in-flight worker task
+  listener_.Close();
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  CF_DCHECK(active_.empty());
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::WakePoller() {
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'w';
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Short poll so a Stop() is observed within ~100 ms even when no
+    // client ever connects.
+    auto accepted = listener_.Accept(0.100);
+    if (!accepted.ok()) {
+      // A hard accept error (e.g. EMFILE under fd exhaustion) would
+      // otherwise spin this thread at 100% — the listener stays readable
+      // and Accept fails instantly. Back off briefly; timeouts already
+      // waited their 100 ms.
+      if (accepted.status().code() !=
+          common::StatusCode::kDeadlineExceeded) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto conn =
+        std::make_shared<Connection>(std::move(*accepted), options_.limits);
+    conn->idle_since = MonotonicSeconds();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      conn->id = next_connection_id_++;
+      idle_[conn->id] = std::move(conn);
+    }
+    WakePoller();
+  }
+}
+
+void HttpServer::PollLoop() {
+  std::vector<struct pollfd> fds;
+  std::vector<int64_t> ids;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    fds.clear();
+    ids.clear();
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    ids.push_back(-1);
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      for (const auto& [id, conn] : idle_) {
+        fds.push_back({conn->socket.fd(), POLLIN, 0});
+        ids.push_back(id);
+      }
+    }
+    // 100 ms cap: bounds both the stop latency and the idle-timeout scan
+    // cadence.
+    const int rc = ::poll(fds.data(), fds.size(), 100);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if (rc < 0) continue;  // EINTR
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+
+    const double now = MonotonicSeconds();
+    std::vector<std::shared_ptr<Connection>> ready;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      for (size_t i = 1; i < fds.size(); ++i) {
+        auto it = idle_.find(ids[i]);
+        if (it == idle_.end()) continue;
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+          ready.push_back(std::move(it->second));
+          idle_.erase(it);
+        } else if (now - it->second->idle_since >
+                   options_.read_timeout_seconds) {
+          idle_.erase(it);  // idle keep-alive expired; just close
+        }
+      }
+      for (auto& conn : ready) {
+        active_[conn->id] = &conn->socket;
+      }
+    }
+    for (auto& conn : ready) {
+      pool_->Submit([this, conn] { ServeReadyConnection(conn); });
+    }
+    ready.clear();
+  }
+}
+
+void HttpServer::ParkConnection(std::shared_ptr<Connection> conn) {
+  conn->idle_since = MonotonicSeconds();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    active_.erase(conn->id);
+    if (stopping_.load(std::memory_order_acquire)) return;  // closes
+    idle_[conn->id] = std::move(conn);
+  }
+  WakePoller();
+}
+
+void HttpServer::ServeReadyConnection(std::shared_ptr<Connection> conn) {
+  const auto finish = [this, &conn] {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    active_.erase(conn->id);
+  };
+  char buf[8192];
+  bool read_anything = false;
+  // Per-REQUEST read deadline, armed when this serving turn starts and
+  // re-armed after each completed request: a slow-drip client cannot hold
+  // a worker past read_timeout_seconds by trickling one byte per read
+  // (each Read below gets only the remaining budget, not a fresh one).
+  double request_deadline =
+      MonotonicSeconds() + options_.read_timeout_seconds;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    HttpRequest request;
+    auto ready = conn->parser.Next(&request);
+    if (!ready.ok()) {
+      // Unrecoverable framing: answer once with the mapped status, then
+      // drop the connection (the byte stream cannot be resynchronized).
+      HttpResponse response = MakeErrorResponse(
+          HttpStatusForParseError(ready.status()), ready.status().message());
+      response.headers.push_back({"Connection", "close"});
+      (void)conn->socket.WriteAll(SerializeResponse(response),
+                                  options_.write_timeout_seconds);
+      break;
+    }
+    if (*ready) {
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse response = handler_(request);
+      const bool close = !request.KeepAlive() ||
+                         stopping_.load(std::memory_order_acquire);
+      if (response.FindHeader("Connection") == nullptr) {
+        response.headers.push_back(
+            {"Connection", close ? "close" : "keep-alive"});
+      }
+      if (!conn->socket.WriteAll(SerializeResponse(response),
+                                 options_.write_timeout_seconds)
+               .ok()) {
+        break;
+      }
+      if (close) break;
+      request_deadline = MonotonicSeconds() + options_.read_timeout_seconds;
+      continue;
+    }
+    // Parser needs more bytes. At a request boundary with nothing
+    // buffered, the connection is idle: park it instead of holding this
+    // worker; the poller hands it back when bytes arrive. (Mid-request —
+    // bytes buffered — keep reading against the request deadline.)
+    if (read_anything && conn->parser.buffered_bytes() == 0) {
+      ParkConnection(std::move(conn));
+      return;
+    }
+    const double remaining = request_deadline - MonotonicSeconds();
+    if (remaining <= 0) break;  // request took too long end to end
+    auto n = conn->socket.Read(buf, sizeof(buf), remaining);
+    if (!n.ok() || *n == 0) break;  // stall, error, or EOF
+    read_anything = true;
+    conn->parser.Consume(std::string_view(buf, *n));
+  }
+  finish();
+}
+
+}  // namespace crowdfusion::net

@@ -1,0 +1,135 @@
+#ifndef CROWDFUSION_NET_HTTP_SERVER_H_
+#define CROWDFUSION_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "net/http.h"
+#include "net/socket.h"
+
+namespace crowdfusion::net {
+
+/// A dependency-free HTTP/1.1 server: a blocking accept loop, an idle
+/// poller, and a common::ThreadPool of request workers.
+///
+/// Connection lifecycle: accepted connections park in the poller's
+/// poll(2) set; the moment one turns readable it is handed to a pool
+/// worker, which reads and serves every buffered request (pipelining
+/// included), then either parks the connection back (keep-alive idle) or
+/// closes it. Workers therefore never block on an idle connection — a
+/// handful of threads multiplexes any number of keep-alive clients, and a
+/// mid-request stall only ties up its own worker (bounded by
+/// read_timeout_seconds).
+///
+///  * Parse limits (HttpLimits) cap header and body bytes; violations map
+///    to 431/413, malformed framing to 400, all answered once and closed.
+///  * Idle keep-alive connections are dropped after read_timeout_seconds
+///    without a byte.
+///  * Stop() (and the destructor) joins the accept and poller threads,
+///    shuts down every connection so blocked reads return immediately,
+///    and drains the worker pool before returning.
+///  * The handler runs on worker threads and must be thread-safe.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 = kernel-assigned ephemeral port (read back via port()).
+    int port = 0;
+    /// Worker threads serving readable connections.
+    int threads = 4;
+    /// Ceiling on receiving one complete request (first byte to full
+    /// frame — a per-request deadline, so slow-drip bytes cannot extend
+    /// it) and on keep-alive idleness between requests.
+    double read_timeout_seconds = 10.0;
+    double write_timeout_seconds = 10.0;
+    HttpLimits limits;
+  };
+
+  HttpServer(Handler handler, Options options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds and starts serving. FailedPrecondition if already started.
+  common::Status Start();
+
+  /// Graceful stop; idempotent. Blocks until every connection drained.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port; valid after Start().
+  int port() const { return port_; }
+
+  int64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One keep-alive connection and its incremental parse state; owned by
+  /// exactly one place at a time (the idle set, or a worker task).
+  struct Connection {
+    explicit Connection(Socket s, HttpLimits limits)
+        : socket(std::move(s)), parser(limits) {}
+    Socket socket;
+    HttpRequestParser parser;
+    int64_t id = 0;
+    /// Wall-clock (monotonic) second the connection went idle.
+    double idle_since = 0.0;
+  };
+
+  void AcceptLoop();
+  void PollLoop();
+  /// Serves every request currently readable on `conn`, then parks or
+  /// closes it.
+  void ServeReadyConnection(std::shared_ptr<Connection> conn);
+  void ParkConnection(std::shared_ptr<Connection> conn);
+  void WakePoller();
+
+  Handler handler_;
+  Options options_;
+  int port_ = 0;
+
+  Listener listener_;
+  std::thread accept_thread_;
+  std::thread poll_thread_;
+  std::unique_ptr<common::ThreadPool> pool_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  /// Guards idle_, active_, and the id counter.
+  std::mutex connections_mutex_;
+  /// Parked keep-alive connections, watched by the poller.
+  std::unordered_map<int64_t, std::shared_ptr<Connection>> idle_;
+  /// Sockets currently inside a worker, so Stop() can unblock them.
+  std::unordered_map<int64_t, Socket*> active_;
+  int64_t next_connection_id_ = 1;
+
+  /// Self-pipe waking the poller when connections are parked or Stop()
+  /// runs. [0] = read end, [1] = write end.
+  int wake_pipe_[2] = {-1, -1};
+
+  /// Serializes Start/Stop against each other.
+  std::mutex lifecycle_mutex_;
+
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> requests_served_{0};
+};
+
+}  // namespace crowdfusion::net
+
+#endif  // CROWDFUSION_NET_HTTP_SERVER_H_

@@ -4,10 +4,12 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/math_util.h"
 #include "common/string_util.h"
 #include "crowd/provider_registry.h"
 #include "data/statement.h"
 #include "fusion/fusion_result.h"
+#include "net/http_answer_provider.h"
 
 namespace crowdfusion::service {
 
@@ -251,13 +253,8 @@ FusionResponse Session::Finish() const {
   }
   if (!latencies.empty()) {
     std::sort(latencies.begin(), latencies.end());
-    const auto percentile = [&](double p) {
-      const size_t index = static_cast<size_t>(
-          p * static_cast<double>(latencies.size() - 1) + 0.5);
-      return latencies[std::min(index, latencies.size() - 1)];
-    };
-    stats.p50_latency_ms = percentile(0.50);
-    stats.p95_latency_ms = percentile(0.95);
+    stats.p50_latency_ms = common::PercentileOfSorted(latencies, 0.50);
+    stats.p95_latency_ms = common::PercentileOfSorted(latencies, 0.95);
   }
   return response;
 }
@@ -272,7 +269,11 @@ FusionService::FusionService(Config config)
     : config_(config),
       selectors_(core::BuiltinSelectorRegistry()),
       fusers_(fusion::BuiltinFuserRegistry()),
-      providers_(crowd::FullProviderRegistry(config.clock)) {}
+      providers_(crowd::FullProviderRegistry(config.clock)) {
+  // The remote-platform provider: "http" turns a ProviderSpec endpoint
+  // into tickets on a crowd server speaking the net wire.
+  CF_CHECK_OK(net::RegisterHttpProvider(providers_, config.clock));
+}
 
 common::Result<std::vector<InstanceSpec>> FusionService::BuildWorkload(
     FusionRequest& request) const {

@@ -233,6 +233,8 @@ class Session {
   FusionResponse Finish() const;
 
   // --- introspection for thin clients (eval scoring, CLI save-back) ---
+  /// Request label (or the derived default) echoed into the response.
+  const std::string& label() const { return label_; }
   int num_instances() const { return static_cast<int>(instances_.size()); }
   const std::string& instance_name(int instance) const;
   /// Current (not final) joint of one instance.

@@ -1,0 +1,283 @@
+#include "service/http_frontend.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/math_util.h"
+#include "net/wire.h"
+#include "service/request_json.h"
+
+namespace crowdfusion::service {
+
+using common::JsonValue;
+using common::Status;
+using net::ErrorResponse;
+using net::HttpRequest;
+using net::HttpResponse;
+using net::JsonResponse;
+
+namespace {
+
+/// Window for the latency percentile gauges: big enough to smooth, small
+/// enough that /metricsz reflects the recent regime, not all of history.
+constexpr size_t kLatencyWindow = 1024;
+
+JsonValue ProgressToJson(const SessionProgress& progress) {
+  JsonValue json = JsonValue::MakeObject();
+  json.Set("done", progress.done);
+  json.Set("steps_completed", progress.steps_completed);
+  json.Set("total_cost_spent", progress.total_cost_spent);
+  json.Set("total_budget", progress.total_budget);
+  json.Set("total_utility_bits", progress.total_utility_bits);
+  json.Set("dead_instances", progress.dead_instances);
+  return json;
+}
+
+}  // namespace
+
+HttpFrontend::HttpFrontend() : HttpFrontend(Options()) {}
+
+HttpFrontend::HttpFrontend(Options options)
+    : options_(options),
+      service_(FusionService::Config{.clock = options.clock}),
+      server_(
+          [this](const HttpRequest& request) { return Handle(request); },
+          [&options] {
+            net::HttpServer::Options server_options;
+            server_options.host = options.host;
+            server_options.port = options.port;
+            server_options.threads = options.threads;
+            server_options.limits = options.limits;
+            return server_options;
+          }()) {}
+
+HttpFrontend::~HttpFrontend() { Stop(); }
+
+common::Status HttpFrontend::Start() { return server_.Start(); }
+
+void HttpFrontend::Stop() { server_.Stop(); }
+
+HttpFrontend::Metrics HttpFrontend::GetMetrics() const {
+  Metrics metrics;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics.requests_served = requests_served_;
+    metrics.requests_failed = requests_failed_;
+    std::vector<double> sorted(latencies_ms_.begin(), latencies_ms_.end());
+    std::sort(sorted.begin(), sorted.end());
+    metrics.p50_handler_ms = common::PercentileOfSorted(sorted, 0.50);
+    metrics.p95_handler_ms = common::PercentileOfSorted(sorted, 0.95);
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    metrics.sessions_created = sessions_created_;
+    metrics.sessions_evicted = sessions_evicted_;
+    metrics.sessions_active = static_cast<int>(sessions_.size());
+  }
+  return metrics;
+}
+
+void HttpFrontend::RecordLatency(double ms, bool failed) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  ++requests_served_;
+  if (failed) ++requests_failed_;
+  latencies_ms_.push_back(ms);
+  while (latencies_ms_.size() > kLatencyWindow) latencies_ms_.pop_front();
+}
+
+net::HttpResponse HttpFrontend::Handle(const HttpRequest& request) {
+  const double start = clock()->NowSeconds();
+  HttpResponse response = Route(request);
+  const double elapsed_ms = (clock()->NowSeconds() - start) * 1e3;
+  RecordLatency(elapsed_ms,
+                response.status_code < 200 || response.status_code >= 300);
+  return response;
+}
+
+net::HttpResponse HttpFrontend::Route(const HttpRequest& request) {
+  const std::string& target = request.target;
+  if (target == "/healthz") {
+    if (request.method != "GET") {
+      return ErrorResponse(Status::InvalidArgument("healthz is GET-only"));
+    }
+    JsonValue body = JsonValue::MakeObject();
+    body.Set("status", "ok");
+    return JsonResponse(200, body);
+  }
+  if (target == "/metricsz") {
+    if (request.method != "GET") {
+      return ErrorResponse(Status::InvalidArgument("metricsz is GET-only"));
+    }
+    const Metrics metrics = GetMetrics();
+    JsonValue body = JsonValue::MakeObject();
+    body.Set("requests_served", metrics.requests_served);
+    body.Set("requests_failed", metrics.requests_failed);
+    body.Set("sessions_created", metrics.sessions_created);
+    body.Set("sessions_evicted", metrics.sessions_evicted);
+    body.Set("sessions_active", metrics.sessions_active);
+    body.Set("p50_handler_ms", metrics.p50_handler_ms);
+    body.Set("p95_handler_ms", metrics.p95_handler_ms);
+    return JsonResponse(200, body);
+  }
+  if (target == "/v1/fusion:run") {
+    return HandleRun(request);
+  }
+  const std::string sessions_prefix = "/v1/sessions";
+  if (common::StartsWith(target, sessions_prefix)) {
+    return HandleSessions(request, target.substr(sessions_prefix.size()));
+  }
+  return ErrorResponse(Status::NotFound("no route for " + target));
+}
+
+net::HttpResponse HttpFrontend::HandleRun(const HttpRequest& request) {
+  if (request.method != "POST") {
+    return ErrorResponse(Status::InvalidArgument("fusion:run is POST-only"));
+  }
+  auto body = net::ParseJsonBody(request);
+  if (!body.ok()) return ErrorResponse(body.status());
+  auto fusion_request = FusionRequestFromJson(*body);
+  if (!fusion_request.ok()) return ErrorResponse(fusion_request.status());
+  auto response = service_.Run(std::move(fusion_request).value());
+  if (!response.ok()) return ErrorResponse(response.status());
+  return JsonResponse(200, FusionResponseToJson(*response));
+}
+
+void HttpFrontend::SweepExpiredLocked(double now) {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second->expires_at <= now) {
+      it = sessions_.erase(it);
+      ++sessions_evicted_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::shared_ptr<HttpFrontend::SessionEntry> HttpFrontend::FindSession(
+    const std::string& id) {
+  const double now = clock()->NowSeconds();
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  SweepExpiredLocked(now);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return nullptr;
+  // Every touch re-arms the TTL.
+  it->second->expires_at = now + options_.session_ttl_seconds;
+  return it->second;
+}
+
+net::HttpResponse HttpFrontend::HandleSessions(const HttpRequest& request,
+                                               const std::string& rest) {
+  if (rest.empty()) {
+    if (request.method != "POST") {
+      return ErrorResponse(
+          Status::InvalidArgument("session collection accepts POST only"));
+    }
+    const auto table_full = [this](double now) {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      SweepExpiredLocked(now);
+      return static_cast<int>(sessions_.size()) >= options_.max_sessions;
+    };
+    // Admission control FIRST: CreateSession is the expensive part (for
+    // "http" providers it registers remote universes), so a full table
+    // must answer 429 before any of that work happens.
+    if (table_full(clock()->NowSeconds())) {
+      return ErrorResponse(Status::ResourceExhausted(common::StrFormat(
+          "session table full (%d live sessions)", options_.max_sessions)));
+    }
+    auto body = net::ParseJsonBody(request);
+    if (!body.ok()) return ErrorResponse(body.status());
+    auto fusion_request = FusionRequestFromJson(*body);
+    if (!fusion_request.ok()) return ErrorResponse(fusion_request.status());
+    auto session = service_.CreateSession(std::move(fusion_request).value());
+    if (!session.ok()) return ErrorResponse(session.status());
+
+    auto entry = std::make_shared<SessionEntry>();
+    entry->session = std::move(session).value();
+    const double now = clock()->NowSeconds();
+    entry->expires_at = now + options_.session_ttl_seconds;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      SweepExpiredLocked(now);
+      // Re-checked under the lock: concurrent creates may have raced the
+      // admission check above.
+      if (static_cast<int>(sessions_.size()) >= options_.max_sessions) {
+        return ErrorResponse(Status::ResourceExhausted(common::StrFormat(
+            "session table full (%d live sessions)", options_.max_sessions)));
+      }
+      entry->id = common::StrFormat("s-%lld",
+                                    static_cast<long long>(next_session_++));
+      sessions_[entry->id] = entry;
+      ++sessions_created_;
+    }
+    JsonValue response = JsonValue::MakeObject();
+    response.Set("session_id", entry->id);
+    response.Set("num_instances", entry->session->num_instances());
+    response.Set("ttl_seconds", options_.session_ttl_seconds);
+    response.Set("label", entry->session->label());
+    return JsonResponse(201, response);
+  }
+
+  if (rest.front() != '/') {
+    return ErrorResponse(Status::NotFound("no route"));
+  }
+  const size_t slash = rest.find('/', 1);
+  const std::string id = rest.substr(
+      1, slash == std::string::npos ? std::string::npos : slash - 1);
+  const std::string tail =
+      slash == std::string::npos ? std::string() : rest.substr(slash);
+
+  if (tail.empty() && request.method == "DELETE") {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    SweepExpiredLocked(clock()->NowSeconds());
+    sessions_.erase(id);  // idempotent
+    return JsonResponse(200, JsonValue::MakeObject());
+  }
+
+  std::shared_ptr<SessionEntry> entry = FindSession(id);
+  if (entry == nullptr) {
+    return ErrorResponse(
+        Status::NotFound("unknown or expired session \"" + id + "\""));
+  }
+
+  if (tail.empty()) {
+    if (request.method != "GET") {
+      return ErrorResponse(Status::InvalidArgument(
+          "session resource accepts GET and DELETE"));
+    }
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    return JsonResponse(200, ProgressToJson(entry->session->Poll()));
+  }
+
+  if (tail == "/step") {
+    if (request.method != "POST") {
+      return ErrorResponse(Status::InvalidArgument("step is POST-only"));
+    }
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    auto outcomes = entry->session->Step();
+    if (!outcomes.ok()) return ErrorResponse(outcomes.status());
+    JsonValue response = JsonValue::MakeObject();
+    response.Set("session_id", entry->id);
+    response.Set("done", entry->session->done());
+    JsonValue array = JsonValue::MakeArray();
+    for (const StepOutcome& outcome : *outcomes) {
+      array.Append(StepOutcomeToJson(outcome));
+    }
+    response.Set("outcomes", std::move(array));
+    return JsonResponse(200, response);
+  }
+
+  if (tail == "/result") {
+    if (request.method != "GET") {
+      return ErrorResponse(Status::InvalidArgument("result is GET-only"));
+    }
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    return JsonResponse(200,
+                        FusionResponseToJson(entry->session->Finish()));
+  }
+
+  return ErrorResponse(Status::NotFound("no route for " + request.target));
+}
+
+}  // namespace crowdfusion::service

@@ -1,0 +1,135 @@
+#ifndef CROWDFUSION_SERVICE_HTTP_FRONTEND_H_
+#define CROWDFUSION_SERVICE_HTTP_FRONTEND_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "net/http.h"
+#include "net/http_server.h"
+#include "service/fusion_service.h"
+
+namespace crowdfusion::service {
+
+/// The HTTP face of FusionService: a net::HttpServer routing the typed
+/// request/response boundary (PR 4's JSON wire format) plus incremental
+/// Session serving over a TTL-evicting session table.
+///
+/// Endpoints (JSON bodies; errors use the net/wire.h envelope):
+///   POST   /v1/fusion:run          one-shot: crowdfusion-request-v1 in,
+///                                  crowdfusion-response-v1 out
+///   POST   /v1/sessions            create a session from a request body
+///                                  -> {"session_id", "num_instances",
+///                                      "ttl_seconds", "label"}
+///   POST   /v1/sessions/{id}/step  advance one quantum
+///                                  -> {"done", "outcomes": [...]}
+///   GET    /v1/sessions/{id}       progress snapshot (Session::Poll)
+///   GET    /v1/sessions/{id}/result  full response so far (Session::Finish)
+///   DELETE /v1/sessions/{id}       drop the session
+///   GET    /healthz                liveness: {"status": "ok"}
+///   GET    /metricsz               requests served/failed, sessions
+///                                  created/evicted/active, p50/p95
+///                                  handler latency (ms)
+///
+/// Session TTL contract: every touch (create/step/poll/result) re-arms a
+/// session's expiry at now + session_ttl_seconds on the injected clock;
+/// expired sessions are swept lazily on the next session-table access and
+/// answer 404 afterwards. DELETE is idempotent. Handlers serialize
+/// per-session (Session is single-caller by contract) but run
+/// concurrently across sessions.
+class HttpFrontend {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 = kernel-assigned (tests); the CLI default is 8080.
+    int port = 0;
+    int threads = 4;
+    /// Idle sessions are evicted this many seconds after their last touch.
+    double session_ttl_seconds = 300.0;
+    /// Hard cap on live sessions; creation beyond it is ResourceExhausted.
+    int max_sessions = 64;
+    net::HttpLimits limits;
+    /// Time source for TTL eviction, latency metrics, and the fusion
+    /// service itself; nullptr means Clock::Real(). Borrowed.
+    common::Clock* clock = nullptr;
+  };
+
+  HttpFrontend();
+  explicit HttpFrontend(Options options);
+  ~HttpFrontend();
+
+  HttpFrontend(const HttpFrontend&) = delete;
+  HttpFrontend& operator=(const HttpFrontend&) = delete;
+
+  common::Status Start();
+  void Stop();
+  int port() const { return server_.port(); }
+  bool running() const { return server_.running(); }
+
+  /// The underlying service, e.g. to register custom backends before
+  /// Start().
+  FusionService& fusion_service() { return service_; }
+
+  struct Metrics {
+    int64_t requests_served = 0;
+    /// Of those, how many answered with a non-2xx status.
+    int64_t requests_failed = 0;
+    int64_t sessions_created = 0;
+    int64_t sessions_evicted = 0;
+    int sessions_active = 0;
+    double p50_handler_ms = 0.0;
+    double p95_handler_ms = 0.0;
+  };
+  Metrics GetMetrics() const;
+
+ private:
+  struct SessionEntry {
+    std::unique_ptr<Session> session;
+    std::string id;
+    double expires_at = 0.0;
+    /// Serializes handler access to the single-caller Session.
+    std::mutex mutex;
+  };
+
+  common::Clock* clock() const {
+    return options_.clock == nullptr ? common::Clock::Real()
+                                     : options_.clock;
+  }
+
+  net::HttpResponse Handle(const net::HttpRequest& request);
+  net::HttpResponse Route(const net::HttpRequest& request);
+  net::HttpResponse HandleRun(const net::HttpRequest& request);
+  net::HttpResponse HandleSessions(const net::HttpRequest& request,
+                                   const std::string& rest);
+
+  /// Sweeps expired sessions; caller must hold sessions_mutex_.
+  void SweepExpiredLocked(double now);
+  std::shared_ptr<SessionEntry> FindSession(const std::string& id);
+
+  void RecordLatency(double ms, bool failed);
+
+  Options options_;
+  FusionService service_;
+  net::HttpServer server_;
+
+  mutable std::mutex sessions_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<SessionEntry>> sessions_;
+  int64_t next_session_ = 1;
+  int64_t sessions_created_ = 0;
+  int64_t sessions_evicted_ = 0;
+
+  mutable std::mutex metrics_mutex_;
+  int64_t requests_served_ = 0;
+  int64_t requests_failed_ = 0;
+  /// Sliding window of recent handler latencies for the percentile gauges.
+  std::deque<double> latencies_ms_;
+};
+
+}  // namespace crowdfusion::service
+
+#endif  // CROWDFUSION_SERVICE_HTTP_FRONTEND_H_

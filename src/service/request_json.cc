@@ -5,179 +5,33 @@
 #include <limits>
 #include <utility>
 
+#include "common/json_util.h"
 #include "common/string_util.h"
+#include "core/spec_json.h"
 
 namespace crowdfusion::service {
 
 using common::JsonValue;
 using common::Status;
+using common::JsonFromBoolVec;
+using common::JsonFromDoubleVec;
+using common::JsonFromIntVec;
+using common::JsonParseU64Text;
+using common::JsonReadBool;
+using common::JsonReadBoolVec;
+using common::JsonReadDouble;
+using common::JsonReadDoubleVec;
+using common::JsonReadInt;
+using common::JsonReadInt64;
+using common::JsonReadIntVec;
+using common::JsonReadString;
+using common::JsonReadU64;
+using common::JsonRequireObject;
+using common::JsonU64;
+using core::ProviderSpecFromJson;
+using core::ProviderSpecToJson;
 
 namespace {
-
-// --- primitive field plumbing ---------------------------------------------
-// Readers keep the out-param untouched when the member is absent, so the
-// C++ struct defaults survive a minimal document; a present member of the
-// wrong type is an error.
-
-Status ReadBool(const JsonValue& obj, const char* key, bool* out) {
-  const JsonValue* member = obj.Find(key);
-  if (member == nullptr) return Status::Ok();
-  CF_ASSIGN_OR_RETURN(*out, member->GetBool());
-  return Status::Ok();
-}
-
-Status ReadInt(const JsonValue& obj, const char* key, int* out) {
-  const JsonValue* member = obj.Find(key);
-  if (member == nullptr) return Status::Ok();
-  CF_ASSIGN_OR_RETURN(const int64_t wide, member->GetInt());
-  if (wide < std::numeric_limits<int>::min() ||
-      wide > std::numeric_limits<int>::max()) {
-    return Status::InvalidArgument(
-        common::StrFormat("member \"%s\" out of int range", key));
-  }
-  *out = static_cast<int>(wide);
-  return Status::Ok();
-}
-
-Status ReadInt64(const JsonValue& obj, const char* key, int64_t* out) {
-  const JsonValue* member = obj.Find(key);
-  if (member == nullptr) return Status::Ok();
-  CF_ASSIGN_OR_RETURN(*out, member->GetInt());
-  return Status::Ok();
-}
-
-Status ReadDouble(const JsonValue& obj, const char* key, double* out) {
-  const JsonValue* member = obj.Find(key);
-  if (member == nullptr) return Status::Ok();
-  CF_ASSIGN_OR_RETURN(*out, member->GetDouble());
-  return Status::Ok();
-}
-
-Status ReadString(const JsonValue& obj, const char* key, std::string* out) {
-  const JsonValue* member = obj.Find(key);
-  if (member == nullptr) return Status::Ok();
-  CF_ASSIGN_OR_RETURN(*out, member->GetString());
-  return Status::Ok();
-}
-
-common::Result<uint64_t> ParseU64Text(const std::string& text) {
-  uint64_t value = 0;
-  const auto [ptr, ec] =
-      std::from_chars(text.data(), text.data() + text.size(), value);
-  if (ec != std::errc() || ptr != text.data() + text.size()) {
-    return Status::InvalidArgument("malformed uint64 \"" + text + "\"");
-  }
-  return value;
-}
-
-/// Seeds: emitted as JSON integers when they fit int64, as decimal
-/// strings otherwise (lossless either way); both spellings parse.
-JsonValue U64ToJson(uint64_t value) {
-  if (value <= static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
-    return JsonValue(static_cast<int64_t>(value));
-  }
-  return JsonValue(std::to_string(value));
-}
-
-Status ReadU64(const JsonValue& obj, const char* key, uint64_t* out) {
-  const JsonValue* member = obj.Find(key);
-  if (member == nullptr) return Status::Ok();
-  if (member->is_string()) {
-    CF_ASSIGN_OR_RETURN(const std::string text, member->GetString());
-    CF_ASSIGN_OR_RETURN(*out, ParseU64Text(text));
-    return Status::Ok();
-  }
-  CF_ASSIGN_OR_RETURN(const int64_t wide, member->GetInt());
-  if (wide < 0) {
-    return Status::InvalidArgument(
-        common::StrFormat("member \"%s\" must be non-negative", key));
-  }
-  *out = static_cast<uint64_t>(wide);
-  return Status::Ok();
-}
-
-JsonValue FromBoolVec(const std::vector<bool>& values) {
-  JsonValue array = JsonValue::MakeArray();
-  for (const bool value : values) array.Append(JsonValue(value));
-  return array;
-}
-
-Status ReadBoolVec(const JsonValue& obj, const char* key,
-                   std::vector<bool>* out) {
-  const JsonValue* member = obj.Find(key);
-  if (member == nullptr) return Status::Ok();
-  if (!member->is_array()) {
-    return Status::InvalidArgument(
-        common::StrFormat("member \"%s\" must be an array", key));
-  }
-  std::vector<bool> values;
-  for (const JsonValue& item : member->array()) {
-    CF_ASSIGN_OR_RETURN(const bool value, item.GetBool());
-    values.push_back(value);
-  }
-  *out = std::move(values);
-  return Status::Ok();
-}
-
-JsonValue FromIntVec(const std::vector<int>& values) {
-  JsonValue array = JsonValue::MakeArray();
-  for (const int value : values) array.Append(JsonValue(value));
-  return array;
-}
-
-Status ReadIntVec(const JsonValue& obj, const char* key,
-                  std::vector<int>* out) {
-  const JsonValue* member = obj.Find(key);
-  if (member == nullptr) return Status::Ok();
-  if (!member->is_array()) {
-    return Status::InvalidArgument(
-        common::StrFormat("member \"%s\" must be an array", key));
-  }
-  std::vector<int> values;
-  for (const JsonValue& item : member->array()) {
-    CF_ASSIGN_OR_RETURN(const int64_t value, item.GetInt());
-    if (value < std::numeric_limits<int>::min() ||
-        value > std::numeric_limits<int>::max()) {
-      return Status::InvalidArgument(
-          common::StrFormat("member \"%s\" element out of int range", key));
-    }
-    values.push_back(static_cast<int>(value));
-  }
-  *out = std::move(values);
-  return Status::Ok();
-}
-
-JsonValue FromDoubleVec(const std::vector<double>& values) {
-  JsonValue array = JsonValue::MakeArray();
-  for (const double value : values) array.Append(JsonValue(value));
-  return array;
-}
-
-Status ReadDoubleVec(const JsonValue& obj, const char* key,
-                     std::vector<double>* out) {
-  const JsonValue* member = obj.Find(key);
-  if (member == nullptr) return Status::Ok();
-  if (!member->is_array()) {
-    return Status::InvalidArgument(
-        common::StrFormat("member \"%s\" must be an array", key));
-  }
-  std::vector<double> values;
-  for (const JsonValue& item : member->array()) {
-    CF_ASSIGN_OR_RETURN(const double value, item.GetDouble());
-    values.push_back(value);
-  }
-  *out = std::move(values);
-  return Status::Ok();
-}
-
-common::Result<const JsonValue*> RequireObject(const JsonValue& json,
-                                               const char* what) {
-  if (!json.is_object()) {
-    return Status::InvalidArgument(std::string(what) +
-                                   " must be a JSON object");
-  }
-  return &json;
-}
 
 // --- enums -----------------------------------------------------------------
 
@@ -240,78 +94,33 @@ JsonValue SelectorSpecToJson(const core::SelectorSpec& spec) {
   json.Set("max_subsets", spec.max_subsets);
   json.Set("samples", spec.samples);
   json.Set("bias_correction", spec.bias_correction);
-  json.Set("seed", U64ToJson(spec.seed));
-  json.Set("foi", FromIntVec(spec.foi));
+  json.Set("seed", JsonU64(spec.seed));
+  json.Set("foi", JsonFromIntVec(spec.foi));
   json.Set("min_gain_bits", spec.min_gain_bits);
   return json;
 }
 
 common::Result<core::SelectorSpec> SelectorSpecFromJson(
     const JsonValue& json) {
-  CF_RETURN_IF_ERROR(RequireObject(json, "selector").status());
+  CF_RETURN_IF_ERROR(JsonRequireObject(json, "selector").status());
   core::SelectorSpec spec;
-  CF_RETURN_IF_ERROR(ReadString(json, "kind", &spec.kind));
-  CF_RETURN_IF_ERROR(ReadBool(json, "use_pruning", &spec.use_pruning));
+  CF_RETURN_IF_ERROR(JsonReadString(json, "kind", &spec.kind));
+  CF_RETURN_IF_ERROR(JsonReadBool(json, "use_pruning", &spec.use_pruning));
   CF_RETURN_IF_ERROR(
-      ReadBool(json, "use_preprocessing", &spec.use_preprocessing));
+      JsonReadBool(json, "use_preprocessing", &spec.use_preprocessing));
   CF_RETURN_IF_ERROR(
-      ReadString(json, "preprocessing_mode", &spec.preprocessing_mode));
+      JsonReadString(json, "preprocessing_mode", &spec.preprocessing_mode));
   CF_RETURN_IF_ERROR(
-      ReadInt(json, "preprocessing_threads", &spec.preprocessing_threads));
+      JsonReadInt(json, "preprocessing_threads", &spec.preprocessing_threads));
   CF_RETURN_IF_ERROR(
-      ReadBool(json, "brute_force_entropy", &spec.brute_force_entropy));
-  CF_RETURN_IF_ERROR(ReadInt64(json, "max_subsets", &spec.max_subsets));
-  CF_RETURN_IF_ERROR(ReadInt(json, "samples", &spec.samples));
+      JsonReadBool(json, "brute_force_entropy", &spec.brute_force_entropy));
+  CF_RETURN_IF_ERROR(JsonReadInt64(json, "max_subsets", &spec.max_subsets));
+  CF_RETURN_IF_ERROR(JsonReadInt(json, "samples", &spec.samples));
   CF_RETURN_IF_ERROR(
-      ReadBool(json, "bias_correction", &spec.bias_correction));
-  CF_RETURN_IF_ERROR(ReadU64(json, "seed", &spec.seed));
-  CF_RETURN_IF_ERROR(ReadIntVec(json, "foi", &spec.foi));
-  CF_RETURN_IF_ERROR(ReadDouble(json, "min_gain_bits", &spec.min_gain_bits));
-  return spec;
-}
-
-JsonValue ProviderSpecToJson(const core::ProviderSpec& spec) {
-  JsonValue json = JsonValue::MakeObject();
-  json.Set("kind", spec.kind);
-  json.Set("truths", FromBoolVec(spec.truths));
-  json.Set("categories", FromIntVec(spec.categories));
-  json.Set("accuracy", spec.accuracy);
-  json.Set("biased", spec.biased);
-  json.Set("seed", U64ToJson(spec.seed));
-  json.Set("latency_median_seconds", spec.latency_median_seconds);
-  json.Set("latency_sigma", spec.latency_sigma);
-  json.Set("failure_probability", spec.failure_probability);
-  json.Set("straggler_probability", spec.straggler_probability);
-  json.Set("straggler_factor", spec.straggler_factor);
-  json.Set("latency_seed", U64ToJson(spec.latency_seed));
-  json.Set("script", FromBoolVec(spec.script));
-  json.Set("failures_before_success", spec.failures_before_success);
-  return json;
-}
-
-common::Result<core::ProviderSpec> ProviderSpecFromJson(
-    const JsonValue& json) {
-  CF_RETURN_IF_ERROR(RequireObject(json, "provider").status());
-  core::ProviderSpec spec;
-  CF_RETURN_IF_ERROR(ReadString(json, "kind", &spec.kind));
-  CF_RETURN_IF_ERROR(ReadBoolVec(json, "truths", &spec.truths));
-  CF_RETURN_IF_ERROR(ReadIntVec(json, "categories", &spec.categories));
-  CF_RETURN_IF_ERROR(ReadDouble(json, "accuracy", &spec.accuracy));
-  CF_RETURN_IF_ERROR(ReadBool(json, "biased", &spec.biased));
-  CF_RETURN_IF_ERROR(ReadU64(json, "seed", &spec.seed));
-  CF_RETURN_IF_ERROR(ReadDouble(json, "latency_median_seconds",
-                                &spec.latency_median_seconds));
-  CF_RETURN_IF_ERROR(ReadDouble(json, "latency_sigma", &spec.latency_sigma));
-  CF_RETURN_IF_ERROR(
-      ReadDouble(json, "failure_probability", &spec.failure_probability));
-  CF_RETURN_IF_ERROR(ReadDouble(json, "straggler_probability",
-                                &spec.straggler_probability));
-  CF_RETURN_IF_ERROR(
-      ReadDouble(json, "straggler_factor", &spec.straggler_factor));
-  CF_RETURN_IF_ERROR(ReadU64(json, "latency_seed", &spec.latency_seed));
-  CF_RETURN_IF_ERROR(ReadBoolVec(json, "script", &spec.script));
-  CF_RETURN_IF_ERROR(ReadInt(json, "failures_before_success",
-                             &spec.failures_before_success));
+      JsonReadBool(json, "bias_correction", &spec.bias_correction));
+  CF_RETURN_IF_ERROR(JsonReadU64(json, "seed", &spec.seed));
+  CF_RETURN_IF_ERROR(JsonReadIntVec(json, "foi", &spec.foi));
+  CF_RETURN_IF_ERROR(JsonReadDouble(json, "min_gain_bits", &spec.min_gain_bits));
   return spec;
 }
 
@@ -336,7 +145,7 @@ JsonValue DatasetSpecToJson(const DatasetSpec& spec) {
   generate.Set("weight_misspelling", g.weight_misspelling);
   generate.Set("weight_wrong_author", g.weight_wrong_author);
   generate.Set("weight_missing_author", g.weight_missing_author);
-  generate.Set("seed", U64ToJson(g.seed));
+  generate.Set("seed", JsonU64(g.seed));
 
   JsonValue correlation = JsonValue::MakeObject();
   correlation.Set("kind", CorrelationKindName(spec.correlation.kind));
@@ -358,74 +167,76 @@ JsonValue DatasetSpecToJson(const DatasetSpec& spec) {
 }
 
 common::Result<DatasetSpec> DatasetSpecFromJson(const JsonValue& json) {
-  CF_RETURN_IF_ERROR(RequireObject(json, "dataset").status());
+  CF_RETURN_IF_ERROR(JsonRequireObject(json, "dataset").status());
   DatasetSpec spec;
   if (const JsonValue* generate = json.Find("generate")) {
-    CF_RETURN_IF_ERROR(RequireObject(*generate, "dataset.generate").status());
+    CF_RETURN_IF_ERROR(JsonRequireObject(*generate, "dataset.generate").status());
     data::BookDatasetOptions& g = spec.generate;
-    CF_RETURN_IF_ERROR(ReadInt(*generate, "num_books", &g.num_books));
-    CF_RETURN_IF_ERROR(ReadInt(*generate, "num_sources", &g.num_sources));
-    CF_RETURN_IF_ERROR(ReadInt(*generate, "min_authors", &g.min_authors));
-    CF_RETURN_IF_ERROR(ReadInt(*generate, "max_authors", &g.max_authors));
+    CF_RETURN_IF_ERROR(JsonReadInt(*generate, "num_books", &g.num_books));
+    CF_RETURN_IF_ERROR(JsonReadInt(*generate, "num_sources", &g.num_sources));
+    CF_RETURN_IF_ERROR(JsonReadInt(*generate, "min_authors", &g.min_authors));
+    CF_RETURN_IF_ERROR(JsonReadInt(*generate, "max_authors", &g.max_authors));
     CF_RETURN_IF_ERROR(
-        ReadDouble(*generate, "textbook_fraction", &g.textbook_fraction));
-    CF_RETURN_IF_ERROR(ReadDouble(*generate, "coverage", &g.coverage));
-    CF_RETURN_IF_ERROR(ReadDouble(*generate, "strong_accuracy_low",
+        JsonReadDouble(*generate, "textbook_fraction", &g.textbook_fraction));
+    CF_RETURN_IF_ERROR(JsonReadDouble(*generate, "coverage", &g.coverage));
+    CF_RETURN_IF_ERROR(JsonReadDouble(*generate, "strong_accuracy_low",
                                   &g.strong_accuracy_low));
-    CF_RETURN_IF_ERROR(ReadDouble(*generate, "strong_accuracy_high",
+    CF_RETURN_IF_ERROR(JsonReadDouble(*generate, "strong_accuracy_high",
                                   &g.strong_accuracy_high));
     CF_RETURN_IF_ERROR(
-        ReadDouble(*generate, "weak_accuracy_low", &g.weak_accuracy_low));
+        JsonReadDouble(*generate, "weak_accuracy_low", &g.weak_accuracy_low));
     CF_RETURN_IF_ERROR(
-        ReadDouble(*generate, "weak_accuracy_high", &g.weak_accuracy_high));
-    CF_RETURN_IF_ERROR(ReadDouble(*generate, "skewed_source_fraction",
+        JsonReadDouble(*generate, "weak_accuracy_high", &g.weak_accuracy_high));
+    CF_RETURN_IF_ERROR(JsonReadDouble(*generate, "skewed_source_fraction",
                                   &g.skewed_source_fraction));
-    CF_RETURN_IF_ERROR(ReadInt(*generate, "true_variants", &g.true_variants));
+    CF_RETURN_IF_ERROR(JsonReadInt(*generate, "true_variants", &g.true_variants));
     CF_RETURN_IF_ERROR(
-        ReadInt(*generate, "false_variants", &g.false_variants));
+        JsonReadInt(*generate, "false_variants", &g.false_variants));
     CF_RETURN_IF_ERROR(
-        ReadDouble(*generate, "reorder_fraction", &g.reorder_fraction));
-    CF_RETURN_IF_ERROR(ReadDouble(*generate, "weight_additional_info",
+        JsonReadDouble(*generate, "reorder_fraction", &g.reorder_fraction));
+    CF_RETURN_IF_ERROR(JsonReadDouble(*generate, "weight_additional_info",
                                   &g.weight_additional_info));
-    CF_RETURN_IF_ERROR(ReadDouble(*generate, "weight_misspelling",
+    CF_RETURN_IF_ERROR(JsonReadDouble(*generate, "weight_misspelling",
                                   &g.weight_misspelling));
-    CF_RETURN_IF_ERROR(ReadDouble(*generate, "weight_wrong_author",
+    CF_RETURN_IF_ERROR(JsonReadDouble(*generate, "weight_wrong_author",
                                   &g.weight_wrong_author));
-    CF_RETURN_IF_ERROR(ReadDouble(*generate, "weight_missing_author",
+    CF_RETURN_IF_ERROR(JsonReadDouble(*generate, "weight_missing_author",
                                   &g.weight_missing_author));
-    CF_RETURN_IF_ERROR(ReadU64(*generate, "seed", &g.seed));
+    CF_RETURN_IF_ERROR(JsonReadU64(*generate, "seed", &g.seed));
   }
   if (const JsonValue* correlation = json.Find("correlation")) {
     CF_RETURN_IF_ERROR(
-        RequireObject(*correlation, "dataset.correlation").status());
+        JsonRequireObject(*correlation, "dataset.correlation").status());
     std::string kind = CorrelationKindName(spec.correlation.kind);
-    CF_RETURN_IF_ERROR(ReadString(*correlation, "kind", &kind));
+    CF_RETURN_IF_ERROR(JsonReadString(*correlation, "kind", &kind));
     CF_ASSIGN_OR_RETURN(spec.correlation.kind, ParseCorrelationKind(kind));
-    CF_RETURN_IF_ERROR(ReadDouble(*correlation, "mixture_lambda",
+    CF_RETURN_IF_ERROR(JsonReadDouble(*correlation, "mixture_lambda",
                                   &spec.correlation.mixture_lambda));
-    CF_RETURN_IF_ERROR(ReadDouble(*correlation, "null_hypothesis_mass",
+    CF_RETURN_IF_ERROR(JsonReadDouble(*correlation, "null_hypothesis_mass",
                                   &spec.correlation.null_hypothesis_mass));
     CF_RETURN_IF_ERROR(
-        ReadInt(*correlation, "max_facts", &spec.correlation.max_facts));
+        JsonReadInt(*correlation, "max_facts", &spec.correlation.max_facts));
   }
   if (const JsonValue* fuser = json.Find("fuser")) {
-    CF_RETURN_IF_ERROR(RequireObject(*fuser, "dataset.fuser").status());
-    CF_RETURN_IF_ERROR(ReadString(*fuser, "kind", &spec.fuser.kind));
+    CF_RETURN_IF_ERROR(JsonRequireObject(*fuser, "dataset.fuser").status());
+    CF_RETURN_IF_ERROR(JsonReadString(*fuser, "kind", &spec.fuser.kind));
     CF_RETURN_IF_ERROR(
-        ReadInt(*fuser, "max_iterations", &spec.fuser.max_iterations));
+        JsonReadInt(*fuser, "max_iterations", &spec.fuser.max_iterations));
   }
   CF_RETURN_IF_ERROR(
-      ReadInt(json, "max_facts_per_book", &spec.max_facts_per_book));
+      JsonReadInt(json, "max_facts_per_book", &spec.max_facts_per_book));
   return spec;
 }
+
+}  // namespace
 
 JsonValue StepOutcomeToJson(const StepOutcome& outcome) {
   JsonValue json = JsonValue::MakeObject();
   json.Set("step", outcome.step);
   json.Set("instance", outcome.instance);
   json.Set("round", outcome.round);
-  json.Set("tasks", FromIntVec(outcome.tasks));
-  json.Set("answers", FromBoolVec(outcome.answers));
+  json.Set("tasks", JsonFromIntVec(outcome.tasks));
+  json.Set("answers", JsonFromBoolVec(outcome.answers));
   json.Set("selected_entropy_bits", outcome.selected_entropy_bits);
   json.Set("expected_gain_bits", outcome.expected_gain_bits);
   json.Set("utility_bits", outcome.utility_bits);
@@ -435,26 +246,24 @@ JsonValue StepOutcomeToJson(const StepOutcome& outcome) {
 }
 
 common::Result<StepOutcome> StepOutcomeFromJson(const JsonValue& json) {
-  CF_RETURN_IF_ERROR(RequireObject(json, "step").status());
+  CF_RETURN_IF_ERROR(JsonRequireObject(json, "step").status());
   StepOutcome outcome;
-  CF_RETURN_IF_ERROR(ReadInt(json, "step", &outcome.step));
-  CF_RETURN_IF_ERROR(ReadInt(json, "instance", &outcome.instance));
-  CF_RETURN_IF_ERROR(ReadInt(json, "round", &outcome.round));
-  CF_RETURN_IF_ERROR(ReadIntVec(json, "tasks", &outcome.tasks));
-  CF_RETURN_IF_ERROR(ReadBoolVec(json, "answers", &outcome.answers));
-  CF_RETURN_IF_ERROR(ReadDouble(json, "selected_entropy_bits",
+  CF_RETURN_IF_ERROR(JsonReadInt(json, "step", &outcome.step));
+  CF_RETURN_IF_ERROR(JsonReadInt(json, "instance", &outcome.instance));
+  CF_RETURN_IF_ERROR(JsonReadInt(json, "round", &outcome.round));
+  CF_RETURN_IF_ERROR(JsonReadIntVec(json, "tasks", &outcome.tasks));
+  CF_RETURN_IF_ERROR(JsonReadBoolVec(json, "answers", &outcome.answers));
+  CF_RETURN_IF_ERROR(JsonReadDouble(json, "selected_entropy_bits",
                                 &outcome.selected_entropy_bits));
   CF_RETURN_IF_ERROR(
-      ReadDouble(json, "expected_gain_bits", &outcome.expected_gain_bits));
-  CF_RETURN_IF_ERROR(ReadDouble(json, "utility_bits", &outcome.utility_bits));
+      JsonReadDouble(json, "expected_gain_bits", &outcome.expected_gain_bits));
+  CF_RETURN_IF_ERROR(JsonReadDouble(json, "utility_bits", &outcome.utility_bits));
   CF_RETURN_IF_ERROR(
-      ReadInt(json, "cumulative_cost", &outcome.cumulative_cost));
+      JsonReadInt(json, "cumulative_cost", &outcome.cumulative_cost));
   CF_RETURN_IF_ERROR(
-      ReadDouble(json, "latency_seconds", &outcome.latency_seconds));
+      JsonReadDouble(json, "latency_seconds", &outcome.latency_seconds));
   return outcome;
 }
-
-}  // namespace
 
 JsonValue JointToJson(const core::JointDistribution& joint) {
   JsonValue entries = JsonValue::MakeArray();
@@ -471,9 +280,9 @@ JsonValue JointToJson(const core::JointDistribution& joint) {
 }
 
 common::Result<core::JointDistribution> JointFromJson(const JsonValue& json) {
-  CF_RETURN_IF_ERROR(RequireObject(json, "joint").status());
+  CF_RETURN_IF_ERROR(JsonRequireObject(json, "joint").status());
   int num_facts = 0;
-  CF_RETURN_IF_ERROR(ReadInt(json, "num_facts", &num_facts));
+  CF_RETURN_IF_ERROR(JsonReadInt(json, "num_facts", &num_facts));
   CF_ASSIGN_OR_RETURN(const JsonValue* entries, json.Get("entries"));
   if (!entries->is_array()) {
     return Status::InvalidArgument("joint entries must be an array");
@@ -488,7 +297,7 @@ common::Result<core::JointDistribution> JointFromJson(const JsonValue& json) {
     core::JointDistribution::Entry entry;
     CF_ASSIGN_OR_RETURN(const std::string mask_text,
                         item.array()[0].GetString());
-    CF_ASSIGN_OR_RETURN(entry.mask, ParseU64Text(mask_text));
+    CF_ASSIGN_OR_RETURN(entry.mask, JsonParseU64Text(mask_text));
     CF_ASSIGN_OR_RETURN(entry.prob, item.array()[1].GetDouble());
     parsed.push_back(entry);
   }
@@ -528,8 +337,8 @@ JsonValue FusionRequestToJson(const FusionRequest& request) {
       JsonValue item = JsonValue::MakeObject();
       item.Set("name", instance.name);
       item.Set("joint", JointToJson(instance.joint));
-      item.Set("truths", FromBoolVec(instance.truths));
-      item.Set("categories", FromIntVec(instance.categories));
+      item.Set("truths", JsonFromBoolVec(instance.truths));
+      item.Set("categories", JsonFromIntVec(instance.categories));
       instances.Append(std::move(item));
     }
     json.Set("instances", std::move(instances));
@@ -541,7 +350,7 @@ JsonValue FusionRequestToJson(const FusionRequest& request) {
 }
 
 common::Result<FusionRequest> FusionRequestFromJson(const JsonValue& json) {
-  CF_RETURN_IF_ERROR(RequireObject(json, "request").status());
+  CF_RETURN_IF_ERROR(JsonRequireObject(json, "request").status());
   if (const JsonValue* schema = json.Find("schema")) {
     CF_ASSIGN_OR_RETURN(const std::string text, schema->GetString());
     if (text != kRequestSchema) {
@@ -551,10 +360,10 @@ common::Result<FusionRequest> FusionRequestFromJson(const JsonValue& json) {
   }
   FusionRequest request;
   std::string mode = RunModeName(request.mode);
-  CF_RETURN_IF_ERROR(ReadString(json, "mode", &mode));
+  CF_RETURN_IF_ERROR(JsonReadString(json, "mode", &mode));
   CF_ASSIGN_OR_RETURN(request.mode, ParseRunMode(mode));
-  CF_RETURN_IF_ERROR(ReadString(json, "label", &request.label));
-  CF_RETURN_IF_ERROR(ReadDouble(json, "assumed_pc", &request.assumed_pc));
+  CF_RETURN_IF_ERROR(JsonReadString(json, "label", &request.label));
+  CF_RETURN_IF_ERROR(JsonReadDouble(json, "assumed_pc", &request.assumed_pc));
   if (const JsonValue* selector = json.Find("selector")) {
     CF_ASSIGN_OR_RETURN(request.selector, SelectorSpecFromJson(*selector));
   }
@@ -562,30 +371,30 @@ common::Result<FusionRequest> FusionRequestFromJson(const JsonValue& json) {
     CF_ASSIGN_OR_RETURN(request.provider, ProviderSpecFromJson(*provider));
   }
   if (const JsonValue* budget = json.Find("budget")) {
-    CF_RETURN_IF_ERROR(RequireObject(*budget, "budget").status());
-    CF_RETURN_IF_ERROR(ReadInt(*budget, "budget_per_instance",
+    CF_RETURN_IF_ERROR(JsonRequireObject(*budget, "budget").status());
+    CF_RETURN_IF_ERROR(JsonReadInt(*budget, "budget_per_instance",
                                &request.budget.budget_per_instance));
     CF_RETURN_IF_ERROR(
-        ReadInt(*budget, "total_budget", &request.budget.total_budget));
+        JsonReadInt(*budget, "total_budget", &request.budget.total_budget));
     CF_RETURN_IF_ERROR(
-        ReadInt(*budget, "tasks_per_step", &request.budget.tasks_per_step));
+        JsonReadInt(*budget, "tasks_per_step", &request.budget.tasks_per_step));
   }
   if (const JsonValue* pipeline = json.Find("pipeline")) {
-    CF_RETURN_IF_ERROR(RequireObject(*pipeline, "pipeline").status());
-    CF_RETURN_IF_ERROR(ReadInt(*pipeline, "max_in_flight",
+    CF_RETURN_IF_ERROR(JsonRequireObject(*pipeline, "pipeline").status());
+    CF_RETURN_IF_ERROR(JsonReadInt(*pipeline, "max_in_flight",
                                &request.pipeline.max_in_flight));
-    CF_RETURN_IF_ERROR(ReadInt(*pipeline, "ticket_max_attempts",
+    CF_RETURN_IF_ERROR(JsonReadInt(*pipeline, "ticket_max_attempts",
                                &request.pipeline.ticket_max_attempts));
-    CF_RETURN_IF_ERROR(ReadDouble(*pipeline, "ticket_deadline_seconds",
+    CF_RETURN_IF_ERROR(JsonReadDouble(*pipeline, "ticket_deadline_seconds",
                                   &request.pipeline.ticket_deadline_seconds));
-    CF_RETURN_IF_ERROR(ReadDouble(*pipeline, "retry_backoff_seconds",
+    CF_RETURN_IF_ERROR(JsonReadDouble(*pipeline, "retry_backoff_seconds",
                                   &request.pipeline.retry_backoff_seconds));
     std::string policy =
         FailurePolicyName(request.pipeline.on_ticket_failure);
-    CF_RETURN_IF_ERROR(ReadString(*pipeline, "on_ticket_failure", &policy));
+    CF_RETURN_IF_ERROR(JsonReadString(*pipeline, "on_ticket_failure", &policy));
     CF_ASSIGN_OR_RETURN(request.pipeline.on_ticket_failure,
                         ParseFailurePolicy(policy));
-    CF_RETURN_IF_ERROR(ReadDouble(*pipeline, "max_poll_seconds",
+    CF_RETURN_IF_ERROR(JsonReadDouble(*pipeline, "max_poll_seconds",
                                   &request.pipeline.max_poll_seconds));
   }
   if (const JsonValue* instances = json.Find("instances")) {
@@ -593,14 +402,14 @@ common::Result<FusionRequest> FusionRequestFromJson(const JsonValue& json) {
       return Status::InvalidArgument("instances must be an array");
     }
     for (const JsonValue& item : instances->array()) {
-      CF_RETURN_IF_ERROR(RequireObject(item, "instance").status());
+      CF_RETURN_IF_ERROR(JsonRequireObject(item, "instance").status());
       InstanceSpec instance;
-      CF_RETURN_IF_ERROR(ReadString(item, "name", &instance.name));
+      CF_RETURN_IF_ERROR(JsonReadString(item, "name", &instance.name));
       CF_ASSIGN_OR_RETURN(const JsonValue* joint, item.Get("joint"));
       CF_ASSIGN_OR_RETURN(instance.joint, JointFromJson(*joint));
-      CF_RETURN_IF_ERROR(ReadBoolVec(item, "truths", &instance.truths));
+      CF_RETURN_IF_ERROR(JsonReadBoolVec(item, "truths", &instance.truths));
       CF_RETURN_IF_ERROR(
-          ReadIntVec(item, "categories", &instance.categories));
+          JsonReadIntVec(item, "categories", &instance.categories));
       request.instances.push_back(std::move(instance));
     }
   }
@@ -650,7 +459,7 @@ JsonValue FusionResponseToJson(const FusionResponse& response) {
     JsonValue item = JsonValue::MakeObject();
     item.Set("name", report.name);
     item.Set("final_joint", JointToJson(report.final_joint));
-    item.Set("final_marginals", FromDoubleVec(report.final_marginals));
+    item.Set("final_marginals", JsonFromDoubleVec(report.final_marginals));
     item.Set("utility_bits", report.utility_bits);
     item.Set("cost_spent", report.cost_spent);
     item.Set("num_facts", report.num_facts);
@@ -662,7 +471,7 @@ JsonValue FusionResponseToJson(const FusionResponse& response) {
 }
 
 common::Result<FusionResponse> FusionResponseFromJson(const JsonValue& json) {
-  CF_RETURN_IF_ERROR(RequireObject(json, "response").status());
+  CF_RETURN_IF_ERROR(JsonRequireObject(json, "response").status());
   if (const JsonValue* schema = json.Find("schema")) {
     CF_ASSIGN_OR_RETURN(const std::string text, schema->GetString());
     if (text != kResponseSchema) {
@@ -671,31 +480,31 @@ common::Result<FusionResponse> FusionResponseFromJson(const JsonValue& json) {
     }
   }
   FusionResponse response;
-  CF_RETURN_IF_ERROR(ReadString(json, "label", &response.label));
+  CF_RETURN_IF_ERROR(JsonReadString(json, "label", &response.label));
   std::string mode = RunModeName(response.mode);
-  CF_RETURN_IF_ERROR(ReadString(json, "mode", &mode));
+  CF_RETURN_IF_ERROR(JsonReadString(json, "mode", &mode));
   CF_ASSIGN_OR_RETURN(response.mode, ParseRunMode(mode));
   CF_RETURN_IF_ERROR(
-      ReadDouble(json, "total_utility_bits", &response.total_utility_bits));
+      JsonReadDouble(json, "total_utility_bits", &response.total_utility_bits));
   CF_RETURN_IF_ERROR(
-      ReadInt(json, "total_cost_spent", &response.total_cost_spent));
+      JsonReadInt(json, "total_cost_spent", &response.total_cost_spent));
   CF_RETURN_IF_ERROR(
-      ReadInt(json, "dead_instances", &response.dead_instances));
+      JsonReadInt(json, "dead_instances", &response.dead_instances));
   if (const JsonValue* stats = json.Find("stats")) {
-    CF_RETURN_IF_ERROR(RequireObject(*stats, "stats").status());
+    CF_RETURN_IF_ERROR(JsonRequireObject(*stats, "stats").status());
     CF_RETURN_IF_ERROR(
-        ReadDouble(*stats, "wall_seconds", &response.stats.wall_seconds));
-    CF_RETURN_IF_ERROR(ReadDouble(*stats, "selection_seconds",
+        JsonReadDouble(*stats, "wall_seconds", &response.stats.wall_seconds));
+    CF_RETURN_IF_ERROR(JsonReadDouble(*stats, "selection_seconds",
                                   &response.stats.selection_seconds));
-    CF_RETURN_IF_ERROR(ReadDouble(*stats, "steps_per_second",
+    CF_RETURN_IF_ERROR(JsonReadDouble(*stats, "steps_per_second",
                                   &response.stats.steps_per_second));
     CF_RETURN_IF_ERROR(
-        ReadDouble(*stats, "p50_latency_ms", &response.stats.p50_latency_ms));
+        JsonReadDouble(*stats, "p50_latency_ms", &response.stats.p50_latency_ms));
     CF_RETURN_IF_ERROR(
-        ReadDouble(*stats, "p95_latency_ms", &response.stats.p95_latency_ms));
+        JsonReadDouble(*stats, "p95_latency_ms", &response.stats.p95_latency_ms));
     CF_RETURN_IF_ERROR(
-        ReadInt64(*stats, "answers_served", &response.stats.answers_served));
-    CF_RETURN_IF_ERROR(ReadInt64(*stats, "answers_correct",
+        JsonReadInt64(*stats, "answers_served", &response.stats.answers_served));
+    CF_RETURN_IF_ERROR(JsonReadInt64(*stats, "answers_correct",
                                  &response.stats.answers_correct));
   }
   if (const JsonValue* steps = json.Find("steps")) {
@@ -712,18 +521,18 @@ common::Result<FusionResponse> FusionResponseFromJson(const JsonValue& json) {
       return Status::InvalidArgument("instances must be an array");
     }
     for (const JsonValue& item : instances->array()) {
-      CF_RETURN_IF_ERROR(RequireObject(item, "instance report").status());
+      CF_RETURN_IF_ERROR(JsonRequireObject(item, "instance report").status());
       InstanceReport report;
-      CF_RETURN_IF_ERROR(ReadString(item, "name", &report.name));
+      CF_RETURN_IF_ERROR(JsonReadString(item, "name", &report.name));
       CF_ASSIGN_OR_RETURN(const JsonValue* joint, item.Get("final_joint"));
       CF_ASSIGN_OR_RETURN(report.final_joint, JointFromJson(*joint));
-      CF_RETURN_IF_ERROR(ReadDoubleVec(item, "final_marginals",
+      CF_RETURN_IF_ERROR(JsonReadDoubleVec(item, "final_marginals",
                                        &report.final_marginals));
       CF_RETURN_IF_ERROR(
-          ReadDouble(item, "utility_bits", &report.utility_bits));
-      CF_RETURN_IF_ERROR(ReadInt(item, "cost_spent", &report.cost_spent));
-      CF_RETURN_IF_ERROR(ReadInt(item, "num_facts", &report.num_facts));
-      CF_RETURN_IF_ERROR(ReadBool(item, "dead", &report.dead));
+          JsonReadDouble(item, "utility_bits", &report.utility_bits));
+      CF_RETURN_IF_ERROR(JsonReadInt(item, "cost_spent", &report.cost_spent));
+      CF_RETURN_IF_ERROR(JsonReadInt(item, "num_facts", &report.num_facts));
+      CF_RETURN_IF_ERROR(JsonReadBool(item, "dead", &report.dead));
       response.instances.push_back(std::move(report));
     }
   }

@@ -48,6 +48,12 @@ common::JsonValue JointToJson(const core::JointDistribution& joint);
 common::Result<core::JointDistribution> JointFromJson(
     const common::JsonValue& json);
 
+/// One select-collect-merge quantum, as embedded in response "steps" —
+/// exposed for the incremental session wire (POST /v1/sessions/{id}/step
+/// streams these as they land).
+common::JsonValue StepOutcomeToJson(const StepOutcome& outcome);
+common::Result<StepOutcome> StepOutcomeFromJson(const common::JsonValue& json);
+
 }  // namespace crowdfusion::service
 
 #endif  // CROWDFUSION_SERVICE_REQUEST_JSON_H_

@@ -1,0 +1,209 @@
+/// HttpServer contract: ephemeral-port binding (every socket test binds
+/// port 0 — the parallel-ctest rule), keep-alive, concurrent clients over
+/// the ThreadPool workers, size-cap error mapping, and clean Stop() with
+/// connections open.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http_client.h"
+#include "net/http_server.h"
+
+namespace crowdfusion::net {
+namespace {
+
+HttpClient::Options ClientOptions(int port) {
+  HttpClient::Options options;
+  options.host = "127.0.0.1";
+  options.port = port;
+  return options;
+}
+
+HttpServer::Options EphemeralOptions() {
+  HttpServer::Options options;
+  options.port = 0;
+  options.threads = 4;
+  return options;
+}
+
+/// Echoes method, target and body so tests can see exactly what arrived.
+HttpResponse EchoHandler(const HttpRequest& request) {
+  HttpResponse response;
+  response.body = request.method + " " + request.target + " " + request.body;
+  return response;
+}
+
+TEST(HttpServerTest, ServesOverEphemeralPort) {
+  HttpServer server(EchoHandler, EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  HttpClient client(ClientOptions(server.port()));
+  auto response = client.Get("/hello");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->body, "GET /hello ");
+  server.Stop();
+}
+
+TEST(HttpServerTest, TwoEphemeralServersNeverCollide) {
+  HttpServer a(EchoHandler, EphemeralOptions());
+  HttpServer b(EchoHandler, EphemeralOptions());
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  EXPECT_NE(a.port(), b.port());
+}
+
+TEST(HttpServerTest, KeepAliveReusesOneConnection) {
+  HttpServer server(EchoHandler, EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client(ClientOptions(server.port()));
+  for (int i = 0; i < 5; ++i) {
+    auto response = client.Post("/seq", std::to_string(i));
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->body, "POST /seq " + std::to_string(i));
+  }
+  EXPECT_EQ(server.connections_accepted(), 1);
+  EXPECT_EQ(server.requests_served(), 5);
+}
+
+TEST(HttpServerTest, ConcurrentClientsAllServed) {
+  HttpServer server(EchoHandler, EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  constexpr int kThreads = 8;
+  constexpr int kRequests = 16;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&server, &ok_count, t] {
+      HttpClient client(ClientOptions(server.port()));
+      for (int i = 0; i < kRequests; ++i) {
+        const std::string body =
+            std::to_string(t) + ":" + std::to_string(i);
+        auto response = client.Post("/work", body);
+        if (response.ok() && response->status_code == 200 &&
+            response->body == "POST /work " + body) {
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(ok_count.load(), kThreads * kRequests);
+  EXPECT_EQ(server.requests_served(), kThreads * kRequests);
+}
+
+TEST(HttpServerTest, OversizedHeadersAnswer431) {
+  HttpServer::Options options = EphemeralOptions();
+  options.limits.max_header_bytes = 256;
+  HttpServer server(EchoHandler, options);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client(ClientOptions(server.port()));
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "/";
+  request.headers.push_back({"X-Padding", std::string(1024, 'p')});
+  auto response = client.Call(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status_code, 431);
+}
+
+TEST(HttpServerTest, OversizedBodyAnswers413) {
+  HttpServer::Options options = EphemeralOptions();
+  options.limits.max_body_bytes = 128;
+  HttpServer server(EchoHandler, options);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client(ClientOptions(server.port()));
+  auto response = client.Post("/big", std::string(4096, 'b'));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status_code, 413);
+}
+
+TEST(HttpServerTest, MalformedRequestAnswers400AndCloses) {
+  HttpServer server(EchoHandler, EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  auto socket = ConnectTcp("127.0.0.1", server.port(), 5.0);
+  ASSERT_TRUE(socket.ok()) << socket.status();
+  ASSERT_TRUE(
+      socket->WriteAll("THIS IS NOT HTTP\r\n\r\n", 5.0).ok());
+  std::string received;
+  char buf[4096];
+  for (;;) {
+    auto n = socket->Read(buf, sizeof(buf), 5.0);
+    ASSERT_TRUE(n.ok()) << n.status();
+    if (*n == 0) break;  // server closed after the error response
+    received.append(buf, *n);
+  }
+  EXPECT_NE(received.find("HTTP/1.1 400"), std::string::npos) << received;
+  EXPECT_NE(received.find("Connection: close"), std::string::npos);
+}
+
+TEST(HttpServerTest, SlowDripRequestIsCutOffAtTheRequestDeadline) {
+  HttpServer::Options options = EphemeralOptions();
+  options.read_timeout_seconds = 0.5;
+  HttpServer server(EchoHandler, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto socket = ConnectTcp("127.0.0.1", server.port(), 5.0);
+  ASSERT_TRUE(socket.ok());
+  // Drip a header byte every 150 ms: each read succeeds, but the
+  // per-REQUEST deadline (0.5 s from the first byte) must still cut the
+  // connection — a slow-loris client cannot pin a worker indefinitely.
+  const std::string wire = "GET /slow HTTP/1.1\r\nX-Drip: aaaa\r\n\r\n";
+  bool disconnected = false;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    if (!socket->WriteAll(wire.substr(i, 1), 1.0).ok()) {
+      disconnected = true;
+      break;
+    }
+    char buf[64];
+    auto n = socket->Read(buf, sizeof(buf), 0.150);
+    if (n.ok() && *n == 0) {
+      disconnected = true;  // server closed mid-request: the deadline hit
+      break;
+    }
+  }
+  EXPECT_TRUE(disconnected);
+  EXPECT_EQ(server.requests_served(), 0);
+}
+
+TEST(HttpServerTest, StopUnblocksIdleKeepAliveConnections) {
+  HttpServer server(EchoHandler, EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client(ClientOptions(server.port()));
+  ASSERT_TRUE(client.Get("/warm").ok());  // leaves a keep-alive conn open
+  // Must return promptly even though a worker is blocked reading that
+  // idle connection (read timeout is 10 s — Stop cannot wait for it).
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  // And the connection is actually dead.
+  auto after = client.Get("/after");
+  EXPECT_FALSE(after.ok());
+}
+
+TEST(HttpServerTest, StartAfterStopServesAgain) {
+  HttpServer server(EchoHandler, EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  const int first_port = server.port();
+  server.Stop();
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+  EXPECT_NE(server.port(), 0);
+  HttpClient client(ClientOptions(server.port()));
+  auto response = client.Get("/again");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->body, "GET /again ");
+  (void)first_port;
+}
+
+TEST(HttpServerTest, DoubleStartIsFailedPrecondition) {
+  HttpServer server(EchoHandler, EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.Start().code(), common::StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace crowdfusion::net

@@ -1,0 +1,269 @@
+/// service::HttpFrontend endpoint contract: one-shot fusion:run parity
+/// with a direct FusionService::Run, the incremental session lifecycle
+/// (create/step/poll/result/delete), the TTL-eviction contract on an
+/// injected ManualClock, /metricsz gauges, and error mapping. Every
+/// server binds port 0 (parallel-ctest rule).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/json.h"
+#include "net/http_client.h"
+#include "service/http_frontend.h"
+#include "service/request_json.h"
+
+namespace crowdfusion::service {
+namespace {
+
+using common::JsonValue;
+
+net::HttpClient::Options ClientOptions(int port) {
+  net::HttpClient::Options options;
+  options.host = "127.0.0.1";
+  options.port = port;
+  return options;
+}
+
+/// Fully deterministic request: scripted provider, engine mode — wall
+/// times aside, the response must be identical wherever it runs.
+FusionRequest ScriptedRequest() {
+  FusionRequest request;
+  request.mode = RunMode::kEngine;
+  request.label = "frontend-test";
+  for (int i = 0; i < 2; ++i) {
+    InstanceSpec instance;
+    instance.name = "inst" + std::to_string(i);
+    const std::vector<double> marginals = {0.4, 0.6, 0.3, 0.7};
+    auto joint = core::JointDistribution::FromIndependentMarginals(marginals);
+    EXPECT_TRUE(joint.ok());
+    instance.joint = std::move(joint).value();
+    instance.truths = {true, false, true, false};
+    request.instances.push_back(std::move(instance));
+  }
+  request.provider.kind = "scripted";
+  request.provider.script = {true, false, true, false};
+  request.budget.budget_per_instance = 5;
+  return request;
+}
+
+class HttpFrontendTest : public ::testing::Test {
+ protected:
+  void StartFrontend(HttpFrontend::Options options) {
+    options.port = 0;
+    frontend_ = std::make_unique<HttpFrontend>(options);
+    ASSERT_TRUE(frontend_->Start().ok());
+    client_ =
+        std::make_unique<net::HttpClient>(ClientOptions(frontend_->port()));
+  }
+
+  void SetUp() override { StartFrontend(HttpFrontend::Options()); }
+
+  JsonValue ParseBody(const net::HttpResponse& response) {
+    auto body = JsonValue::Parse(response.body);
+    EXPECT_TRUE(body.ok()) << body.status() << "\n" << response.body;
+    return body.ok() ? *body : JsonValue();
+  }
+
+  std::unique_ptr<HttpFrontend> frontend_;
+  std::unique_ptr<net::HttpClient> client_;
+};
+
+TEST_F(HttpFrontendTest, HealthzAnswersOk) {
+  auto response = client_->Get("/healthz");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status_code, 200);
+  const JsonValue body = ParseBody(*response);
+  ASSERT_NE(body.Find("status"), nullptr);
+  EXPECT_EQ(body.Find("status")->GetString().value(), "ok");
+}
+
+TEST_F(HttpFrontendTest, RunEndpointMatchesDirectRun) {
+  const FusionRequest request = ScriptedRequest();
+  auto response =
+      client_->Post("/v1/fusion:run", SerializeFusionRequest(request));
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response->status_code, 200) << response->body;
+  auto served = ParseFusionResponse(response->body);
+  ASSERT_TRUE(served.ok()) << served.status();
+
+  FusionService direct;
+  auto expected = direct.Run(ScriptedRequest());
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(served->steps, expected->steps);
+  EXPECT_EQ(served->instances, expected->instances);
+  EXPECT_EQ(served->total_utility_bits, expected->total_utility_bits);
+  EXPECT_EQ(served->total_cost_spent, expected->total_cost_spent);
+  EXPECT_EQ(served->label, "frontend-test");
+}
+
+TEST_F(HttpFrontendTest, SessionLifecycleReproducesOneShotRun) {
+  auto created = client_->Post("/v1/sessions",
+                               SerializeFusionRequest(ScriptedRequest()));
+  ASSERT_TRUE(created.ok()) << created.status();
+  ASSERT_EQ(created->status_code, 201) << created->body;
+  const JsonValue create_body = ParseBody(*created);
+  ASSERT_NE(create_body.Find("session_id"), nullptr);
+  const std::string id =
+      create_body.Find("session_id")->GetString().value();
+  EXPECT_EQ(create_body.Find("num_instances")->GetInt().value(), 2);
+
+  // Step until done, collecting streamed outcomes.
+  std::vector<StepOutcome> streamed;
+  bool done = false;
+  for (int i = 0; i < 64 && !done; ++i) {
+    auto stepped = client_->Post("/v1/sessions/" + id + "/step", "{}");
+    ASSERT_TRUE(stepped.ok()) << stepped.status();
+    ASSERT_EQ(stepped->status_code, 200) << stepped->body;
+    const JsonValue body = ParseBody(*stepped);
+    done = body.Find("done")->GetBool().value();
+    for (const JsonValue& item : body.Find("outcomes")->array()) {
+      auto outcome = StepOutcomeFromJson(item);
+      ASSERT_TRUE(outcome.ok()) << outcome.status();
+      streamed.push_back(std::move(outcome).value());
+    }
+  }
+  ASSERT_TRUE(done);
+
+  // Progress reflects completion.
+  auto polled = client_->Get("/v1/sessions/" + id);
+  ASSERT_TRUE(polled.ok());
+  ASSERT_EQ(polled->status_code, 200);
+  const JsonValue progress = ParseBody(*polled);
+  EXPECT_TRUE(progress.Find("done")->GetBool().value());
+
+  // The assembled result equals the one-shot run, and its steps equal
+  // what was streamed.
+  auto result = client_->Get("/v1/sessions/" + id + "/result");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status_code, 200);
+  auto assembled = ParseFusionResponse(result->body);
+  ASSERT_TRUE(assembled.ok()) << assembled.status();
+  EXPECT_EQ(assembled->steps, streamed);
+  FusionService direct;
+  auto expected = direct.Run(ScriptedRequest());
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(assembled->steps, expected->steps);
+  EXPECT_EQ(assembled->instances, expected->instances);
+
+  // Delete, then the session is gone.
+  auto deleted = client_->Delete("/v1/sessions/" + id);
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(deleted->status_code, 200);
+  auto after = client_->Get("/v1/sessions/" + id);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->status_code, 404);
+  // DELETE is idempotent.
+  auto again = client_->Delete("/v1/sessions/" + id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->status_code, 200);
+}
+
+TEST_F(HttpFrontendTest, SessionIdsAreStableAndDistinct) {
+  const std::string body = SerializeFusionRequest(ScriptedRequest());
+  auto first = client_->Post("/v1/sessions", body);
+  auto second = client_->Post("/v1/sessions", body);
+  ASSERT_TRUE(first.ok() && second.ok());
+  const std::string id1 =
+      ParseBody(*first).Find("session_id")->GetString().value();
+  const std::string id2 =
+      ParseBody(*second).Find("session_id")->GetString().value();
+  EXPECT_NE(id1, id2);
+  EXPECT_EQ(id1, "s-1");  // counter-based: the e2e goldens rely on this
+  EXPECT_EQ(id2, "s-2");
+}
+
+TEST_F(HttpFrontendTest, ErrorMapping) {
+  // Unknown route.
+  auto missing = client_->Get("/v1/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status_code, 404);
+  // Unknown session.
+  auto session = client_->Get("/v1/sessions/s-404");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session->status_code, 404);
+  // Malformed JSON body.
+  auto bad_json = client_->Post("/v1/fusion:run", "{not json");
+  ASSERT_TRUE(bad_json.ok());
+  EXPECT_EQ(bad_json->status_code, 400);
+  // Valid JSON, invalid request (bad provider kind) — and the error
+  // envelope names the registered alternatives.
+  FusionRequest request = ScriptedRequest();
+  request.provider.kind = "carrier-pigeon";
+  auto bad_kind =
+      client_->Post("/v1/fusion:run", SerializeFusionRequest(request));
+  ASSERT_TRUE(bad_kind.ok());
+  EXPECT_EQ(bad_kind->status_code, 400);
+  EXPECT_NE(bad_kind->body.find("carrier-pigeon"), std::string::npos);
+  // Wrong method.
+  auto wrong_method = client_->Get("/v1/fusion:run");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method->status_code, 400);
+}
+
+TEST_F(HttpFrontendTest, MetricszTracksServingActivity) {
+  ASSERT_TRUE(client_->Get("/healthz").ok());
+  ASSERT_TRUE(client_->Get("/v1/unknown").ok());  // a failed request
+  ASSERT_TRUE(
+      client_
+          ->Post("/v1/sessions", SerializeFusionRequest(ScriptedRequest()))
+          .ok());
+  auto response = client_->Get("/metricsz");
+  ASSERT_TRUE(response.ok());
+  const JsonValue body = ParseBody(*response);
+  EXPECT_GE(body.Find("requests_served")->GetInt().value(), 3);
+  EXPECT_GE(body.Find("requests_failed")->GetInt().value(), 1);
+  EXPECT_EQ(body.Find("sessions_created")->GetInt().value(), 1);
+  EXPECT_EQ(body.Find("sessions_active")->GetInt().value(), 1);
+  ASSERT_NE(body.Find("p50_handler_ms"), nullptr);
+  ASSERT_NE(body.Find("p95_handler_ms"), nullptr);
+}
+
+TEST(HttpFrontendTtlTest, IdleSessionsEvictAfterTtlOnTheInjectedClock) {
+  common::ManualClock clock;
+  HttpFrontend::Options options;
+  options.port = 0;
+  options.session_ttl_seconds = 60.0;
+  options.clock = &clock;
+  HttpFrontend frontend(options);
+  ASSERT_TRUE(frontend.Start().ok());
+  net::HttpClient client(ClientOptions(frontend.port()));
+
+  auto created = client.Post("/v1/sessions",
+                             SerializeFusionRequest(ScriptedRequest()));
+  ASSERT_TRUE(created.ok());
+  ASSERT_EQ(created->status_code, 201);
+  auto body = JsonValue::Parse(created->body);
+  ASSERT_TRUE(body.ok());
+  const std::string id = body->Find("session_id")->GetString().value();
+
+  // Touches within the TTL keep re-arming it.
+  clock.AdvanceSeconds(50.0);
+  ASSERT_EQ(client.Get("/v1/sessions/" + id)->status_code, 200);
+  clock.AdvanceSeconds(50.0);
+  ASSERT_EQ(client.Get("/v1/sessions/" + id)->status_code, 200);
+
+  // An idle gap past the TTL evicts.
+  clock.AdvanceSeconds(61.0);
+  ASSERT_EQ(client.Get("/v1/sessions/" + id)->status_code, 404);
+  EXPECT_EQ(frontend.GetMetrics().sessions_evicted, 1);
+  EXPECT_EQ(frontend.GetMetrics().sessions_active, 0);
+}
+
+TEST(HttpFrontendCapTest, SessionTableCapAnswers429) {
+  HttpFrontend::Options options;
+  options.port = 0;
+  options.max_sessions = 1;
+  HttpFrontend frontend(options);
+  ASSERT_TRUE(frontend.Start().ok());
+  net::HttpClient client(ClientOptions(frontend.port()));
+  const std::string body = SerializeFusionRequest(ScriptedRequest());
+  ASSERT_EQ(client.Post("/v1/sessions", body)->status_code, 201);
+  EXPECT_EQ(client.Post("/v1/sessions", body)->status_code, 429);
+}
+
+}  // namespace
+}  // namespace crowdfusion::service

@@ -69,6 +69,8 @@ TEST(RequestJsonTest, RoundTripsEveryProviderKey) {
     request.provider.latency_median_seconds = 0.003;
     request.provider.script = {true, false, true, true};
     request.provider.failures_before_success = 2;
+    request.provider.endpoint = "127.0.0.1:8792";
+    request.provider.universe_kind = "scripted";
     ExpectRoundTrips(request, "provider " + key);
   }
 }
