@@ -72,7 +72,8 @@ int main(int argc, char** argv) {
       marginals[static_cast<size_t>(i)] =
           fused->value_probability[static_cast<size_t>(
               book.value_ids[static_cast<size_t>(i)])];
-      truths[static_cast<size_t>(i)] = book.statements[static_cast<size_t>(i)].is_true;
+      truths[static_cast<size_t>(i)] =
+          book.statements[static_cast<size_t>(i)].is_true;
       categories[static_cast<size_t>(i)] =
           book.statements[static_cast<size_t>(i)].category;
     }

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "net/http_client.h"
+#include "net/router.h"
 #include "service/http_frontend.h"
 #include "service/request_json.h"
 
@@ -183,6 +185,48 @@ int main(int argc, char** argv) {
     report.Add(record);
   }
   frontend.Stop();
+
+  // --- router scale: the same fusion:run traffic through net::Router at
+  // 1 vs 2 backends, so the report shows what the front tier costs and
+  // what a second backend buys.
+  for (const int num_backends : {1, 2}) {
+    std::vector<std::unique_ptr<service::HttpFrontend>> backends;
+    net::Router::Options router_options;
+    router_options.port = 0;
+    router_options.threads = std::max(4, threads);
+    for (int b = 0; b < num_backends; ++b) {
+      service::HttpFrontend::Options backend_options;
+      backend_options.port = 0;
+      backend_options.threads = std::max(4, threads);
+      backends.push_back(
+          std::make_unique<service::HttpFrontend>(backend_options));
+      CF_CHECK_OK(backends.back()->Start());
+      router_options.backends.push_back(
+          "127.0.0.1:" + std::to_string(backends.back()->port()));
+    }
+    net::Router router(router_options);
+    CF_CHECK_OK(router.Start());
+    const Shape shape{
+        num_backends == 1 ? "router_1_backend" : "router_2_backends",
+        RunFusion};
+    const ShapeResult result = DriveShape(shape, router.port(), threads,
+                                          calls_per_thread, body);
+    std::printf(
+        "  %-22s %9.0f req/s   p50 %7.3f ms   p95 %7.3f ms   (%lld "
+        "requests)\n",
+        shape.name, result.requests_per_sec, result.p50_ms, result.p95_ms,
+        static_cast<long long>(result.requests));
+    common::BenchRecord record;
+    record.config = shape.name;
+    record.support = result.requests;
+    record.k = threads;
+    record.throughput_per_sec = result.requests_per_sec;
+    record.p50_ms = result.p50_ms;
+    record.p95_ms = result.p95_ms;
+    report.Add(record);
+    router.Stop();
+    for (auto& backend : backends) backend->Stop();
+  }
 
   if (!report_path.empty()) {
     if (auto status = report.MergeToFile(report_path); !status.ok()) {

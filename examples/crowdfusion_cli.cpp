@@ -31,6 +31,17 @@
 ///       starts a loopback crowd platform on port M, so requests with
 ///       provider kind "http" and endpoint "127.0.0.1:M" exercise the
 ///       full client -> HTTP -> service -> HTTP -> crowd loop
+///   crowdfusion_cli route --backends host:port,host:port [--port N]
+///                   [--threads T]
+///       run the net::Router front tier over N serve backends: session
+///       traffic is consistent-hashed (ids become "s-1@key"), fusion:run
+///       goes to the least-loaded backend, dead backends are ejected and
+///       re-probed. Runs until SIGTERM/SIGINT, clean exit 0
+///   crowdfusion_cli crowd [--port N] [--threads T]
+///       run a standalone loopback crowd platform (the ticket wire the
+///       "http"/"http_pool" providers speak) until SIGTERM/SIGINT — one
+///       process per simulated crowd endpoint in multi-platform
+///       topologies
 ///   crowdfusion_cli score <claims.tsv> <joint-dir>
 ///       compare the stored joints' marginals against the gold labels
 ///
@@ -66,6 +77,7 @@
 #include "eval/metrics.h"
 #include "fusion/registry.h"
 #include "net/loopback_crowd_server.h"
+#include "net/router.h"
 #include "service/fusion_service.h"
 #include "service/http_frontend.h"
 #include "service/request_json.h"
@@ -86,6 +98,8 @@ int Usage() {
       "  request  <request.json>\n"
       "  serve    [--port N] [--threads T] [--session-ttl S]\n"
       "           [--crowd-port M]\n"
+      "  route    --backends host:port,host:port [--port N] [--threads T]\n"
+      "  crowd    [--port N] [--threads T]\n"
       "  score    <claims.tsv> <joint-dir>\n");
   return 2;
 }
@@ -372,6 +386,78 @@ int CmdServe(int argc, char** argv) {
   return 0;
 }
 
+int CmdRoute(int argc, char** argv) {
+  int port = 8090;
+  int threads = 4;
+  std::string backends;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--backends" && i + 1 < argc) {
+      backends = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown route flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (backends.empty()) {
+    std::fprintf(stderr, "route requires --backends host:port[,host:port]\n");
+    return Usage();
+  }
+
+  net::Router::Options options;
+  options.port = port;
+  options.threads = threads;
+  options.backends = common::Split(backends, ',');
+  net::Router router(options);
+  if (auto status = router.Start(); !status.ok()) return Fail(status);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+  // The e2e harness waits for this exact line before sending traffic.
+  std::printf("routing on http://127.0.0.1:%d (%d backends, threads %d)\n",
+              router.port(), static_cast<int>(options.backends.size()),
+              threads);
+  std::fflush(stdout);
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  router.Stop();
+  std::printf("shut down cleanly\n");
+  return 0;
+}
+
+int CmdCrowd(int argc, char** argv) {
+  net::LoopbackCrowdServer::Options options;
+  options.port = 8070;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      options.port = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown crowd flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  net::LoopbackCrowdServer server(options);
+  if (auto status = server.Start(); !status.ok()) return Fail(status);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+  // The e2e harness waits for this exact line before sending traffic.
+  std::printf("crowd platform on http://%s\n", server.endpoint().c_str());
+  std::fflush(stdout);
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  std::printf("shut down cleanly\n");
+  return 0;
+}
+
 int CmdScore(int argc, char** argv) {
   if (argc != 4 || !RejectFlags(argc, argv, 2)) return Usage();
   auto dataset = data::LoadBookDataset(argv[2]);
@@ -409,6 +495,8 @@ int main(int argc, char** argv) {
   if (command == "refine") return CmdRefine(argc, argv);
   if (command == "request") return CmdRequest(argc, argv);
   if (command == "serve") return CmdServe(argc, argv);
+  if (command == "route") return CmdRoute(argc, argv);
+  if (command == "crowd") return CmdCrowd(argc, argv);
   if (command == "score") return CmdScore(argc, argv);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return Usage();

@@ -35,7 +35,8 @@ inline uint64_t ExtractBits(uint64_t mask, const std::vector<int>& positions) {
 
 /// Scatters the low |positions| bits of `packed` to the given positions.
 /// Inverse of ExtractBits for bits inside `positions`.
-inline uint64_t DepositBits(uint64_t packed, const std::vector<int>& positions) {
+inline uint64_t DepositBits(uint64_t packed,
+                            const std::vector<int>& positions) {
   uint64_t out = 0;
   for (size_t i = 0; i < positions.size(); ++i) {
     out |= static_cast<uint64_t>((packed >> i) & 1ULL) << positions[i];

@@ -158,6 +158,29 @@ Status JsonReadDoubleVec(const JsonValue& obj, const char* key,
   return Status::Ok();
 }
 
+JsonValue JsonFromStringVec(const std::vector<std::string>& values) {
+  JsonValue array = JsonValue::MakeArray();
+  for (const std::string& value : values) array.Append(JsonValue(value));
+  return array;
+}
+
+Status JsonReadStringVec(const JsonValue& obj, const char* key,
+                         std::vector<std::string>* out) {
+  const JsonValue* member = obj.Find(key);
+  if (member == nullptr) return Status::Ok();
+  if (!member->is_array()) {
+    return Status::InvalidArgument(
+        StrFormat("member \"%s\" must be an array", key));
+  }
+  std::vector<std::string> values;
+  for (const JsonValue& item : member->array()) {
+    CF_ASSIGN_OR_RETURN(std::string value, item.GetString());
+    values.push_back(std::move(value));
+  }
+  *out = std::move(values);
+  return Status::Ok();
+}
+
 Result<const JsonValue*> JsonRequireObject(const JsonValue& json,
                                            const char* what) {
   if (!json.is_object()) {

@@ -36,10 +36,13 @@ Status JsonReadIntVec(const JsonValue& obj, const char* key,
                       std::vector<int>* out);
 Status JsonReadDoubleVec(const JsonValue& obj, const char* key,
                          std::vector<double>* out);
+Status JsonReadStringVec(const JsonValue& obj, const char* key,
+                         std::vector<std::string>* out);
 
 JsonValue JsonFromBoolVec(const std::vector<bool>& values);
 JsonValue JsonFromIntVec(const std::vector<int>& values);
 JsonValue JsonFromDoubleVec(const std::vector<double>& values);
+JsonValue JsonFromStringVec(const std::vector<std::string>& values);
 
 /// The lossless uint64 emitter described above.
 JsonValue JsonU64(uint64_t value);

@@ -93,7 +93,8 @@ std::vector<int> Rng::SampleWithoutReplacement(int n, int count) {
   std::vector<int> pool(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) pool[static_cast<size_t>(i)] = i;
   for (int i = 0; i < count; ++i) {
-    const int j = i + static_cast<int>(NextBounded(static_cast<uint64_t>(n - i)));
+    const int j =
+        i + static_cast<int>(NextBounded(static_cast<uint64_t>(n - i)));
     std::swap(pool[static_cast<size_t>(i)], pool[static_cast<size_t>(j)]);
   }
   pool.resize(static_cast<size_t>(count));

@@ -16,7 +16,8 @@ TicketId TicketLedger::Add(Outcome outcome) {
   std::lock_guard<std::mutex> lock(mutex_);
   const TicketId id = next_id_++;
   Record record;
-  record.ready_at = clock_->NowSeconds() + std::max(0.0, outcome.latency_seconds);
+  record.ready_at =
+      clock_->NowSeconds() + std::max(0.0, outcome.latency_seconds);
   record.outcome = std::move(outcome);
   tickets_.emplace(id, std::move(record));
   return id;
@@ -68,7 +69,8 @@ common::Result<std::vector<bool>> TicketLedger::Await(TicketId ticket) {
         common::StrFormat("ticket %lld taken concurrently",
                           static_cast<long long>(ticket)));
   }
-  common::Result<std::vector<bool>> result = std::move(it->second.outcome.result);
+  common::Result<std::vector<bool>> result =
+      std::move(it->second.outcome.result);
   tickets_.erase(it);
   return result;
 }

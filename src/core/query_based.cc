@@ -15,7 +15,8 @@ common::Result<Selection> QueryBasedGreedySelector::Select(
   CF_ASSIGN_OR_RETURN(std::vector<int> candidates,
                       ResolveCandidates(request));
   if (options_.foi.empty()) {
-    return Status::InvalidArgument("query-based selection requires a non-empty FOI set");
+    return Status::InvalidArgument(
+        "query-based selection requires a non-empty FOI set");
   }
   for (int id : options_.foi) {
     if (id < 0 || id >= request.joint->num_facts()) {

@@ -110,6 +110,19 @@ struct ProviderSpec {
   /// universe's template.
   std::string universe_kind;
 
+  // --- http_pool (registered by the net layer) ---
+  /// Crowd platforms backing the failover pool, each as "host:port".
+  /// Required non-empty for "http_pool"; the same universe template is
+  /// registered on every endpoint so a ticket batch can be resubmitted to
+  /// a different platform when its home endpoint hangs or dies.
+  std::vector<std::string> endpoints;
+  /// Ceiling on one collection attempt against one endpoint ("http" and
+  /// "http_pool"): an Await past this budget returns kDeadlineExceeded,
+  /// and the pool treats an in-flight ticket older than this as expired
+  /// and resubmits it elsewhere. 0 means wait forever ("http") / the
+  /// pool's default attempt budget ("http_pool").
+  double await_timeout_seconds = 0.0;
+
   friend bool operator==(const ProviderSpec& a,
                          const ProviderSpec& b) = default;
 };
@@ -126,6 +139,10 @@ struct ProviderHandle {
   /// empirical-accuracy reporting. Null when the provider has no notion
   /// of correctness.
   std::function<std::pair<int64_t, int64_t>()> served_correct;
+  /// Optional stats hook: ticket batches resubmitted to a different
+  /// replica after a failed or expired collection attempt. Null for
+  /// providers with no failover tier (everything but "http_pool").
+  std::function<int64_t()> tickets_resubmitted;
 };
 
 /// String-keyed factory registry over answer providers.

@@ -24,6 +24,8 @@ JsonValue ProviderSpecToJson(const ProviderSpec& spec) {
   json.Set("failures_before_success", spec.failures_before_success);
   json.Set("endpoint", spec.endpoint);
   json.Set("universe_kind", spec.universe_kind);
+  json.Set("endpoints", common::JsonFromStringVec(spec.endpoints));
+  json.Set("await_timeout_seconds", spec.await_timeout_seconds);
   return json;
 }
 
@@ -58,6 +60,10 @@ common::Result<ProviderSpec> ProviderSpecFromJson(const JsonValue& json) {
       common::JsonReadString(json, "endpoint", &spec.endpoint));
   CF_RETURN_IF_ERROR(
       common::JsonReadString(json, "universe_kind", &spec.universe_kind));
+  CF_RETURN_IF_ERROR(
+      common::JsonReadStringVec(json, "endpoints", &spec.endpoints));
+  CF_RETURN_IF_ERROR(common::JsonReadDouble(json, "await_timeout_seconds",
+                                            &spec.await_timeout_seconds));
   return spec;
 }
 

@@ -66,7 +66,8 @@ AuthorList MisspellOneAuthor(AuthorList authors, Rng& rng) {
     name.push_back('x');
     return authors;
   }
-  const size_t pos = 1 + rng.NextBounded(static_cast<uint64_t>(name.size() - 1 > 0 ? name.size() - 1 : 1));
+  const size_t pos = 1 + rng.NextBounded(static_cast<uint64_t>(
+                             name.size() - 1 > 0 ? name.size() - 1 : 1));
   switch (rng.NextBounded(3)) {
     case 0:  // substitute
       name[pos % name.size()] =

@@ -61,7 +61,9 @@ common::Result<JointDistribution> MixDistributions(
     const JointDistribution& a, const JointDistribution& b, double lambda) {
   std::vector<JointDistribution::Entry> entries;
   entries.reserve(a.entries().size() + b.entries().size());
-  for (const auto& e : a.entries()) entries.push_back({e.mask, lambda * e.prob});
+  for (const auto& e : a.entries()) {
+    entries.push_back({e.mask, lambda * e.prob});
+  }
   for (const auto& e : b.entries()) {
     entries.push_back({e.mask, (1.0 - lambda) * e.prob});
   }

@@ -103,7 +103,8 @@ struct ExperimentResult {
 /// correlation model -> multi-round CrowdFusion on every book, advancing
 /// all books one round at a time so the curve's x-axis is the global task
 /// count (as in the paper's figures).
-common::Result<ExperimentResult> RunExperiment(const ExperimentOptions& options);
+common::Result<ExperimentResult> RunExperiment(
+    const ExperimentOptions& options);
 
 /// Runs the machine-only initializer alone and scores it; the zero-cost
 /// baseline of every figure.

@@ -174,6 +174,11 @@ const std::string* HttpResponse::FindHeader(std::string_view name) const {
   return FindHeaderIn(headers, name);
 }
 
+bool HttpResponse::WantsClose() const {
+  const std::string* connection = FindHeader("Connection");
+  return connection != nullptr && EqualsIgnoreCase(*connection, "close");
+}
+
 bool HttpRequest::KeepAlive() const {
   const std::string* connection = FindHeader("Connection");
   if (version == "HTTP/1.0") {

@@ -56,6 +56,10 @@ struct HttpResponse {
 
   const std::string* FindHeader(std::string_view name) const;
 
+  /// True when the response carries "Connection: close" — a handler's
+  /// instruction that the server must not reuse the connection.
+  bool WantsClose() const;
+
   friend bool operator==(const HttpResponse& a,
                          const HttpResponse& b) = default;
 };

@@ -107,11 +107,27 @@ common::Result<core::TicketStatus> HttpAnswerProvider::Poll(
 
 common::Result<std::vector<bool>> HttpAnswerProvider::Await(
     core::TicketId ticket) {
+  const bool bounded = options_.await_timeout_seconds > 0;
+  const double deadline =
+      clock()->NowSeconds() + options_.await_timeout_seconds;
   for (;;) {
     CF_ASSIGN_OR_RETURN(const core::TicketStatus status, Poll(ticket));
     if (status.phase != core::TicketPhase::kInFlight) break;
-    clock()->SleepSeconds(
-        std::max(status.seconds_until_ready, options_.min_poll_seconds));
+    double sleep =
+        std::max(status.seconds_until_ready, options_.min_poll_seconds);
+    if (bounded) {
+      // Cap each sleep to the remaining budget so a platform reporting a
+      // distant ETA cannot overshoot the deadline by one long nap.
+      const double remaining = deadline - clock()->NowSeconds();
+      if (remaining <= 0) {
+        return Status::DeadlineExceeded(common::StrFormat(
+            "ticket %lld still in flight after %.3f s await budget",
+            static_cast<long long>(ticket),
+            options_.await_timeout_seconds));
+      }
+      sleep = std::min(sleep, remaining);
+    }
+    clock()->SleepSeconds(sleep);
   }
   CF_ASSIGN_OR_RETURN(const HttpResponse response,
                       client_.Post(TicketPath(ticket, ":take"), "{}"));
@@ -165,6 +181,7 @@ common::Status RegisterHttpProvider(core::ProviderRegistry& registry,
         HttpAnswerProvider::Options options;
         options.host = endpoint.host;
         options.port = endpoint.port;
+        options.await_timeout_seconds = spec.await_timeout_seconds;
         options.clock = clock;
         auto provider = std::make_shared<HttpAnswerProvider>(options);
 
@@ -176,6 +193,8 @@ common::Status RegisterHttpProvider(core::ProviderRegistry& registry,
                                  ? "simulated_crowd"
                                  : spec.universe_kind;
         universe_spec.endpoint.clear();
+        universe_spec.endpoints.clear();
+        universe_spec.await_timeout_seconds = 0.0;
         CF_RETURN_IF_ERROR(provider->CreateUniverse(universe_spec));
 
         core::ProviderHandle handle;

@@ -37,6 +37,12 @@ class HttpAnswerProvider : public core::AsyncAnswerProvider {
     std::string universe;
     /// Per-HTTP-call ceiling.
     double request_timeout_seconds = 10.0;
+    /// Overall ceiling on one Await call: when the platform still reports
+    /// the ticket in flight after this many seconds, Await returns
+    /// kDeadlineExceeded (the ticket stays live remotely — Cancel it or
+    /// resubmit elsewhere; net::ProviderPool does exactly that). 0 or
+    /// negative means wait forever (the pre-pool behavior).
+    double await_timeout_seconds = 0.0;
     /// Await's poll floor when the platform reports "ready in 0 s" but
     /// the ticket is still in flight (clock skew between client and
     /// platform).

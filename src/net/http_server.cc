@@ -8,8 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/json.h"
 #include "common/logging.h"
-#include "common/string_util.h"
 
 namespace crowdfusion::net {
 
@@ -27,9 +27,15 @@ HttpResponse MakeErrorResponse(int code, const std::string& message) {
   HttpResponse response;
   response.status_code = code;
   response.headers.push_back({"Content-Type", "application/json"});
-  response.body = common::StrFormat(
-      "{\"error\": {\"code\": %d, \"message\": \"%s\"}}", code,
-      message.c_str());
+  // Built through JsonValue so a message echoing hostile bytes (quotes,
+  // backslashes, control characters from a bad request line) still emits
+  // a valid JSON envelope.
+  common::JsonValue error = common::JsonValue::MakeObject();
+  error.Set("code", static_cast<int64_t>(code));
+  error.Set("message", message);
+  common::JsonValue body = common::JsonValue::MakeObject();
+  body.Set("error", std::move(error));
+  response.body = body.Dump();
   return response;
 }
 
@@ -217,7 +223,9 @@ void HttpServer::ServeReadyConnection(std::shared_ptr<Connection> conn) {
     if (*ready) {
       requests_served_.fetch_add(1, std::memory_order_relaxed);
       HttpResponse response = handler_(request);
-      const bool close = !request.KeepAlive() ||
+      // A handler-set "Connection: close" is a server-side decision to
+      // retire the connection; honor it instead of parking for reuse.
+      const bool close = !request.KeepAlive() || response.WantsClose() ||
                          stopping_.load(std::memory_order_acquire);
       if (response.FindHeader("Connection") == nullptr) {
         response.headers.push_back(

@@ -26,8 +26,8 @@ namespace crowdfusion::net {
 ///                                          provider-spec document
 ///                                          -> {"universe": "u-1"}
 ///   DELETE /v1/universes/{u}               drop it
-///   GET    /v1/universes/{u}/stats         {"answers_served", "answers_correct"}
-///   POST   /v1/universes/{u}/tickets       {"fact_ids": [...], "options": {...}}
+///   GET    /v1/universes/{u}/stats       {"answers_served", "answers_correct"}
+///   POST   /v1/universes/{u}/tickets     {"fact_ids": [...], "options": {...}}
 ///                                          -> {"ticket": n}
 ///   GET    /v1/universes/{u}/tickets/{t}   ticket status (phase/attempts/
 ///                                          seconds_until_ready/error)

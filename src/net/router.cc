@@ -1,0 +1,378 @@
+#include "net/router.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "net/wire.h"
+
+namespace crowdfusion::net {
+
+using common::JsonValue;
+using common::Status;
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// FNV-1a with a 64-bit finalizer. Raw FNV-1a gives a string's last byte
+/// a single multiply round, so keys differing only in trailing digits
+/// ("skey-1".."skey-16") keep correlated HIGH bits — and the ring orders
+/// by those bits, which in practice parked every key on one backend. The
+/// fmix64 finalizer avalanches the full word before the ring sees it.
+uint64_t RingHash(std::string_view text) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdull;
+  hash ^= hash >> 33;
+  hash *= 0xc4ceb9fe1a85ec53ull;
+  hash ^= hash >> 33;
+  return hash;
+}
+
+/// Headers that describe the hop, not the message: stripped before
+/// proxying in either direction (client and server regenerate them).
+bool IsHopHeader(const std::string& name) {
+  constexpr std::string_view kHop[] = {"connection", "keep-alive", "host",
+                                       "content-length"};
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  for (const std::string_view hop : kHop) {
+    if (lower == hop) return true;
+  }
+  return false;
+}
+
+void StripHopHeaders(std::vector<HttpHeader>& headers) {
+  headers.erase(std::remove_if(headers.begin(), headers.end(),
+                               [](const HttpHeader& header) {
+                                 return IsHopHeader(header.name);
+                               }),
+                headers.end());
+}
+
+}  // namespace
+
+Router::Router(Options options)
+    : options_(std::move(options)),
+      server_([this](const HttpRequest& request) { return Handle(request); },
+              [this] {
+                HttpServer::Options server_options;
+                server_options.host = options_.host;
+                server_options.port = options_.port;
+                server_options.threads = options_.threads;
+                server_options.limits = options_.limits;
+                return server_options;
+              }()) {}
+
+Router::~Router() { Stop(); }
+
+common::Status Router::Start() {
+  if (options_.backends.empty()) {
+    return Status::InvalidArgument("router needs at least one backend");
+  }
+  if (backends_.empty()) {
+    for (const std::string& text : options_.backends) {
+      CF_ASSIGN_OR_RETURN(const Endpoint endpoint, ParseEndpoint(text));
+      auto backend = std::make_unique<Backend>();
+      backend->name = text;
+      backend->client_options.host = endpoint.host;
+      backend->client_options.port = endpoint.port;
+      backend->client_options.timeout_seconds =
+          options_.proxy_timeout_seconds;
+      backend->client_options.limits = options_.limits;
+      backends_.push_back(std::move(backend));
+    }
+    const int virtual_nodes = std::max(1, options_.virtual_nodes);
+    for (size_t b = 0; b < backends_.size(); ++b) {
+      for (int v = 0; v < virtual_nodes; ++v) {
+        ring_.emplace_back(
+            RingHash(common::StrFormat("%s#%d", backends_[b]->name.c_str(), v)),
+            static_cast<int>(b));
+      }
+    }
+    std::sort(ring_.begin(), ring_.end());
+  }
+  return server_.Start();
+}
+
+void Router::Stop() { server_.Stop(); }
+
+bool Router::BackendHealthy(int backend, double now) const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  return now >= backends_[static_cast<size_t>(backend)]->ejected_until;
+}
+
+void Router::MarkBackendFailure(int backend) {
+  const double now = MonotonicSeconds();
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  Backend& b = *backends_[static_cast<size_t>(backend)];
+  ++b.consecutive_failures;
+  if (b.consecutive_failures >= options_.eject_after_failures) {
+    b.ejected_until = now + options_.reprobe_seconds;
+  }
+}
+
+void Router::MarkBackendSuccess(int backend) {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  Backend& b = *backends_[static_cast<size_t>(backend)];
+  b.consecutive_failures = 0;
+  b.ejected_until = 0.0;
+}
+
+std::vector<int> Router::RingOrder(uint64_t hash, bool healthy_first) const {
+  // Distinct backends in successor order from the ring position.
+  std::vector<int> order;
+  std::vector<bool> seen(backends_.size(), false);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(hash, 0));
+  for (size_t walked = 0;
+       walked < ring_.size() && order.size() < backends_.size(); ++walked) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!seen[static_cast<size_t>(it->second)]) {
+      seen[static_cast<size_t>(it->second)] = true;
+      order.push_back(it->second);
+    }
+    ++it;
+  }
+  if (healthy_first) {
+    // For placement (session create): prefer a live backend, successor
+    // order preserved within each class. Affinity lookups must NOT use
+    // this — every backend mints the same bare ids ("s-1", "s-2", ...),
+    // so rerouting a lookup to a non-owner can resolve a *different*
+    // session that happens to share the bare id.
+    const double now = MonotonicSeconds();
+    std::stable_partition(order.begin(), order.end(), [this, now](int b) {
+      return BackendHealthy(b, now);
+    });
+  }
+  return order;
+}
+
+std::vector<int> Router::LeastLoadedOrder() const {
+  std::vector<int> order(backends_.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  const double now = MonotonicSeconds();
+  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+    return backends_[static_cast<size_t>(a)]->active.load(
+               std::memory_order_relaxed) <
+           backends_[static_cast<size_t>(b)]->active.load(
+               std::memory_order_relaxed);
+  });
+  // Ejected backends go last (forced probe when nothing else is left).
+  std::stable_partition(order.begin(), order.end(), [this, now](int b) {
+    return BackendHealthy(b, now);
+  });
+  return order;
+}
+
+common::Result<HttpResponse> Router::ProxyTo(int backend,
+                                             HttpRequest request) {
+  Backend& b = *backends_[static_cast<size_t>(backend)];
+  StripHopHeaders(request.headers);
+
+  std::unique_ptr<HttpClient> client;
+  {
+    std::lock_guard<std::mutex> lock(b.clients_mutex);
+    if (!b.idle_clients.empty()) {
+      client = std::move(b.idle_clients.back());
+      b.idle_clients.pop_back();
+    }
+  }
+  if (client == nullptr) {
+    client = std::make_unique<HttpClient>(b.client_options);
+  }
+
+  b.active.fetch_add(1, std::memory_order_relaxed);
+  auto response = client->Call(request);
+  b.active.fetch_sub(1, std::memory_order_relaxed);
+
+  if (!response.ok()) {
+    // The connection state is suspect; let the client die with it.
+    MarkBackendFailure(backend);
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++proxy_failures_;
+    return response.status();
+  }
+  MarkBackendSuccess(backend);
+  b.proxied.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(b.clients_mutex);
+    b.idle_clients.push_back(std::move(client));
+  }
+  StripHopHeaders(response->headers);
+  return response;
+}
+
+void Router::RewriteSessionId(HttpResponse& response,
+                              const std::string& key) {
+  if (response.status_code < 200 || response.status_code >= 300) return;
+  auto body = JsonValue::Parse(response.body);
+  if (!body.ok() || !body->is_object()) return;
+  const JsonValue* id = body->Find("session_id");
+  if (id == nullptr) return;
+  auto text = id->GetString();
+  if (!text.ok()) return;
+  body->Set("session_id", *text + "@" + key);
+  response.body = body->Dump();
+}
+
+HttpResponse Router::HandleCreateSession(const HttpRequest& request) {
+  if (request.method != "POST") {
+    return ErrorResponse(
+        Status::InvalidArgument("session collection accepts POST only"));
+  }
+  const std::string key = std::to_string(
+      next_session_key_.fetch_add(1, std::memory_order_relaxed));
+  Status last = Status::Unavailable("no backend reachable");
+  for (const int backend :
+       RingOrder(RingHash("skey-" + key), /*healthy_first=*/true)) {
+    auto response = ProxyTo(backend, request);
+    if (!response.ok()) {
+      last = response.status();
+      continue;  // transport failure: the next backend can still create
+    }
+    if (response->status_code >= 200 && response->status_code < 300) {
+      RewriteSessionId(*response, key);
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++sessions_created_;
+    }
+    return *std::move(response);
+  }
+  return ErrorResponse(last);
+}
+
+HttpResponse Router::HandleSessions(const HttpRequest& request,
+                                    const std::string& rest) {
+  if (rest.empty()) return HandleCreateSession(request);
+  if (rest.front() != '/') {
+    return ErrorResponse(Status::NotFound("no route"));
+  }
+  const size_t slash = rest.find('/', 1);
+  const std::string id = rest.substr(
+      1, slash == std::string::npos ? std::string::npos : slash - 1);
+  const std::string tail =
+      slash == std::string::npos ? std::string() : rest.substr(slash);
+
+  const size_t at = id.rfind('@');
+  if (at == std::string::npos || at == 0 || at + 1 == id.size()) {
+    return ErrorResponse(Status::NotFound(
+        "session id \"" + id +
+        "\" carries no routing key; ids minted through the router look "
+        "like \"s-1@7\""));
+  }
+  const std::string bare_id = id.substr(0, at);
+  const std::string key = id.substr(at + 1);
+
+  // Affinity traffic goes to the key's OWNER only — never re-partitioned
+  // by health. Session state lives in exactly one place, and since every
+  // backend mints the same bare ids, a lookup sprayed at a non-owner can
+  // silently hit an unrelated session with the same bare id. A dead
+  // owner's sessions answer 503 until it returns (or the TTL reaps them).
+  const std::vector<int> order =
+      RingOrder(RingHash("skey-" + key), /*healthy_first=*/false);
+  CF_DCHECK(!order.empty());
+  HttpRequest proxied = request;
+  proxied.target = "/v1/sessions/" + bare_id + tail;
+  auto response = ProxyTo(order.front(), proxied);
+  if (!response.ok()) {
+    return ErrorResponse(Status::Unavailable(
+        "backend " + backends_[static_cast<size_t>(order.front())]->name +
+        " unreachable: " + response.status().message()));
+  }
+  RewriteSessionId(*response, key);
+  return *std::move(response);
+}
+
+HttpResponse Router::ProxyLeastLoaded(const HttpRequest& request) {
+  Status last = Status::Unavailable("no backend reachable");
+  for (const int backend : LeastLoadedOrder()) {
+    auto response = ProxyTo(backend, request);
+    if (response.ok()) return *std::move(response);
+    last = response.status();
+  }
+  return ErrorResponse(last);
+}
+
+HttpResponse Router::Handle(const HttpRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++requests_routed_;
+  }
+  const std::string& target = request.target;
+  if (target == "/healthz") {
+    if (request.method != "GET") {
+      return ErrorResponse(Status::InvalidArgument("healthz is GET-only"));
+    }
+    const double now = MonotonicSeconds();
+    int healthy = 0;
+    for (size_t b = 0; b < backends_.size(); ++b) {
+      if (BackendHealthy(static_cast<int>(b), now)) ++healthy;
+    }
+    JsonValue body = JsonValue::MakeObject();
+    body.Set("status", "ok");
+    body.Set("backends", static_cast<int64_t>(backends_.size()));
+    body.Set("healthy_backends", static_cast<int64_t>(healthy));
+    return JsonResponse(200, body);
+  }
+  if (target == "/metricsz") {
+    if (request.method != "GET") {
+      return ErrorResponse(Status::InvalidArgument("metricsz is GET-only"));
+    }
+    const Metrics metrics = GetMetrics();
+    JsonValue body = JsonValue::MakeObject();
+    body.Set("requests_routed", metrics.requests_routed);
+    body.Set("proxy_failures", metrics.proxy_failures);
+    body.Set("sessions_created", metrics.sessions_created);
+    JsonValue backends = JsonValue::MakeArray();
+    for (const BackendMetrics& backend : metrics.backends) {
+      JsonValue item = JsonValue::MakeObject();
+      item.Set("endpoint", backend.endpoint);
+      item.Set("proxied", backend.proxied);
+      item.Set("ejected", backend.ejected);
+      backends.Append(std::move(item));
+    }
+    body.Set("backends", std::move(backends));
+    return JsonResponse(200, body);
+  }
+  const std::string sessions_prefix = "/v1/sessions";
+  if (common::StartsWith(target, sessions_prefix)) {
+    return HandleSessions(request, target.substr(sessions_prefix.size()));
+  }
+  return ProxyLeastLoaded(request);
+}
+
+Router::Metrics Router::GetMetrics() const {
+  Metrics metrics;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics.requests_routed = requests_routed_;
+    metrics.proxy_failures = proxy_failures_;
+    metrics.sessions_created = sessions_created_;
+  }
+  const double now = MonotonicSeconds();
+  for (size_t b = 0; b < backends_.size(); ++b) {
+    BackendMetrics backend;
+    backend.endpoint = backends_[b]->name;
+    backend.proxied = backends_[b]->proxied.load(std::memory_order_relaxed);
+    backend.ejected = !BackendHealthy(static_cast<int>(b), now);
+    metrics.backends.push_back(std::move(backend));
+  }
+  return metrics;
+}
+
+}  // namespace crowdfusion::net

@@ -1,0 +1,151 @@
+#ifndef CROWDFUSION_NET_ROUTER_H_
+#define CROWDFUSION_NET_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "net/http.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+
+namespace crowdfusion::net {
+
+/// The serving front tier: one HTTP endpoint fanning out to N
+/// `crowdfusion_cli serve` backends, so the session-table capacity and
+/// run throughput of the fleet scale with backend count while clients
+/// keep a single address.
+///
+/// Routing policy:
+///  * POST /v1/sessions (create) — the router mints a routing key, picks
+///    the key's backend on a consistent-hash ring (virtual nodes over the
+///    backend names), proxies the create there, and rewrites the returned
+///    session id to "<backend id>@<key>". The suffix makes the id
+///    routable AND globally unique (every backend mints its own "s-1").
+///  * /v1/sessions/{id}@{key}/... — session affinity: the key maps back
+///    through the ring to the owning backend; the suffix is stripped
+///    before proxying and re-added to session ids in the response. Ids
+///    without a routing key are NotFound at the router. Affinity traffic
+///    is never rerouted by health: every backend mints the same bare ids,
+///    so a non-owner could silently resolve an unrelated session.
+///  * /v1/fusion:run and everything else — proxied to the healthy backend
+///    with the fewest in-flight proxied requests (least-loaded), retrying
+///    the next backend on transport failure.
+///
+/// Health: consecutive transport failures eject a backend for
+/// reprobe_seconds (same policy as net::ProviderPool); ejected backends
+/// are deprioritized for placement and least-loaded proxying until
+/// re-probed. A session whose owning backend died answers 503 until the
+/// backend returns — the session state died with it; TTL re-creation is
+/// the client's move.
+///
+/// The router holds a per-backend pool of keep-alive HttpClients; a
+/// client whose call failed is discarded, not reused.
+class Router {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 = kernel-assigned (tests); the CLI default is 8090.
+    int port = 0;
+    int threads = 4;
+    /// Backend frontends as "host:port". Required non-empty.
+    std::vector<std::string> backends;
+    /// Ring points per backend: more = smoother key spread.
+    int virtual_nodes = 64;
+    int eject_after_failures = 3;
+    double reprobe_seconds = 2.0;
+    /// Per proxied call (a fusion:run may compute for a while).
+    double proxy_timeout_seconds = 30.0;
+    net::HttpLimits limits;
+  };
+
+  explicit Router(Options options);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  common::Status Start();
+  void Stop();
+  int port() const { return server_.port(); }
+  bool running() const { return server_.running(); }
+
+  struct BackendMetrics {
+    std::string endpoint;
+    int64_t proxied = 0;
+    bool ejected = false;
+  };
+  struct Metrics {
+    int64_t requests_routed = 0;
+    /// Proxy attempts that died in transport (before any backend answer).
+    int64_t proxy_failures = 0;
+    /// Session creates successfully routed.
+    int64_t sessions_created = 0;
+    std::vector<BackendMetrics> backends;
+  };
+  Metrics GetMetrics() const;
+
+ private:
+  struct Backend {
+    std::string name;
+    HttpClient::Options client_options;
+    std::mutex clients_mutex;
+    /// Keep-alive clients not currently proxying a request.
+    std::vector<std::unique_ptr<HttpClient>> idle_clients;
+    std::atomic<int> active{0};
+    std::atomic<int64_t> proxied{0};
+    // Guarded by health_mutex_.
+    int consecutive_failures = 0;
+    double ejected_until = 0.0;
+  };
+
+  HttpResponse Handle(const HttpRequest& request);
+  HttpResponse HandleSessions(const HttpRequest& request,
+                              const std::string& rest);
+  HttpResponse HandleCreateSession(const HttpRequest& request);
+  HttpResponse ProxyLeastLoaded(const HttpRequest& request);
+
+  /// One proxied call; counts active/proxied, manages the client pool,
+  /// and updates backend health. Transport-level failures come back as a
+  /// Result error (the caller decides whether to retry elsewhere).
+  common::Result<HttpResponse> ProxyTo(int backend, HttpRequest request);
+
+  bool BackendHealthy(int backend, double now) const;
+  void MarkBackendFailure(int backend);
+  void MarkBackendSuccess(int backend);
+
+  /// Distinct backends in ring-successor order starting at `hash`. With
+  /// `healthy_first`, healthy ones are moved ahead (relative order
+  /// preserved within each class) — placement only; affinity lookups
+  /// must keep the true owner in front.
+  std::vector<int> RingOrder(uint64_t hash, bool healthy_first) const;
+  /// Healthy backends by ascending in-flight count.
+  std::vector<int> LeastLoadedOrder() const;
+
+  /// Appends "@key" to response.session_id (when present) of a 2xx
+  /// proxied session response.
+  static void RewriteSessionId(HttpResponse& response,
+                               const std::string& key);
+
+  Options options_;
+  HttpServer server_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  /// (point, backend index), sorted by point.
+  std::vector<std::pair<uint64_t, int>> ring_;
+  std::atomic<int64_t> next_session_key_{1};
+
+  mutable std::mutex health_mutex_;
+  mutable std::mutex metrics_mutex_;
+  int64_t requests_routed_ = 0;
+  int64_t proxy_failures_ = 0;
+  int64_t sessions_created_ = 0;
+};
+
+}  // namespace crowdfusion::net
+
+#endif  // CROWDFUSION_NET_ROUTER_H_

@@ -10,6 +10,7 @@
 #include "data/statement.h"
 #include "fusion/fusion_result.h"
 #include "net/http_answer_provider.h"
+#include "net/provider_pool.h"
 
 namespace crowdfusion::service {
 
@@ -95,6 +96,15 @@ std::pair<int64_t, int64_t> Session::answers_served_correct() const {
     correct += c;
   }
   return {served, correct};
+}
+
+int64_t Session::tickets_resubmitted() const {
+  int64_t total = 0;
+  for (const Instance& instance : instances_) {
+    if (instance.provider.tickets_resubmitted == nullptr) continue;
+    total += instance.provider.tickets_resubmitted();
+  }
+  return total;
 }
 
 StepOutcome Session::FromRoundRecord(int instance,
@@ -240,6 +250,7 @@ FusionResponse Session::Finish() const {
   const auto [served, correct] = answers_served_correct();
   stats.answers_served = served;
   stats.answers_correct = correct;
+  stats.tickets_resubmitted = tickets_resubmitted();
   if (wall_seconds_ > 0) {
     stats.steps_per_second =
         static_cast<double>(steps_.size()) / wall_seconds_;
@@ -270,9 +281,11 @@ FusionService::FusionService(Config config)
       selectors_(core::BuiltinSelectorRegistry()),
       fusers_(fusion::BuiltinFuserRegistry()),
       providers_(crowd::FullProviderRegistry(config.clock)) {
-  // The remote-platform provider: "http" turns a ProviderSpec endpoint
-  // into tickets on a crowd server speaking the net wire.
+  // The remote-platform providers: "http" turns a ProviderSpec endpoint
+  // into tickets on a crowd server speaking the net wire; "http_pool"
+  // spreads the same wire across N endpoints with failover resubmission.
   CF_CHECK_OK(net::RegisterHttpProvider(providers_, config.clock));
+  CF_CHECK_OK(net::RegisterHttpPoolProvider(providers_, config.clock));
 }
 
 common::Result<std::vector<InstanceSpec>> FusionService::BuildWorkload(

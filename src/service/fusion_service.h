@@ -176,6 +176,9 @@ struct RunStats {
   /// the providers track it; 0 otherwise.
   int64_t answers_served = 0;
   int64_t answers_correct = 0;
+  /// Ticket batches re-routed to a different crowd endpoint by a failover
+  /// provider ("http_pool"); 0 for providers with no failover tier.
+  int64_t tickets_resubmitted = 0;
 
   friend bool operator==(const RunStats& a, const RunStats& b) = default;
 };
@@ -250,6 +253,8 @@ class Session {
   double wall_seconds() const { return wall_seconds_; }
   /// (served, correct) summed over providers that track it.
   std::pair<int64_t, int64_t> answers_served_correct() const;
+  /// Failover resubmissions summed over providers that track it.
+  int64_t tickets_resubmitted() const;
   const std::vector<StepOutcome>& steps() const { return steps_; }
 
  private:

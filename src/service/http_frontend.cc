@@ -65,6 +65,7 @@ HttpFrontend::Metrics HttpFrontend::GetMetrics() const {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
     metrics.requests_served = requests_served_;
     metrics.requests_failed = requests_failed_;
+    metrics.requests_rejected = requests_rejected_;
     std::vector<double> sorted(latencies_ms_.begin(), latencies_ms_.end());
     std::sort(sorted.begin(), sorted.end());
     metrics.p50_handler_ms = common::PercentileOfSorted(sorted, 0.50);
@@ -79,10 +80,16 @@ HttpFrontend::Metrics HttpFrontend::GetMetrics() const {
   return metrics;
 }
 
-void HttpFrontend::RecordLatency(double ms, bool failed) {
+void HttpFrontend::RecordLatency(double ms, int status_code) {
   std::lock_guard<std::mutex> lock(metrics_mutex_);
   ++requests_served_;
-  if (failed) ++requests_failed_;
+  // 4xx is the client's problem (or admission control doing its job);
+  // only 5xx may page anyone.
+  if (status_code >= 400 && status_code < 500) {
+    ++requests_rejected_;
+  } else if (status_code >= 500) {
+    ++requests_failed_;
+  }
   latencies_ms_.push_back(ms);
   while (latencies_ms_.size() > kLatencyWindow) latencies_ms_.pop_front();
 }
@@ -91,8 +98,7 @@ net::HttpResponse HttpFrontend::Handle(const HttpRequest& request) {
   const double start = clock()->NowSeconds();
   HttpResponse response = Route(request);
   const double elapsed_ms = (clock()->NowSeconds() - start) * 1e3;
-  RecordLatency(elapsed_ms,
-                response.status_code < 200 || response.status_code >= 300);
+  RecordLatency(elapsed_ms, response.status_code);
   return response;
 }
 
@@ -114,6 +120,7 @@ net::HttpResponse HttpFrontend::Route(const HttpRequest& request) {
     JsonValue body = JsonValue::MakeObject();
     body.Set("requests_served", metrics.requests_served);
     body.Set("requests_failed", metrics.requests_failed);
+    body.Set("requests_rejected", metrics.requests_rejected);
     body.Set("sessions_created", metrics.sessions_created);
     body.Set("sessions_evicted", metrics.sessions_evicted);
     body.Set("sessions_active", metrics.sessions_active);

@@ -77,8 +77,12 @@ class HttpFrontend {
 
   struct Metrics {
     int64_t requests_served = 0;
-    /// Of those, how many answered with a non-2xx status.
+    /// Of those, how many answered 5xx (server-side failures). Routine
+    /// admission rejections do not belong here — see requests_rejected.
     int64_t requests_failed = 0;
+    /// Of those, how many answered 4xx (client errors and admission
+    /// control: bad requests, unknown sessions, a full session table).
+    int64_t requests_rejected = 0;
     int64_t sessions_created = 0;
     int64_t sessions_evicted = 0;
     int sessions_active = 0;
@@ -111,7 +115,7 @@ class HttpFrontend {
   void SweepExpiredLocked(double now);
   std::shared_ptr<SessionEntry> FindSession(const std::string& id);
 
-  void RecordLatency(double ms, bool failed);
+  void RecordLatency(double ms, int status_code);
 
   Options options_;
   FusionService service_;
@@ -126,6 +130,7 @@ class HttpFrontend {
   mutable std::mutex metrics_mutex_;
   int64_t requests_served_ = 0;
   int64_t requests_failed_ = 0;
+  int64_t requests_rejected_ = 0;
   /// Sliding window of recent handler latencies for the percentile gauges.
   std::deque<double> latencies_ms_;
 };

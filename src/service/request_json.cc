@@ -120,7 +120,8 @@ common::Result<core::SelectorSpec> SelectorSpecFromJson(
       JsonReadBool(json, "bias_correction", &spec.bias_correction));
   CF_RETURN_IF_ERROR(JsonReadU64(json, "seed", &spec.seed));
   CF_RETURN_IF_ERROR(JsonReadIntVec(json, "foi", &spec.foi));
-  CF_RETURN_IF_ERROR(JsonReadDouble(json, "min_gain_bits", &spec.min_gain_bits));
+  CF_RETURN_IF_ERROR(
+      JsonReadDouble(json, "min_gain_bits", &spec.min_gain_bits));
   return spec;
 }
 
@@ -170,7 +171,8 @@ common::Result<DatasetSpec> DatasetSpecFromJson(const JsonValue& json) {
   CF_RETURN_IF_ERROR(JsonRequireObject(json, "dataset").status());
   DatasetSpec spec;
   if (const JsonValue* generate = json.Find("generate")) {
-    CF_RETURN_IF_ERROR(JsonRequireObject(*generate, "dataset.generate").status());
+    CF_RETURN_IF_ERROR(
+        JsonRequireObject(*generate, "dataset.generate").status());
     data::BookDatasetOptions& g = spec.generate;
     CF_RETURN_IF_ERROR(JsonReadInt(*generate, "num_books", &g.num_books));
     CF_RETURN_IF_ERROR(JsonReadInt(*generate, "num_sources", &g.num_sources));
@@ -188,8 +190,9 @@ common::Result<DatasetSpec> DatasetSpecFromJson(const JsonValue& json) {
     CF_RETURN_IF_ERROR(
         JsonReadDouble(*generate, "weak_accuracy_high", &g.weak_accuracy_high));
     CF_RETURN_IF_ERROR(JsonReadDouble(*generate, "skewed_source_fraction",
-                                  &g.skewed_source_fraction));
-    CF_RETURN_IF_ERROR(JsonReadInt(*generate, "true_variants", &g.true_variants));
+                                      &g.skewed_source_fraction));
+    CF_RETURN_IF_ERROR(
+        JsonReadInt(*generate, "true_variants", &g.true_variants));
     CF_RETURN_IF_ERROR(
         JsonReadInt(*generate, "false_variants", &g.false_variants));
     CF_RETURN_IF_ERROR(
@@ -257,7 +260,8 @@ common::Result<StepOutcome> StepOutcomeFromJson(const JsonValue& json) {
                                 &outcome.selected_entropy_bits));
   CF_RETURN_IF_ERROR(
       JsonReadDouble(json, "expected_gain_bits", &outcome.expected_gain_bits));
-  CF_RETURN_IF_ERROR(JsonReadDouble(json, "utility_bits", &outcome.utility_bits));
+  CF_RETURN_IF_ERROR(
+      JsonReadDouble(json, "utility_bits", &outcome.utility_bits));
   CF_RETURN_IF_ERROR(
       JsonReadInt(json, "cumulative_cost", &outcome.cumulative_cost));
   CF_RETURN_IF_ERROR(
@@ -446,6 +450,7 @@ JsonValue FusionResponseToJson(const FusionResponse& response) {
   stats.Set("p95_latency_ms", response.stats.p95_latency_ms);
   stats.Set("answers_served", response.stats.answers_served);
   stats.Set("answers_correct", response.stats.answers_correct);
+  stats.Set("tickets_resubmitted", response.stats.tickets_resubmitted);
   json.Set("stats", std::move(stats));
 
   JsonValue steps = JsonValue::MakeArray();
@@ -498,14 +503,16 @@ common::Result<FusionResponse> FusionResponseFromJson(const JsonValue& json) {
                                   &response.stats.selection_seconds));
     CF_RETURN_IF_ERROR(JsonReadDouble(*stats, "steps_per_second",
                                   &response.stats.steps_per_second));
-    CF_RETURN_IF_ERROR(
-        JsonReadDouble(*stats, "p50_latency_ms", &response.stats.p50_latency_ms));
-    CF_RETURN_IF_ERROR(
-        JsonReadDouble(*stats, "p95_latency_ms", &response.stats.p95_latency_ms));
-    CF_RETURN_IF_ERROR(
-        JsonReadInt64(*stats, "answers_served", &response.stats.answers_served));
+    CF_RETURN_IF_ERROR(JsonReadDouble(*stats, "p50_latency_ms",
+                                      &response.stats.p50_latency_ms));
+    CF_RETURN_IF_ERROR(JsonReadDouble(*stats, "p95_latency_ms",
+                                      &response.stats.p95_latency_ms));
+    CF_RETURN_IF_ERROR(JsonReadInt64(*stats, "answers_served",
+                                     &response.stats.answers_served));
     CF_RETURN_IF_ERROR(JsonReadInt64(*stats, "answers_correct",
-                                 &response.stats.answers_correct));
+                                     &response.stats.answers_correct));
+    CF_RETURN_IF_ERROR(JsonReadInt64(*stats, "tickets_resubmitted",
+                                 &response.stats.tickets_resubmitted));
   }
   if (const JsonValue* steps = json.Find("steps")) {
     if (!steps->is_array()) {

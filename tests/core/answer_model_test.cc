@@ -80,7 +80,8 @@ TEST_P(PathEquivalenceTest, FastBruteAndRefinerAgree) {
   std::vector<int> tasks;
   for (int i = 0; i < param.n && static_cast<int>(tasks.size()) < param.k;
        ++i) {
-    if ((i * 7 + 1) % 3 != 0 || param.n - i <= param.k - static_cast<int>(tasks.size())) {
+    if ((i * 7 + 1) % 3 != 0 ||
+        param.n - i <= param.k - static_cast<int>(tasks.size())) {
       tasks.push_back(i);
     }
   }

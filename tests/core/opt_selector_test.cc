@@ -74,7 +74,8 @@ TEST(OptSelectorTest, GreedyIsExactForSingleTask) {
   OptSelector opt;
   GreedySelector greedy;
   const Selection opt_sel = SelectOrDie(opt, MakeRequest(joint, crowd, 1));
-  const Selection greedy_sel = SelectOrDie(greedy, MakeRequest(joint, crowd, 1));
+  const Selection greedy_sel =
+      SelectOrDie(greedy, MakeRequest(joint, crowd, 1));
   ASSERT_EQ(opt_sel.tasks.size(), 1u);
   ASSERT_EQ(greedy_sel.tasks.size(), 1u);
   EXPECT_NEAR(opt_sel.entropy_bits, greedy_sel.entropy_bits, kTol);

@@ -49,7 +49,8 @@ SeedInstance MakeInstance(uint64_t seed) {
   const int n = 4 + static_cast<int>(seed % 17);  // 4..20
   const int max_support = static_cast<int>(std::min<uint64_t>(1ULL << n, 400));
   const int support =
-      2 + static_cast<int>((seed * 37) % static_cast<uint64_t>(max_support - 1));
+      2 +
+      static_cast<int>((seed * 37) % static_cast<uint64_t>(max_support - 1));
   SeedInstance instance{SeededSparseJoint(n, support, seed),
                         MakeCrowd(0.6 + 0.08 * static_cast<double>(seed % 5)),
                         {}};
@@ -162,7 +163,8 @@ TEST(SparseDenseDiffTest, GreedySelectionAgreesAcrossEngines) {
 
     GreedySelector::Options dense_options;
     dense_options.use_preprocessing = true;
-    dense_options.preprocessing_mode = GreedySelector::PreprocessingMode::kDense;
+    dense_options.preprocessing_mode =
+        GreedySelector::PreprocessingMode::kDense;
     GreedySelector dense_greedy(dense_options);
 
     GreedySelector::Options sparse_options;

@@ -121,6 +121,32 @@ TEST_F(HttpAnswerProviderTest, FailingUniverseTransportsItsStatus) {
   EXPECT_EQ(answers.status().code(), common::StatusCode::kUnavailable);
 }
 
+TEST_F(HttpAnswerProviderTest, AwaitTimeoutReturnsDeadlineExceeded) {
+  core::ProviderSpec spec = CrowdSpec(11);
+  spec.latency_median_seconds = 1e6;  // the crowd will "never" answer
+  HttpAnswerProvider::Options options;
+  options.host = "127.0.0.1";
+  options.port = server_->port();
+  options.await_timeout_seconds = 0.05;
+  auto provider = std::make_unique<HttpAnswerProvider>(options);
+  ASSERT_TRUE(provider->CreateUniverse(spec).ok());
+
+  auto ticket = provider->Submit(std::vector<int>{0, 1});
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  auto answers = provider->Await(*ticket);
+  ASSERT_FALSE(answers.ok());
+  // The bounded Await gives up with the code a failover pool resubmits
+  // on — NOT kUnavailable, which would blame the platform.
+  EXPECT_EQ(answers.status().code(),
+            common::StatusCode::kDeadlineExceeded);
+  // The ticket itself is still live server-side; the caller may poll,
+  // cancel or hand it to another collection path.
+  auto poll = provider->Poll(*ticket);
+  ASSERT_TRUE(poll.ok()) << poll.status();
+  EXPECT_EQ(poll->phase, core::TicketPhase::kInFlight);
+  provider->Cancel(*ticket);
+}
+
 TEST_F(HttpAnswerProviderTest, ScriptedUniverseKindServesTheScript) {
   core::ProviderSpec spec;
   spec.kind = "scripted";

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/json.h"
 #include "net/http_client.h"
 #include "net/http_server.h"
 
@@ -203,6 +204,83 @@ TEST(HttpServerTest, DoubleStartIsFailedPrecondition) {
   HttpServer server(EchoHandler, EphemeralOptions());
   ASSERT_TRUE(server.Start().ok());
   EXPECT_EQ(server.Start().code(), common::StatusCode::kFailedPrecondition);
+}
+
+/// Reads one raw HTTP exchange until the server closes the connection.
+std::string DrainResponse(Socket& socket) {
+  std::string received;
+  char buf[4096];
+  for (;;) {
+    auto n = socket.Read(buf, sizeof(buf), 5.0);
+    if (!n.ok() || *n == 0) break;
+    received.append(buf, *n);
+  }
+  return received;
+}
+
+TEST(HttpServerTest, ErrorEnvelopeBodiesAreAlwaysValidJson) {
+  // Parse-error messages echo the offending bytes back at the client.
+  // Quotes, backslashes and control characters in those bytes must not
+  // be able to corrupt the JSON error envelope — every 4xx body has to
+  // round-trip through the JSON parser.
+  HttpServer server(EchoHandler, EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  const std::vector<std::string> hostile = {
+      "TH\"IS \\IS\" NOT\\ HTTP\r\n\r\n",
+      "GET /x HT\"TP\\1.1\r\n\r\n",
+      "GET / HTTP/1.1\r\nBad\"Header\\\\Line\r\n\r\n",
+      "GET / HTTP/1.1\r\n\"\r\n\r\n",
+      std::string("QU\x01OTE\" \\\x02 \"\r\n\r\n"),
+      "\\\"\\\"\\ \" \"\r\n\r\n",
+  };
+  for (const std::string& wire : hostile) {
+    auto socket = ConnectTcp("127.0.0.1", server.port(), 5.0);
+    ASSERT_TRUE(socket.ok()) << socket.status();
+    ASSERT_TRUE(socket->WriteAll(wire, 5.0).ok());
+    const std::string received = DrainResponse(*socket);
+    ASSERT_NE(received.find("HTTP/1.1 4"), std::string::npos) << received;
+    const size_t split = received.find("\r\n\r\n");
+    ASSERT_NE(split, std::string::npos) << received;
+    const std::string body = received.substr(split + 4);
+    auto parsed = common::JsonValue::Parse(body);
+    ASSERT_TRUE(parsed.ok()) << "unparseable error body: " << body;
+    const common::JsonValue* error = parsed->Find("error");
+    ASSERT_NE(error, nullptr) << body;
+    EXPECT_NE(error->Find("code"), nullptr) << body;
+    EXPECT_NE(error->Find("message"), nullptr) << body;
+  }
+}
+
+TEST(HttpServerTest, HandlerConnectionCloseEndsTheConnection) {
+  // A handler that answers "Connection: close" is instructing the server
+  // to drop the connection after the response — the server must not park
+  // it for reuse, even though the client asked for keep-alive.
+  HttpServer server(
+      [](const HttpRequest&) {
+        HttpResponse response;
+        response.body = "bye";
+        response.headers.push_back({"Connection", "close"});
+        return response;
+      },
+      EphemeralOptions());
+  ASSERT_TRUE(server.Start().ok());
+  auto socket = ConnectTcp("127.0.0.1", server.port(), 5.0);
+  ASSERT_TRUE(socket.ok()) << socket.status();
+  // Two pipelined keep-alive requests: the server must answer the first
+  // and close before ever serving the second.
+  const std::string wire =
+      "GET /one HTTP/1.1\r\n\r\n"
+      "GET /two HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(socket->WriteAll(wire, 5.0).ok());
+  const std::string received = DrainResponse(*socket);
+  size_t responses = 0;
+  for (size_t at = received.find("HTTP/1.1 200"); at != std::string::npos;
+       at = received.find("HTTP/1.1 200", at + 1)) {
+    ++responses;
+  }
+  EXPECT_EQ(responses, 1u) << received;
+  EXPECT_NE(received.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(server.requests_served(), 1);
 }
 
 }  // namespace

@@ -206,7 +206,7 @@ TEST_F(HttpFrontendTest, ErrorMapping) {
 
 TEST_F(HttpFrontendTest, MetricszTracksServingActivity) {
   ASSERT_TRUE(client_->Get("/healthz").ok());
-  ASSERT_TRUE(client_->Get("/v1/unknown").ok());  // a failed request
+  ASSERT_TRUE(client_->Get("/v1/unknown").ok());  // a rejected request (404)
   ASSERT_TRUE(
       client_
           ->Post("/v1/sessions", SerializeFusionRequest(ScriptedRequest()))
@@ -215,7 +215,10 @@ TEST_F(HttpFrontendTest, MetricszTracksServingActivity) {
   ASSERT_TRUE(response.ok());
   const JsonValue body = ParseBody(*response);
   EXPECT_GE(body.Find("requests_served")->GetInt().value(), 3);
-  EXPECT_GE(body.Find("requests_failed")->GetInt().value(), 1);
+  // 4xx is the client's mistake, not the server failing: it lands in
+  // requests_rejected and leaves requests_failed (5xx only) at zero.
+  EXPECT_GE(body.Find("requests_rejected")->GetInt().value(), 1);
+  EXPECT_EQ(body.Find("requests_failed")->GetInt().value(), 0);
   EXPECT_EQ(body.Find("sessions_created")->GetInt().value(), 1);
   EXPECT_EQ(body.Find("sessions_active")->GetInt().value(), 1);
   ASSERT_NE(body.Find("p50_handler_ms"), nullptr);

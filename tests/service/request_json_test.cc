@@ -71,6 +71,8 @@ TEST(RequestJsonTest, RoundTripsEveryProviderKey) {
     request.provider.failures_before_success = 2;
     request.provider.endpoint = "127.0.0.1:8792";
     request.provider.universe_kind = "scripted";
+    request.provider.endpoints = {"127.0.0.1:8792", "127.0.0.1:8793"};
+    request.provider.await_timeout_seconds = 2.5;
     ExpectRoundTrips(request, "provider " + key);
   }
 }
