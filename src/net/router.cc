@@ -104,6 +104,30 @@ common::Status Router::Start() {
       }
     }
     std::sort(ring_.begin(), ring_.end());
+    // Placement and affinity must agree: the "@<key>" suffix is the ONLY
+    // thing affinity routing sees, so the key attached to a created
+    // session must hash to the backend that actually holds it — even when
+    // health-based placement skipped the first ring choice. Precompute,
+    // per backend, a canonical key whose ring owner IS that backend;
+    // creates stamp the placed backend's key (keys need not be unique —
+    // bare ids are unique per backend, and the key pins the backend).
+    session_keys_.assign(backends_.size(), std::string());
+    size_t keyed = 0;
+    for (uint64_t k = 0; keyed < backends_.size(); ++k) {
+      if (k > 4096 * backends_.size()) {
+        return Status::Internal(
+            "consistent-hash ring left a backend without a routable key; "
+            "raise virtual_nodes");
+      }
+      const std::string key = std::to_string(k);
+      const int owner =
+          RingOrder(RingHash("skey-" + key), /*healthy_first=*/false).front();
+      std::string& slot = session_keys_[static_cast<size_t>(owner)];
+      if (slot.empty()) {
+        slot = key;
+        ++keyed;
+      }
+    }
   }
   return server_.Start();
 }
@@ -162,16 +186,18 @@ std::vector<int> Router::RingOrder(uint64_t hash, bool healthy_first) const {
 }
 
 std::vector<int> Router::LeastLoadedOrder() const {
+  // Snapshot the in-flight counts before sorting: a comparator reading
+  // live atomics can see them change mid-sort, breaking the strict weak
+  // ordering std::stable_sort requires.
   std::vector<int> order(backends_.size());
+  std::vector<int> active(backends_.size());
   for (size_t i = 0; i < order.size(); ++i) {
     order[i] = static_cast<int>(i);
+    active[i] = backends_[i]->active.load(std::memory_order_relaxed);
   }
   const double now = MonotonicSeconds();
-  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
-    return backends_[static_cast<size_t>(a)]->active.load(
-               std::memory_order_relaxed) <
-           backends_[static_cast<size_t>(b)]->active.load(
-               std::memory_order_relaxed);
+  std::stable_sort(order.begin(), order.end(), [&active](int a, int b) {
+    return active[static_cast<size_t>(a)] < active[static_cast<size_t>(b)];
   });
   // Ejected backends go last (forced probe when nothing else is left).
   std::stable_partition(order.begin(), order.end(), [this, now](int b) {
@@ -236,18 +262,23 @@ HttpResponse Router::HandleCreateSession(const HttpRequest& request) {
     return ErrorResponse(
         Status::InvalidArgument("session collection accepts POST only"));
   }
-  const std::string key = std::to_string(
-      next_session_key_.fetch_add(1, std::memory_order_relaxed));
+  // The sequence number only spreads creates around the ring; the id is
+  // rewritten with the *placed* backend's canonical key, so even after a
+  // healthy-first skip or a transport-failure fallback the key's ring
+  // owner is exactly the backend holding the session.
+  const std::string spread = std::to_string(
+      next_create_seq_.fetch_add(1, std::memory_order_relaxed));
   Status last = Status::Unavailable("no backend reachable");
   for (const int backend :
-       RingOrder(RingHash("skey-" + key), /*healthy_first=*/true)) {
+       RingOrder(RingHash("skey-" + spread), /*healthy_first=*/true)) {
     auto response = ProxyTo(backend, request);
     if (!response.ok()) {
       last = response.status();
       continue;  // transport failure: the next backend can still create
     }
     if (response->status_code >= 200 && response->status_code < 300) {
-      RewriteSessionId(*response, key);
+      RewriteSessionId(*response,
+                       session_keys_[static_cast<size_t>(backend)]);
       std::lock_guard<std::mutex> lock(metrics_mutex_);
       ++sessions_created_;
     }

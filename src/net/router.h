@@ -22,11 +22,15 @@ namespace crowdfusion::net {
 /// keep a single address.
 ///
 /// Routing policy:
-///  * POST /v1/sessions (create) — the router mints a routing key, picks
-///    the key's backend on a consistent-hash ring (virtual nodes over the
-///    backend names), proxies the create there, and rewrites the returned
-///    session id to "<backend id>@<key>". The suffix makes the id
-///    routable AND globally unique (every backend mints its own "s-1").
+///  * POST /v1/sessions (create) — the router walks the consistent-hash
+///    ring (virtual nodes over the backend names) healthy-first from a
+///    rotating spread point, proxies the create to the first backend that
+///    answers, and rewrites the returned session id to
+///    "<backend id>@<key>" where key is the *placed* backend's canonical
+///    routing key (a precomputed key whose ring owner is that backend).
+///    Placement and affinity therefore always agree, and the suffix makes
+///    the id routable AND globally unique (every backend mints its own
+///    "s-1", but the key pins which backend a bare id belongs to).
 ///  * /v1/sessions/{id}@{key}/... — session affinity: the key maps back
 ///    through the ring to the owning backend; the suffix is stripped
 ///    before proxying and re-added to session ids in the response. Ids
@@ -137,7 +141,12 @@ class Router {
   std::vector<std::unique_ptr<Backend>> backends_;
   /// (point, backend index), sorted by point.
   std::vector<std::pair<uint64_t, int>> ring_;
-  std::atomic<int64_t> next_session_key_{1};
+  /// Per-backend canonical routing key: session_keys_[b]'s ring owner is
+  /// backend b, so ids stamped with it always route back to b. Computed
+  /// once in Start().
+  std::vector<std::string> session_keys_;
+  /// Spreads session creates around the ring; never becomes a routing key.
+  std::atomic<int64_t> next_create_seq_{1};
 
   mutable std::mutex health_mutex_;
   mutable std::mutex metrics_mutex_;

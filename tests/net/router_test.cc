@@ -219,9 +219,41 @@ TEST_F(RouterTest, KillingOneBackendOnlyLosesItsOwnSessions) {
                            SerializeFusionRequest(ScriptedRequest()));
   ASSERT_TRUE(run.ok()) << run.status();
   EXPECT_EQ(run->status_code, 200) << run->body;
-  // And new sessions still land somewhere.
-  const std::string fresh = CreateSession();
-  EXPECT_NE(fresh.find('@'), std::string::npos);
+  // And new sessions still land somewhere — and actually serve: each id's
+  // routing key must map to the backend that holds the session (the
+  // survivor), not to the ring choice the create skipped over. Several
+  // creates so a placement/affinity mismatch can't luck its way past.
+  std::vector<std::string> fresh;
+  for (int i = 0; i < 8; ++i) {
+    fresh.push_back(CreateSession());
+    ASSERT_NE(fresh.back().find('@'), std::string::npos);
+    auto poll = client_->Get("/v1/sessions/" + fresh.back());
+    ASSERT_TRUE(poll.ok());
+    ASSERT_EQ(poll->status_code, 200) << fresh.back() << ": " << poll->body;
+  }
+
+  // Resurrect backend 0 on its old port, as a fresh process with an empty
+  // session table. Every post-kill session must keep resolving to the
+  // SAME session on the survivor: a key owned by the revived backend
+  // would now 404 there — or, worse, alias a stranger's identical bare
+  // id.
+  const int port0 = backends_[0]->port();
+  service::HttpFrontend::Options revived;
+  revived.port = port0;
+  backends_[0] = std::make_unique<service::HttpFrontend>(revived);
+  ASSERT_TRUE(backends_[0]->Start().ok());
+  for (const std::string& id : fresh) {
+    auto after = client_->Get("/v1/sessions/" + id);
+    ASSERT_TRUE(after.ok());
+    ASSERT_EQ(after->status_code, 200) << id << ": " << after->body;
+    // Step echoes the keyed id: still the same session, on the survivor.
+    auto stepped = client_->Post("/v1/sessions/" + id + "/step", "");
+    ASSERT_TRUE(stepped.ok());
+    ASSERT_EQ(stepped->status_code, 200) << stepped->body;
+    const JsonValue body = ParseBody(*stepped);
+    ASSERT_NE(body.Find("session_id"), nullptr) << stepped->body;
+    EXPECT_EQ(body.Find("session_id")->GetString().value(), id);
+  }
 }
 
 TEST_F(RouterTest, HealthzAndMetricszAreServedLocally) {
