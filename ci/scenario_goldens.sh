@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Scenario-golden drift check (PR 7 tentpole): runs `crowdfusion_cli
+# scenario --all` into a scratch directory and diffs every report against
+# the checked-in goldens under ci/scenario_goldens/. The CLI path and the
+# in-process eval_scenario_golden_test must agree on the same bytes, so a
+# drift here means either a behavior change (regenerate deliberately) or
+# a CLI/library divergence (a bug).
+#
+# Run UPDATE_GOLDENS=1 to regenerate the goldens after an intentional
+# behavior change — or equivalently:
+#   crowdfusion_cli scenario --all --out-dir ci/scenario_goldens
+#
+# usage: ci/scenario_goldens.sh <path-to-crowdfusion_cli> [workdir]
+set -euo pipefail
+
+CLI="${1:?usage: scenario_goldens.sh <crowdfusion_cli> [workdir]}"
+WORK="${2:-$(mktemp -d)}"
+HERE="$(cd "$(dirname "$0")" && pwd)"
+GOLDEN="$HERE/scenario_goldens"
+
+mkdir -p "$WORK" "$GOLDEN"
+
+"$CLI" scenario --all --out-dir "$WORK"
+
+fail=0
+for path in "$WORK"/*.json; do
+  name="$(basename "$path")"
+  if [ "${UPDATE_GOLDENS:-0}" = "1" ]; then
+    cp "$path" "$GOLDEN/$name"
+    echo "updated golden $name"
+    continue
+  fi
+  if ! diff -u "$GOLDEN/$name" "$path"; then
+    echo "FAIL: scenario report $name drifted from its golden"
+    fail=1
+  else
+    echo "OK: $name"
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "scenario goldens drifted; regenerate with UPDATE_GOLDENS=1 if intended"
+  exit 1
+fi
+echo "scenario goldens match"

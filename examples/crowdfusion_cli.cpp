@@ -44,6 +44,13 @@
 ///       topologies
 ///   crowdfusion_cli score <claims.tsv> <joint-dir>
 ///       compare the stored joints' marginals against the gold labels
+///   crowdfusion_cli scenario <name>... | --all  [--out-dir DIR]
+///       run named adversarial crowd scenarios (baseline, collusion,
+///       sybil, spam, drift, streaming) across every machine-only fuser
+///       and print — or, with --out-dir, write one <name>.json per
+///       scenario — the deterministic golden-format report
+///       (eval::ScenarioHarness; regenerate ci/scenario_goldens with
+///       --all --out-dir ci/scenario_goldens)
 ///
 /// Any unknown subcommand or flag prints usage to stderr and exits
 /// nonzero (pinned by the CLI smoke tests).
@@ -75,6 +82,7 @@
 #include "data/correlation_model.h"
 #include "data/dataset_io.h"
 #include "eval/metrics.h"
+#include "eval/scenario.h"
 #include "fusion/registry.h"
 #include "net/loopback_crowd_server.h"
 #include "net/router.h"
@@ -100,7 +108,8 @@ int Usage() {
       "           [--crowd-port M]\n"
       "  route    --backends host:port,host:port [--port N] [--threads T]\n"
       "  crowd    [--port N] [--threads T]\n"
-      "  score    <claims.tsv> <joint-dir>\n");
+      "  score    <claims.tsv> <joint-dir>\n"
+      "  scenario <name>... | --all  [--out-dir DIR]\n");
   return 2;
 }
 
@@ -485,6 +494,54 @@ int CmdScore(int argc, char** argv) {
   return 0;
 }
 
+int CmdScenario(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::vector<std::string> names;
+  std::string out_dir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--all") {
+      names = eval::ScenarioNames();
+    } else if (arg == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag for this command: %s\n", argv[i]);
+      return Usage();
+    } else {
+      names.push_back(arg);
+    }
+  }
+  if (names.empty()) return Usage();
+  if (!out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "error: cannot create %s: %s\n", out_dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+  }
+  for (const std::string& name : names) {
+    auto report = eval::RunScenario(name);
+    if (!report.ok()) return Fail(report.status());
+    const std::string text = eval::SerializeScenarioReport(*report);
+    if (out_dir.empty()) {
+      std::fputs(text.c_str(), stdout);
+      continue;
+    }
+    const std::string path = out_dir + "/" + name + ".json";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+    if (!out.good()) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%d fusers)\n", path.c_str(),
+                static_cast<int>(report->fusers.size()));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -498,6 +555,7 @@ int main(int argc, char** argv) {
   if (command == "route") return CmdRoute(argc, argv);
   if (command == "crowd") return CmdCrowd(argc, argv);
   if (command == "score") return CmdScore(argc, argv);
+  if (command == "scenario") return CmdScenario(argc, argv);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return Usage();
 }

@@ -64,6 +64,49 @@ using SelectorRegistry =
 /// custom selectors.
 SelectorRegistry BuiltinSelectorRegistry();
 
+/// Config-shaped description of a hostile worker population layered over
+/// a simulated crowd (crowd::AdversaryModel). The adversary partitions a
+/// virtual worker pool into roles by fraction; whatever is left stays
+/// honest. All behaviour is seeded and deterministic, and an adversary
+/// with enabled == false leaves the crowd's RNG streams untouched — a
+/// spec without an adversary block answers bit-for-bit like one predating
+/// the adversary layer.
+struct AdversarySpec {
+  /// Master switch; false means "no adversary" (the differential path).
+  bool enabled = false;
+  /// Virtual worker pool the roles partition. Providers that model real
+  /// worker pools (CrowdPlatform) override this with their pool size.
+  int num_workers = 16;
+  /// Fraction of the pool colluding: correct on ordinary facts, but
+  /// coordinated on the WRONG answer for the targeted facts, so fusers
+  /// that propagate trust between agreeing sources reward the clique.
+  double colluder_fraction = 0.0;
+  /// Fraction of facts the clique targets (chosen by a seeded hash of the
+  /// fact id, so every colluder targets the same facts in any order).
+  double collusion_target_fraction = 0.5;
+  /// Fraction of the pool cloned from ONE answer stream: the first sybil
+  /// asked about a fact draws the master answer, every clone repeats it.
+  double sybil_fraction = 0.0;
+  /// Fraction answering a fair coin, independent of the truth.
+  double spammer_fraction = 0.0;
+  /// Fraction parroting the majority of all answers logged so far for the
+  /// fact (ties and first-asked default to "true").
+  double parrot_fraction = 0.0;
+  /// Per-answer accuracy drift of each HONEST worker: its P(correct)
+  /// moves by this much with every answer it gives (negative = fatigue),
+  /// clamped to [drift_floor, drift_ceiling]. Ground truth for scoring
+  /// AccuracyEstimator / Dawid-Skene against drifting workers.
+  double drift_per_answer = 0.0;
+  double drift_floor = 0.05;
+  double drift_ceiling = 0.95;
+  /// Seeds the adversary's own RNG stream (role draws, spam, sybil
+  /// masters) so enabling it never perturbs the honest judgment stream.
+  uint64_t seed = 1099;
+
+  friend bool operator==(const AdversarySpec& a,
+                         const AdversarySpec& b) = default;
+};
+
 /// Config-shaped description of an answer provider. The spec doubles as a
 /// per-instance template: workload builders clone it for every instance,
 /// filling `truths`/`categories` from that instance's gold labels and
@@ -94,6 +137,9 @@ struct ProviderSpec {
   double straggler_probability = 0.0;
   double straggler_factor = 10.0;
   uint64_t latency_seed = 4242;
+  /// Hostile worker overlay ("simulated_crowd", and remote universes of
+  /// that kind over "http"/"http_pool"). Default-disabled.
+  AdversarySpec adversary;
 
   // --- scripted ---
   /// Per-fact scripted answers; empty means the parity rule (id % 2 == 1).

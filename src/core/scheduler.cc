@@ -70,6 +70,14 @@ common::Result<int> BudgetScheduler::AddInstanceAsync(
   return num_instances() - 1;
 }
 
+common::Status BudgetScheduler::AddBudget(int tasks) {
+  if (tasks < 0) {
+    return Status::InvalidArgument("additional budget must be non-negative");
+  }
+  options_.total_budget += tasks;
+  return Status::Ok();
+}
+
 common::Status BudgetScheduler::RefreshSelection(Instance& instance, int k) {
   const int effective_k = std::min(k, instance.joint.num_facts());
   if (instance.selection_valid && instance.cached_k == effective_k) {

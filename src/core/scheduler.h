@@ -119,6 +119,10 @@ class BudgetScheduler {
   int num_instances() const { return static_cast<int>(instances_.size()); }
   bool HasBudget() const { return cost_spent_ < options_.total_budget; }
 
+  /// Raises the global budget by `tasks` (>= 0) — the streaming-arrivals
+  /// companion to adding instances mid-run, callable between steps.
+  common::Status AddBudget(int tasks);
+
   /// Runs one blocking step: find the instance with the best expected
   /// gain, submit its selected tasks, block until the answers land, merge.
   /// Precondition: HasBudget() and at least one instance. Returns a record

@@ -1,10 +1,71 @@
 #include "core/spec_json.h"
 
+#include <algorithm>
+#include <iterator>
+
 #include "common/json_util.h"
 
 namespace crowdfusion::core {
 
 using common::JsonValue;
+
+JsonValue AdversarySpecToJson(const AdversarySpec& spec) {
+  JsonValue json = JsonValue::MakeObject();
+  json.Set("enabled", spec.enabled);
+  json.Set("num_workers", spec.num_workers);
+  json.Set("colluder_fraction", spec.colluder_fraction);
+  json.Set("collusion_target_fraction", spec.collusion_target_fraction);
+  json.Set("sybil_fraction", spec.sybil_fraction);
+  json.Set("spammer_fraction", spec.spammer_fraction);
+  json.Set("parrot_fraction", spec.parrot_fraction);
+  json.Set("drift_per_answer", spec.drift_per_answer);
+  json.Set("drift_floor", spec.drift_floor);
+  json.Set("drift_ceiling", spec.drift_ceiling);
+  json.Set("seed", common::JsonU64(spec.seed));
+  return json;
+}
+
+common::Result<AdversarySpec> AdversarySpecFromJson(const JsonValue& json) {
+  CF_RETURN_IF_ERROR(
+      common::JsonRequireObject(json, "adversary").status());
+  static constexpr const char* kKnownKeys[] = {
+      "enabled",          "num_workers",
+      "colluder_fraction", "collusion_target_fraction",
+      "sybil_fraction",   "spammer_fraction",
+      "parrot_fraction",  "drift_per_answer",
+      "drift_floor",      "drift_ceiling",
+      "seed",
+  };
+  for (const auto& [key, value] : json.object()) {
+    if (std::find(std::begin(kKnownKeys), std::end(kKnownKeys), key) ==
+        std::end(kKnownKeys)) {
+      return common::Status::InvalidArgument(
+          "unknown adversary key \"" + key + "\"");
+    }
+  }
+  AdversarySpec spec;
+  CF_RETURN_IF_ERROR(common::JsonReadBool(json, "enabled", &spec.enabled));
+  CF_RETURN_IF_ERROR(
+      common::JsonReadInt(json, "num_workers", &spec.num_workers));
+  CF_RETURN_IF_ERROR(common::JsonReadDouble(json, "colluder_fraction",
+                                            &spec.colluder_fraction));
+  CF_RETURN_IF_ERROR(common::JsonReadDouble(
+      json, "collusion_target_fraction", &spec.collusion_target_fraction));
+  CF_RETURN_IF_ERROR(
+      common::JsonReadDouble(json, "sybil_fraction", &spec.sybil_fraction));
+  CF_RETURN_IF_ERROR(common::JsonReadDouble(json, "spammer_fraction",
+                                            &spec.spammer_fraction));
+  CF_RETURN_IF_ERROR(common::JsonReadDouble(json, "parrot_fraction",
+                                            &spec.parrot_fraction));
+  CF_RETURN_IF_ERROR(common::JsonReadDouble(json, "drift_per_answer",
+                                            &spec.drift_per_answer));
+  CF_RETURN_IF_ERROR(
+      common::JsonReadDouble(json, "drift_floor", &spec.drift_floor));
+  CF_RETURN_IF_ERROR(
+      common::JsonReadDouble(json, "drift_ceiling", &spec.drift_ceiling));
+  CF_RETURN_IF_ERROR(common::JsonReadU64(json, "seed", &spec.seed));
+  return spec;
+}
 
 JsonValue ProviderSpecToJson(const ProviderSpec& spec) {
   JsonValue json = JsonValue::MakeObject();
@@ -20,6 +81,7 @@ JsonValue ProviderSpecToJson(const ProviderSpec& spec) {
   json.Set("straggler_probability", spec.straggler_probability);
   json.Set("straggler_factor", spec.straggler_factor);
   json.Set("latency_seed", common::JsonU64(spec.latency_seed));
+  json.Set("adversary", AdversarySpecToJson(spec.adversary));
   json.Set("script", common::JsonFromBoolVec(spec.script));
   json.Set("failures_before_success", spec.failures_before_success);
   json.Set("endpoint", spec.endpoint);
@@ -53,6 +115,10 @@ common::Result<ProviderSpec> ProviderSpecFromJson(const JsonValue& json) {
                                             &spec.straggler_factor));
   CF_RETURN_IF_ERROR(
       common::JsonReadU64(json, "latency_seed", &spec.latency_seed));
+  if (const JsonValue* adversary = json.Find("adversary");
+      adversary != nullptr) {
+    CF_ASSIGN_OR_RETURN(spec.adversary, AdversarySpecFromJson(*adversary));
+  }
   CF_RETURN_IF_ERROR(common::JsonReadBoolVec(json, "script", &spec.script));
   CF_RETURN_IF_ERROR(common::JsonReadInt(json, "failures_before_success",
                                          &spec.failures_before_success));

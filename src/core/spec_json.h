@@ -17,6 +17,15 @@ common::JsonValue ProviderSpecToJson(const ProviderSpec& spec);
 common::Result<ProviderSpec> ProviderSpecFromJson(
     const common::JsonValue& json);
 
+/// The nested "adversary" block of a provider spec. Unlike the tolerant
+/// provider object around it, this block REJECTS unknown members
+/// (kInvalidArgument naming the key): an adversary config is an attack
+/// description, and a typoed knob silently reverting to "honest" would
+/// make a hostile scenario quietly benign.
+common::JsonValue AdversarySpecToJson(const AdversarySpec& spec);
+common::Result<AdversarySpec> AdversarySpecFromJson(
+    const common::JsonValue& json);
+
 }  // namespace crowdfusion::core
 
 #endif  // CROWDFUSION_CORE_SPEC_JSON_H_

@@ -9,7 +9,7 @@ LatencyModel::LatencyModel(LatencyOptions options)
     : options_(options), rng_(options.seed ^ 0xA51C0DEULL) {}
 
 double LatencyModel::SampleTaskSeconds(double worker_scale) {
-  if (!enabled()) return 0.0;
+  if (!has_latency()) return 0.0;
   double seconds = options_.median_seconds *
                    std::exp(options_.sigma * rng_.NextGaussian()) *
                    std::max(0.0, worker_scale);

@@ -15,8 +15,14 @@ namespace crowdfusion::crowd {
 /// per-ticket deadlines exist to cut off) and injectable hard failures
 /// (an attempt that never returns answers and must be retried).
 struct LatencyOptions {
-  /// Median per-task latency, seconds. 0 disables latency simulation
-  /// entirely (tickets resolve at submit time).
+  /// Explicitly activates the model even when every latency knob is zero.
+  /// Historically "enabled" was inferred from median_seconds > 0 alone,
+  /// which silently discarded zero-latency configs that only inject
+  /// failures or stragglers; set this (or any nonzero probability below)
+  /// to run those. A default-constructed options block stays disabled.
+  bool enabled = false;
+  /// Median per-task latency, seconds. 0 means tickets resolve at submit
+  /// time (failures may still be injected when the model is enabled).
   double median_seconds = 0.0;
   /// Lognormal spread; 0 makes every task take exactly the median.
   double sigma = 0.5;
@@ -38,11 +44,23 @@ class LatencyModel {
   LatencyModel() : LatencyModel(LatencyOptions{}) {}
   explicit LatencyModel(LatencyOptions options);
 
-  bool enabled() const { return options_.median_seconds > 0; }
+  /// Whether the model does anything at all: explicitly enabled, or any
+  /// latency/failure/straggler knob is nonzero. (The historical
+  /// median_seconds-only test conflated "no latency" with "disabled" and
+  /// dropped failure-only configs on the floor.)
+  bool enabled() const {
+    return options_.enabled || has_latency() ||
+           options_.failure_probability > 0 ||
+           options_.straggler_probability > 0;
+  }
+  /// Whether tasks take nonzero simulated time. Latency draws are gated
+  /// on this — never on enabled() — so a zero-latency failure-injecting
+  /// model consumes no stream draws for timing.
+  bool has_latency() const { return options_.median_seconds > 0; }
   const LatencyOptions& options() const { return options_; }
 
   /// Latency of one task handled by a worker of the given relative speed
-  /// (1.0 = typical; larger = slower). 0 when disabled.
+  /// (1.0 = typical; larger = slower). 0 when the model has no latency.
   double SampleTaskSeconds(double worker_scale = 1.0);
 
   /// True when an attempt should fail outright.

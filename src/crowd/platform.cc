@@ -48,8 +48,13 @@ common::Result<std::vector<bool>> CrowdPlatform::CollectAnswers(
     log.worker_indices = rng_.SampleWithoutReplacement(pool, redundancy);
     int votes_true = 0;
     for (int w : log.worker_indices) {
+      // Honest platforms keep the historical draw and stream untouched
+      // (the adversary-off differential).
       const bool judgment =
-          workers_[static_cast<size_t>(w)].Judge(truth, category, rng_);
+          adversary_ == nullptr
+              ? workers_[static_cast<size_t>(w)].Judge(truth, category, rng_)
+              : adversary_->JudgeAs(w, id, truth, category,
+                                    workers_[static_cast<size_t>(w)].bias());
       log.judgments.push_back(judgment);
       if (judgment) ++votes_true;
       ++judgments_collected_;
@@ -70,6 +75,19 @@ common::Result<std::vector<bool>> CrowdPlatform::CollectAnswers(
   return answers;
 }
 
+common::Status CrowdPlatform::ConfigureAdversary(core::AdversarySpec spec) {
+  if (!spec.enabled) {
+    return Status::InvalidArgument(
+        "refusing to install a disabled adversary; leave the platform "
+        "honest instead");
+  }
+  // Roles attach to the real pool: worker index w in the task log IS
+  // adversary worker w.
+  spec.num_workers = static_cast<int>(workers_.size());
+  CF_ASSIGN_OR_RETURN(adversary_, AdversaryModel::Create(spec));
+  return Status::Ok();
+}
+
 void CrowdPlatform::ConfigureAsync(LatencyOptions latency,
                                    common::Clock* clock) {
   latency_ = LatencyModel(latency);
@@ -87,7 +105,7 @@ core::TicketLedger& CrowdPlatform::ledger() {
 }
 
 double CrowdPlatform::SampleBatchLatencySeconds(size_t batch_size) {
-  if (!latency_.enabled()) return 0.0;
+  if (!latency_.has_latency()) return 0.0;
   const int redundancy =
       std::min(options_.redundancy, static_cast<int>(workers_.size()));
   double batch_seconds = 0.0;

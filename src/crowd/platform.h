@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/async_provider.h"
 #include "core/crowdfusion.h"
+#include "crowd/adversary.h"
 #include "crowd/latency_model.h"
 #include "crowd/worker.h"
 #include "data/statement.h"
@@ -60,6 +61,18 @@ class CrowdPlatform : public core::AnswerProvider,
   void ConfigureAsync(LatencyOptions latency,
                       common::Clock* clock = nullptr);
 
+  /// Installs a hostile worker layer over the REAL pool: the adversary's
+  /// roles are assigned to this platform's worker indices (the spec's
+  /// num_workers is overridden with the pool size), so task assignment,
+  /// redundancy, and majority voting run unchanged while judgments come
+  /// from each worker's role. Honest platforms (no call) run the
+  /// historical code byte-for-byte.
+  common::Status ConfigureAdversary(core::AdversarySpec spec);
+
+  /// The installed adversary, or nullptr for an honest platform.
+  const AdversaryModel* adversary() const { return adversary_.get(); }
+  AdversaryModel* adversary() { return adversary_.get(); }
+
   common::Result<core::TicketId> Submit(
       std::span<const int> fact_ids,
       const core::TicketOptions& options) override;
@@ -95,6 +108,7 @@ class CrowdPlatform : public core::AnswerProvider,
   std::vector<data::StatementCategory> categories_;
   Options options_;
   common::Rng rng_;
+  std::unique_ptr<AdversaryModel> adversary_;
   std::vector<TaskLog> task_log_;
   int64_t judgments_collected_ = 0;
   int64_t aggregated_correct_ = 0;

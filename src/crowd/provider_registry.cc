@@ -49,14 +49,20 @@ common::Result<core::ProviderHandle> MakeSimulatedCrowd(
   }
   auto provider = std::make_shared<SimulatedCrowd>(
       spec.truths, std::move(categories), bias, spec.seed);
-  if (spec.latency_median_seconds > 0) {
-    LatencyOptions latency;
-    latency.median_seconds = spec.latency_median_seconds;
-    latency.sigma = spec.latency_sigma;
-    latency.failure_probability = spec.failure_probability;
-    latency.straggler_probability = spec.straggler_probability;
-    latency.straggler_factor = spec.straggler_factor;
-    latency.seed = spec.latency_seed;
+  if (spec.adversary.enabled) {
+    CF_RETURN_IF_ERROR(provider->ConfigureAdversary(spec.adversary));
+  }
+  LatencyOptions latency;
+  latency.median_seconds = spec.latency_median_seconds;
+  latency.sigma = spec.latency_sigma;
+  latency.failure_probability = spec.failure_probability;
+  latency.straggler_probability = spec.straggler_probability;
+  latency.straggler_factor = spec.straggler_factor;
+  latency.seed = spec.latency_seed;
+  // LatencyModel::enabled() sees every knob, so a zero-latency spec that
+  // only injects failures activates the async model too (historically it
+  // was silently ignored unless median_seconds > 0).
+  if (LatencyModel(latency).enabled()) {
     provider->ConfigureAsync(latency, clock);
   }
 

@@ -34,12 +34,28 @@ common::Result<std::vector<bool>> SimulatedCrowd::CollectAnswers(
     const data::StatementCategory category =
         categories_.empty() ? data::StatementCategory::kClean
                             : categories_[static_cast<size_t>(id)];
-    const bool answer = worker_.Judge(truth, category, rng_);
+    // The honest branch must stay byte-identical to the pre-adversary
+    // crowd: same draw, same stream (the adversary-off differential).
+    const bool answer =
+        adversary_ == nullptr
+            ? worker_.Judge(truth, category, rng_)
+            : adversary_->Judge(id, truth, category, worker_.bias());
     ++answers_served_;
     if (answer == truth) ++answers_correct_;
     answers.push_back(answer);
   }
   return answers;
+}
+
+common::Status SimulatedCrowd::ConfigureAdversary(
+    const core::AdversarySpec& spec) {
+  if (!spec.enabled) {
+    return Status::InvalidArgument(
+        "refusing to install a disabled adversary; leave the crowd honest "
+        "instead");
+  }
+  CF_ASSIGN_OR_RETURN(adversary_, AdversaryModel::Create(spec));
+  return Status::Ok();
 }
 
 void SimulatedCrowd::ConfigureAsync(LatencyOptions latency,

@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "core/async_provider.h"
 #include "core/crowdfusion.h"
+#include "crowd/adversary.h"
 #include "crowd/latency_model.h"
 #include "crowd/worker.h"
 #include "data/statement.h"
@@ -53,6 +54,18 @@ class SimulatedCrowd : public core::AnswerProvider,
   void ConfigureAsync(LatencyOptions latency,
                       common::Clock* clock = nullptr);
 
+  /// Installs a hostile worker layer: every subsequent judgment is drawn
+  /// by the AdversaryModel (from its own RNG stream) instead of the
+  /// honest aggregate worker. Without this call — or with
+  /// spec.enabled == false, which is rejected — the honest path runs
+  /// byte-for-byte as before, so adversary-off stays differentially
+  /// identical to the pre-adversary crowd.
+  common::Status ConfigureAdversary(const core::AdversarySpec& spec);
+
+  /// The installed adversary, or nullptr for an honest crowd.
+  const AdversaryModel* adversary() const { return adversary_.get(); }
+  AdversaryModel* adversary() { return adversary_.get(); }
+
   common::Result<core::TicketId> Submit(
       std::span<const int> fact_ids,
       const core::TicketOptions& options) override;
@@ -74,6 +87,7 @@ class SimulatedCrowd : public core::AnswerProvider,
   std::vector<data::StatementCategory> categories_;
   Worker worker_;
   common::Rng rng_;
+  std::unique_ptr<AdversaryModel> adversary_;
   int64_t answers_served_ = 0;
   int64_t answers_correct_ = 0;
   LatencyModel latency_;

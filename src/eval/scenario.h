@@ -1,0 +1,104 @@
+#ifndef CROWDFUSION_EVAL_SCENARIO_H_
+#define CROWDFUSION_EVAL_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "core/registry.h"
+
+namespace crowdfusion::eval {
+
+/// Named adversarial crowd scenarios, golden-pinned end to end.
+///
+/// Each scenario fixes one hostile-crowd regime (a core::AdversarySpec
+/// plus workload/budget knobs) and runs it across every machine-only
+/// fuser in the registry, producing an accuracy/precision-vs-budget
+/// report whose JSON serialization is byte-stable across runs: seeded
+/// generation, zero simulated latency (no Box-Muller draws anywhere near
+/// the judgment path), count-ratio metrics only, and metric doubles
+/// emitted as fixed 6-decimal strings ("0.821429") so the goldens stay
+/// readable. The checked-in goldens under ci/scenario_goldens/
+/// are the single source of truth; regenerate with
+///   UPDATE_GOLDENS=1 ctest -R scenario_golden
+/// or `crowdfusion_cli scenario --all --out-dir ci/scenario_goldens`
+/// after an intentional behavior change.
+///
+/// The scenario names (see ScenarioNames()):
+///  * "baseline"  — honest crowd, the control every hostile regime is
+///                  read against.
+///  * "collusion" — a colluding clique answers wrong in unison on an
+///                  agreed half of the facts.
+///  * "sybil"     — half the pool are sybils cloning one answer stream.
+///  * "spam"      — random spammers plus majority-parroting workers.
+///  * "drift"     — per-worker accuracy decays as they answer (fatigue),
+///                  clamped to the spec's floor.
+///  * "streaming" — new fact universes arrive mid-run; the session
+///                  re-plans selection over the grown universe via
+///                  Session::AddInstances.
+
+/// One (cost, quality) sample: taken after each global engine pass.
+struct ScenarioCurvePoint {
+  int cost = 0;
+  double accuracy = 0.0;
+  double precision = 0.0;
+
+  friend bool operator==(const ScenarioCurvePoint& a,
+                         const ScenarioCurvePoint& b) = default;
+};
+
+/// One fuser's trajectory under the scenario's crowd.
+struct ScenarioFuserReport {
+  std::string fuser;
+  /// Machine-only quality before any crowd task is spent.
+  double initial_accuracy = 0.0;
+  double initial_precision = 0.0;
+  /// Quality when the budget is exhausted (or no positive-gain task
+  /// remains).
+  double final_accuracy = 0.0;
+  double final_precision = 0.0;
+  int cost_spent = 0;
+  /// Crowd answers served / of those agreeing with ground truth. Under a
+  /// hostile crowd the empirical accuracy is the attack's footprint.
+  int64_t answers_served = 0;
+  int64_t answers_correct = 0;
+  double crowd_empirical_accuracy = 0.0;
+  std::vector<ScenarioCurvePoint> curve;
+
+  friend bool operator==(const ScenarioFuserReport& a,
+                         const ScenarioFuserReport& b) = default;
+};
+
+struct ScenarioReport {
+  std::string name;
+  std::string description;
+  core::AdversarySpec adversary;
+  int num_instances = 0;
+  int total_facts = 0;
+  /// "streaming" only: instances held back and injected mid-run.
+  int arrivals = 0;
+  std::vector<ScenarioFuserReport> fusers;
+
+  friend bool operator==(const ScenarioReport& a,
+                         const ScenarioReport& b) = default;
+};
+
+/// The scenario registry, in golden order.
+std::vector<std::string> ScenarioNames();
+
+/// Runs one named scenario across every fuser. kInvalidArgument for an
+/// unknown name (the message lists the known ones).
+common::Result<ScenarioReport> RunScenario(const std::string& name);
+
+/// Deterministic report serialization (pre-rounded doubles, insertion
+/// order fixed) — the bytes the goldens pin is Dump(2) of this plus a
+/// trailing newline.
+common::JsonValue ScenarioReportToJson(const ScenarioReport& report);
+
+/// Dump(2) + trailing newline: exactly the golden file contents.
+std::string SerializeScenarioReport(const ScenarioReport& report);
+
+}  // namespace crowdfusion::eval
+
+#endif  // CROWDFUSION_EVAL_SCENARIO_H_

@@ -430,61 +430,116 @@ common::Result<std::unique_ptr<Session>> FusionService::CreateSession(
   // instance's gold labels and derive per-instance seeds, then build
   // through the registry. The session owns every provider handle, so the
   // engine/scheduler borrow contracts hold by construction.
+  session->provider_template_ = request.provider;
+  session->budget_ = request.budget;
+  session->providers_ = &providers_;
   for (int index = 0; index < num_instances; ++index) {
-    InstanceSpec& spec = workload[static_cast<size_t>(index)];
-    Session::Instance instance;
-    instance.name =
-        spec.name.empty() ? common::StrFormat("instance-%d", index)
-                          : spec.name;
-    instance.truths = spec.truths;
-    instance.num_facts = spec.joint.num_facts();
-
-    core::ProviderSpec provider_spec = request.provider;
-    if (provider_spec.truths.empty()) {
-      provider_spec.truths = spec.truths;
-      provider_spec.categories = spec.categories;
-    }
-    provider_spec.seed = request.provider.seed + static_cast<uint64_t>(index);
-    provider_spec.latency_seed =
-        request.provider.latency_seed + static_cast<uint64_t>(index);
-    CF_ASSIGN_OR_RETURN(instance.provider,
-                        providers_.Create(provider_spec.kind,
-                                          provider_spec));
-
-    if (request.mode == RunMode::kEngine) {
-      if (instance.provider.sync == nullptr) {
-        return Status::InvalidArgument(
-            "provider \"" + provider_spec.kind +
-            "\" has no synchronous interface; engine mode needs one");
-      }
-      core::EngineOptions options;
-      options.budget = request.budget.budget_per_instance;
-      options.tasks_per_round = request.budget.tasks_per_step;
-      CF_ASSIGN_OR_RETURN(
-          core::CrowdFusionEngine engine,
-          core::CrowdFusionEngine::Create(
-              std::move(spec.joint), crowd, session->selector_.get(),
-              instance.provider.sync, options));
-      instance.engine.emplace(std::move(engine));
-    } else if (instance.provider.async != nullptr) {
-      CF_RETURN_IF_ERROR(session->scheduler_
-                             ->AddInstanceAsync(instance.name,
-                                                std::move(spec.joint),
-                                                instance.provider.async)
-                             .status());
-    } else if (instance.provider.sync != nullptr) {
-      CF_RETURN_IF_ERROR(session->scheduler_
-                             ->AddInstance(instance.name,
-                                           std::move(spec.joint),
-                                           instance.provider.sync)
-                             .status());
-    } else {
-      return Status::Internal("provider \"" + provider_spec.kind +
-                              "\" produced no usable interface");
-    }
-    session->instances_.push_back(std::move(instance));
+    CF_RETURN_IF_ERROR(session->BindInstance(
+        std::move(workload[static_cast<size_t>(index)])));
   }
   return session;
+}
+
+common::Status Session::BindInstance(InstanceSpec spec) {
+  const int index = next_seed_index_++;
+  Instance instance;
+  instance.name = spec.name.empty()
+                      ? common::StrFormat("instance-%d", index)
+                      : spec.name;
+  instance.truths = spec.truths;
+  instance.num_facts = spec.joint.num_facts();
+
+  core::ProviderSpec provider_spec = provider_template_;
+  if (provider_spec.truths.empty()) {
+    provider_spec.truths = spec.truths;
+    provider_spec.categories = spec.categories;
+  }
+  provider_spec.seed =
+      provider_template_.seed + static_cast<uint64_t>(index);
+  provider_spec.latency_seed =
+      provider_template_.latency_seed + static_cast<uint64_t>(index);
+  provider_spec.adversary.seed =
+      provider_template_.adversary.seed + static_cast<uint64_t>(index);
+  CF_ASSIGN_OR_RETURN(instance.provider,
+                      providers_->Create(provider_spec.kind, provider_spec));
+
+  if (mode_ == RunMode::kEngine) {
+    if (instance.provider.sync == nullptr) {
+      return Status::InvalidArgument(
+          "provider \"" + provider_spec.kind +
+          "\" has no synchronous interface; engine mode needs one");
+    }
+    core::EngineOptions options;
+    options.budget = budget_.budget_per_instance;
+    options.tasks_per_round = budget_.tasks_per_step;
+    CF_ASSIGN_OR_RETURN(
+        core::CrowdFusionEngine engine,
+        core::CrowdFusionEngine::Create(std::move(spec.joint), *crowd_,
+                                        selector_.get(),
+                                        instance.provider.sync, options));
+    instance.engine.emplace(std::move(engine));
+  } else if (instance.provider.async != nullptr) {
+    CF_RETURN_IF_ERROR(scheduler_
+                           ->AddInstanceAsync(instance.name,
+                                              std::move(spec.joint),
+                                              instance.provider.async)
+                           .status());
+  } else if (instance.provider.sync != nullptr) {
+    CF_RETURN_IF_ERROR(scheduler_
+                           ->AddInstance(instance.name, std::move(spec.joint),
+                                         instance.provider.sync)
+                           .status());
+  } else {
+    return Status::Internal("provider \"" + provider_spec.kind +
+                            "\" produced no usable interface");
+  }
+  instances_.push_back(std::move(instance));
+  return Status::Ok();
+}
+
+common::Result<int> Session::AddInstances(std::vector<InstanceSpec> specs,
+                                          int additional_budget) {
+  if (specs.empty()) {
+    return Status::InvalidArgument("no instances to add");
+  }
+  if (additional_budget < 0) {
+    return Status::InvalidArgument("additional_budget must be non-negative");
+  }
+  if (mode_ == RunMode::kEngine && additional_budget != 0) {
+    return Status::InvalidArgument(
+        "engine mode budgets per instance (budget_per_instance); "
+        "additional_budget is a scheduler-mode knob");
+  }
+  for (const InstanceSpec& spec : specs) {
+    if (spec.joint.num_facts() == 0) {
+      return Status::InvalidArgument("instance \"" + spec.name +
+                                     "\" has no facts");
+    }
+    if (!spec.truths.empty() &&
+        static_cast<int>(spec.truths.size()) != spec.joint.num_facts()) {
+      return Status::InvalidArgument("instance \"" + spec.name +
+                                     "\" truths do not match its fact count");
+    }
+  }
+
+  const int first_new_instance = num_instances();
+  if (mode_ != RunMode::kEngine && additional_budget > 0) {
+    CF_RETURN_IF_ERROR(scheduler_->AddBudget(additional_budget));
+    total_budget_ += additional_budget;
+  }
+  for (InstanceSpec& spec : specs) {
+    CF_RETURN_IF_ERROR(BindInstance(std::move(spec)));
+    if (mode_ == RunMode::kEngine) {
+      total_budget_ += budget_.budget_per_instance;
+    }
+  }
+
+  // A run that stopped for lack of gain (or arrivals) resumes; one whose
+  // global budget is already spent stays done until budget arrives too.
+  if (mode_ == RunMode::kEngine || scheduler_->HasBudget()) {
+    done_ = false;
+  }
+  return first_new_instance;
 }
 
 common::Result<FusionResponse> FusionService::Run(

@@ -109,7 +109,8 @@ struct FusionRequest {
   core::SelectorSpec selector;
   /// Per-instance provider template: the session clones it for every
   /// instance, binding that instance's truths/categories and deriving
-  /// seeds as spec.seed + instance index (latency_seed likewise).
+  /// seeds as spec.seed + instance index (latency_seed and adversary.seed
+  /// likewise, so hostile pools differ per instance).
   core::ProviderSpec provider;
   /// Pc the system's Bayesian update assumes (the CrowdModel).
   double assumed_pc = 0.8;
@@ -231,6 +232,22 @@ class Session {
   /// Non-blocking progress snapshot.
   SessionProgress Poll() const;
 
+  /// Streaming arrivals: appends new fact universes to a LIVE session,
+  /// between Step() calls. Providers are bound from the creation
+  /// request's template exactly as at creation time (per-instance seeds
+  /// continue the index sequence), and the backend registers the new
+  /// joints, so the next Step() re-plans selection over the grown
+  /// universe. Engine mode grants each arrival the request's
+  /// budget_per_instance (additional_budget must be 0); scheduler modes
+  /// keep the global budget and raise it by additional_budget. A session
+  /// that had stopped for lack of gain resumes when the arrivals give it
+  /// work. Returns the index of the first new instance. Requires the
+  /// creating FusionService to still be alive (it lends its provider
+  /// registry). On error the session keeps any instances bound before
+  /// the failure.
+  common::Result<int> AddInstances(std::vector<InstanceSpec> specs,
+                                   int additional_budget = 0);
+
   /// Assembles the final response from the state so far. Typically called
   /// after done(); safe to call mid-run for a partial report.
   FusionResponse Finish() const;
@@ -272,6 +289,11 @@ class Session {
 
   Session() = default;
 
+  /// Binds one provider from the stored template and registers the
+  /// instance with the session's backend — the one path used both at
+  /// creation and by AddInstances.
+  common::Status BindInstance(InstanceSpec spec);
+
   common::Result<std::vector<StepOutcome>> StepEngine();
   common::Result<std::vector<StepOutcome>> StepBlocking();
   common::Result<std::vector<StepOutcome>> StepPipelined();
@@ -283,6 +305,15 @@ class Session {
   std::string label_;
   std::optional<core::CrowdModel> crowd_;
   std::unique_ptr<core::TaskSelector> selector_;
+  /// Creation-request state AddInstances binds arrivals from.
+  core::ProviderSpec provider_template_;
+  BudgetSpec budget_;
+  /// Borrowed from the creating service (alive for every in-repo client:
+  /// the HTTP front-end, eval, and the CLI all outlive their sessions).
+  const core::ProviderRegistry* providers_ = nullptr;
+  /// Next per-instance seed offset; keeps growing across AddInstances so
+  /// arrival N + i seeds exactly like a creation-time instance N + i.
+  int next_seed_index_ = 0;
   std::vector<Instance> instances_;
   /// Scheduler modes only.
   std::optional<core::BudgetScheduler> scheduler_;
@@ -326,6 +357,15 @@ class FusionService {
 
   /// CreateSession + drain: runs the request to completion.
   common::Result<FusionResponse> Run(FusionRequest request) const;
+
+  /// Materializes the request's workload (inline instances validated, or
+  /// the dataset pipeline run) WITHOUT creating a session — so streaming
+  /// clients can hold back a tail of the workload and feed it to a live
+  /// session later via Session::AddInstances.
+  common::Result<std::vector<InstanceSpec>> MaterializeWorkload(
+      FusionRequest request) const {
+    return BuildWorkload(request);
+  }
 
  private:
   /// Consumes the request's inline instances (moved out, not copied — a

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/json_util.h"
 #include "common/string_util.h"
 #include "common/math_util.h"
 #include "net/wire.h"
@@ -272,6 +273,45 @@ net::HttpResponse HttpFrontend::HandleSessions(const HttpRequest& request,
       array.Append(StepOutcomeToJson(outcome));
     }
     response.Set("outcomes", std::move(array));
+    return JsonResponse(200, response);
+  }
+
+  if (tail == "/instances") {
+    if (request.method != "POST") {
+      return ErrorResponse(
+          Status::InvalidArgument("instances is POST-only"));
+    }
+    auto body = common::JsonValue::Parse(request.body);
+    if (!body.ok()) return ErrorResponse(body.status());
+    auto object = common::JsonRequireObject(*body, "instances request");
+    if (!object.ok()) return ErrorResponse(object.status());
+    int additional_budget = 0;
+    if (auto read = common::JsonReadInt(*body, "additional_budget",
+                                        &additional_budget);
+        !read.ok()) {
+      return ErrorResponse(read);
+    }
+    const JsonValue* items = body->Find("instances");
+    if (items == nullptr || !items->is_array()) {
+      return ErrorResponse(
+          Status::InvalidArgument("instances must be an array"));
+    }
+    std::vector<InstanceSpec> specs;
+    specs.reserve(items->array().size());
+    for (const JsonValue& item : items->array()) {
+      auto spec = InstanceSpecFromJson(item);
+      if (!spec.ok()) return ErrorResponse(spec.status());
+      specs.push_back(std::move(spec).value());
+    }
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    auto first = entry->session->AddInstances(std::move(specs),
+                                              additional_budget);
+    if (!first.ok()) return ErrorResponse(first.status());
+    JsonValue response = JsonValue::MakeObject();
+    response.Set("session_id", entry->id);
+    response.Set("num_instances", entry->session->num_instances());
+    response.Set("first_new_instance", *first);
+    response.Set("done", entry->session->done());
     return JsonResponse(200, response);
   }
 

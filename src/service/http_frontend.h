@@ -28,6 +28,12 @@ namespace crowdfusion::service {
 ///                                      "ttl_seconds", "label"}
 ///   POST   /v1/sessions/{id}/step  advance one quantum
 ///                                  -> {"done", "outcomes": [...]}
+///   POST   /v1/sessions/{id}/instances  stream new fact universes into a
+///                                  live session ({"instances": [...],
+///                                  "additional_budget": n} ->
+///                                  {"num_instances", "first_new_instance",
+///                                  "done"}); selection re-plans over the
+///                                  grown universe on the next step
 ///   GET    /v1/sessions/{id}       progress snapshot (Session::Poll)
 ///   GET    /v1/sessions/{id}/result  full response so far (Session::Finish)
 ///   DELETE /v1/sessions/{id}       drop the session

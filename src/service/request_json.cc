@@ -338,12 +338,7 @@ JsonValue FusionRequestToJson(const FusionRequest& request) {
   if (!request.instances.empty()) {
     JsonValue instances = JsonValue::MakeArray();
     for (const InstanceSpec& instance : request.instances) {
-      JsonValue item = JsonValue::MakeObject();
-      item.Set("name", instance.name);
-      item.Set("joint", JointToJson(instance.joint));
-      item.Set("truths", JsonFromBoolVec(instance.truths));
-      item.Set("categories", JsonFromIntVec(instance.categories));
-      instances.Append(std::move(item));
+      instances.Append(InstanceSpecToJson(instance));
     }
     json.Set("instances", std::move(instances));
   }
@@ -351,6 +346,27 @@ JsonValue FusionRequestToJson(const FusionRequest& request) {
     json.Set("dataset", DatasetSpecToJson(*request.dataset));
   }
   return json;
+}
+
+JsonValue InstanceSpecToJson(const InstanceSpec& instance) {
+  JsonValue item = JsonValue::MakeObject();
+  item.Set("name", instance.name);
+  item.Set("joint", JointToJson(instance.joint));
+  item.Set("truths", JsonFromBoolVec(instance.truths));
+  item.Set("categories", JsonFromIntVec(instance.categories));
+  return item;
+}
+
+common::Result<InstanceSpec> InstanceSpecFromJson(const JsonValue& json) {
+  CF_RETURN_IF_ERROR(JsonRequireObject(json, "instance").status());
+  InstanceSpec instance;
+  CF_RETURN_IF_ERROR(JsonReadString(json, "name", &instance.name));
+  CF_ASSIGN_OR_RETURN(const JsonValue* joint, json.Get("joint"));
+  CF_ASSIGN_OR_RETURN(instance.joint, JointFromJson(*joint));
+  CF_RETURN_IF_ERROR(JsonReadBoolVec(json, "truths", &instance.truths));
+  CF_RETURN_IF_ERROR(
+      JsonReadIntVec(json, "categories", &instance.categories));
+  return instance;
 }
 
 common::Result<FusionRequest> FusionRequestFromJson(const JsonValue& json) {
@@ -406,14 +422,7 @@ common::Result<FusionRequest> FusionRequestFromJson(const JsonValue& json) {
       return Status::InvalidArgument("instances must be an array");
     }
     for (const JsonValue& item : instances->array()) {
-      CF_RETURN_IF_ERROR(JsonRequireObject(item, "instance").status());
-      InstanceSpec instance;
-      CF_RETURN_IF_ERROR(JsonReadString(item, "name", &instance.name));
-      CF_ASSIGN_OR_RETURN(const JsonValue* joint, item.Get("joint"));
-      CF_ASSIGN_OR_RETURN(instance.joint, JointFromJson(*joint));
-      CF_RETURN_IF_ERROR(JsonReadBoolVec(item, "truths", &instance.truths));
-      CF_RETURN_IF_ERROR(
-          JsonReadIntVec(item, "categories", &instance.categories));
+      CF_ASSIGN_OR_RETURN(InstanceSpec instance, InstanceSpecFromJson(item));
       request.instances.push_back(std::move(instance));
     }
   }

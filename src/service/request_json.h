@@ -48,6 +48,13 @@ common::JsonValue JointToJson(const core::JointDistribution& joint);
 common::Result<core::JointDistribution> JointFromJson(
     const common::JsonValue& json);
 
+/// One inline fact universe, as embedded in request "instances" — exposed
+/// for the streaming-arrivals wire (POST /v1/sessions/{id}/instances
+/// ships an array of these to a live session).
+common::JsonValue InstanceSpecToJson(const InstanceSpec& instance);
+common::Result<InstanceSpec> InstanceSpecFromJson(
+    const common::JsonValue& json);
+
 /// One select-collect-merge quantum, as embedded in response "steps" —
 /// exposed for the incremental session wire (POST /v1/sessions/{id}/step
 /// streams these as they land).

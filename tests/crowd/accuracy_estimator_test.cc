@@ -7,6 +7,12 @@
 namespace crowdfusion::crowd {
 namespace {
 
+core::AdversarySpec EnabledAdversary() {
+  core::AdversarySpec spec;
+  spec.enabled = true;
+  return spec;
+}
+
 TEST(WilsonEstimateTest, DegenerateInputs) {
   const AccuracyEstimate empty = WilsonEstimate(0, 0);
   EXPECT_EQ(empty.trials, 0);
@@ -95,6 +101,66 @@ TEST(EstimateAccuracyTest, BiasedCategoriesLowerTheEstimate) {
   auto estimate = EstimateAccuracy(crowd, {0, 1, 2, 3}, truths, 250);
   ASSERT_TRUE(estimate.ok());
   EXPECT_NEAR(estimate->mean, 0.4, 0.04);
+}
+
+TEST(EstimateAccuracyTest, SpamAdversaryReadsAsACoinFlip) {
+  // A pre-test against an all-spammer crowd must estimate ~0.5 — the
+  // calibration detects the attack instead of trusting the configured
+  // accuracy of 0.9.
+  std::vector<bool> truths = {true, false, true, false};
+  SimulatedCrowd crowd =
+      SimulatedCrowd::WithUniformAccuracy(truths, 0.9, 13);
+  core::AdversarySpec adversary = EnabledAdversary();
+  adversary.spammer_fraction = 1.0;
+  ASSERT_TRUE(crowd.ConfigureAdversary(adversary).ok());
+  auto estimate = EstimateAccuracy(crowd, {0, 1, 2, 3}, truths, 500);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate->mean, 0.5, 0.03);
+  // The paper-domain model clamps the useless crowd to the Pc floor.
+  auto model = estimate->ToCrowdModel();
+  ASSERT_TRUE(model.ok());
+  EXPECT_LE(model->pc(), 0.55);
+}
+
+TEST(EstimateAccuracyTest, FullCollusionReadsAsZero) {
+  std::vector<bool> truths = {true, false, true, false};
+  SimulatedCrowd crowd =
+      SimulatedCrowd::WithUniformAccuracy(truths, 0.9, 17);
+  core::AdversarySpec adversary = EnabledAdversary();
+  adversary.colluder_fraction = 1.0;
+  adversary.collusion_target_fraction = 1.0;
+  ASSERT_TRUE(crowd.ConfigureAdversary(adversary).ok());
+  auto estimate = EstimateAccuracy(crowd, {0, 1, 2, 3}, truths, 50);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate->correct, 0);
+  EXPECT_DOUBLE_EQ(estimate->mean, 0.0);
+}
+
+TEST(EstimateAccuracyTest, TracksDriftedAccuracyNotTheConfiguredOne) {
+  // One honest worker fatigues from 0.9 down to a 0.2 floor; the
+  // pre-test's estimate must land near the drift-averaged ground truth
+  // (measured from the adversary's own ruler), far below the configured
+  // base accuracy.
+  std::vector<bool> truths = {true, false, true, false};
+  SimulatedCrowd crowd =
+      SimulatedCrowd::WithUniformAccuracy(truths, 0.9, 19);
+  core::AdversarySpec adversary = EnabledAdversary();
+  adversary.num_workers = 1;
+  adversary.drift_per_answer = -0.02;
+  adversary.drift_floor = 0.2;
+  ASSERT_TRUE(crowd.ConfigureAdversary(adversary).ok());
+  auto estimate = EstimateAccuracy(crowd, {0, 1, 2, 3}, truths, 100);
+  ASSERT_TRUE(estimate.ok());
+  // 400 answers at -0.02/answer: floor reached after 35; the run-average
+  // ground truth is ≈ (35 x ~0.55 + 365 x 0.2) / 400 ≈ 0.23.
+  EXPECT_LT(estimate->mean, 0.35);
+  EXPECT_GT(estimate->mean, 0.15);
+  // The adversary's ruler agrees: the worker ended pinned at the floor.
+  const WorkerBias bias = WorkerBias::Uniform(0.9);
+  EXPECT_DOUBLE_EQ(crowd.adversary()->HonestAccuracy(
+                       0, data::StatementCategory::kClean, bias),
+                   0.2);
+  EXPECT_EQ(crowd.adversary()->answers_by(0), 400);
 }
 
 }  // namespace

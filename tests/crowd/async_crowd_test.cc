@@ -231,5 +231,43 @@ TEST(LatencyModelTest, DeterministicInSeed) {
   }
 }
 
+TEST(LatencyModelTest, EnabledSeesEveryKnobNotJustTheMedian) {
+  // Regression: enabled() historically meant median_seconds > 0, which
+  // silently dropped zero-latency configs that only inject failures or
+  // stragglers (and forced tests to fake a 1e-9s median to get them).
+  EXPECT_FALSE(LatencyModel(LatencyOptions{}).enabled());
+
+  LatencyOptions explicit_on;
+  explicit_on.enabled = true;
+  EXPECT_TRUE(LatencyModel(explicit_on).enabled());
+  EXPECT_FALSE(LatencyModel(explicit_on).has_latency());
+
+  LatencyOptions with_latency;
+  with_latency.median_seconds = 2.0;
+  EXPECT_TRUE(LatencyModel(with_latency).enabled());
+  EXPECT_TRUE(LatencyModel(with_latency).has_latency());
+
+  LatencyOptions failures_only;
+  failures_only.failure_probability = 0.5;
+  EXPECT_TRUE(LatencyModel(failures_only).enabled());
+  EXPECT_FALSE(LatencyModel(failures_only).has_latency());
+
+  LatencyOptions stragglers_only;
+  stragglers_only.straggler_probability = 0.25;
+  EXPECT_TRUE(LatencyModel(stragglers_only).enabled());
+  EXPECT_FALSE(LatencyModel(stragglers_only).has_latency());
+}
+
+TEST(LatencyModelTest, ZeroMedianFailureModelInjectsFailuresInstantly) {
+  LatencyOptions options;
+  options.failure_probability = 1.0;
+  LatencyModel model(options);
+  ASSERT_TRUE(model.enabled());
+  // Instant resolution (no latency draws touch the stream) …
+  EXPECT_DOUBLE_EQ(model.SampleTaskSeconds(), 0.0);
+  // … but failures still fire.
+  EXPECT_TRUE(model.SampleFailure());
+}
+
 }  // namespace
 }  // namespace crowdfusion::crowd

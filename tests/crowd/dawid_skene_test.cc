@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "crowd/adversary.h"
+#include "crowd/worker.h"
 
 namespace crowdfusion::crowd {
 namespace {
@@ -119,6 +121,92 @@ TEST(DawidSkeneTest, WorkerWithoutJudgmentsKeepsInitialAccuracy) {
   ASSERT_TRUE(result.ok());
   EXPECT_DOUBLE_EQ(result->worker_accuracy[1], 0.8);
   EXPECT_DOUBLE_EQ(result->worker_accuracy[2], 0.8);
+}
+
+TEST(DawidSkeneTest, SeparatesSpammersFromHonestAdversaryPool) {
+  // Judgments drawn straight from the AdversaryModel: a half-spammer pool
+  // must come back as ~0.5 workers while the honest half recovers its
+  // configured 0.85 accuracy — the confusion matrix exposes the attack.
+  core::AdversarySpec spec;
+  spec.enabled = true;
+  spec.num_workers = 6;
+  spec.spammer_fraction = 0.5;  // workers 0-2 spam, 3-5 stay honest
+  spec.seed = 77;
+  auto model = AdversaryModel::Create(spec);
+  ASSERT_TRUE(model.ok());
+  const WorkerBias bias = WorkerBias::Uniform(0.85);
+  const int kTasks = 400;
+  for (int t = 0; t < kTasks; ++t) {
+    const bool truth = t % 2 == 0;
+    for (int w = 0; w < spec.num_workers; ++w) {
+      (*model)->JudgeAs(w, t, truth, data::StatementCategory::kClean, bias);
+    }
+  }
+  std::vector<Judgment> judgments;
+  for (const AdversaryModel::Judgment& entry : (*model)->log()) {
+    judgments.push_back({entry.fact_id, entry.worker, entry.answer});
+  }
+  auto result = RunDawidSkene(kTasks, spec.num_workers, judgments);
+  ASSERT_TRUE(result.ok());
+  for (int w = 0; w < 3; ++w) {
+    ASSERT_EQ((*model)->role(w), AdversaryRole::kSpammer);
+    EXPECT_NEAR(result->worker_accuracy[static_cast<size_t>(w)], 0.5, 0.08)
+        << "spammer " << w;
+  }
+  for (int w = 3; w < 6; ++w) {
+    ASSERT_EQ((*model)->role(w), AdversaryRole::kHonest);
+    EXPECT_NEAR(result->worker_accuracy[static_cast<size_t>(w)], 0.85, 0.08)
+        << "honest worker " << w;
+  }
+}
+
+TEST(DawidSkeneTest, RecoversDriftDegradedWorker) {
+  // Worker 0 burns 600 warm-up answers and drifts from 0.85 down to the
+  // 0.55 floor before scoring starts; workers 1-2 enter fresh. EM must
+  // recover the DRIFTED accuracy for worker 0 — near the floor, well below
+  // the fresh pair — matching the model's own HonestAccuracy ruler.
+  core::AdversarySpec spec;
+  spec.enabled = true;
+  spec.num_workers = 3;
+  spec.drift_per_answer = -0.0005;
+  spec.drift_floor = 0.55;
+  spec.seed = 78;
+  auto model = AdversaryModel::Create(spec);
+  ASSERT_TRUE(model.ok());
+  const WorkerBias bias = WorkerBias::Uniform(0.85);
+  const int kWarmup = 600;
+  for (int t = 0; t < kWarmup; ++t) {
+    (*model)->JudgeAs(0, t, true, data::StatementCategory::kClean, bias);
+  }
+  EXPECT_DOUBLE_EQ(
+      (*model)->HonestAccuracy(0, data::StatementCategory::kClean, bias),
+      0.55);
+
+  const int kTasks = 400;
+  for (int t = 0; t < kTasks; ++t) {
+    const bool truth = t % 2 == 0;
+    for (int w = 0; w < spec.num_workers; ++w) {
+      (*model)->JudgeAs(w, kWarmup + t, truth,
+                        data::StatementCategory::kClean, bias);
+    }
+  }
+  // Score only the post-warm-up judgments, remapped to task ids [0, 400).
+  std::vector<Judgment> judgments;
+  for (const AdversaryModel::Judgment& entry : (*model)->log()) {
+    if (entry.fact_id < kWarmup) continue;
+    judgments.push_back({entry.fact_id - kWarmup, entry.worker, entry.answer});
+  }
+  auto result = RunDawidSkene(kTasks, spec.num_workers, judgments);
+  ASSERT_TRUE(result.ok());
+  // Worker 0 sits at the floor; workers 1-2 drift 0.85 -> 0.65 over the
+  // scoring run (average ~0.75).
+  EXPECT_NEAR(result->worker_accuracy[0], 0.55, 0.09);
+  for (size_t w : {1u, 2u}) {
+    EXPECT_GT(result->worker_accuracy[w], result->worker_accuracy[0] + 0.1)
+        << "fresh worker " << w;
+    EXPECT_NEAR(result->worker_accuracy[w], 0.75, 0.09)
+        << "fresh worker " << w;
+  }
 }
 
 TEST(DawidSkeneTest, TaskPriorShiftsUnsupportedTasks) {

@@ -1,0 +1,114 @@
+/// Golden-backed scenario harness tests (the PR-7 tentpole's anchor):
+/// every named adversarial scenario's report must match its checked-in
+/// golden under ci/scenario_goldens/ byte-for-byte. The goldens are the
+/// single source of truth — the serve-e2e CI job regenerates them via
+/// `crowdfusion_cli scenario --all` and diffs, so the CLI and this
+/// in-process path must agree too.
+///
+/// After an INTENTIONAL behavior change, regenerate with
+///   UPDATE_GOLDENS=1 ctest -R scenario_golden
+/// and commit the diff.
+
+#include "eval/scenario.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace crowdfusion::eval {
+namespace {
+
+// Injected by tests/eval/CMakeLists.txt; points at the source tree's
+// ci/scenario_goldens directory so UPDATE_GOLDENS=1 edits the checked-in
+// files in place.
+#ifndef CROWDFUSION_SCENARIO_GOLDEN_DIR
+#error "CROWDFUSION_SCENARIO_GOLDEN_DIR must be defined by the build"
+#endif
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(CROWDFUSION_SCENARIO_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+bool UpdateGoldens() {
+  const char* flag = std::getenv("UPDATE_GOLDENS");
+  return flag != nullptr && std::string(flag) == "1";
+}
+
+class ScenarioGoldenTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioGoldenTest, MatchesCheckedInGolden) {
+  const std::string& name = GetParam();
+  const auto report = RunScenario(name);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::string actual = SerializeScenarioReport(*report);
+
+  const std::string path = GoldenPath(name);
+  if (UpdateGoldens()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << actual;
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    GTEST_SKIP() << "golden regenerated: " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (regenerate with UPDATE_GOLDENS=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "scenario \"" << name << "\" drifted from its golden; if the "
+      << "change is intentional, regenerate with UPDATE_GOLDENS=1 and "
+      << "commit the diff";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioGoldenTest,
+                         ::testing::ValuesIn(ScenarioNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(ScenarioHarnessTest, UnknownScenarioNamesTheKnownOnes) {
+  const auto report = RunScenario("no-such-scenario");
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().ToString().find("collusion"), std::string::npos)
+      << report.status().ToString();
+}
+
+TEST(ScenarioHarnessTest, ReportShapeIsComplete) {
+  const auto report = RunScenario("collusion");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->fusers.size(), 7u);
+  EXPECT_GT(report->num_instances, 0);
+  EXPECT_GT(report->total_facts, 0);
+  for (const ScenarioFuserReport& fuser : report->fusers) {
+    EXPECT_GT(fuser.cost_spent, 0) << fuser.fuser;
+    EXPECT_GT(fuser.answers_served, 0) << fuser.fuser;
+    // curve[0] is the machine-only starting point.
+    ASSERT_FALSE(fuser.curve.empty()) << fuser.fuser;
+    EXPECT_EQ(fuser.curve.front().cost, 0) << fuser.fuser;
+    EXPECT_EQ(fuser.curve.back().cost, fuser.cost_spent) << fuser.fuser;
+  }
+}
+
+TEST(ScenarioHarnessTest, StreamingScenarioGrowsTheSession) {
+  const auto streaming = RunScenario("streaming");
+  ASSERT_TRUE(streaming.ok()) << streaming.status().ToString();
+  EXPECT_GT(streaming->arrivals, 0);
+  // Arrivals join the same universe count as the non-streaming runs …
+  const auto baseline = RunScenario("baseline");
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_EQ(streaming->num_instances, baseline->num_instances);
+  // … and the curve visibly re-plans: costs keep growing after the
+  // arrival point (engine mode grants each arrival its own budget).
+  for (const ScenarioFuserReport& fuser : streaming->fusers) {
+    EXPECT_GT(fuser.cost_spent,
+              baseline->fusers.front().cost_spent *
+                  (streaming->num_instances - streaming->arrivals) /
+                  streaming->num_instances)
+        << fuser.fuser;
+  }
+}
+
+}  // namespace
+}  // namespace crowdfusion::eval

@@ -162,6 +162,128 @@ TEST_F(HttpFrontendTest, SessionLifecycleReproducesOneShotRun) {
   EXPECT_EQ(again->status_code, 200);
 }
 
+TEST_F(HttpFrontendTest, InstancesEndpointGrowsTheSessionMidRun) {
+  // Create, drain to done, then stream in an arrival over the wire: the
+  // revived session must serve the newcomer and match the same growth
+  // driven in-process through Session::AddInstances.
+  auto created = client_->Post("/v1/sessions",
+                               SerializeFusionRequest(ScriptedRequest()));
+  ASSERT_TRUE(created.ok()) << created.status();
+  ASSERT_EQ(created->status_code, 201) << created->body;
+  const std::string id =
+      ParseBody(*created).Find("session_id")->GetString().value();
+  bool done = false;
+  for (int i = 0; i < 64 && !done; ++i) {
+    auto stepped = client_->Post("/v1/sessions/" + id + "/step", "{}");
+    ASSERT_TRUE(stepped.ok()) << stepped.status();
+    ASSERT_EQ(stepped->status_code, 200) << stepped->body;
+    done = ParseBody(*stepped).Find("done")->GetBool().value();
+  }
+  ASSERT_TRUE(done);
+
+  InstanceSpec arrival;
+  arrival.name = "late";
+  const std::vector<double> marginals = {0.45, 0.65, 0.25, 0.6};
+  auto joint = core::JointDistribution::FromIndependentMarginals(marginals);
+  ASSERT_TRUE(joint.ok());
+  arrival.joint = std::move(joint).value();
+  arrival.truths = {true, true, false, false};
+  JsonValue grow_body = JsonValue::MakeObject();
+  grow_body.Set("instances", common::JsonValue::Array{
+                                 InstanceSpecToJson(arrival)});
+  auto grown = client_->Post("/v1/sessions/" + id + "/instances",
+                             grow_body.Dump());
+  ASSERT_TRUE(grown.ok()) << grown.status();
+  ASSERT_EQ(grown->status_code, 200) << grown->body;
+  const JsonValue grow_response = ParseBody(*grown);
+  EXPECT_EQ(grow_response.Find("num_instances")->GetInt().value(), 3);
+  EXPECT_EQ(grow_response.Find("first_new_instance")->GetInt().value(), 2);
+  EXPECT_FALSE(grow_response.Find("done")->GetBool().value());
+
+  // Step the revived session to done and assemble the result.
+  done = false;
+  for (int i = 0; i < 64 && !done; ++i) {
+    auto stepped = client_->Post("/v1/sessions/" + id + "/step", "{}");
+    ASSERT_TRUE(stepped.ok()) << stepped.status();
+    ASSERT_EQ(stepped->status_code, 200) << stepped->body;
+    done = ParseBody(*stepped).Find("done")->GetBool().value();
+  }
+  ASSERT_TRUE(done);
+  auto result = client_->Get("/v1/sessions/" + id + "/result");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status_code, 200);
+  auto assembled = ParseFusionResponse(result->body);
+  ASSERT_TRUE(assembled.ok()) << assembled.status();
+  ASSERT_EQ(assembled->instances.size(), 3u);
+  EXPECT_EQ(assembled->instances[2].name, "late");
+  EXPECT_EQ(assembled->instances[2].num_facts, 4);
+  EXPECT_GT(assembled->instances[2].cost_spent, 0);
+
+  // The same growth in-process, bit-for-bit (scripted -> deterministic).
+  FusionService direct;
+  auto session = direct.CreateSession(ScriptedRequest());
+  ASSERT_TRUE(session.ok());
+  while (!(*session)->done()) {
+    ASSERT_TRUE((*session)->Step().ok());
+  }
+  InstanceSpec same = arrival;
+  ASSERT_TRUE((*session)->AddInstances({std::move(same)}).ok());
+  while (!(*session)->done()) {
+    ASSERT_TRUE((*session)->Step().ok());
+  }
+  const FusionResponse expected = (*session)->Finish();
+  EXPECT_EQ(assembled->steps, expected.steps);
+  EXPECT_EQ(assembled->instances, expected.instances);
+}
+
+TEST_F(HttpFrontendTest, InstancesEndpointRejectsBadGrowth) {
+  auto created = client_->Post("/v1/sessions",
+                               SerializeFusionRequest(ScriptedRequest()));
+  ASSERT_TRUE(created.ok());
+  ASSERT_EQ(created->status_code, 201);
+  const std::string id =
+      ParseBody(*created).Find("session_id")->GetString().value();
+  const std::string path = "/v1/sessions/" + id + "/instances";
+
+  // POST-only.
+  auto got = client_->Get(path);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->status_code, 400);
+  // Malformed body.
+  auto bad_json = client_->Post(path, "{not json");
+  ASSERT_TRUE(bad_json.ok());
+  EXPECT_EQ(bad_json->status_code, 400);
+  // Missing instances array.
+  auto missing = client_->Post(path, "{}");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status_code, 400);
+  // Engine mode refuses additional_budget, and the error says why.
+  InstanceSpec arrival;
+  arrival.name = "late";
+  const std::vector<double> marginals = {0.5};
+  auto joint = core::JointDistribution::FromIndependentMarginals(marginals);
+  ASSERT_TRUE(joint.ok());
+  arrival.joint = std::move(joint).value();
+  arrival.truths = {true};
+  JsonValue body = JsonValue::MakeObject();
+  body.Set("instances",
+           common::JsonValue::Array{InstanceSpecToJson(arrival)});
+  body.Set("additional_budget", 5);
+  auto funded = client_->Post(path, body.Dump());
+  ASSERT_TRUE(funded.ok());
+  EXPECT_EQ(funded->status_code, 400);
+  EXPECT_NE(funded->body.find("budget_per_instance"), std::string::npos)
+      << funded->body;
+  // Unknown session.
+  auto orphan = client_->Post("/v1/sessions/s-404/instances", body.Dump());
+  ASSERT_TRUE(orphan.ok());
+  EXPECT_EQ(orphan->status_code, 404);
+  // The rejected calls changed nothing.
+  auto polled = client_->Get("/v1/sessions/" + id);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(ParseBody(*polled).Find("total_budget")->GetInt().value(), 10);
+}
+
 TEST_F(HttpFrontendTest, SessionIdsAreStableAndDistinct) {
   const std::string body = SerializeFusionRequest(ScriptedRequest());
   auto first = client_->Post("/v1/sessions", body);

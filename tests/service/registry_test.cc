@@ -137,6 +137,52 @@ TEST(ProviderRegistryTest, SimulatedCrowdValidatesSpec) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(ProviderRegistryTest, FailureOnlySpecActivatesTheAsyncModel) {
+  // Regression: the factory used to configure the async latency model
+  // only when latency_median_seconds > 0, so a zero-latency spec with
+  // failure_probability = 1 silently produced a never-failing provider
+  // (tests had to fake a 1e-9s median to arm it).
+  const core::ProviderRegistry registry = crowd::FullProviderRegistry();
+  core::ProviderSpec spec;
+  spec.kind = "simulated_crowd";
+  spec.truths = {true, false};
+  spec.failure_probability = 1.0;
+  auto provider = registry.Create(spec.kind, spec);
+  ASSERT_TRUE(provider.ok());
+  ASSERT_NE(provider->async, nullptr);
+  core::TicketOptions one_shot;
+  one_shot.max_attempts = 1;
+  auto ticket = provider->async->Submit(std::vector<int>{0}, one_shot);
+  ASSERT_TRUE(ticket.ok());
+  auto answers = provider->async->Await(*ticket);
+  ASSERT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ProviderRegistryTest, AdversarySpecReachesTheProvider) {
+  const core::ProviderRegistry registry = crowd::FullProviderRegistry();
+  core::ProviderSpec spec;
+  spec.kind = "simulated_crowd";
+  spec.truths = {true, false, true};
+  spec.accuracy = 0.9;
+  // Unanimous collusion on every fact: the registry-built provider must
+  // answer exactly wrong, proving the adversary block is wired through.
+  spec.adversary.enabled = true;
+  spec.adversary.colluder_fraction = 1.0;
+  spec.adversary.collusion_target_fraction = 1.0;
+  auto provider = registry.Create(spec.kind, spec);
+  ASSERT_TRUE(provider.ok());
+  ASSERT_NE(provider->sync, nullptr);
+  auto answers = provider->sync->CollectAnswers(std::vector<int>{0, 1, 2});
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(*answers, (std::vector<bool>{false, true, false}));
+
+  // An invalid adversary block fails construction loudly.
+  spec.adversary.colluder_fraction = 2.0;
+  EXPECT_EQ(registry.Create(spec.kind, spec).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(ProviderRegistryTest, ScriptedProviderAnswersScriptThenTruths) {
   const core::ProviderRegistry registry = core::BuiltinProviderRegistry();
   core::ProviderSpec spec;

@@ -202,6 +202,90 @@ TEST(RequestJsonTest, TruncationFuzzNeverCrashes) {
   }
 }
 
+/// Every adversary knob at a non-default, bit-awkward value.
+core::AdversarySpec FullAdversary() {
+  core::AdversarySpec adversary;
+  adversary.enabled = true;
+  adversary.num_workers = 23;
+  adversary.colluder_fraction = 1.0 / 3.0;  // 17-sig-digit double
+  adversary.collusion_target_fraction = 0.1;
+  adversary.sybil_fraction = 2.0 / 7.0;
+  adversary.spammer_fraction = 0.125;
+  adversary.parrot_fraction = 1.0 / 9.0;
+  adversary.drift_per_answer = -1e-3;
+  adversary.drift_floor = 0.15;
+  adversary.drift_ceiling = 0.95;
+  adversary.seed = 0xFEEDFACECAFEBEEFULL;
+  return adversary;
+}
+
+TEST(RequestJsonTest, AdversaryBlockRoundTripsEveryField) {
+  FusionRequest request = BaseRequest();
+  request.provider.kind = "simulated_crowd";
+  request.provider.accuracy = 0.8;
+  request.provider.adversary = FullAdversary();
+  ExpectRoundTrips(request, "adversary block");
+
+  // Field-level check through the reparse: nothing silently dropped.
+  auto reparsed = ParseFusionRequest(SerializeFusionRequest(request));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->provider.adversary, FullAdversary());
+}
+
+TEST(RequestJsonTest, AdversaryUnknownKeyRejectedByName) {
+  // A typo'd knob must fail naming the offending key — a silently-ignored
+  // adversary knob would quietly run an honest crowd where a hostile one
+  // was requested.
+  auto typo = ParseFusionRequest(
+      R"({"provider": {"adversary": {"enabled": true,
+          "colluder_fractoin": 0.5}}})");
+  ASSERT_FALSE(typo.ok());
+  EXPECT_NE(typo.status().message().find("colluder_fractoin"),
+            std::string::npos)
+      << typo.status();
+  EXPECT_NE(typo.status().message().find("adversary"), std::string::npos)
+      << typo.status();
+
+  // Every documented key, however, parses.
+  for (const std::string key :
+       {"enabled", "num_workers", "colluder_fraction",
+        "collusion_target_fraction", "sybil_fraction", "spammer_fraction",
+        "parrot_fraction", "drift_per_answer", "drift_floor",
+        "drift_ceiling", "seed"}) {
+    const std::string value =
+        key == "enabled" ? "true" : (key == "seed" ? "\"7\"" : "0");
+    auto parsed = ParseFusionRequest(R"({"provider": {"adversary": {")" +
+                                     key + R"(": )" + value + "}}}");
+    EXPECT_TRUE(parsed.ok()) << key << ": " << parsed.status();
+  }
+
+  // Type confusion fails cleanly.
+  EXPECT_FALSE(
+      ParseFusionRequest(R"({"provider": {"adversary": []}})").ok());
+  EXPECT_FALSE(ParseFusionRequest(
+                   R"({"provider": {"adversary": {"enabled": "yes"}}})")
+                   .ok());
+  EXPECT_FALSE(ParseFusionRequest(
+                   R"({"provider": {"adversary": {"num_workers": 1.5}}})")
+                   .ok());
+}
+
+TEST(RequestJsonTest, AdversaryTruncationFuzzNeverCrashes) {
+  FusionRequest request = BaseRequest();
+  request.provider.kind = "simulated_crowd";
+  request.provider.adversary = FullAdversary();
+  const std::string serialized = SerializeFusionRequest(request);
+  common::Rng rng(777);
+  for (int i = 0; i < 200; ++i) {
+    const size_t cut = rng.NextBounded(serialized.size());
+    (void)ParseFusionRequest(serialized.substr(0, cut));
+    std::string corrupted = serialized;
+    corrupted[rng.NextBounded(corrupted.size())] =
+        static_cast<char>('!' + rng.NextBounded(90));
+    (void)ParseFusionRequest(corrupted);
+  }
+}
+
 TEST(ResponseJsonTest, ResponsesRoundTrip) {
   FusionService service;
   FusionRequest request = BaseRequest();
