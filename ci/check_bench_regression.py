@@ -7,8 +7,13 @@ regressed by more than --max-regress (default 25%):
 
   * bench_service_facade: the facade overhead (service wall - direct wall)
     must not grow past old_overhead * (1 + max_regress) + 2 ms slack.
-  * bench_table5_runtime: every (config, n, support, k) row present in
-    both baselines must keep wall_ms <= old * (1 + max_regress) + 1 ms.
+  * bench_table5_runtime and bench_micro_core (the sparse-greedy headline
+    and the per-kernel BatchedSweep rows): every (config, n, support, k)
+    row present in both baselines must keep
+    wall_ms <= old * (1 + max_regress) + 1 ms.
+  * bench_service_throughput rows carrying throughput_per_sec (the
+    zero-latency selection-overlap rows, books/sec-per-core): throughput
+    is higher-better, so new >= old * (1 - max_regress).
 
 Rows that exist only on one side are reported but never fail the gate
 (benches come and go); a missing previous artifact should be handled by
@@ -92,8 +97,9 @@ def main():
         if new_overhead > budget:
             failures.append("bench_service_facade overhead")
 
+    WALL_GATED_SOURCES = ("bench_table5_runtime", "bench_micro_core")
     for key in sorted(new):
-        if key[0] != "bench_table5_runtime":
+        if key[0] not in WALL_GATED_SOURCES:
             continue
         if key not in old:
             print(f"[new ] {key}: no previous row; skipping")
@@ -107,7 +113,29 @@ def main():
             f"{old_ms:.3f} ms -> {new_ms:.3f} ms (budget {budget:.3f} ms)"
         )
         if new_ms > budget:
-            failures.append(f"bench_table5_runtime {key[1]}")
+            failures.append(f"{key[0]} {key[1]}")
+
+    for key in sorted(new):
+        if key[0] != "bench_service_throughput":
+            continue
+        if not key[1].startswith("zero-lat"):
+            continue  # slept-latency rows stay informational
+        new_tp = new[key].get("throughput_per_sec", 0.0)
+        if not new_tp:
+            print(f"[new ] {key}: no throughput recorded; skipping")
+            continue
+        if key not in old or not old[key].get("throughput_per_sec", 0.0):
+            print(f"[new ] {key}: no previous throughput row; skipping")
+            continue
+        old_tp = old[key]["throughput_per_sec"]
+        floor = old_tp * (1.0 - args.max_regress)
+        verdict = "ok" if new_tp >= floor else "FAIL"
+        print(
+            f"[{verdict}] {key[1]} books={key[3]}: {old_tp:.2f} -> "
+            f"{new_tp:.2f} books/sec/core (floor {floor:.2f})"
+        )
+        if new_tp < floor:
+            failures.append(f"bench_service_throughput {key[1]}")
 
     if failures:
         print("FAIL: regressions beyond "

@@ -163,6 +163,7 @@ common::Result<Selection> GreedySelector::Select(
     if (use_sparse) {
       SparsePartitionRefiner::Options refiner_options;
       refiner_options.num_threads = options_.preprocessing_threads;
+      refiner_options.simd = options_.simd;
       SparsePartitionRefiner refiner(*request.joint, *request.crowd,
                                      refiner_options);
       selection.stats.preprocessing_seconds =

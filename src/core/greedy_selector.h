@@ -1,6 +1,7 @@
 #ifndef CROWDFUSION_CORE_GREEDY_SELECTOR_H_
 #define CROWDFUSION_CORE_GREEDY_SELECTOR_H_
 
+#include "common/simd.h"
 #include "core/task_selector.h"
 
 namespace crowdfusion::core {
@@ -67,6 +68,10 @@ class GreedySelector : public TaskSelector {
     PreprocessingMode preprocessing_mode = PreprocessingMode::kAuto;
     /// Threads for sparse candidate batches: 0 = auto, 1 = serial.
     int preprocessing_threads = 0;
+    /// Kernel dispatch for the sparse refiner's batched scan. kAuto
+    /// follows the host; dispatch never changes results (the kernels are
+    /// bit-identical), only speed.
+    common::SimdPolicy simd = common::SimdPolicy::kAuto;
     /// Gains at or below this threshold count as "no benefit" and stop the
     /// selection early.
     double min_gain_bits = 1e-12;
@@ -78,6 +83,10 @@ class GreedySelector : public TaskSelector {
   common::Result<Selection> Select(const SelectionRequest& request) override;
 
   std::string name() const override;
+
+  /// Pure function of the request: no per-instance mutable state, so the
+  /// scheduler may overlap Select() calls across books.
+  bool ConcurrentSelectSafe() const override { return true; }
 
   const Options& options() const { return options_; }
 

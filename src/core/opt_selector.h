@@ -29,6 +29,9 @@ class OptSelector : public TaskSelector {
 
   std::string name() const override { return "OPT"; }
 
+  /// Pure function of the request: no per-instance mutable state.
+  bool ConcurrentSelectSafe() const override { return true; }
+
  private:
   Options options_;
 };

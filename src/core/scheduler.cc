@@ -4,7 +4,9 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/bayes.h"
 
 namespace crowdfusion::core {
@@ -78,7 +80,9 @@ common::Status BudgetScheduler::AddBudget(int tasks) {
   return Status::Ok();
 }
 
-common::Status BudgetScheduler::RefreshSelection(Instance& instance, int k) {
+common::Status BudgetScheduler::RefreshSelectionTimed(
+    Instance& instance, int k, double& elapsed_seconds) {
+  elapsed_seconds = 0.0;
   const int effective_k = std::min(k, instance.joint.num_facts());
   if (instance.selection_valid && instance.cached_k == effective_k) {
     return Status::Ok();
@@ -87,10 +91,56 @@ common::Status BudgetScheduler::RefreshSelection(Instance& instance, int k) {
   request.joint = &instance.joint;
   request.crowd = &crowd_;
   request.k = effective_k;
+  const common::Stopwatch timer;
   CF_ASSIGN_OR_RETURN(instance.cached_selection,
                       selector_->Select(request));
+  elapsed_seconds = timer.ElapsedSeconds();
   instance.selection_valid = true;
   instance.cached_k = effective_k;
+  return Status::Ok();
+}
+
+common::Status BudgetScheduler::RefreshSelection(Instance& instance, int k) {
+  double elapsed = 0.0;
+  CF_RETURN_IF_ERROR(RefreshSelectionTimed(instance, k, elapsed));
+  if (elapsed > 0.0) selection_compute_seconds_.push_back(elapsed);
+  return Status::Ok();
+}
+
+common::Status BudgetScheduler::RefreshStaleSelectionsConcurrently(int k) {
+  if (!options_.concurrent_selection || !selector_->ConcurrentSelectSafe()) {
+    return Status::Ok();
+  }
+  std::vector<size_t> stale;
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    const Instance& instance = instances_[i];
+    if (instance.in_flight || instance.dead) continue;
+    const int effective_k = std::min(k, instance.joint.num_facts());
+    if (!(instance.selection_valid && instance.cached_k == effective_k)) {
+      stale.push_back(i);
+    }
+  }
+  if (stale.size() < 2) return Status::Ok();  // nothing to overlap
+  // Distinct instances, a concurrency-safe selector, and per-slot result
+  // arrays: the workers share nothing mutable, and the ParallelFor join
+  // orders every write before the ascending fold below. Each book's
+  // selection is exactly what the serial loop would have computed, so
+  // this changes wall-clock, never the schedule.
+  std::vector<Status> statuses(stale.size());
+  std::vector<double> elapsed(stale.size(), 0.0);
+  common::ThreadPool::Shared()->ParallelFor(
+      0, static_cast<int64_t>(stale.size()),
+      [this, k, &stale, &statuses, &elapsed](int64_t begin, int64_t end) {
+        for (int64_t s = begin; s < end; ++s) {
+          statuses[static_cast<size_t>(s)] = RefreshSelectionTimed(
+              instances_[stale[static_cast<size_t>(s)]], k,
+              elapsed[static_cast<size_t>(s)]);
+        }
+      });
+  for (size_t s = 0; s < stale.size(); ++s) {
+    CF_RETURN_IF_ERROR(statuses[s]);
+    if (elapsed[s] > 0.0) selection_compute_seconds_.push_back(elapsed[s]);
+  }
   return Status::Ok();
 }
 
@@ -99,6 +149,9 @@ common::Result<int> BudgetScheduler::PickBestIdleInstance(int k) {
   // and every instance provider are borrowed and must outlive the
   // scheduler, including while tickets are in flight.
   CF_DCHECK(selector_ != nullptr) << "selector destroyed under the scheduler";
+  // Refresh every stale idle selection concurrently when the selector
+  // permits; the serial sweep below then runs on warm caches.
+  CF_RETURN_IF_ERROR(RefreshStaleSelectionsConcurrently(k));
   // Pick the idle instance whose cached best selection promises the
   // largest expected quality gain per task.
   int best_instance = -1;

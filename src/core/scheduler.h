@@ -76,6 +76,15 @@ class BudgetScheduler {
     /// Longest single poll sleep while waiting on in-flight tickets, so a
     /// provider under-reporting its readiness can't stall the loop.
     double max_poll_seconds = 0.050;
+    /// Overlap selection compute across books: when a launch decision
+    /// finds several idle instances with stale selections (the initial
+    /// window fill, a multi-merge harvest, streaming arrivals), their
+    /// Select() calls run concurrently on the shared ThreadPool instead
+    /// of back to back. Only taken when the selector declares
+    /// ConcurrentSelectSafe() — concurrent results are then identical to
+    /// serial ones, so schedules (and every pinned differential) are
+    /// unchanged; the switch exists for A/B benching and bisection.
+    bool concurrent_selection = true;
   };
 
   struct StepRecord {
@@ -165,6 +174,13 @@ class BudgetScheduler {
   /// Sum of Q(F) over all instances.
   double TotalUtilityBits() const;
 
+  /// Wall seconds of every selector Select() this scheduler ran, in issue
+  /// order (concurrent refreshes are recorded in instance order after the
+  /// join). Feeds the service layer's selection-compute percentiles.
+  const std::vector<double>& selection_compute_seconds() const {
+    return selection_compute_seconds_;
+  }
+
  private:
   struct Instance {
     std::string name;
@@ -197,8 +213,25 @@ class BudgetScheduler {
   BudgetScheduler(CrowdModel crowd, TaskSelector* selector, Options options)
       : crowd_(crowd), selector_(selector), options_(options) {}
 
-  /// Refreshes the cached selection of one instance if stale.
+  /// Refreshes the cached selection of one instance if stale, recording
+  /// the Select() wall time in `elapsed_seconds` (0 on a cache hit).
+  /// Thread-compatible: touches only `instance`, so distinct instances
+  /// may refresh concurrently.
+  common::Status RefreshSelectionTimed(Instance& instance, int k,
+                                       double& elapsed_seconds);
+
+  /// RefreshSelectionTimed plus the timing bookkeeping; scheduler thread
+  /// only.
   common::Status RefreshSelection(Instance& instance, int k);
+
+  /// When the selector is ConcurrentSelectSafe and two or more idle alive
+  /// instances have stale selections, refreshes them all concurrently on
+  /// the shared ThreadPool (compute-vs-compute overlap across books).
+  /// Statuses and timings land in per-slot arrays and are folded in
+  /// ascending instance order after the join, so error propagation and
+  /// the timing log stay deterministic and the scheduler stays movable
+  /// (no lock members).
+  common::Status RefreshStaleSelectionsConcurrently(int k);
 
   /// Best-ΔQ-per-task instance among those not in flight, refreshing stale
   /// selections; -1 when no instance has a positive-gain selection.
@@ -227,6 +260,7 @@ class BudgetScheduler {
   /// decisions budget against this so overlap cannot overspend.
   int cost_reserved_ = 0;
   int steps_run_ = 0;
+  std::vector<double> selection_compute_seconds_;
 };
 
 }  // namespace crowdfusion::core

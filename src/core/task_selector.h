@@ -65,6 +65,15 @@ class TaskSelector {
 
   /// Short name for reports ("OPT", "Approx.", "Approx.&Prune", ...).
   virtual std::string name() const = 0;
+
+  /// True when concurrent Select() calls on this instance are safe AND
+  /// yield results identical to serial calls in any order. The default is
+  /// conservative: selectors that carry mutable per-instance state — the
+  /// randomized baselines advance an RNG stream per call, so concurrent
+  /// calls would both race and reorder their draws — must stay serial.
+  /// Deterministic stateless selectors (greedy, OPT) override to true,
+  /// which lets the scheduler overlap selection compute across books.
+  virtual bool ConcurrentSelectSafe() const { return false; }
 };
 
 /// Validates a request and resolves the candidate list (all facts when

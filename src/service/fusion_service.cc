@@ -125,7 +125,20 @@ StepOutcome Session::FromRoundRecord(int instance,
   outcome.utility_bits = record.utility_bits;
   outcome.cumulative_cost = record.cumulative_cost;
   selection_seconds_ += record.selection_stats.elapsed_seconds;
+  selection_samples_.push_back(record.selection_stats.elapsed_seconds);
   return outcome;
+}
+
+double Session::selection_seconds() const {
+  if (!scheduler_.has_value()) return selection_seconds_;
+  double total = 0.0;
+  for (double s : scheduler_->selection_compute_seconds()) total += s;
+  return total;
+}
+
+std::vector<double> Session::selection_compute_samples() const {
+  return scheduler_.has_value() ? scheduler_->selection_compute_seconds()
+                                : selection_samples_;
 }
 
 StepOutcome Session::FromStepRecord(
@@ -246,7 +259,7 @@ FusionResponse Session::Finish() const {
 
   RunStats& stats = response.stats;
   stats.wall_seconds = wall_seconds_;
-  stats.selection_seconds = selection_seconds_;
+  stats.selection_seconds = selection_seconds();
   const auto [served, correct] = answers_served_correct();
   stats.answers_served = served;
   stats.answers_correct = correct;
@@ -266,6 +279,15 @@ FusionResponse Session::Finish() const {
     std::sort(latencies.begin(), latencies.end());
     stats.p50_latency_ms = common::PercentileOfSorted(latencies, 0.50);
     stats.p95_latency_ms = common::PercentileOfSorted(latencies, 0.95);
+  }
+  std::vector<double> selection_ms = selection_compute_samples();
+  if (!selection_ms.empty()) {
+    for (double& s : selection_ms) s *= 1e3;
+    std::sort(selection_ms.begin(), selection_ms.end());
+    stats.selection_compute_p50_ms =
+        common::PercentileOfSorted(selection_ms, 0.50);
+    stats.selection_compute_p95_ms =
+        common::PercentileOfSorted(selection_ms, 0.95);
   }
   return response;
 }
@@ -419,6 +441,7 @@ common::Result<std::unique_ptr<Session>> FusionService::CreateSession(
         request.pipeline.retry_backoff_seconds;
     options.on_ticket_failure = request.pipeline.on_ticket_failure;
     options.max_poll_seconds = request.pipeline.max_poll_seconds;
+    options.concurrent_selection = request.pipeline.concurrent_selection;
     options.clock = config_.clock;
     CF_ASSIGN_OR_RETURN(core::BudgetScheduler scheduler,
                         core::BudgetScheduler::Create(

@@ -91,6 +91,11 @@ struct PipelineSpec {
   core::BudgetScheduler::TicketFailurePolicy on_ticket_failure =
       core::BudgetScheduler::TicketFailurePolicy::kAbort;
   double max_poll_seconds = 0.050;
+  /// Scheduler modes: overlap selection compute across books when the
+  /// selector is concurrency-safe (see
+  /// core::BudgetScheduler::Options::concurrent_selection). Never changes
+  /// schedules, only wall-clock.
+  bool concurrent_selection = true;
 
   friend bool operator==(const PipelineSpec& a,
                          const PipelineSpec& b) = default;
@@ -166,13 +171,19 @@ struct InstanceReport {
 /// Bench-ready aggregate statistics of one run.
 struct RunStats {
   double wall_seconds = 0.0;
-  /// Selector wall-clock summed over every round (engine mode; 0 for the
-  /// scheduler modes, whose StepRecords do not carry selector stats).
+  /// Selector wall-clock summed over every Select() of the run: engine
+  /// rounds report it via their RoundRecord stats, the scheduler modes
+  /// via the scheduler's per-Select timing log.
   double selection_seconds = 0.0;
   double steps_per_second = 0.0;
   /// Submit-to-merge latency percentiles over the run's steps, ms.
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
+  /// Percentiles of the individual Select() wall times behind
+  /// selection_seconds, ms — the cost of one selection-compute burst,
+  /// which the SIMD kernel and cross-book overlap exist to shrink.
+  double selection_compute_p50_ms = 0.0;
+  double selection_compute_p95_ms = 0.0;
   /// Crowd answers served / of those correct (empirical accuracy), when
   /// the providers track it; 0 otherwise.
   int64_t answers_served = 0;
@@ -265,7 +276,10 @@ class Session {
   int cost_spent(int instance) const;
   int total_cost_spent() const;
   double total_utility_bits() const;
-  double selection_seconds() const { return selection_seconds_; }
+  double selection_seconds() const;
+  /// Individual Select() wall times, seconds, in issue order (engine
+  /// rounds or scheduler refreshes).
+  std::vector<double> selection_compute_samples() const;
   /// Wall-clock accumulated across Step() calls so far.
   double wall_seconds() const { return wall_seconds_; }
   /// (served, correct) summed over providers that track it.
@@ -321,6 +335,9 @@ class Session {
   std::vector<StepOutcome> steps_;
   int steps_emitted_ = 0;
   double selection_seconds_ = 0.0;
+  /// Engine mode: one entry per round's selector call. Scheduler modes
+  /// read the scheduler's log instead (see selection_compute_samples).
+  std::vector<double> selection_samples_;
   double wall_seconds_ = 0.0;
   bool done_ = false;
 };

@@ -71,6 +71,14 @@ HttpFrontend::Metrics HttpFrontend::GetMetrics() const {
     std::sort(sorted.begin(), sorted.end());
     metrics.p50_handler_ms = common::PercentileOfSorted(sorted, 0.50);
     metrics.p95_handler_ms = common::PercentileOfSorted(sorted, 0.95);
+    metrics.selection_computes = selection_computes_;
+    std::vector<double> selection(selection_compute_ms_.begin(),
+                                  selection_compute_ms_.end());
+    std::sort(selection.begin(), selection.end());
+    metrics.selection_compute_p50_ms =
+        common::PercentileOfSorted(selection, 0.50);
+    metrics.selection_compute_p95_ms =
+        common::PercentileOfSorted(selection, 0.95);
   }
   {
     std::lock_guard<std::mutex> lock(sessions_mutex_);
@@ -93,6 +101,20 @@ void HttpFrontend::RecordLatency(double ms, int status_code) {
   }
   latencies_ms_.push_back(ms);
   while (latencies_ms_.size() > kLatencyWindow) latencies_ms_.pop_front();
+}
+
+void HttpFrontend::RecordSelectionSamples(
+    const std::vector<double>& samples_seconds, size_t& exported) {
+  if (samples_seconds.size() <= exported) return;
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  for (size_t i = exported; i < samples_seconds.size(); ++i) {
+    selection_compute_ms_.push_back(samples_seconds[i] * 1e3);
+    ++selection_computes_;
+  }
+  while (selection_compute_ms_.size() > kLatencyWindow) {
+    selection_compute_ms_.pop_front();
+  }
+  exported = samples_seconds.size();
 }
 
 net::HttpResponse HttpFrontend::Handle(const HttpRequest& request) {
@@ -127,6 +149,9 @@ net::HttpResponse HttpFrontend::Route(const HttpRequest& request) {
     body.Set("sessions_active", metrics.sessions_active);
     body.Set("p50_handler_ms", metrics.p50_handler_ms);
     body.Set("p95_handler_ms", metrics.p95_handler_ms);
+    body.Set("selection_computes", metrics.selection_computes);
+    body.Set("selection_compute_p50_ms", metrics.selection_compute_p50_ms);
+    body.Set("selection_compute_p95_ms", metrics.selection_compute_p95_ms);
     return JsonResponse(200, body);
   }
   if (target == "/v1/fusion:run") {
@@ -147,9 +172,17 @@ net::HttpResponse HttpFrontend::HandleRun(const HttpRequest& request) {
   if (!body.ok()) return ErrorResponse(body.status());
   auto fusion_request = FusionRequestFromJson(*body);
   if (!fusion_request.ok()) return ErrorResponse(fusion_request.status());
-  auto response = service_.Run(std::move(fusion_request).value());
-  if (!response.ok()) return ErrorResponse(response.status());
-  return JsonResponse(200, FusionResponseToJson(*response));
+  // CreateSession + drain (what FusionService::Run does) so the run's
+  // selection-compute samples can feed the /metricsz gauges.
+  auto session = service_.CreateSession(std::move(fusion_request).value());
+  if (!session.ok()) return ErrorResponse(session.status());
+  while (!(*session)->done()) {
+    auto outcomes = (*session)->Step();
+    if (!outcomes.ok()) return ErrorResponse(outcomes.status());
+  }
+  size_t exported = 0;
+  RecordSelectionSamples((*session)->selection_compute_samples(), exported);
+  return JsonResponse(200, FusionResponseToJson((*session)->Finish()));
 }
 
 void HttpFrontend::SweepExpiredLocked(double now) {
@@ -265,6 +298,8 @@ net::HttpResponse HttpFrontend::HandleSessions(const HttpRequest& request,
     std::lock_guard<std::mutex> lock(entry->mutex);
     auto outcomes = entry->session->Step();
     if (!outcomes.ok()) return ErrorResponse(outcomes.status());
+    RecordSelectionSamples(entry->session->selection_compute_samples(),
+                           entry->selection_samples_exported);
     JsonValue response = JsonValue::MakeObject();
     response.Set("session_id", entry->id);
     response.Set("done", entry->session->done());

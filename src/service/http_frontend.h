@@ -94,6 +94,12 @@ class HttpFrontend {
     int sessions_active = 0;
     double p50_handler_ms = 0.0;
     double p95_handler_ms = 0.0;
+    /// Selector Select() calls observed across served runs and session
+    /// steps, and their wall-time percentiles over the same sliding
+    /// window as the handler gauges.
+    int64_t selection_computes = 0;
+    double selection_compute_p50_ms = 0.0;
+    double selection_compute_p95_ms = 0.0;
   };
   Metrics GetMetrics() const;
 
@@ -104,6 +110,9 @@ class HttpFrontend {
     double expires_at = 0.0;
     /// Serializes handler access to the single-caller Session.
     std::mutex mutex;
+    /// How many of the session's selection-compute samples have already
+    /// been folded into the metrics window (guarded by `mutex`).
+    size_t selection_samples_exported = 0;
   };
 
   common::Clock* clock() const {
@@ -123,6 +132,12 @@ class HttpFrontend {
 
   void RecordLatency(double ms, int status_code);
 
+  /// Folds samples[exported..] (seconds) into the selection-compute
+  /// window and advances `exported`; the caller owns `exported`'s
+  /// synchronization (SessionEntry::mutex, or a handler-local counter).
+  void RecordSelectionSamples(const std::vector<double>& samples_seconds,
+                              size_t& exported);
+
   Options options_;
   FusionService service_;
   net::HttpServer server_;
@@ -139,6 +154,9 @@ class HttpFrontend {
   int64_t requests_rejected_ = 0;
   /// Sliding window of recent handler latencies for the percentile gauges.
   std::deque<double> latencies_ms_;
+  int64_t selection_computes_ = 0;
+  /// Sliding window of recent Select() wall times, ms.
+  std::deque<double> selection_compute_ms_;
 };
 
 }  // namespace crowdfusion::service

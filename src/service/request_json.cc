@@ -333,6 +333,8 @@ JsonValue FusionRequestToJson(const FusionRequest& request) {
   pipeline.Set("on_ticket_failure",
                FailurePolicyName(request.pipeline.on_ticket_failure));
   pipeline.Set("max_poll_seconds", request.pipeline.max_poll_seconds);
+  pipeline.Set("concurrent_selection",
+               request.pipeline.concurrent_selection);
   json.Set("pipeline", std::move(pipeline));
 
   if (!request.instances.empty()) {
@@ -416,6 +418,8 @@ common::Result<FusionRequest> FusionRequestFromJson(const JsonValue& json) {
                         ParseFailurePolicy(policy));
     CF_RETURN_IF_ERROR(JsonReadDouble(*pipeline, "max_poll_seconds",
                                   &request.pipeline.max_poll_seconds));
+    CF_RETURN_IF_ERROR(JsonReadBool(*pipeline, "concurrent_selection",
+                                &request.pipeline.concurrent_selection));
   }
   if (const JsonValue* instances = json.Find("instances")) {
     if (!instances->is_array()) {
@@ -457,6 +461,10 @@ JsonValue FusionResponseToJson(const FusionResponse& response) {
   stats.Set("steps_per_second", response.stats.steps_per_second);
   stats.Set("p50_latency_ms", response.stats.p50_latency_ms);
   stats.Set("p95_latency_ms", response.stats.p95_latency_ms);
+  stats.Set("selection_compute_p50_ms",
+            response.stats.selection_compute_p50_ms);
+  stats.Set("selection_compute_p95_ms",
+            response.stats.selection_compute_p95_ms);
   stats.Set("answers_served", response.stats.answers_served);
   stats.Set("answers_correct", response.stats.answers_correct);
   stats.Set("tickets_resubmitted", response.stats.tickets_resubmitted);
@@ -516,6 +524,12 @@ common::Result<FusionResponse> FusionResponseFromJson(const JsonValue& json) {
                                       &response.stats.p50_latency_ms));
     CF_RETURN_IF_ERROR(JsonReadDouble(*stats, "p95_latency_ms",
                                       &response.stats.p95_latency_ms));
+    CF_RETURN_IF_ERROR(
+        JsonReadDouble(*stats, "selection_compute_p50_ms",
+                       &response.stats.selection_compute_p50_ms));
+    CF_RETURN_IF_ERROR(
+        JsonReadDouble(*stats, "selection_compute_p95_ms",
+                       &response.stats.selection_compute_p95_ms));
     CF_RETURN_IF_ERROR(JsonReadInt64(*stats, "answers_served",
                                      &response.stats.answers_served));
     CF_RETURN_IF_ERROR(JsonReadInt64(*stats, "answers_correct",

@@ -125,6 +125,60 @@ TEST(PipelinedSchedulerDifferentialTest, ZeroLatencyPipelinedEqualsBlocking) {
   }
 }
 
+/// Concurrent selection compute must be invisible in results: with a
+/// ConcurrentSelectSafe selector (the greedy), running stale-book
+/// refreshes on the shared pool in parallel has to reproduce the serial
+/// sweep record-for-record — the overlap changes wall-clock only. Runs
+/// both scheduler modes so the concurrent refresh is exercised from the
+/// blocking and pipelined drivers alike.
+TEST(PipelinedSchedulerDifferentialTest, ConcurrentSelectionEqualsSerial) {
+  constexpr int kSeeds = 32;
+  for (const bool pipelined : {false, true}) {
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      GreedySelector selector;
+      BudgetScheduler::Options options;
+      options.total_budget = 14;
+      options.tasks_per_step = 1 + static_cast<int>(seed % 3);
+      options.max_in_flight = 4;
+
+      options.concurrent_selection = false;
+      SchedulerFixture serial = MakeFixture(seed, &selector, options);
+      auto serial_records = pipelined ? serial.scheduler->RunPipelined()
+                                      : serial.scheduler->Run();
+      ASSERT_TRUE(serial_records.ok()) << "seed " << seed;
+
+      options.concurrent_selection = true;
+      SchedulerFixture concurrent = MakeFixture(seed, &selector, options);
+      auto concurrent_records = pipelined
+                                    ? concurrent.scheduler->RunPipelined()
+                                    : concurrent.scheduler->Run();
+      ASSERT_TRUE(concurrent_records.ok()) << "seed " << seed;
+
+      ASSERT_EQ(concurrent_records->size(), serial_records->size())
+          << "seed " << seed;
+      for (size_t s = 0; s < serial_records->size(); ++s) {
+        SCOPED_TRACE("pipelined=" + std::to_string(pipelined) + " seed " +
+                     std::to_string(seed) + " step " + std::to_string(s));
+        const auto& serial_step = (*serial_records)[s];
+        const auto& concurrent_step = (*concurrent_records)[s];
+        EXPECT_EQ(concurrent_step.instance, serial_step.instance);
+        EXPECT_EQ(concurrent_step.tasks, serial_step.tasks);
+        EXPECT_EQ(concurrent_step.answers, serial_step.answers);
+        EXPECT_DOUBLE_EQ(concurrent_step.expected_gain_bits,
+                         serial_step.expected_gain_bits);
+        EXPECT_DOUBLE_EQ(concurrent_step.total_utility_bits,
+                         serial_step.total_utility_bits);
+      }
+      EXPECT_EQ(concurrent.scheduler->total_cost_spent(),
+                serial.scheduler->total_cost_spent());
+      // Both modes log every Select() they actually ran.
+      EXPECT_EQ(concurrent.scheduler->selection_compute_seconds().size(),
+                serial.scheduler->selection_compute_seconds().size())
+          << "seed " << seed;
+    }
+  }
+}
+
 /// Starvation regression: while a slow instance's ticket is in flight, the
 /// other instances with positive gain must keep being scheduled — nobody
 /// waits on someone else's latency.

@@ -16,6 +16,7 @@
 
 #include "common/math_util.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "core/answer_model.h"
 #include "core/greedy_selector.h"
 #include "core/sparse_refiner.h"
@@ -195,6 +196,51 @@ TEST(SparseDenseDiffTest, GreedySelectionAgreesAcrossEngines) {
         << "seed=" << seed;
     EXPECT_NEAR(sparse_sel->entropy_bits, brute_sel->entropy_bits, kTol)
         << "seed=" << seed;
+  }
+}
+
+/// SIMD leg of the differential: on AVX2 hosts, the forced-AVX2 batched
+/// kernel must be bit-identical to the forced-scalar one on every seed the
+/// dense/brute tests above pin — closing the chain
+/// simd ≡ scalar ≡ dense ≡ Equation 2. Hosts without AVX2 (including
+/// CROWDFUSION_DISABLE_SIMD builds) skip; the scalar tile kernel is still
+/// pinned by RefinementGainsAgreeAcrossEngines.
+TEST(SparseDenseDiffTest, SimdKernelBitIdenticalToScalarOnAllSeeds) {
+  if (!common::CpuSupportsAvx2()) {
+    GTEST_SKIP() << "host cannot run the AVX2 kernel";
+  }
+  for (uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
+    const SeedInstance instance = MakeInstance(seed);
+    const JointDistribution& joint = instance.joint;
+
+    SparsePartitionRefiner::Options scalar_options;
+    scalar_options.simd = common::SimdPolicy::kForceScalar;
+    SparsePartitionRefiner::Options avx2_options;
+    avx2_options.simd = common::SimdPolicy::kForceAvx2;
+    SparsePartitionRefiner scalar(joint, instance.crowd, scalar_options);
+    SparsePartitionRefiner avx2(joint, instance.crowd, avx2_options);
+    for (int fact : instance.committed) {
+      scalar.Commit(fact);
+      avx2.Commit(fact);
+    }
+    EXPECT_EQ(scalar.CommittedEntropyBits(), avx2.CommittedEntropyBits())
+        << "seed=" << seed;
+
+    std::vector<int> candidates;
+    for (int f = 0; f < joint.num_facts(); ++f) {
+      if (std::find(instance.committed.begin(), instance.committed.end(), f) ==
+          instance.committed.end()) {
+        candidates.push_back(f);
+      }
+    }
+    const std::vector<double> h_scalar =
+        scalar.EntropiesWithCandidates(candidates);
+    const std::vector<double> h_avx2 = avx2.EntropiesWithCandidates(candidates);
+    ASSERT_EQ(h_scalar.size(), h_avx2.size());
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      EXPECT_EQ(h_scalar[c], h_avx2[c])
+          << "seed=" << seed << " f=" << candidates[c];
+    }
   }
 }
 

@@ -347,6 +347,49 @@ TEST_F(HttpFrontendTest, MetricszTracksServingActivity) {
   ASSERT_NE(body.Find("p95_handler_ms"), nullptr);
 }
 
+TEST_F(HttpFrontendTest, MetricszExportsSelectionComputeGauges) {
+  // Before any selection ran, the gauges exist and are zero.
+  auto before = client_->Get("/metricsz");
+  ASSERT_TRUE(before.ok());
+  const JsonValue empty = ParseBody(*before);
+  ASSERT_NE(empty.Find("selection_computes"), nullptr);
+  EXPECT_EQ(empty.Find("selection_computes")->GetInt().value(), 0);
+  ASSERT_NE(empty.Find("selection_compute_p50_ms"), nullptr);
+  ASSERT_NE(empty.Find("selection_compute_p95_ms"), nullptr);
+
+  // A one-shot run drains its Select() wall times into the window...
+  ASSERT_EQ(client_
+                ->Post("/v1/fusion:run",
+                       SerializeFusionRequest(ScriptedRequest()))
+                ->status_code,
+            200);
+  auto after_run = client_->Get("/metricsz");
+  ASSERT_TRUE(after_run.ok());
+  const JsonValue ran = ParseBody(*after_run);
+  const int64_t after_run_count =
+      ran.Find("selection_computes")->GetInt().value();
+  EXPECT_GT(after_run_count, 0);
+  EXPECT_GT(ran.Find("selection_compute_p50_ms")->GetDouble().value(), 0.0);
+  EXPECT_GE(ran.Find("selection_compute_p95_ms")->GetDouble().value(),
+            ran.Find("selection_compute_p50_ms")->GetDouble().value());
+
+  // ...and session steps feed the same counter incrementally.
+  auto created = client_->Post("/v1/sessions",
+                               SerializeFusionRequest(ScriptedRequest()));
+  ASSERT_EQ(created->status_code, 201);
+  auto created_body = JsonValue::Parse(created->body);
+  ASSERT_TRUE(created_body.ok());
+  const std::string id =
+      created_body->Find("session_id")->GetString().value();
+  ASSERT_EQ(client_->Post("/v1/sessions/" + id + "/step", "{}")->status_code,
+            200);
+  auto after_step = client_->Get("/metricsz");
+  ASSERT_TRUE(after_step.ok());
+  const JsonValue stepped = ParseBody(*after_step);
+  EXPECT_GT(stepped.Find("selection_computes")->GetInt().value(),
+            after_run_count);
+}
+
 TEST(HttpFrontendTtlTest, IdleSessionsEvictAfterTtlOnTheInjectedClock) {
   common::ManualClock clock;
   HttpFrontend::Options options;

@@ -286,6 +286,15 @@ TEST(RequestJsonTest, AdversaryTruncationFuzzNeverCrashes) {
   }
 }
 
+TEST(RequestJsonTest, ConcurrentSelectionKnobRoundTripsWhenDisabled) {
+  FusionRequest request = BaseRequest();
+  request.pipeline.concurrent_selection = false;  // non-default
+  ExpectRoundTrips(request, "concurrent_selection off");
+  auto reparsed = ParseFusionRequest(SerializeFusionRequest(request));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_FALSE(reparsed->pipeline.concurrent_selection);
+}
+
 TEST(ResponseJsonTest, ResponsesRoundTrip) {
   FusionService service;
   FusionRequest request = BaseRequest();
@@ -296,6 +305,18 @@ TEST(ResponseJsonTest, ResponsesRoundTrip) {
   auto reparsed = ParseFusionResponse(serialized);
   ASSERT_TRUE(reparsed.ok()) << reparsed.status();
   EXPECT_EQ(*response, *reparsed) << serialized;
+
+  // A scheduler-backed run logs its Select() wall times.
+  EXPECT_GT(response->stats.selection_compute_p50_ms, 0.0);
+  EXPECT_GE(response->stats.selection_compute_p95_ms,
+            response->stats.selection_compute_p50_ms);
+
+  // The new gauges survive the wire even at awkward non-default values.
+  response->stats.selection_compute_p50_ms = 1.0 / 3.0;
+  response->stats.selection_compute_p95_ms = 17.125;
+  auto mutated = ParseFusionResponse(SerializeFusionResponse(*response));
+  ASSERT_TRUE(mutated.ok()) << mutated.status();
+  EXPECT_EQ(*response, *mutated);
 }
 
 }  // namespace
