@@ -12,8 +12,12 @@ regressed by more than --max-regress (default 25%):
     row present in both baselines must keep
     wall_ms <= old * (1 + max_regress) + 1 ms.
   * bench_service_throughput rows carrying throughput_per_sec (the
-    zero-latency selection-overlap rows, books/sec-per-core): throughput
-    is higher-better, so new >= old * (1 - max_regress).
+    zero-latency selection-overlap and bulk-pipe rows, books/sec-per-
+    core): throughput is higher-better, so new >= old * (1 - max_regress).
+  * crowdfusion_loadgen rows (the trace-replay soak): tail latency is the
+    gated headline, p99_ms <= old * (1 + max_regress) + 5 ms slack. The
+    zero-5xx half of the soak gate is enforced by the replay tool itself
+    (--fail-on-5xx), not here.
 
 Rows that exist only on one side are reported but never fail the gate
 (benches come and go); a missing previous artifact should be handled by
@@ -29,6 +33,7 @@ import sys
 
 FACADE_SLACK_MS = 2.0
 TABLE5_SLACK_MS = 1.0
+LOADGEN_SLACK_MS = 5.0
 
 
 def load_records(directory):
@@ -136,6 +141,27 @@ def main():
         )
         if new_tp < floor:
             failures.append(f"bench_service_throughput {key[1]}")
+
+    for key in sorted(new):
+        if key[0] != "crowdfusion_loadgen":
+            continue
+        new_p99 = new[key].get("p99_ms", 0.0)
+        if not new_p99:
+            print(f"[new ] {key}: no p99 recorded; skipping")
+            continue
+        if key not in old or not old[key].get("p99_ms", 0.0):
+            print(f"[new ] {key}: no previous p99 row; skipping")
+            continue
+        old_p99 = old[key]["p99_ms"]
+        budget = old_p99 * (1.0 + args.max_regress) + LOADGEN_SLACK_MS
+        verdict = "ok" if new_p99 <= budget else "FAIL"
+        print(
+            f"[{verdict}] {key[1]} qps={key[2]} span={key[3]}s "
+            f"conns={key[4]}: p99 {old_p99:.3f} ms -> {new_p99:.3f} ms "
+            f"(budget {budget:.3f} ms)"
+        )
+        if new_p99 > budget:
+            failures.append(f"crowdfusion_loadgen {key[1]} p99")
 
     if failures:
         print("FAIL: regressions beyond "

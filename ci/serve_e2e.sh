@@ -116,6 +116,8 @@ assert m["requests_failed"] == 0, m        # 5xx only: nothing broke
 assert m["sessions_created"] == 1, m
 assert m["sessions_active"] == 0, m
 assert "p50_handler_ms" in m and "p95_handler_ms" in m, m
+assert m["uptime_seconds"] > 0, m          # monotonic since Start()
+assert m["connections_accepted"] >= 1, m   # every curl above connected
 print("metricsz ok:", json.dumps(m))
 '
 

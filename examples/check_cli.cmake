@@ -43,6 +43,13 @@ function(run mode name)
     if(mode STREQUAL "FAIL" AND err STREQUAL "")
       message(FATAL_ERROR "${name}: expected a diagnostic on stderr")
     endif()
+    # Stdout hygiene (ISSUE 9 satellite): stdout is for DATA. A failing
+    # invocation must write its diagnostics to stderr only, so shell
+    # pipelines never see half an error message as payload.
+    if(NOT out STREQUAL "")
+      message(FATAL_ERROR
+        "${name}: failure wrote to stdout (must be stderr-only): ${out}")
+    endif()
   endif()
 endfunction()
 
@@ -83,5 +90,35 @@ file(WRITE "${WORK_DIR}/request.json" [=[
 }
 ]=])
 run(SUCCESS request request request.json)
+
+# Bulk pipe: newline-delimited requests on stdin, one compact response
+# line per request on stdout in INPUT order; a bad line becomes an error
+# envelope naming its physical line, never an abort.
+file(WRITE "${WORK_DIR}/pipe_input.jsonl" [=[
+{"schema": "crowdfusion-request-v1", "mode": "engine", "selector": {"kind": "greedy"}, "provider": {"kind": "scripted"}, "budget": {"budget_per_instance": 2}, "instances": [{"name": "demo", "joint": {"num_facts": 2, "entries": [["0", 0.25], ["1", 0.25], ["2", 0.25], ["3", 0.25]]}, "truths": [true, false]}]}
+this line is not a request
+]=])
+execute_process(
+  COMMAND "${CLI_BIN}" pipe --max-in-flight 4 --threads 2
+  WORKING_DIRECTORY "${WORK_DIR}"
+  INPUT_FILE "${WORK_DIR}/pipe_input.jsonl"
+  RESULT_VARIABLE pipe_code
+  OUTPUT_VARIABLE pipe_out
+  ERROR_VARIABLE pipe_err)
+if(NOT pipe_code EQUAL 0)
+  message(FATAL_ERROR "pipe: expected exit 0, got ${pipe_code}\n${pipe_err}")
+endif()
+string(REGEX MATCH "^[^\n]*" pipe_first "${pipe_out}")
+if(NOT pipe_first MATCHES "crowdfusion-response-v1")
+  message(FATAL_ERROR
+    "pipe: first output line is not a response: ${pipe_first}")
+endif()
+if(NOT pipe_out MATCHES "crowdfusion-error-v1")
+  message(FATAL_ERROR "pipe: bad input line produced no error envelope")
+endif()
+if(NOT pipe_err MATCHES "books/sec")
+  message(FATAL_ERROR "pipe: missing throughput report on stderr")
+endif()
+run(FAIL_USAGE pipe-bad-window pipe --max-in-flight 0)
 
 message(STATUS "crowdfusion_cli smoke: all checks passed")

@@ -23,14 +23,25 @@
 ///   crowdfusion_cli request <request.json>
 ///       parse a serialized FusionRequest, run it, and print the response
 ///       JSON to stdout — the full service boundary from the shell
+///   crowdfusion_cli pipe [--max-in-flight M] [--threads T]
+///       offline bulk fusion: stream newline-delimited FusionRequest JSON
+///       from stdin, run up to M requests concurrently on T threads, and
+///       print one compact response line per request to stdout IN INPUT
+///       ORDER. A bad line yields a one-line crowdfusion-error-v1
+///       envelope (with its input line number) instead of aborting the
+///       stream; a books/sec + books/sec/core report goes to stderr on
+///       exit
 ///   crowdfusion_cli serve [--port N] [--threads T] [--session-ttl S]
-///                   [--crowd-port M]
+///                   [--crowd-port M] [--record-trace FILE]
 ///       run the HTTP serving front-end (POST /v1/fusion:run, the
 ///       /v1/sessions endpoints, /healthz, /metricsz) until SIGTERM or
 ///       SIGINT, then shut down cleanly (exit 0). --crowd-port also
 ///       starts a loopback crowd platform on port M, so requests with
 ///       provider kind "http" and endpoint "127.0.0.1:M" exercise the
-///       full client -> HTTP -> service -> HTTP -> crowd loop
+///       full client -> HTTP -> service -> HTTP -> crowd loop.
+///       --record-trace appends every request to FILE in the
+///       crowdfusion-trace-v1 JSONL format for later crowdfusion_loadgen
+///       replay
 ///   crowdfusion_cli route --backends host:port,host:port [--port N]
 ///                   [--threads T]
 ///       run the net::Router front tier over N serve backends: session
@@ -53,7 +64,10 @@
 ///       --all --out-dir ci/scenario_goldens)
 ///
 /// Any unknown subcommand or flag prints usage to stderr and exits
-/// nonzero (pinned by the CLI smoke tests).
+/// nonzero (pinned by the CLI smoke tests). Diagnostics and progress
+/// lines go to stderr; stdout carries only machine-readable output
+/// (response JSON, score metrics, pipe responses) plus the serve/route/
+/// crowd readiness lines that the e2e harness scrapes.
 ///
 /// Example session:
 ///   ./crowdfusion_cli generate /tmp/books.tsv 20 16 7
@@ -69,6 +83,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -77,6 +92,7 @@
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "loadgen/trace.h"
 #include "core/serialization.h"
 #include "data/book_dataset.h"
 #include "data/correlation_model.h"
@@ -86,6 +102,7 @@
 #include "fusion/registry.h"
 #include "net/loopback_crowd_server.h"
 #include "net/router.h"
+#include "service/bulk_pipe.h"
 #include "service/fusion_service.h"
 #include "service/http_frontend.h"
 #include "service/request_json.h"
@@ -104,8 +121,9 @@ int Usage() {
       "           [--threads N] [--max-in-flight M] [--latency-ms S]\n"
       "           [--skip-failed]\n"
       "  request  <request.json>\n"
+      "  pipe     [--max-in-flight M] [--threads T]\n"
       "  serve    [--port N] [--threads T] [--session-ttl S]\n"
-      "           [--crowd-port M]\n"
+      "           [--crowd-port M] [--record-trace FILE]\n"
       "  route    --backends host:port,host:port [--port N] [--threads T]\n"
       "  crowd    [--port N] [--threads T]\n"
       "  score    <claims.tsv> <joint-dir>\n"
@@ -144,9 +162,9 @@ int CmdGenerate(int argc, char** argv) {
   if (auto status = data::SaveBookDataset(*dataset, argv[2]); !status.ok()) {
     return Fail(status);
   }
-  std::printf("wrote %d claims on %d books (%d sources) to %s\n",
-              dataset->claims.num_claims(), dataset->claims.num_entities(),
-              dataset->claims.num_sources(), argv[2]);
+  std::fprintf(stderr, "wrote %d claims on %d books (%d sources) to %s\n",
+               dataset->claims.num_claims(), dataset->claims.num_entities(),
+               dataset->claims.num_sources(), argv[2]);
   return 0;
 }
 
@@ -161,7 +179,7 @@ int CmdFuse(int argc, char** argv) {
   const fusion::FuserRegistry registry = fusion::BuiltinFuserRegistry();
   auto fuser = registry.Create(spec.kind, spec);
   if (!fuser.ok()) return Fail(fuser.status());
-  std::printf("fusing with %s...\n", (*fuser)->name().c_str());
+  std::fprintf(stderr, "fusing with %s...\n", (*fuser)->name().c_str());
   auto fused = (*fuser)->Fuse(dataset->claims);
   if (!fused.ok()) return Fail(fused.status());
 
@@ -183,7 +201,7 @@ int CmdFuse(int argc, char** argv) {
     }
     ++written;
   }
-  std::printf("wrote %d joint files to %s\n", written, argv[3]);
+  std::fprintf(stderr, "wrote %d joint files to %s\n", written, argv[3]);
   return 0;
 }
 
@@ -293,7 +311,8 @@ int CmdRefine(int argc, char** argv) {
   }
   const service::SessionProgress progress = (*session)->Poll();
   if (use_async) {
-    std::printf(
+    std::fprintf(
+        stderr,
         "refined %zu joints asynchronously: global budget %d, spent %d in "
         "%d steps, %.2fs wall (%.1f books/sec) at Pc=%.2f, max in flight "
         "%d, crowd latency %.1f ms median%s\n",
@@ -307,8 +326,8 @@ int CmdRefine(int argc, char** argv) {
                   .c_str()
             : "");
   } else {
-    std::printf("refined %zu joints with budget %d/book at Pc=%.2f\n",
-                books.size(), budget, pc);
+    std::fprintf(stderr, "refined %zu joints with budget %d/book at Pc=%.2f\n",
+                 books.size(), budget, pc);
   }
   return 0;
 }
@@ -331,6 +350,43 @@ int CmdRequest(int argc, char** argv) {
   return 0;
 }
 
+int CmdPipe(int argc, char** argv) {
+  service::BulkPipeOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-in-flight" && i + 1 < argc) {
+      options.max_in_flight = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown pipe flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (options.max_in_flight < 1) {
+    std::fprintf(stderr, "--max-in-flight must be >= 1\n");
+    return Usage();
+  }
+  service::FusionService fusion_service;
+  auto stats =
+      service::RunBulkPipe(fusion_service, std::cin, std::cout, options);
+  if (!stats.ok()) return Fail(stats.status());
+  const double cores =
+      std::max(1u, std::thread::hardware_concurrency());
+  std::fprintf(
+      stderr,
+      "pipe: %lld requests (%lld ok, %lld errors) in %.2fs — %.1f "
+      "books/sec, %.2f books/sec/core (window %d, peak in flight %d)\n",
+      static_cast<long long>(stats->requests),
+      static_cast<long long>(stats->ok),
+      static_cast<long long>(stats->errors), stats->wall_seconds,
+      static_cast<double>(stats->books_completed) / stats->wall_seconds,
+      static_cast<double>(stats->books_completed) / stats->wall_seconds /
+          cores,
+      options.max_in_flight, stats->peak_in_flight);
+  return 0;
+}
+
 /// Set by SIGTERM/SIGINT; the serve loop polls it. Signal-handler-safe by
 /// construction (lock-free flag, no allocation in the handler).
 volatile std::sig_atomic_t g_shutdown = 0;
@@ -342,6 +398,7 @@ int CmdServe(int argc, char** argv) {
   int threads = 4;
   double session_ttl = 300.0;
   int crowd_port = -1;
+  std::string trace_path;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
@@ -352,10 +409,21 @@ int CmdServe(int argc, char** argv) {
       session_ttl = std::atof(argv[++i]);
     } else if (arg == "--crowd-port" && i + 1 < argc) {
       crowd_port = std::atoi(argv[++i]);
+    } else if (arg == "--record-trace" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       std::fprintf(stderr, "unknown serve flag: %s\n", arg.c_str());
       return Usage();
     }
+  }
+
+  std::unique_ptr<loadgen::TraceRecorder> trace_recorder;
+  if (!trace_path.empty()) {
+    auto recorder = loadgen::TraceRecorder::Open(trace_path);
+    if (!recorder.ok()) return Fail(recorder.status());
+    trace_recorder = std::move(recorder).value();
+    std::fprintf(stderr, "recording request trace to %s\n",
+                 trace_path.c_str());
   }
 
   std::unique_ptr<net::LoopbackCrowdServer> crowd_server;
@@ -374,6 +442,7 @@ int CmdServe(int argc, char** argv) {
   options.port = port;
   options.threads = threads;
   options.session_ttl_seconds = session_ttl;
+  options.trace_recorder = trace_recorder.get();
   service::HttpFrontend frontend(options);
   if (auto status = frontend.Start(); !status.ok()) return Fail(status);
   // Handlers BEFORE the readiness line: once it prints, a harness may
@@ -391,6 +460,11 @@ int CmdServe(int argc, char** argv) {
 
   frontend.Stop();
   if (crowd_server != nullptr) crowd_server->Stop();
+  if (trace_recorder != nullptr) {
+    std::fprintf(stderr, "recorded %lld requests to %s\n",
+                 static_cast<long long>(trace_recorder->records_written()),
+                 trace_path.c_str());
+  }
   std::printf("shut down cleanly\n");
   return 0;
 }
@@ -536,8 +610,8 @@ int CmdScenario(int argc, char** argv) {
       std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
       return 1;
     }
-    std::printf("wrote %s (%d fusers)\n", path.c_str(),
-                static_cast<int>(report->fusers.size()));
+    std::fprintf(stderr, "wrote %s (%d fusers)\n", path.c_str(),
+                 static_cast<int>(report->fusers.size()));
   }
   return 0;
 }
@@ -551,6 +625,7 @@ int main(int argc, char** argv) {
   if (command == "fuse") return CmdFuse(argc, argv);
   if (command == "refine") return CmdRefine(argc, argv);
   if (command == "request") return CmdRequest(argc, argv);
+  if (command == "pipe") return CmdPipe(argc, argv);
   if (command == "serve") return CmdServe(argc, argv);
   if (command == "route") return CmdRoute(argc, argv);
   if (command == "crowd") return CmdCrowd(argc, argv);

@@ -198,12 +198,26 @@ Result<BenchRecord> ParseRecord(Scanner& scanner) {
       CF_ASSIGN_OR_RETURN(const double value, scanner.ParseNumber());
       (key == "wall_ms" ? record.wall_ms : record.entropy_bits) = value;
     } else if (key == "throughput_per_sec" || key == "p50_ms" ||
-               key == "p95_ms") {
+               key == "p95_ms" || key == "p99_ms" || key == "p999_ms") {
       // v2 serving-throughput fields; absent from v1 files (default 0).
       CF_ASSIGN_OR_RETURN(const double value, scanner.ParseNumber());
       if (key == "throughput_per_sec") record.throughput_per_sec = value;
       else if (key == "p50_ms") record.p50_ms = value;
-      else record.p95_ms = value;
+      else if (key == "p95_ms") record.p95_ms = value;
+      else if (key == "p99_ms") record.p99_ms = value;
+      else record.p999_ms = value;
+    } else if (key == "ok_count" || key == "err_4xx" || key == "err_5xx" ||
+               key == "err_transport") {
+      // Load-replay outcome counts; absent from pre-loadgen files.
+      CF_ASSIGN_OR_RETURN(const double value, scanner.ParseNumber());
+      if (!std::isfinite(value)) {
+        return scanner.Malformed("non-finite integer field " + key);
+      }
+      const int64_t count = static_cast<int64_t>(value);
+      if (key == "ok_count") record.ok_count = count;
+      else if (key == "err_4xx") record.err_4xx = count;
+      else if (key == "err_5xx") record.err_5xx = count;
+      else record.err_transport = count;
     } else {
       CF_RETURN_IF_ERROR(scanner.SkipValue());
     }
@@ -236,6 +250,20 @@ std::string SerializeRecords(const std::vector<BenchRecord>& records) {
       os << ", \"throughput_per_sec\": " << FormatDouble(r.throughput_per_sec)
          << ", \"p50_ms\": " << FormatDouble(r.p50_ms)
          << ", \"p95_ms\": " << FormatDouble(r.p95_ms);
+    }
+    // Load-replay extensions: tail percentiles and outcome counts only on
+    // rows that replayed traffic, so kernel rows keep their shape. A
+    // clean run still serializes its zero error counts — "zero 5xx" is a
+    // pinned measurement, not an absent field.
+    if (r.p99_ms != 0.0 || r.p999_ms != 0.0) {
+      os << ", \"p99_ms\": " << FormatDouble(r.p99_ms)
+         << ", \"p999_ms\": " << FormatDouble(r.p999_ms);
+    }
+    if (r.ok_count != 0 || r.err_4xx != 0 || r.err_5xx != 0 ||
+        r.err_transport != 0) {
+      os << ", \"ok_count\": " << r.ok_count << ", \"err_4xx\": " << r.err_4xx
+         << ", \"err_5xx\": " << r.err_5xx
+         << ", \"err_transport\": " << r.err_transport;
     }
     os << "}";
   }

@@ -35,6 +35,19 @@ struct BenchRecord {
   double p50_ms = 0.0;
   /// 95th-percentile scheduling-step latency, milliseconds.
   double p95_ms = 0.0;
+  /// Load-replay tail percentiles (crowdfusion_loadgen rows), ms. 0 when
+  /// not measured.
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  /// Load-replay outcome counts by class: 2xx/3xx responses, HTTP
+  /// errors, and requests that never got a response. All 0 for rows that
+  /// do not replay traffic; the error fields are meaningful (and
+  /// serialized) whenever ok_count or any error is nonzero, so a clean
+  /// soak row pins its zeros.
+  int64_t ok_count = 0;
+  int64_t err_4xx = 0;
+  int64_t err_5xx = 0;
+  int64_t err_transport = 0;
 
   friend bool operator==(const BenchRecord& a, const BenchRecord& b) = default;
 };

@@ -1,0 +1,78 @@
+#include "common/latency_histogram.h"
+
+#include <bit>
+#include <cmath>
+
+namespace crowdfusion::common {
+
+LatencyHistogram::LatencyHistogram()
+    : counts_(static_cast<size_t>(kNumBuckets), 0) {}
+
+void LatencyHistogram::Record(double seconds) {
+  if (!(seconds > 0.0)) {  // NaN and non-positive count as the floor
+    RecordNanos(1);
+    return;
+  }
+  const double nanos = seconds * 1e9;
+  // Anything past the top bucket clamps there; the cast stays in range.
+  RecordNanos(nanos >= 9.0e18 ? INT64_MAX
+                              : static_cast<int64_t>(std::llround(nanos)));
+}
+
+void LatencyHistogram::RecordNanos(int64_t nanos) {
+  ++counts_[static_cast<size_t>(BucketIndex(nanos))];
+  ++count_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts_[static_cast<size_t>(i)] +=
+        other.counts_[static_cast<size_t>(i)];
+  }
+  count_ += other.count_;
+}
+
+int LatencyHistogram::BucketIndex(int64_t nanos) {
+  if (nanos < 1) nanos = 1;
+  const uint64_t v = static_cast<uint64_t>(nanos);
+  // [1, kSubBuckets): exact buckets 0 .. kSubBuckets-2.
+  if (v < static_cast<uint64_t>(kSubBuckets)) {
+    return static_cast<int>(v) - 1;
+  }
+  // Octave e = floor(log2 v) >= 4; sub-bucket = the 4 bits below the
+  // leading one, so each octave splits into 16 equal linear ranges.
+  int e = std::bit_width(v) - 1;
+  if (e > kMaxExponent) return kNumBuckets - 1;
+  const int sub =
+      static_cast<int>((v >> (e - 4)) - static_cast<uint64_t>(kSubBuckets));
+  return (kSubBuckets - 1) + (e - 4) * kSubBuckets + sub;
+}
+
+int64_t LatencyHistogram::BucketUpperBoundNanos(int index) {
+  if (index < kSubBuckets - 1) return index + 1;
+  const int rest = index - (kSubBuckets - 1);
+  const int e = 4 + rest / kSubBuckets;
+  const int sub = rest % kSubBuckets;
+  return ((static_cast<int64_t>(kSubBuckets + sub) + 1) << (e - 4)) - 1;
+}
+
+double LatencyHistogram::PercentileSeconds(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Nearest-rank: the smallest rank r with r >= p * count, at least 1.
+  int64_t rank = static_cast<int64_t>(
+      std::ceil(p * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += counts_[static_cast<size_t>(i)];
+    if (cumulative >= rank) {
+      return static_cast<double>(BucketUpperBoundNanos(i)) * 1e-9;
+    }
+  }
+  return static_cast<double>(BucketUpperBoundNanos(kNumBuckets - 1)) * 1e-9;
+}
+
+}  // namespace crowdfusion::common

@@ -1,0 +1,66 @@
+#ifndef CROWDFUSION_COMMON_LATENCY_HISTOGRAM_H_
+#define CROWDFUSION_COMMON_LATENCY_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace crowdfusion::common {
+
+/// Log-bucketed latency histogram for the load-replay harness: fixed
+/// integer buckets (16 linear sub-buckets per power-of-two octave over
+/// nanoseconds, HdrHistogram-style), so
+///
+///  * Record is allocation-free and O(1) (bit_width + shift, no log()),
+///  * Merge is an element-wise integer add — commutative and associative,
+///    so percentiles are DETERMINISTIC under any merge order (each replay
+///    worker owns a histogram; the report merges them),
+///  * every percentile is an EXACT bucket upper bound: the true sample is
+///    <= the reported value and >= value * 16/17 (<= 6.25% relative
+///    error), and the bound itself is an exact integer nanosecond count,
+///    identical on every machine.
+///
+/// Values below 1 ns count as 1 ns; values above the top bucket
+/// (~2^43 ns = 8800 s) clamp into it. Not thread-safe: one writer per
+/// instance, merge after the writers quiesce.
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per octave; 1/kSubBuckets bounds the relative
+  /// bucket width.
+  static constexpr int kSubBuckets = 16;
+  /// Largest bucketed exponent: values up to 2^(kMaxExponent + 1) - 1 ns.
+  static constexpr int kMaxExponent = 42;
+  /// [1, 16) resolve exactly; each octave above adds kSubBuckets buckets.
+  static constexpr int kNumBuckets =
+      (kSubBuckets - 1) + (kMaxExponent - 4 + 1) * kSubBuckets;
+
+  LatencyHistogram();
+
+  void Record(double seconds);
+  void RecordNanos(int64_t nanos);
+
+  /// Adds every bucket of `other` into this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  int64_t count() const { return count_; }
+
+  /// Nearest-rank percentile (p in [0, 1]) as the exact upper bound of
+  /// the bucket holding that rank, in seconds; 0 for an empty histogram.
+  double PercentileSeconds(double p) const;
+  double PercentileMs(double p) const { return PercentileSeconds(p) * 1e3; }
+
+  /// Bucket index of a nanosecond value (clamped into [0, kNumBuckets)).
+  static int BucketIndex(int64_t nanos);
+  /// Largest nanosecond value mapping to `index`. Precondition:
+  /// 0 <= index < kNumBuckets.
+  static int64_t BucketUpperBoundNanos(int index);
+
+  const std::vector<int64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+};
+
+}  // namespace crowdfusion::common
+
+#endif  // CROWDFUSION_COMMON_LATENCY_HISTOGRAM_H_

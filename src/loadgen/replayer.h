@@ -1,0 +1,63 @@
+#ifndef CROWDFUSION_LOADGEN_REPLAYER_H_
+#define CROWDFUSION_LOADGEN_REPLAYER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/latency_histogram.h"
+#include "common/status.h"
+#include "loadgen/trace.h"
+
+namespace crowdfusion::loadgen {
+
+/// Open-loop trace replay against a live HTTP front-end: requests fire on
+/// a fixed schedule regardless of how fast responses come back, so a slow
+/// server queues work instead of silently throttling the generator, and
+/// latency is measured from the SCHEDULED send time (coordinated-omission
+/// correction — a request that waited behind a stalled connection charges
+/// the stall to the server).
+struct ReplayOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Requests per second to fire. > 0 rewrites the schedule to a uniform
+  /// i / target_qps spacing; 0 replays at the trace's recorded
+  /// timestamps.
+  double target_qps = 0.0;
+  /// Worker threads, one persistent HTTP connection each. Records are
+  /// dealt round-robin so every worker follows the global schedule.
+  int connections = 4;
+  /// Per-request client ceiling (connect + send + full response read).
+  double timeout_seconds = 10.0;
+  /// nullptr means Clock::Real(); borrowed. Injected by pacing tests.
+  common::Clock* clock = nullptr;
+};
+
+struct ReplayReport {
+  int64_t attempted = 0;
+  /// 2xx/3xx responses.
+  int64_t ok = 0;
+  int64_t err_4xx = 0;
+  int64_t err_5xx = 0;
+  /// No usable response at all (connect/send/read failure or timeout).
+  int64_t err_transport = 0;
+  /// First scheduled send to last response, seconds.
+  double wall_seconds = 0.0;
+  double achieved_qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  /// Per-worker histograms merged in ascending worker order, so the
+  /// percentiles above are deterministic for a given set of samples.
+  common::LatencyHistogram histogram;
+};
+
+/// Blocks until every record has been attempted. The trace must have at
+/// least one record; options must name a port.
+common::Result<ReplayReport> Replay(const Trace& trace,
+                                    const ReplayOptions& options);
+
+}  // namespace crowdfusion::loadgen
+
+#endif  // CROWDFUSION_LOADGEN_REPLAYER_H_

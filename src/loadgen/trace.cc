@@ -1,0 +1,285 @@
+#include "loadgen/trace.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/json.h"
+#include "common/json_util.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace crowdfusion::loadgen {
+
+using common::JsonValue;
+using common::Result;
+using common::Status;
+
+namespace {
+
+bool KnownMethod(const std::string& method) {
+  return method == "GET" || method == "POST" || method == "DELETE" ||
+         method == "PUT";
+}
+
+}  // namespace
+
+std::string SerializeTraceHeader() {
+  JsonValue header = JsonValue::MakeObject();
+  header.Set("schema", kTraceSchema);
+  return header.Dump();
+}
+
+std::string SerializeTraceRecord(const TraceRecord& record) {
+  JsonValue json = JsonValue::MakeObject();
+  json.Set("t", record.t);
+  json.Set("method", record.method);
+  json.Set("target", record.target);
+  if (!record.body.empty()) json.Set("body", record.body);
+  return json.Dump();
+}
+
+Result<TraceRecord> ParseTraceRecord(const std::string& line) {
+  CF_ASSIGN_OR_RETURN(const JsonValue json, JsonValue::Parse(line));
+  CF_RETURN_IF_ERROR(
+      common::JsonRequireObject(json, "trace record").status());
+  TraceRecord record;
+  bool have_t = false;
+  bool have_target = false;
+  for (const auto& [key, value] : json.object()) {
+    if (key == "t") {
+      CF_ASSIGN_OR_RETURN(record.t, value.GetDouble());
+      have_t = true;
+    } else if (key == "method") {
+      CF_ASSIGN_OR_RETURN(record.method, value.GetString());
+    } else if (key == "target") {
+      CF_ASSIGN_OR_RETURN(record.target, value.GetString());
+      have_target = true;
+    } else if (key == "body") {
+      CF_ASSIGN_OR_RETURN(record.body, value.GetString());
+    } else {
+      return Status::InvalidArgument("unknown trace record key \"" + key +
+                                     "\"");
+    }
+  }
+  if (!have_t) return Status::InvalidArgument("trace record missing \"t\"");
+  if (!std::isfinite(record.t) || record.t < 0.0) {
+    return Status::InvalidArgument(
+        "trace record \"t\" must be finite and >= 0");
+  }
+  if (!KnownMethod(record.method)) {
+    return Status::InvalidArgument("unknown trace method \"" +
+                                   record.method + "\"");
+  }
+  if (!have_target || record.target.empty() || record.target.front() != '/') {
+    return Status::InvalidArgument(
+        "trace record \"target\" must be an origin-form path");
+  }
+  return record;
+}
+
+Result<Trace> ParseTrace(std::istream& in) {
+  Trace trace;
+  std::string line;
+  int line_number = 0;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (common::Trim(line).empty()) continue;
+    if (!have_header) {
+      auto header = JsonValue::Parse(line);
+      if (!header.ok()) {
+        return Status::InvalidArgument(common::StrFormat(
+            "trace line %d: %s", line_number,
+            header.status().ToString().c_str()));
+      }
+      auto object = common::JsonRequireObject(*header, "trace header");
+      if (!object.ok()) return object.status();
+      std::string schema;
+      CF_RETURN_IF_ERROR(
+          common::JsonReadString(*header, "schema", &schema));
+      if (schema != kTraceSchema) {
+        return Status::InvalidArgument(
+            "trace header schema must be \"" + std::string(kTraceSchema) +
+            "\", got \"" + schema + "\"");
+      }
+      for (const auto& [key, value] : header->object()) {
+        (void)value;
+        if (key != "schema") {
+          return Status::InvalidArgument("unknown trace header key \"" +
+                                         key + "\"");
+        }
+      }
+      have_header = true;
+      continue;
+    }
+    auto record = ParseTraceRecord(line);
+    if (!record.ok()) {
+      return Status::InvalidArgument(
+          common::StrFormat("trace line %d: %s", line_number,
+                            record.status().ToString().c_str()));
+    }
+    if (!trace.records.empty() && record->t < trace.records.back().t) {
+      return Status::InvalidArgument(common::StrFormat(
+          "trace line %d: timestamps must be non-decreasing", line_number));
+    }
+    trace.records.push_back(std::move(record).value());
+  }
+  if (!have_header) {
+    return Status::InvalidArgument("trace has no header line");
+  }
+  return trace;
+}
+
+Result<Trace> LoadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open trace file " + path);
+  }
+  return ParseTrace(in);
+}
+
+Status SaveTraceFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  out << SerializeTraceHeader() << "\n";
+  for (const TraceRecord& record : trace.records) {
+    out << SerializeTraceRecord(record) << "\n";
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write to " + path + " failed");
+  return Status::Ok();
+}
+
+// --- TraceRecorder -------------------------------------------------------
+
+common::Result<std::unique_ptr<TraceRecorder>> TraceRecorder::Open(
+    const std::string& path, common::Clock* clock) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open trace file " + path +
+                            " for writing");
+  }
+  out << SerializeTraceHeader() << "\n";
+  out.flush();
+  if (!out.good()) return Status::Internal("write to " + path + " failed");
+  return std::unique_ptr<TraceRecorder>(
+      new TraceRecorder(std::move(out), clock));
+}
+
+TraceRecorder::TraceRecorder(std::ofstream out, common::Clock* clock)
+    : out_(std::move(out)),
+      clock_(clock == nullptr ? common::Clock::Real() : clock) {}
+
+void TraceRecorder::Record(const std::string& method,
+                           const std::string& target,
+                           const std::string& body) {
+  const double now = clock_->NowSeconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!have_epoch_) {
+    have_epoch_ = true;
+    epoch_seconds_ = now;
+  }
+  TraceRecord record;
+  // The clock is monotonic, but two racing handlers may observe their
+  // `now` out of order with the lock acquisition; clamp so the written
+  // file always satisfies the non-decreasing contract.
+  record.t = std::max(0.0, now - epoch_seconds_);
+  if (records_written_ > 0 && record.t < last_t_) record.t = last_t_;
+  record.method = method;
+  record.target = target;
+  record.body = body;
+  out_ << SerializeTraceRecord(record) << "\n";
+  out_.flush();
+  last_t_ = record.t;
+  ++records_written_;
+}
+
+int64_t TraceRecorder::records_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_written_;
+}
+
+// --- synthetic traces ----------------------------------------------------
+
+namespace {
+
+/// A minimal crowdfusion-request-v1 body built by hand (loadgen sits
+/// below the service layer, so it cannot call request_json.h): one
+/// uniform-joint instance, scripted provider, engine mode. The
+/// tests/service suite pins that these bodies parse as real requests.
+std::string SyntheticFusionBody(const SyntheticTraceOptions& options,
+                                int index, common::Rng& rng) {
+  JsonValue request = JsonValue::MakeObject();
+  request.Set("schema", "crowdfusion-request-v1");
+  request.Set("mode", "engine");
+  request.Set("label",
+              common::StrFormat("synthetic-%d", index));
+  request.Set("assumed_pc", 0.8);
+
+  JsonValue selector = JsonValue::MakeObject();
+  selector.Set("kind", "greedy");
+  request.Set("selector", std::move(selector));
+
+  JsonValue provider = JsonValue::MakeObject();
+  provider.Set("kind", "scripted");
+  request.Set("provider", std::move(provider));
+
+  JsonValue budget = JsonValue::MakeObject();
+  budget.Set("budget_per_instance", options.budget_per_instance);
+  budget.Set("tasks_per_step", 1);
+  request.Set("budget", std::move(budget));
+
+  const int facts = std::max(1, std::min(options.facts, 10));
+  const int64_t joint_size = int64_t{1} << facts;
+  JsonValue entries = JsonValue::MakeArray();
+  for (int64_t mask = 0; mask < joint_size; ++mask) {
+    JsonValue entry = JsonValue::MakeArray();
+    entry.Append(common::StrFormat("%lld", static_cast<long long>(mask)));
+    entry.Append(1.0 / static_cast<double>(joint_size));
+    entries.Append(std::move(entry));
+  }
+  JsonValue joint = JsonValue::MakeObject();
+  joint.Set("num_facts", facts);
+  joint.Set("entries", std::move(entries));
+
+  JsonValue truths = JsonValue::MakeArray();
+  for (int f = 0; f < facts; ++f) truths.Append(rng.NextBernoulli(0.5));
+
+  JsonValue instance = JsonValue::MakeObject();
+  instance.Set("name", common::StrFormat("book-%d", index));
+  instance.Set("joint", std::move(joint));
+  instance.Set("truths", std::move(truths));
+  JsonValue instances = JsonValue::MakeArray();
+  instances.Append(std::move(instance));
+  request.Set("instances", std::move(instances));
+  return request.Dump();
+}
+
+}  // namespace
+
+Trace MakeSyntheticTrace(const SyntheticTraceOptions& options) {
+  Trace trace;
+  common::Rng rng(options.seed);
+  const double qps = options.qps > 0.0 ? options.qps : 100.0;
+  const int num_records = std::max(1, options.num_records);
+  trace.records.reserve(static_cast<size_t>(num_records));
+  for (int i = 0; i < num_records; ++i) {
+    TraceRecord record;
+    record.t = static_cast<double>(i) / qps;
+    if (options.healthz_every > 0 && i % options.healthz_every == 0) {
+      record.method = "GET";
+      record.target = "/healthz";
+    } else {
+      record.method = "POST";
+      record.target = "/v1/fusion:run";
+      record.body = SyntheticFusionBody(options, i, rng);
+    }
+    trace.records.push_back(std::move(record));
+  }
+  return trace;
+}
+
+}  // namespace crowdfusion::loadgen

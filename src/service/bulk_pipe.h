@@ -1,0 +1,58 @@
+#ifndef CROWDFUSION_SERVICE_BULK_PIPE_H_
+#define CROWDFUSION_SERVICE_BULK_PIPE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "common/status.h"
+#include "service/fusion_service.h"
+
+namespace crowdfusion::service {
+
+/// Offline bulk fusion: stream newline-delimited crowdfusion-request-v1
+/// documents from `in` through a FusionService and write one compact
+/// response line per request to `out`, in INPUT ORDER, with a bounded
+/// window of requests in flight. A bad line never aborts the stream — it
+/// yields a one-line error envelope
+///
+///   {"schema": "crowdfusion-error-v1", "line": N,
+///    "code": "<StatusCodeName>", "message": "..."}
+///
+/// (N is the 1-based physical input line) and the pipe moves on. Blank
+/// lines are skipped (they still advance line numbering). Memory is
+/// O(max_in_flight) pending requests + responses regardless of stream
+/// length, so a 100k-line capacity run holds steady.
+struct BulkPipeOptions {
+  /// Window size: how many requests may be admitted but not yet emitted.
+  int max_in_flight = 32;
+  /// Worker threads running the fusions; <= 0 sizes to the hardware.
+  int threads = 0;
+};
+
+struct BulkPipeStats {
+  /// Physical lines consumed (including blank ones).
+  int64_t lines_read = 0;
+  /// Requests attempted (non-blank lines).
+  int64_t requests = 0;
+  int64_t ok = 0;
+  int64_t errors = 0;
+  /// Instances (books) completed across all ok responses.
+  int64_t books_completed = 0;
+  /// Largest admitted-but-not-emitted count observed; <= max_in_flight
+  /// by construction (pinned by tests).
+  int peak_in_flight = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Drains `in` to EOF. Only stream-level failures (e.g. a write to `out`
+/// failing) return non-OK; per-request failures are envelopes in the
+/// output.
+common::Result<BulkPipeStats> RunBulkPipe(const FusionService& service,
+                                          std::istream& in,
+                                          std::ostream& out,
+                                          const BulkPipeOptions& options);
+
+}  // namespace crowdfusion::service
+
+#endif  // CROWDFUSION_SERVICE_BULK_PIPE_H_

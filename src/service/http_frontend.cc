@@ -56,7 +56,11 @@ HttpFrontend::HttpFrontend(Options options)
 
 HttpFrontend::~HttpFrontend() { Stop(); }
 
-common::Status HttpFrontend::Start() { return server_.Start(); }
+common::Status HttpFrontend::Start() {
+  CF_RETURN_IF_ERROR(server_.Start());
+  start_seconds_ = clock()->NowSeconds();
+  return Status::Ok();
+}
 
 void HttpFrontend::Stop() { server_.Stop(); }
 
@@ -86,6 +90,9 @@ HttpFrontend::Metrics HttpFrontend::GetMetrics() const {
     metrics.sessions_evicted = sessions_evicted_;
     metrics.sessions_active = static_cast<int>(sessions_.size());
   }
+  metrics.uptime_seconds =
+      std::max(0.0, clock()->NowSeconds() - start_seconds_);
+  metrics.connections_accepted = server_.connections_accepted();
   return metrics;
 }
 
@@ -118,6 +125,10 @@ void HttpFrontend::RecordSelectionSamples(
 }
 
 net::HttpResponse HttpFrontend::Handle(const HttpRequest& request) {
+  if (options_.trace_recorder != nullptr) {
+    options_.trace_recorder->Record(request.method, request.target,
+                                    request.body);
+  }
   const double start = clock()->NowSeconds();
   HttpResponse response = Route(request);
   const double elapsed_ms = (clock()->NowSeconds() - start) * 1e3;
@@ -152,6 +163,8 @@ net::HttpResponse HttpFrontend::Route(const HttpRequest& request) {
     body.Set("selection_computes", metrics.selection_computes);
     body.Set("selection_compute_p50_ms", metrics.selection_compute_p50_ms);
     body.Set("selection_compute_p95_ms", metrics.selection_compute_p95_ms);
+    body.Set("uptime_seconds", metrics.uptime_seconds);
+    body.Set("connections_accepted", metrics.connections_accepted);
     return JsonResponse(200, body);
   }
   if (target == "/v1/fusion:run") {

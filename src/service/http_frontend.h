@@ -10,6 +10,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "loadgen/trace.h"
 #include "net/http.h"
 #include "net/http_server.h"
 #include "service/fusion_service.h"
@@ -63,6 +64,10 @@ class HttpFrontend {
     /// Time source for TTL eviction, latency metrics, and the fusion
     /// service itself; nullptr means Clock::Real(). Borrowed.
     common::Clock* clock = nullptr;
+    /// When set, every request is appended to this trace (the `serve
+    /// --record-trace` hook) before routing, so even rejected requests
+    /// replay. Borrowed; must outlive the frontend.
+    loadgen::TraceRecorder* trace_recorder = nullptr;
   };
 
   HttpFrontend();
@@ -100,6 +105,12 @@ class HttpFrontend {
     int64_t selection_computes = 0;
     double selection_compute_p50_ms = 0.0;
     double selection_compute_p95_ms = 0.0;
+    /// Seconds since Start() on the injected clock; monotonic while the
+    /// frontend runs (capacity dashboards divide counters by it).
+    double uptime_seconds = 0.0;
+    /// TCP connections the listener has accepted (net::HttpServer's
+    /// counter; keep-alive means this is typically << requests_served).
+    int64_t connections_accepted = 0;
   };
   Metrics GetMetrics() const;
 
@@ -141,6 +152,8 @@ class HttpFrontend {
   Options options_;
   FusionService service_;
   net::HttpServer server_;
+  /// Clock reading at the last successful Start().
+  double start_seconds_ = 0.0;
 
   mutable std::mutex sessions_mutex_;
   std::unordered_map<std::string, std::shared_ptr<SessionEntry>> sessions_;

@@ -1,0 +1,152 @@
+#include "common/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace crowdfusion::common {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_EQ(histogram.PercentileSeconds(0.5), 0.0);
+  EXPECT_EQ(histogram.PercentileMs(0.99), 0.0);
+}
+
+TEST(LatencyHistogramTest, BucketIndexRoundTripsUpperBounds) {
+  // Every bucket's upper bound must map back to that bucket, and the
+  // next nanosecond must map to the next bucket — the two functions are
+  // inverse at the boundaries.
+  for (int index = 0; index < LatencyHistogram::kNumBuckets - 1; ++index) {
+    const int64_t upper = LatencyHistogram::BucketUpperBoundNanos(index);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(upper), index)
+        << "upper bound " << upper;
+    EXPECT_EQ(LatencyHistogram::BucketIndex(upper + 1), index + 1)
+        << "just above " << upper;
+  }
+}
+
+TEST(LatencyHistogramTest, SmallValuesResolveExactly) {
+  // [1, 16) ns get one bucket each, so their percentile is exact.
+  for (int64_t nanos = 1; nanos < 16; ++nanos) {
+    LatencyHistogram histogram;
+    histogram.RecordNanos(nanos);
+    EXPECT_DOUBLE_EQ(histogram.PercentileSeconds(1.0),
+                     static_cast<double>(nanos) * 1e-9);
+  }
+}
+
+TEST(LatencyHistogramTest, ClampsBelowOneNanosecondAndAboveTop) {
+  LatencyHistogram histogram;
+  histogram.RecordNanos(0);
+  histogram.RecordNanos(-5);
+  histogram.Record(-1.0);
+  EXPECT_EQ(histogram.count(), 3);
+  EXPECT_DOUBLE_EQ(histogram.PercentileSeconds(1.0), 1e-9);
+
+  LatencyHistogram top;
+  top.Record(1e12);  // far beyond the ~8800 s top bucket
+  EXPECT_EQ(top.count(), 1);
+  EXPECT_GT(top.PercentileSeconds(1.0), 8000.0);
+}
+
+TEST(LatencyHistogramTest, PercentileIsNearestRankBucketBound) {
+  LatencyHistogram histogram;
+  // 100 samples: 1ms x90, 10ms x9, 100ms x1.
+  for (int i = 0; i < 90; ++i) histogram.Record(0.001);
+  for (int i = 0; i < 9; ++i) histogram.Record(0.010);
+  histogram.Record(0.100);
+  ASSERT_EQ(histogram.count(), 100);
+
+  // Nearest rank: p50 -> rank 50 (a 1ms sample), p90 -> rank 90 (1ms),
+  // p95 -> rank 95 (10ms), p99 -> rank 99 (10ms), p100 -> rank 100
+  // (100ms). Reported values are bucket upper bounds: within +6.25%.
+  EXPECT_GE(histogram.PercentileMs(0.50), 1.0);
+  EXPECT_LE(histogram.PercentileMs(0.50), 1.0 * 17 / 16);
+  EXPECT_GE(histogram.PercentileMs(0.90), 1.0);
+  EXPECT_LE(histogram.PercentileMs(0.90), 1.0 * 17 / 16);
+  EXPECT_GE(histogram.PercentileMs(0.95), 10.0);
+  EXPECT_LE(histogram.PercentileMs(0.95), 10.0 * 17 / 16);
+  EXPECT_GE(histogram.PercentileMs(0.99), 10.0);
+  EXPECT_LE(histogram.PercentileMs(0.99), 10.0 * 17 / 16);
+  EXPECT_GE(histogram.PercentileMs(1.0), 100.0);
+  EXPECT_LE(histogram.PercentileMs(1.0), 100.0 * 17 / 16);
+}
+
+TEST(LatencyHistogramTest, ReportedBoundNeverBelowSample) {
+  // The percentile contract: true sample <= reported <= sample * 17/16.
+  common::Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t nanos =
+        static_cast<int64_t>(1 + rng.NextBounded(uint64_t{1} << 40));
+    LatencyHistogram histogram;
+    histogram.RecordNanos(nanos);
+    const double reported = histogram.PercentileSeconds(1.0);
+    const double sample = static_cast<double>(nanos) * 1e-9;
+    EXPECT_GE(reported, sample);
+    EXPECT_LE(reported, sample * 17.0 / 16.0 + 1e-12);
+  }
+}
+
+TEST(LatencyHistogramTest, MergeIsDeterministicUnderAnyOrder) {
+  // Three workers record disjoint sample streams; merging in any order
+  // must produce byte-identical bucket counts and percentiles.
+  std::vector<LatencyHistogram> workers(3);
+  common::Rng rng(4242);
+  for (int w = 0; w < 3; ++w) {
+    for (int i = 0; i < 500; ++i) {
+      workers[static_cast<size_t>(w)].RecordNanos(
+          static_cast<int64_t>(1 + rng.NextBounded(2'000'000'000)));
+    }
+  }
+  std::vector<int> order = {0, 1, 2};
+  LatencyHistogram reference;
+  for (int w : order) reference.Merge(workers[static_cast<size_t>(w)]);
+  do {
+    LatencyHistogram merged;
+    for (int w : order) merged.Merge(workers[static_cast<size_t>(w)]);
+    EXPECT_EQ(merged.count(), reference.count());
+    EXPECT_EQ(merged.bucket_counts(), reference.bucket_counts());
+    for (double p : {0.5, 0.95, 0.99, 0.999}) {
+      EXPECT_DOUBLE_EQ(merged.PercentileSeconds(p),
+                       reference.PercentileSeconds(p));
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(LatencyHistogramTest, MergeMatchesSingleWriter) {
+  // Splitting a stream across histograms then merging must equal one
+  // histogram that saw everything.
+  LatencyHistogram single, left, right;
+  common::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t nanos =
+        static_cast<int64_t>(1 + rng.NextBounded(500'000'000));
+    single.RecordNanos(nanos);
+    (i % 2 == 0 ? left : right).RecordNanos(nanos);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), single.count());
+  EXPECT_EQ(left.bucket_counts(), single.bucket_counts());
+}
+
+TEST(LatencyHistogramTest, PercentileEdgeCasesClampRank) {
+  LatencyHistogram histogram;
+  histogram.Record(0.001);
+  histogram.Record(0.002);
+  // p <= 0 clamps to rank 1, p >= 1 to rank count.
+  EXPECT_DOUBLE_EQ(histogram.PercentileSeconds(0.0),
+                   histogram.PercentileSeconds(1e-9));
+  EXPECT_DOUBLE_EQ(histogram.PercentileSeconds(1.0),
+                   histogram.PercentileSeconds(2.0));
+  EXPECT_LT(histogram.PercentileSeconds(0.0),
+            histogram.PercentileSeconds(1.0));
+}
+
+}  // namespace
+}  // namespace crowdfusion::common

@@ -1,0 +1,165 @@
+#include "loadgen/replayer.h"
+
+#include <atomic>
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "net/http.h"
+#include "net/http_server.h"
+
+namespace crowdfusion::loadgen {
+namespace {
+
+/// Zero-latency backend: answers instantly with a status derived from
+/// the target path, so replay timing measures the generator, not a
+/// server.
+class ZeroLatencyServer {
+ public:
+  ZeroLatencyServer() : server_([this](const net::HttpRequest& request) {
+    ++requests_;
+    net::HttpResponse response;
+    if (request.target == "/client-error") {
+      response.status_code = 404;
+    } else if (request.target == "/server-error") {
+      response.status_code = 503;
+    } else {
+      response.status_code = 200;
+    }
+    response.headers.push_back({"Content-Type", "application/json"});
+    response.body = "{}";
+    return response;
+  }, net::HttpServer::Options{}) {}
+
+  common::Status Start() { return server_.Start(); }
+  int port() const { return server_.port(); }
+  int64_t requests() const { return requests_.load(); }
+
+ private:
+  std::atomic<int64_t> requests_{0};
+  net::HttpServer server_;
+};
+
+Trace UniformTrace(int n, const std::string& target) {
+  Trace trace;
+  for (int i = 0; i < n; ++i) {
+    trace.records.push_back(
+        {static_cast<double>(i) * 0.001, "GET", target, ""});
+  }
+  return trace;
+}
+
+TEST(ReplayerTest, RejectsBadInputs) {
+  Trace empty;
+  ReplayOptions options;
+  options.port = 1234;
+  EXPECT_FALSE(Replay(empty, options).ok());
+
+  Trace trace = UniformTrace(2, "/ok");
+  ReplayOptions no_port;
+  EXPECT_FALSE(Replay(trace, no_port).ok());
+
+  ReplayOptions negative_qps;
+  negative_qps.port = 1234;
+  negative_qps.target_qps = -1.0;
+  EXPECT_FALSE(Replay(trace, negative_qps).ok());
+}
+
+// The capacity-planning contract pinned by ISSUE 9: against a
+// zero-latency backend the open-loop generator must achieve its target
+// rate within 5%.
+TEST(ReplayerTest, AchievesTargetQpsWithinFivePercent) {
+  ZeroLatencyServer server;
+  ASSERT_TRUE(server.Start().ok());
+
+  const double target_qps = 150.0;
+  const int n = 300;  // ~2 s of schedule
+  ReplayOptions options;
+  options.port = server.port();
+  options.target_qps = target_qps;
+  options.connections = 4;
+  auto report = Replay(UniformTrace(n, "/ok"), options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_EQ(report->attempted, n);
+  EXPECT_EQ(report->ok, n);
+  EXPECT_EQ(report->err_transport, 0);
+  EXPECT_EQ(server.requests(), n);
+  EXPECT_NEAR(report->achieved_qps, target_qps, target_qps * 0.05)
+      << "wall " << report->wall_seconds << " s";
+  // Zero-latency backend on loopback: the tail must be well under the
+  // 1 ms schedule spacing unless the host is pathologically loaded.
+  EXPECT_GT(report->p99_ms, 0.0);
+  EXPECT_EQ(report->histogram.count(), n);
+}
+
+TEST(ReplayerTest, ClassifiesResponseAndTransportErrors) {
+  ZeroLatencyServer server;
+  ASSERT_TRUE(server.Start().ok());
+
+  Trace trace;
+  trace.records.push_back({0.0, "GET", "/ok", ""});
+  trace.records.push_back({0.0, "GET", "/client-error", ""});
+  trace.records.push_back({0.0, "GET", "/client-error", ""});
+  trace.records.push_back({0.0, "GET", "/server-error", ""});
+  ReplayOptions options;
+  options.port = server.port();
+  options.connections = 1;  // sequential, so counts are exact
+  options.target_qps = 1000.0;
+  auto report = Replay(trace, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->attempted, 4);
+  EXPECT_EQ(report->ok, 1);
+  EXPECT_EQ(report->err_4xx, 2);
+  EXPECT_EQ(report->err_5xx, 1);
+  EXPECT_EQ(report->err_transport, 0);
+}
+
+TEST(ReplayerTest, DeadBackendCountsTransportErrors) {
+  // Bind a port, then stop the server so nothing listens on it.
+  int dead_port = 0;
+  {
+    ZeroLatencyServer server;
+    ASSERT_TRUE(server.Start().ok());
+    dead_port = server.port();
+  }
+  ReplayOptions options;
+  options.port = dead_port;
+  options.connections = 2;
+  options.target_qps = 1000.0;
+  options.timeout_seconds = 2.0;
+  auto report = Replay(UniformTrace(6, "/ok"), options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->attempted, 6);
+  EXPECT_EQ(report->ok, 0);
+  EXPECT_EQ(report->err_transport, 6);
+}
+
+TEST(ReplayerTest, RecordedPacingFollowsTraceTimestamps) {
+  ZeroLatencyServer server;
+  ASSERT_TRUE(server.Start().ok());
+
+  // target_qps 0 = recorded pacing on the injected clock: the replay's
+  // wall time is exactly the trace span, deterministically.
+  Trace trace;
+  trace.records.push_back({0.0, "GET", "/ok", ""});
+  trace.records.push_back({0.5, "GET", "/ok", ""});
+  trace.records.push_back({1.0, "GET", "/ok", ""});
+  trace.records.push_back({1.5, "GET", "/ok", ""});
+  common::ManualClock clock(100.0);
+  ReplayOptions options;
+  options.port = server.port();
+  options.connections = 1;
+  options.target_qps = 0.0;
+  options.clock = &clock;
+  auto report = Replay(trace, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->ok, 4);
+  EXPECT_DOUBLE_EQ(report->wall_seconds, 1.5);
+  EXPECT_NEAR(report->achieved_qps, 4.0 / 1.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace crowdfusion::loadgen

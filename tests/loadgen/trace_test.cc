@@ -1,0 +1,244 @@
+#include "loadgen/trace.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace crowdfusion::loadgen {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+Trace SmallTrace() {
+  Trace trace;
+  trace.records.push_back({0.0, "GET", "/healthz", ""});
+  trace.records.push_back({0.25, "POST", "/v1/fusion:run", "{\"x\": 1}"});
+  trace.records.push_back({0.25, "GET", "/metricsz", ""});
+  trace.records.push_back({1.5, "DELETE", "/v1/sessions/s-1", ""});
+  return trace;
+}
+
+TEST(TraceTest, SerializeParseRoundTrip) {
+  const Trace trace = SmallTrace();
+  std::ostringstream text;
+  text << SerializeTraceHeader() << "\n";
+  for (const TraceRecord& record : trace.records) {
+    text << SerializeTraceRecord(record) << "\n";
+  }
+  std::istringstream in(text.str());
+  auto parsed = ParseTrace(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, trace);
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  const std::string path = TempPath("crowdfusion_trace_roundtrip.jsonl");
+  const Trace trace = SmallTrace();
+  ASSERT_TRUE(SaveTraceFile(trace, path).ok());
+  auto loaded = LoadTraceFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, trace);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, MissingFileIsNotFound) {
+  auto loaded = LoadTraceFile(TempPath("nope_does_not_exist.jsonl"));
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(TraceTest, BlankLinesAreSkipped) {
+  std::istringstream in(
+      "\n{\"schema\": \"crowdfusion-trace-v1\"}\n\n"
+      "{\"t\": 0, \"method\": \"GET\", \"target\": \"/healthz\"}\n   \n");
+  auto parsed = ParseTrace(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->records.size(), 1u);
+}
+
+TEST(TraceTest, RejectsUnknownKeysByName) {
+  auto record = ParseTraceRecord(
+      "{\"t\": 0, \"method\": \"GET\", \"target\": \"/x\", \"frob\": 1}");
+  ASSERT_FALSE(record.ok());
+  EXPECT_EQ(record.status().code(), common::StatusCode::kInvalidArgument);
+  EXPECT_NE(record.status().ToString().find("frob"), std::string::npos);
+
+  std::istringstream in(
+      "{\"schema\": \"crowdfusion-trace-v1\", \"extra\": true}\n");
+  auto parsed = ParseTrace(in);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("extra"), std::string::npos);
+}
+
+TEST(TraceTest, RejectsBadRecords) {
+  // Missing t.
+  EXPECT_FALSE(
+      ParseTraceRecord("{\"method\": \"GET\", \"target\": \"/x\"}").ok());
+  // Negative and non-finite t.
+  EXPECT_FALSE(
+      ParseTraceRecord("{\"t\": -1, \"method\": \"GET\", \"target\": \"/x\"}")
+          .ok());
+  // Unknown method.
+  EXPECT_FALSE(
+      ParseTraceRecord("{\"t\": 0, \"method\": \"BREW\", \"target\": \"/x\"}")
+          .ok());
+  // Target not origin-form.
+  EXPECT_FALSE(
+      ParseTraceRecord("{\"t\": 0, \"method\": \"GET\", \"target\": \"x\"}")
+          .ok());
+  EXPECT_FALSE(
+      ParseTraceRecord("{\"t\": 0, \"method\": \"GET\"}").ok());
+  // Wrong types.
+  EXPECT_FALSE(
+      ParseTraceRecord(
+          "{\"t\": \"zero\", \"method\": \"GET\", \"target\": \"/x\"}")
+          .ok());
+  EXPECT_FALSE(ParseTraceRecord("[1, 2, 3]").ok());
+}
+
+TEST(TraceTest, RejectsDecreasingTimestampsNamingLine) {
+  std::istringstream in(
+      "{\"schema\": \"crowdfusion-trace-v1\"}\n"
+      "{\"t\": 1.0, \"method\": \"GET\", \"target\": \"/a\"}\n"
+      "{\"t\": 0.5, \"method\": \"GET\", \"target\": \"/b\"}\n");
+  auto parsed = ParseTrace(in);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("line 3"), std::string::npos);
+}
+
+TEST(TraceTest, RejectsMissingOrWrongHeader) {
+  std::istringstream empty("");
+  EXPECT_FALSE(ParseTrace(empty).ok());
+  std::istringstream wrong("{\"schema\": \"some-other-format\"}\n");
+  EXPECT_FALSE(ParseTrace(wrong).ok());
+  std::istringstream not_header(
+      "{\"t\": 0, \"method\": \"GET\", \"target\": \"/x\"}\n");
+  EXPECT_FALSE(ParseTrace(not_header).ok());
+}
+
+// The request_json_test fuzz contract, applied to traces: truncating or
+// corrupting a valid trace must never crash the parser — every cut
+// either still parses or fails with a clean Status.
+TEST(TraceTest, TruncationFuzzNeverCrashes) {
+  std::ostringstream text;
+  text << SerializeTraceHeader() << "\n";
+  for (const TraceRecord& record : SmallTrace().records) {
+    text << SerializeTraceRecord(record) << "\n";
+  }
+  const std::string serialized = text.str();
+
+  common::Rng rng(4242);
+  for (int i = 0; i < 200; ++i) {
+    const size_t cut = static_cast<size_t>(
+        rng.NextBounded(static_cast<uint64_t>(serialized.size())));
+    std::istringstream in(serialized.substr(0, cut));
+    auto parsed = ParseTrace(in);  // must not crash
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.status().ToString().empty());
+    }
+  }
+  for (int i = 0; i < 200; ++i) {
+    std::string corrupted = serialized;
+    const size_t pos = static_cast<size_t>(
+        rng.NextBounded(static_cast<uint64_t>(corrupted.size())));
+    corrupted[pos] = static_cast<char>('!' + rng.NextBounded(90));
+    std::istringstream in(corrupted);
+    auto parsed = ParseTrace(in);  // must not crash
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.status().ToString().empty());
+    }
+  }
+}
+
+TEST(TraceRecorderTest, RecordsRelativeToFirstRequest) {
+  const std::string path = TempPath("crowdfusion_trace_recorder.jsonl");
+  common::ManualClock clock(1000.0);  // the pre-traffic idle must not leak
+  {
+    auto recorder = TraceRecorder::Open(path, &clock);
+    ASSERT_TRUE(recorder.ok()) << recorder.status().ToString();
+    (*recorder)->Record("GET", "/healthz", "");
+    clock.AdvanceSeconds(0.5);
+    (*recorder)->Record("POST", "/v1/fusion:run", "{\"y\": 2}");
+    clock.AdvanceSeconds(0.25);
+    (*recorder)->Record("GET", "/metricsz", "");
+    EXPECT_EQ((*recorder)->records_written(), 3);
+  }
+  auto loaded = LoadTraceFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->records.size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded->records[0].t, 0.0);
+  EXPECT_DOUBLE_EQ(loaded->records[1].t, 0.5);
+  EXPECT_DOUBLE_EQ(loaded->records[2].t, 0.75);
+  EXPECT_EQ(loaded->records[1].method, "POST");
+  EXPECT_EQ(loaded->records[1].body, "{\"y\": 2}");
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorderTest, OpenTruncatesExistingFile) {
+  const std::string path = TempPath("crowdfusion_trace_truncate.jsonl");
+  {
+    auto first = TraceRecorder::Open(path);
+    ASSERT_TRUE(first.ok());
+    (*first)->Record("GET", "/healthz", "");
+    (*first)->Record("GET", "/healthz", "");
+  }
+  {
+    auto second = TraceRecorder::Open(path);
+    ASSERT_TRUE(second.ok());
+    (*second)->Record("GET", "/metricsz", "");
+  }
+  auto loaded = LoadTraceFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->records.size(), 1u);
+  EXPECT_EQ(loaded->records[0].target, "/metricsz");
+  std::remove(path.c_str());
+}
+
+TEST(SyntheticTraceTest, IsDeterministicAndWellFormed) {
+  SyntheticTraceOptions options;
+  options.num_records = 24;
+  options.qps = 100.0;
+  options.healthz_every = 8;
+  const Trace a = MakeSyntheticTrace(options);
+  const Trace b = MakeSyntheticTrace(options);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.records.size(), 24u);
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    const TraceRecord& record = a.records[i];
+    EXPECT_DOUBLE_EQ(record.t, static_cast<double>(i) / 100.0);
+    if (i % 8 == 0) {
+      EXPECT_EQ(record.target, "/healthz");
+      EXPECT_TRUE(record.body.empty());
+    } else {
+      EXPECT_EQ(record.target, "/v1/fusion:run");
+      EXPECT_FALSE(record.body.empty());
+    }
+  }
+  // A different seed changes the fusion bodies but not the shape.
+  SyntheticTraceOptions reseeded = options;
+  reseeded.seed = 99;
+  const Trace c = MakeSyntheticTrace(reseeded);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(c.records.size(), a.records.size());
+}
+
+TEST(SyntheticTraceTest, SavedSyntheticTraceParsesBack) {
+  const std::string path = TempPath("crowdfusion_trace_synth.jsonl");
+  const Trace trace = MakeSyntheticTrace(SyntheticTraceOptions{});
+  ASSERT_TRUE(SaveTraceFile(trace, path).ok());
+  auto loaded = LoadTraceFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, trace);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace crowdfusion::loadgen

@@ -1,0 +1,208 @@
+#include "service/bulk_pipe.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "loadgen/trace.h"
+#include "service/fusion_service.h"
+#include "service/request_json.h"
+
+namespace crowdfusion::service {
+namespace {
+
+/// Fusion request lines harvested from synthetic loadgen traces: every
+/// body a full crowdfusion-request-v1 document, varied by seed. Using
+/// the loadgen generator here doubles as the layering pin that its
+/// hand-built bodies really parse as service requests (loadgen cannot
+/// include service headers itself).
+std::vector<std::string> RequestLines(int count) {
+  std::vector<std::string> lines;
+  uint64_t seed = 1;
+  while (static_cast<int>(lines.size()) < count) {
+    loadgen::SyntheticTraceOptions options;
+    options.num_records = 8;
+    options.healthz_every = 1000;  // only record 0 is a healthz probe
+    options.facts = 2 + static_cast<int>(seed % 3);
+    options.budget_per_instance = 1 + static_cast<int>(seed % 3);
+    options.seed = seed++;
+    for (const loadgen::TraceRecord& record :
+         loadgen::MakeSyntheticTrace(options).records) {
+      if (record.target != "/v1/fusion:run") continue;
+      if (static_cast<int>(lines.size()) == count) break;
+      lines.push_back(record.body);
+    }
+  }
+  return lines;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Replaces the one run-to-run nondeterministic response member — the
+/// Stopwatch-measured "stats" timing block — with null, leaving every
+/// other byte of the line intact for exact comparison.
+std::string CanonicalizeResponseLine(const std::string& line) {
+  auto json = common::JsonValue::Parse(line);
+  if (!json.ok() || !json->is_object() || json->Find("stats") == nullptr) {
+    return line;
+  }
+  json->Set("stats", common::JsonValue());
+  return json->Dump();
+}
+
+std::string CanonicalizeResponses(const std::string& text) {
+  std::string out;
+  for (const std::string& line : SplitLines(text)) {
+    out += CanonicalizeResponseLine(line);
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(BulkPipeTest, RejectsBadWindow) {
+  common::ManualClock clock(0.0);
+  FusionService service(FusionService::Config{.clock = &clock});
+  std::istringstream in("");
+  std::ostringstream out;
+  BulkPipeOptions options;
+  options.max_in_flight = 0;
+  auto stats = RunBulkPipe(service, in, out, options);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+// ISSUE 9's differential pin: streaming requests through the pipe must
+// produce byte-for-byte the same response lines as calling
+// FusionService::Run directly, in input order, for 32 seeded requests —
+// concurrency may reorder execution, never output. The sole exception
+// is the "stats" timing block, which Stopwatch measures off the real
+// steady clock; CanonicalizeResponses nulls it on BOTH sides and every
+// other byte must match exactly.
+TEST(BulkPipeTest, MatchesDirectRunByteForByteAcrossSeeds) {
+  common::ManualClock clock(10.0);
+  FusionService service(FusionService::Config{.clock = &clock});
+
+  const std::vector<std::string> lines = RequestLines(32);
+  std::string expected;
+  for (const std::string& line : lines) {
+    auto request = ParseFusionRequest(line);
+    ASSERT_TRUE(request.ok()) << request.status().ToString();
+    auto response = service.Run(*request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    expected += FusionResponseToJson(*response).Dump();
+    expected += "\n";
+  }
+
+  std::string input;
+  for (const std::string& line : lines) input += line + "\n";
+  std::istringstream in(input);
+  std::ostringstream out;
+  BulkPipeOptions options;
+  options.max_in_flight = 8;
+  options.threads = 4;
+  auto stats = RunBulkPipe(service, in, out, options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(CanonicalizeResponses(out.str()), CanonicalizeResponses(expected));
+  EXPECT_EQ(stats->requests, 32);
+  EXPECT_EQ(stats->ok, 32);
+  EXPECT_EQ(stats->errors, 0);
+  EXPECT_LE(stats->peak_in_flight, 8);
+  EXPECT_GT(stats->books_completed, 0);
+}
+
+TEST(BulkPipeTest, BadLinesYieldOrderedErrorEnvelopes) {
+  common::ManualClock clock(0.0);
+  FusionService service(FusionService::Config{.clock = &clock});
+  const std::vector<std::string> valid = RequestLines(2);
+
+  std::string input;
+  input += valid[0] + "\n";
+  input += "this is not json\n";
+  input += "\n";  // blank: skipped, still counted in line numbers
+  input += "{\"schema\": \"crowdfusion-request-v1\", \"mode\": \"warp\"}\n";
+  input += valid[1] + "\n";
+  std::istringstream in(input);
+  std::ostringstream out;
+  auto stats = RunBulkPipe(service, in, out, BulkPipeOptions{});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->lines_read, 5);
+  EXPECT_EQ(stats->requests, 4);
+  EXPECT_EQ(stats->ok, 2);
+  EXPECT_EQ(stats->errors, 2);
+
+  const std::vector<std::string> emitted = SplitLines(out.str());
+  ASSERT_EQ(emitted.size(), 4u);
+  // Envelope for physical line 2, then line 4, in stream position.
+  auto envelope2 = common::JsonValue::Parse(emitted[1]);
+  ASSERT_TRUE(envelope2.ok());
+  EXPECT_EQ(*envelope2->Find("schema"),
+            common::JsonValue("crowdfusion-error-v1"));
+  EXPECT_EQ(*envelope2->Find("line"), common::JsonValue(int64_t{2}));
+  auto envelope4 = common::JsonValue::Parse(emitted[2]);
+  ASSERT_TRUE(envelope4.ok());
+  EXPECT_EQ(*envelope4->Find("line"), common::JsonValue(int64_t{4}));
+  EXPECT_EQ(*envelope4->Find("code"),
+            common::JsonValue("InvalidArgument"));
+  // Lines 1 and 5 are real responses.
+  EXPECT_NE(emitted[0].find(kResponseSchema), std::string::npos);
+  EXPECT_NE(emitted[3].find(kResponseSchema), std::string::npos);
+}
+
+TEST(BulkPipeTest, TinyWindowStillPreservesOrderAndBoundsFlight) {
+  common::ManualClock clock(0.0);
+  FusionService service(FusionService::Config{.clock = &clock});
+  const std::vector<std::string> lines = RequestLines(12);
+  std::string input;
+  for (const std::string& line : lines) input += line + "\n";
+
+  std::istringstream in(input);
+  std::ostringstream wide_out;
+  BulkPipeOptions wide;
+  wide.max_in_flight = 8;
+  wide.threads = 4;
+  ASSERT_TRUE(RunBulkPipe(service, in, wide_out, wide).ok());
+
+  std::istringstream in2(input);
+  std::ostringstream narrow_out;
+  BulkPipeOptions narrow;
+  narrow.max_in_flight = 2;
+  narrow.threads = 4;
+  auto stats = RunBulkPipe(service, in2, narrow_out, narrow);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_LE(stats->peak_in_flight, 2);
+  EXPECT_EQ(stats->ok, 12);
+  // Window size is a throughput knob, never an output knob.
+  EXPECT_EQ(CanonicalizeResponses(narrow_out.str()),
+            CanonicalizeResponses(wide_out.str()));
+}
+
+TEST(BulkPipeTest, SyntheticTraceBodiesRunEndToEnd) {
+  common::ManualClock clock(0.0);
+  FusionService service(FusionService::Config{.clock = &clock});
+  loadgen::SyntheticTraceOptions options;
+  options.num_records = 6;
+  options.healthz_every = 2;
+  for (const loadgen::TraceRecord& record :
+       loadgen::MakeSyntheticTrace(options).records) {
+    if (record.target != "/v1/fusion:run") continue;
+    auto request = ParseFusionRequest(record.body);
+    ASSERT_TRUE(request.ok()) << request.status().ToString();
+    auto response = service.Run(*request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_GT(response->total_cost_spent, 0);
+  }
+}
+
+}  // namespace
+}  // namespace crowdfusion::service

@@ -6,12 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/json.h"
+#include "loadgen/trace.h"
 #include "net/http_client.h"
 #include "service/http_frontend.h"
 #include "service/request_json.h"
@@ -345,6 +348,91 @@ TEST_F(HttpFrontendTest, MetricszTracksServingActivity) {
   EXPECT_EQ(body.Find("sessions_active")->GetInt().value(), 1);
   ASSERT_NE(body.Find("p50_handler_ms"), nullptr);
   ASSERT_NE(body.Find("p95_handler_ms"), nullptr);
+}
+
+TEST(HttpFrontendUptimeTest, MetricszExportsUptimeAndConnections) {
+  common::ManualClock clock(100.0);
+  HttpFrontend::Options options;
+  options.port = 0;
+  options.clock = &clock;
+  HttpFrontend frontend(options);
+  ASSERT_TRUE(frontend.Start().ok());
+
+  net::HttpClient client(ClientOptions(frontend.port()));
+  auto first = client.Get("/metricsz");
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto first_body = JsonValue::Parse(first->body);
+  ASSERT_TRUE(first_body.ok());
+  ASSERT_NE(first_body->Find("uptime_seconds"), nullptr);
+  const double uptime0 =
+      first_body->Find("uptime_seconds")->GetDouble().value();
+  EXPECT_GE(uptime0, 0.0);
+  const int64_t accepted0 =
+      first_body->Find("connections_accepted")->GetInt().value();
+  EXPECT_GE(accepted0, 1);
+
+  // Uptime is monotonic on the injected clock...
+  clock.AdvanceSeconds(7.5);
+  // ...and every fresh client connection bumps the acceptance counter.
+  net::HttpClient second_client(ClientOptions(frontend.port()));
+  auto second = second_client.Get("/metricsz");
+  ASSERT_TRUE(second.ok()) << second.status();
+  auto second_body = JsonValue::Parse(second->body);
+  ASSERT_TRUE(second_body.ok());
+  EXPECT_GE(second_body->Find("uptime_seconds")->GetDouble().value(),
+            uptime0 + 7.5);
+  EXPECT_GT(second_body->Find("connections_accepted")->GetInt().value(),
+            accepted0);
+
+  const HttpFrontend::Metrics metrics = frontend.GetMetrics();
+  EXPECT_GE(metrics.uptime_seconds, 7.5);
+  EXPECT_GT(metrics.connections_accepted, accepted0);
+}
+
+TEST(HttpFrontendTraceTest, RecorderHookCapturesReplayableTrace) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "frontend_trace.jsonl")
+          .string();
+  common::ManualClock clock(50.0);
+  auto recorder = loadgen::TraceRecorder::Open(path, &clock);
+  ASSERT_TRUE(recorder.ok()) << recorder.status().ToString();
+
+  HttpFrontend::Options options;
+  options.port = 0;
+  options.clock = &clock;
+  options.trace_recorder = recorder->get();
+  {
+    HttpFrontend frontend(options);
+    ASSERT_TRUE(frontend.Start().ok());
+    net::HttpClient client(ClientOptions(frontend.port()));
+    ASSERT_TRUE(client.Get("/healthz").ok());
+    clock.AdvanceSeconds(0.25);
+    const std::string body = SerializeFusionRequest(ScriptedRequest());
+    ASSERT_TRUE(client.Post("/v1/fusion:run", body).ok());
+    clock.AdvanceSeconds(0.25);
+    // Even a 404 is traffic: the recorder sits before routing.
+    ASSERT_TRUE(client.Get("/v1/unknown").ok());
+    EXPECT_EQ((*recorder)->records_written(), 3);
+  }
+  recorder->reset();  // close the file before reading it back
+
+  auto trace = loadgen::LoadTraceFile(path);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ASSERT_EQ(trace->records.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace->records[0].t, 0.0);
+  EXPECT_EQ(trace->records[0].method, "GET");
+  EXPECT_EQ(trace->records[0].target, "/healthz");
+  EXPECT_DOUBLE_EQ(trace->records[1].t, 0.25);
+  EXPECT_EQ(trace->records[1].method, "POST");
+  EXPECT_EQ(trace->records[1].target, "/v1/fusion:run");
+  EXPECT_DOUBLE_EQ(trace->records[2].t, 0.5);
+  EXPECT_EQ(trace->records[2].target, "/v1/unknown");
+  // The recorded fusion body is the exact request the client sent, so a
+  // replay reproduces the workload bit-for-bit.
+  auto replayed = ParseFusionRequest(trace->records[1].body);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(*replayed, ScriptedRequest());
+  std::remove(path.c_str());
 }
 
 TEST_F(HttpFrontendTest, MetricszExportsSelectionComputeGauges) {
