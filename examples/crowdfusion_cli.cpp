@@ -31,8 +31,8 @@
 ///       envelope (with its input line number) instead of aborting the
 ///       stream; a books/sec + books/sec/core report goes to stderr on
 ///       exit
-///   crowdfusion_cli serve [--port N] [--threads T] [--session-ttl S]
-///                   [--crowd-port M] [--record-trace FILE]
+///   crowdfusion_cli serve [server flags] [--crowd-port M]
+///                   [--record-trace FILE]
 ///       run the HTTP serving front-end (POST /v1/fusion:run, the
 ///       /v1/sessions endpoints, /healthz, /metricsz) until SIGTERM or
 ///       SIGINT, then shut down cleanly (exit 0). --crowd-port also
@@ -42,13 +42,12 @@
 ///       --record-trace appends every request to FILE in the
 ///       crowdfusion-trace-v1 JSONL format for later crowdfusion_loadgen
 ///       replay
-///   crowdfusion_cli route --backends host:port,host:port [--port N]
-///                   [--threads T]
+///   crowdfusion_cli route --backends host:port,host:port [server flags]
 ///       run the net::Router front tier over N serve backends: session
 ///       traffic is consistent-hashed (ids become "s-1@key"), fusion:run
 ///       goes to the least-loaded backend, dead backends are ejected and
 ///       re-probed. Runs until SIGTERM/SIGINT, clean exit 0
-///   crowdfusion_cli crowd [--port N] [--threads T]
+///   crowdfusion_cli crowd [server flags]
 ///       run a standalone loopback crowd platform (the ticket wire the
 ///       "http"/"http_pool" providers speak) until SIGTERM/SIGINT — one
 ///       process per simulated crowd endpoint in multi-platform
@@ -102,6 +101,7 @@
 #include "fusion/registry.h"
 #include "net/loopback_crowd_server.h"
 #include "net/router.h"
+#include "net/server_config.h"
 #include "service/bulk_pipe.h"
 #include "service/fusion_service.h"
 #include "service/http_frontend.h"
@@ -122,12 +122,14 @@ int Usage() {
       "           [--skip-failed]\n"
       "  request  <request.json>\n"
       "  pipe     [--max-in-flight M] [--threads T]\n"
-      "  serve    [--port N] [--threads T] [--session-ttl S]\n"
-      "           [--crowd-port M] [--record-trace FILE]\n"
-      "  route    --backends host:port,host:port [--port N] [--threads T]\n"
-      "  crowd    [--port N] [--threads T]\n"
+      "  serve    [server flags] [--crowd-port M] [--record-trace FILE]\n"
+      "  route    --backends host:port,host:port [server flags]\n"
+      "  crowd    [server flags]\n"
       "  score    <claims.tsv> <joint-dir>\n"
-      "  scenario <name>... | --all  [--out-dir DIR]\n");
+      "  scenario <name>... | --all  [--out-dir DIR]\n"
+      "server flags (serve, route, crowd — one config vocabulary):\n"
+      "%s",
+      net::ServerFlagUsage());
   return 2;
 }
 
@@ -394,26 +396,25 @@ volatile std::sig_atomic_t g_shutdown = 0;
 void HandleShutdownSignal(int) { g_shutdown = 1; }
 
 int CmdServe(int argc, char** argv) {
-  int port = 8080;
-  int threads = 4;
-  double session_ttl = 300.0;
+  service::HttpFrontend::Options options;
+  options.port = 8080;
   int crowd_port = -1;
   std::string trace_path;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--port" && i + 1 < argc) {
-      port = std::atoi(argv[++i]);
-    } else if (arg == "--threads" && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-    } else if (arg == "--session-ttl" && i + 1 < argc) {
-      session_ttl = std::atof(argv[++i]);
-    } else if (arg == "--crowd-port" && i + 1 < argc) {
+    if (arg == "--crowd-port" && i + 1 < argc) {
       crowd_port = std::atoi(argv[++i]);
     } else if (arg == "--record-trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else {
-      std::fprintf(stderr, "unknown serve flag: %s\n", arg.c_str());
-      return Usage();
+      // The shared server-config vocabulary; anything it doesn't
+      // recognize is a hard usage error (no silently ignored flags).
+      auto applied = net::ApplyServerFlag(argc, argv, &i, &options);
+      if (!applied.ok()) return Fail(applied.status());
+      if (!*applied) {
+        std::fprintf(stderr, "unknown serve flag: %s\n", arg.c_str());
+        return Usage();
+      }
     }
   }
 
@@ -438,10 +439,6 @@ int CmdServe(int argc, char** argv) {
                 crowd_server->endpoint().c_str());
   }
 
-  service::HttpFrontend::Options options;
-  options.port = port;
-  options.threads = threads;
-  options.session_ttl_seconds = session_ttl;
   options.trace_recorder = trace_recorder.get();
   service::HttpFrontend frontend(options);
   if (auto status = frontend.Start(); !status.ok()) return Fail(status);
@@ -452,7 +449,7 @@ int CmdServe(int argc, char** argv) {
   // The e2e harness waits for this exact line before sending traffic.
   std::printf("serving on http://127.0.0.1:%d (threads %d, session TTL "
               "%.0f s)\n",
-              frontend.port(), threads, session_ttl);
+              frontend.port(), options.threads, options.session_ttl_seconds);
   std::fflush(stdout);
   while (g_shutdown == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -470,31 +467,22 @@ int CmdServe(int argc, char** argv) {
 }
 
 int CmdRoute(int argc, char** argv) {
-  int port = 8090;
-  int threads = 4;
-  std::string backends;
+  net::Router::Options options;
+  options.port = 8090;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--port" && i + 1 < argc) {
-      port = std::atoi(argv[++i]);
-    } else if (arg == "--threads" && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-    } else if (arg == "--backends" && i + 1 < argc) {
-      backends = argv[++i];
-    } else {
+    auto applied = net::ApplyServerFlag(argc, argv, &i, &options);
+    if (!applied.ok()) return Fail(applied.status());
+    if (!*applied) {
       std::fprintf(stderr, "unknown route flag: %s\n", arg.c_str());
       return Usage();
     }
   }
-  if (backends.empty()) {
+  if (options.backends.empty()) {
     std::fprintf(stderr, "route requires --backends host:port[,host:port]\n");
     return Usage();
   }
 
-  net::Router::Options options;
-  options.port = port;
-  options.threads = threads;
-  options.backends = common::Split(backends, ',');
   net::Router router(options);
   if (auto status = router.Start(); !status.ok()) return Fail(status);
   std::signal(SIGTERM, HandleShutdownSignal);
@@ -502,7 +490,7 @@ int CmdRoute(int argc, char** argv) {
   // The e2e harness waits for this exact line before sending traffic.
   std::printf("routing on http://127.0.0.1:%d (%d backends, threads %d)\n",
               router.port(), static_cast<int>(options.backends.size()),
-              threads);
+              options.threads);
   std::fflush(stdout);
   while (g_shutdown == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -517,11 +505,9 @@ int CmdCrowd(int argc, char** argv) {
   options.port = 8070;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--port" && i + 1 < argc) {
-      options.port = std::atoi(argv[++i]);
-    } else if (arg == "--threads" && i + 1 < argc) {
-      options.threads = std::atoi(argv[++i]);
-    } else {
+    auto applied = net::ApplyServerFlag(argc, argv, &i, &options);
+    if (!applied.ok()) return Fail(applied.status());
+    if (!*applied) {
       std::fprintf(stderr, "unknown crowd flag: %s\n", arg.c_str());
       return Usage();
     }

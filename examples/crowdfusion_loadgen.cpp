@@ -10,12 +10,14 @@
 ///       answers per book)
 ///   crowdfusion_loadgen replay <trace.jsonl> --port P [--host H]
 ///                   [--qps Q] [--connections C] [--timeout S]
-///                   [--bench-out FILE] [--config LABEL] [--fail-on-5xx]
+///                   [--repeat R] [--bench-out FILE] [--config LABEL]
+///                   [--fail-on-5xx]
 ///       fire the trace at a live front-end, open loop: --qps rewrites
 ///       the schedule to Q requests/sec (0 = the trace's recorded
-///       pacing), C worker connections share it round-robin, and latency
-///       is measured from each request's SCHEDULED send time into a
-///       mergeable log-bucketed histogram (coordinated-omission
+///       pacing), C worker connections share it round-robin, --repeat
+///       concatenates R passes over the trace into one schedule, and
+///       latency is measured from each request's SCHEDULED send time
+///       into a mergeable log-bucketed histogram (coordinated-omission
 ///       corrected). Prints a one-object JSON report to stdout; the
 ///       human-readable summary goes to stderr. --bench-out merges a
 ///       crowdfusion-bench-v2 row (source "crowdfusion_loadgen",
@@ -23,7 +25,9 @@
 ///       throughput = achieved QPS, p50/p95/p99/p99.9 ms, ok/error
 ///       counts) into FILE for ci/check_bench_regression.py.
 ///       --fail-on-5xx exits 3 when any request got a 5xx or no response
-///       at all — the CI soak gate.
+///       at all — the CI soak gate. 503s carrying Retry-After are the
+///       reactor's deliberate load-shed answer: reported as "shed_503",
+///       never counted against --fail-on-5xx.
 ///
 /// Diagnostics go to stderr; exit 2 = usage, 1 = runtime error, 3 =
 /// --fail-on-5xx tripped.
@@ -50,8 +54,8 @@ int Usage() {
       "  synth  <out.jsonl> [--records N] [--qps Q] [--facts F]\n"
       "         [--budget B] [--healthz-every K] [--seed S]\n"
       "  replay <trace.jsonl> --port P [--host H] [--qps Q]\n"
-      "         [--connections C] [--timeout S] [--bench-out FILE]\n"
-      "         [--config LABEL] [--fail-on-5xx]\n");
+      "         [--connections C] [--timeout S] [--repeat R]\n"
+      "         [--bench-out FILE] [--config LABEL] [--fail-on-5xx]\n");
   return 2;
 }
 
@@ -112,6 +116,8 @@ int CmdReplay(int argc, char** argv) {
       options.connections = std::atoi(argv[++i]);
     } else if (arg == "--timeout" && i + 1 < argc) {
       options.timeout_seconds = std::atof(argv[++i]);
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      options.repeat = std::atoi(argv[++i]);
     } else if (arg == "--bench-out" && i + 1 < argc) {
       bench_out = argv[++i];
     } else if (arg == "--config" && i + 1 < argc) {
@@ -130,15 +136,16 @@ int CmdReplay(int argc, char** argv) {
 
   auto trace = loadgen::LoadTraceFile(trace_path);
   if (!trace.ok()) return Fail(trace.status());
+  const size_t total_records =
+      trace->records.size() * static_cast<size_t>(std::max(1, options.repeat));
   const double span_seconds =
       options.target_qps > 0.0 && !trace->records.empty()
-          ? static_cast<double>(trace->records.size() - 1) /
-                options.target_qps
-          : trace->SpanSeconds();
+          ? static_cast<double>(total_records - 1) / options.target_qps
+          : trace->SpanSeconds() * std::max(1, options.repeat);
   std::fprintf(stderr,
                "replaying %zu records over ~%.1f s at %s against "
                "http://%s:%d (%d connections)\n",
-               trace->records.size(), span_seconds,
+               total_records, span_seconds,
                options.target_qps > 0.0
                    ? common::StrFormat("%.1f qps", options.target_qps).c_str()
                    : "recorded pacing",
@@ -156,6 +163,7 @@ int CmdReplay(int argc, char** argv) {
   summary.Set("ok", report->ok);
   summary.Set("err_4xx", report->err_4xx);
   summary.Set("err_5xx", report->err_5xx);
+  summary.Set("shed_503", report->shed_503);
   summary.Set("err_transport", report->err_transport);
   summary.Set("wall_seconds", report->wall_seconds);
   summary.Set("achieved_qps", report->achieved_qps);
@@ -167,12 +175,13 @@ int CmdReplay(int argc, char** argv) {
 
   std::fprintf(stderr,
                "achieved %.1f qps over %.1f s: %lld ok, %lld 4xx, %lld "
-               "5xx, %lld transport; p50 %.2f ms, p95 %.2f ms, p99 %.2f "
-               "ms, p99.9 %.2f ms\n",
+               "5xx, %lld shed, %lld transport; p50 %.2f ms, p95 %.2f ms, "
+               "p99 %.2f ms, p99.9 %.2f ms\n",
                report->achieved_qps, report->wall_seconds,
                static_cast<long long>(report->ok),
                static_cast<long long>(report->err_4xx),
                static_cast<long long>(report->err_5xx),
+               static_cast<long long>(report->shed_503),
                static_cast<long long>(report->err_transport),
                report->p50_ms, report->p95_ms, report->p99_ms,
                report->p999_ms);

@@ -19,6 +19,7 @@ struct WorkerResult {
   int64_t ok = 0;
   int64_t err_4xx = 0;
   int64_t err_5xx = 0;
+  int64_t shed_503 = 0;
   int64_t err_transport = 0;
   double last_done_seconds = 0.0;
   common::LatencyHistogram histogram;
@@ -34,12 +35,20 @@ void RunWorker(const Trace& trace, const ReplayOptions& options,
   client_options.timeout_seconds = options.timeout_seconds;
   net::HttpClient client(client_options);
 
-  for (size_t i = static_cast<size_t>(worker); i < trace.records.size();
+  // When this connection finished its previous exchange. A send that
+  // starts late because prev_done overran its schedule slot is the
+  // server's fault and is charged below (coordinated-omission
+  // correction); a send that starts late because the host woke the
+  // worker's sleep tardily is generator noise and is not.
+  double prev_done = clock->NowSeconds();
+
+  for (size_t i = static_cast<size_t>(worker); i < schedule.size();
        i += static_cast<size_t>(stride)) {
-    const TraceRecord& record = trace.records[i];
+    const TraceRecord& record = trace.records[i % trace.records.size()];
     const double send_at = start_seconds + schedule[i];
     const double wait = send_at - clock->NowSeconds();
     if (wait > 0.0) clock->SleepSeconds(wait);
+    const double sent_at = clock->NowSeconds();
 
     net::HttpRequest request;
     request.method = record.method;
@@ -52,13 +61,24 @@ void RunWorker(const Trace& trace, const ReplayOptions& options,
     const double done = clock->NowSeconds();
 
     ++result->attempted;
-    // Latency runs from the scheduled send time, not the actual one:
-    // open-loop coordinated-omission correction.
-    result->histogram.Record(done - send_at);
+    // Open-loop latency = service time plus any server-caused backlog
+    // (the connection was still busy when this record's slot arrived).
+    // Under an exact clock this equals done - send_at — the classic
+    // coordinated-omission correction — but unlike done - send_at it
+    // does not charge the client's own sleep-wakeup overshoot to the
+    // server, which on a noisy 1-CPU host can exceed 20 ms and would
+    // otherwise dominate the reported tail.
+    const double backlog = std::max(0.0, prev_done - send_at);
+    result->histogram.Record((done - sent_at) + backlog);
+    prev_done = done;
     result->last_done_seconds = std::max(result->last_done_seconds, done);
     if (!response.ok()) {
       ++result->err_transport;
       client.Reset();
+    } else if (response->status_code == 503 &&
+               response->FindHeader("Retry-After") != nullptr) {
+      // The reactor's canned load-shed answer; deliberate, not an error.
+      ++result->shed_503;
     } else if (response->status_code >= 500) {
       ++result->err_5xx;
     } else if (response->status_code >= 400) {
@@ -82,16 +102,29 @@ common::Result<ReplayReport> Replay(const Trace& trace,
   if (options.target_qps < 0.0) {
     return Status::InvalidArgument("target_qps must be >= 0");
   }
-
-  std::vector<double> schedule(trace.records.size());
-  for (size_t i = 0; i < trace.records.size(); ++i) {
-    schedule[i] = options.target_qps > 0.0
-                      ? static_cast<double>(i) / options.target_qps
-                      : trace.records[i].t;
+  if (options.repeat < 1) {
+    return Status::InvalidArgument("repeat must be >= 1");
   }
 
-  const int connections = std::clamp(
-      options.connections, 1, static_cast<int>(trace.records.size()));
+  const size_t n = trace.records.size();
+  const size_t total = n * static_cast<size_t>(options.repeat);
+  // Recorded pacing across repeats: each pass is shifted by the trace
+  // span plus one average inter-record gap, so back-to-back passes keep
+  // the recorded rhythm instead of firing two records simultaneously.
+  const double span = trace.records.back().t - trace.records.front().t;
+  const double pass_period =
+      n > 1 ? span + span / static_cast<double>(n - 1) : 1.0;
+  std::vector<double> schedule(total);
+  for (size_t i = 0; i < total; ++i) {
+    schedule[i] =
+        options.target_qps > 0.0
+            ? static_cast<double>(i) / options.target_qps
+            : trace.records[i % n].t +
+                  static_cast<double>(i / n) * pass_period;
+  }
+
+  const int connections =
+      std::clamp(options.connections, 1, static_cast<int>(total));
   common::Clock* clock =
       options.clock != nullptr ? options.clock : common::Clock::Real();
   const double start_seconds = clock->NowSeconds();
@@ -113,6 +146,7 @@ common::Result<ReplayReport> Replay(const Trace& trace,
     report.ok += result.ok;
     report.err_4xx += result.err_4xx;
     report.err_5xx += result.err_5xx;
+    report.shed_503 += result.shed_503;
     report.err_transport += result.err_transport;
     report.histogram.Merge(result.histogram);
     last_done = std::max(last_done, result.last_done_seconds);

@@ -29,6 +29,10 @@ struct ReplayOptions {
   int connections = 4;
   /// Per-request client ceiling (connect + send + full response read).
   double timeout_seconds = 10.0;
+  /// Replays the trace this many times back to back (one concatenated
+  /// schedule), so a short recorded trace can drive an arbitrarily long
+  /// or arbitrarily fast soak. Must be >= 1.
+  int repeat = 1;
   /// nullptr means Clock::Real(); borrowed. Injected by pacing tests.
   common::Clock* clock = nullptr;
 };
@@ -39,6 +43,10 @@ struct ReplayReport {
   int64_t ok = 0;
   int64_t err_4xx = 0;
   int64_t err_5xx = 0;
+  /// 503s carrying Retry-After: the reactor's explicit load-shed answer.
+  /// Counted separately from err_5xx — shedding under overload is the
+  /// server doing its job, not failing.
+  int64_t shed_503 = 0;
   /// No usable response at all (connect/send/read failure or timeout).
   int64_t err_transport = 0;
   /// First scheduled send to last response, seconds.

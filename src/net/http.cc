@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 
 #include "common/string_util.h"
 
@@ -49,10 +50,27 @@ bool IsToken(std::string_view text) {
   return std::all_of(text.begin(), text.end(), IsTokenChar);
 }
 
+/// OWS trim without the std::string that common::Trim would allocate —
+/// the parser assigns the trimmed view straight into a reused string.
+std::string_view TrimView(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
 /// Parses the header block after the start line: lines of "name: value"
 /// terminated by CRLF, up to the blank line (which the caller located).
+/// Assigns into `headers`' existing elements (growing only past the high-
+/// water mark) so a recycled request parses without allocating.
 common::Status ParseHeaderLines(std::string_view block,
                                 std::vector<HttpHeader>* headers) {
+  size_t count = 0;
   while (!block.empty()) {
     const size_t eol = block.find("\r\n");
     if (eol == std::string_view::npos) {
@@ -72,11 +90,12 @@ common::Status ParseHeaderLines(std::string_view block,
     if (!IsToken(name)) {
       return Status::InvalidArgument("malformed header name");
     }
-    HttpHeader header;
-    header.name = std::string(name);
-    header.value = common::Trim(line.substr(colon + 1));
-    headers->push_back(std::move(header));
+    if (count == headers->size()) headers->emplace_back();
+    HttpHeader& header = (*headers)[count++];
+    header.name.assign(name);
+    header.value.assign(TrimView(line.substr(colon + 1)));
   }
+  headers->resize(count);
   return Status::Ok();
 }
 
@@ -117,15 +136,17 @@ common::Result<size_t> BodyLength(const std::vector<HttpHeader>& headers,
 
 struct FramedMessage {
   std::string_view start_line;
-  std::vector<HttpHeader> headers;
   std::string_view body;
   size_t total_bytes = 0;
 };
 
 /// Locates and frames one complete message (start line + headers + body)
-/// at the front of `data`. Returns false when more bytes are needed.
+/// at the front of `data`, parsing the header block into the caller's
+/// reusable `headers` vector. Returns false when more bytes are needed
+/// (`headers` may still have been written — caller-side scratch).
 common::Result<bool> FrameMessage(std::string_view data,
                                   const HttpLimits& limits,
+                                  std::vector<HttpHeader>* headers,
                                   FramedMessage* out) {
   const size_t header_end = data.find("\r\n\r\n");
   if (header_end == std::string_view::npos) {
@@ -144,12 +165,9 @@ common::Result<bool> FrameMessage(std::string_view data,
   }
   const size_t line_end = data.find("\r\n");
   out->start_line = data.substr(0, line_end);
-  out->headers.clear();
   CF_RETURN_IF_ERROR(ParseHeaderLines(
-      data.substr(line_end + 2, header_end + 2 - (line_end + 2)),
-      &out->headers));
-  CF_ASSIGN_OR_RETURN(const size_t body_length,
-                      BodyLength(out->headers, limits));
+      data.substr(line_end + 2, header_end + 2 - (line_end + 2)), headers));
+  CF_ASSIGN_OR_RETURN(const size_t body_length, BodyLength(*headers, limits));
   const size_t body_start = header_end + 4;
   if (data.size() - body_start < body_length) return false;
   out->body = data.substr(body_start, body_length);
@@ -217,22 +235,35 @@ int HttpStatusForParseError(const common::Status& status) {
   return 400;
 }
 
-std::string SerializeResponse(const HttpResponse& response) {
-  std::string out = common::StrFormat(
-      "HTTP/1.1 %d %s\r\n", response.status_code,
-      response.reason.empty() ? ReasonPhrase(response.status_code)
-                              : response.reason.c_str());
+void AppendResponse(const HttpResponse& response, std::string* out) {
+  char scratch[64];
+  int n = std::snprintf(scratch, sizeof(scratch), "HTTP/1.1 %d ",
+                        response.status_code);
+  out->append(scratch, static_cast<size_t>(n));
+  if (response.reason.empty()) {
+    out->append(ReasonPhrase(response.status_code));
+  } else {
+    out->append(response.reason);
+  }
+  out->append("\r\n");
   for (const HttpHeader& header : response.headers) {
-    out += header.name;
-    out += ": ";
-    out += header.value;
-    out += "\r\n";
+    out->append(header.name);
+    out->append(": ");
+    out->append(header.value);
+    out->append("\r\n");
   }
   if (response.FindHeader("Content-Length") == nullptr) {
-    out += common::StrFormat("Content-Length: %zu\r\n", response.body.size());
+    n = std::snprintf(scratch, sizeof(scratch), "Content-Length: %zu\r\n",
+                      response.body.size());
+    out->append(scratch, static_cast<size_t>(n));
   }
-  out += "\r\n";
-  out += response.body;
+  out->append("\r\n");
+  out->append(response.body);
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out;
+  AppendResponse(response, &out);
   return out;
 }
 
@@ -276,7 +307,7 @@ common::Result<bool> HttpRequestParser::Next(HttpRequest* out) {
   const std::string_view data =
       std::string_view(buffer_).substr(consumed_);
   FramedMessage message;
-  auto framed = FrameMessage(data, limits_, &message);
+  auto framed = FrameMessage(data, limits_, &out->headers, &message);
   if (!framed.ok()) {
     sticky_error_ = framed.status();
     return sticky_error_;
@@ -311,11 +342,10 @@ common::Result<bool> HttpRequestParser::Next(HttpRequest* out) {
     return sticky_error_;
   }
 
-  out->method = std::string(method);
-  out->target = std::string(target);
-  out->version = std::string(version);
-  out->headers = std::move(message.headers);
-  out->body = std::string(message.body);
+  out->method.assign(method);
+  out->target.assign(target);
+  out->version.assign(version);
+  out->body.assign(message.body);
   consumed_ += message.total_bytes;
   Compact(&buffer_, &consumed_);
   return true;
@@ -336,7 +366,7 @@ common::Result<bool> HttpResponseParser::Next(HttpResponse* out) {
   const std::string_view data =
       std::string_view(buffer_).substr(consumed_);
   FramedMessage message;
-  auto framed = FrameMessage(data, limits_, &message);
+  auto framed = FrameMessage(data, limits_, &out->headers, &message);
   if (!framed.ok()) {
     sticky_error_ = framed.status();
     return sticky_error_;
@@ -366,11 +396,12 @@ common::Result<bool> HttpResponseParser::Next(HttpResponse* out) {
   }
   out->status_code = (code_text[0] - '0') * 100 + (code_text[1] - '0') * 10 +
                      (code_text[2] - '0');
-  out->reason = sp2 == std::string_view::npos
-                    ? std::string()
-                    : std::string(rest.substr(sp2 + 1));
-  out->headers = std::move(message.headers);
-  out->body = std::string(message.body);
+  if (sp2 == std::string_view::npos) {
+    out->reason.clear();
+  } else {
+    out->reason.assign(rest.substr(sp2 + 1));
+  }
+  out->body.assign(message.body);
   consumed_ += message.total_bytes;
   Compact(&buffer_, &consumed_);
   return true;

@@ -77,6 +77,11 @@ int HttpStatusForParseError(const common::Status& status);
 /// empty). The server appends its own Connection header before calling.
 std::string SerializeResponse(const HttpResponse& response);
 
+/// Appends the serialized response to `*out` without any allocation
+/// beyond growing `out` itself — the reactor's hot path, where `out` is a
+/// per-connection buffer whose capacity persists across requests.
+void AppendResponse(const HttpResponse& response, std::string* out);
+
 /// Serializes a request (adding Content-Length and Host when absent).
 std::string SerializeRequest(const HttpRequest& request, std::string_view host);
 
@@ -88,6 +93,12 @@ std::string SerializeRequest(const HttpRequest& request, std::string_view host);
 /// Error contract: malformed syntax is InvalidArgument, an oversized
 /// header block or declared body is ResourceExhausted; both are sticky —
 /// the connection cannot be resynchronized and must be closed.
+///
+/// Allocation contract (the reactor depends on it): Next() assigns into
+/// `out`'s existing strings and header slots, so feeding a recycled
+/// HttpRequest whose capacities already fit costs zero allocations. The
+/// flip side: `out` is scratch — it may be clobbered even when Next()
+/// returns false (e.g. headers parsed but the body still incomplete).
 class HttpRequestParser {
  public:
   explicit HttpRequestParser(HttpLimits limits = HttpLimits());
@@ -101,6 +112,22 @@ class HttpRequestParser {
 
   /// Bytes currently buffered (un-consumed by Next).
   size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  /// True when the buffered bytes already contain the end of the next
+  /// request's header block — i.e. an incomplete request is stuck in its
+  /// body, not its headers. Distinguishes the reactor's header timeout
+  /// (slow-loris) from its whole-frame read timeout.
+  bool HasBufferedHeaderEnd() const {
+    return buffer_.find("\r\n\r\n", consumed_) != std::string::npos;
+  }
+
+  /// Returns the parser to its freshly constructed state while keeping
+  /// the buffer capacity — connection-slot recycling in the reactor.
+  void Reset() {
+    buffer_.clear();
+    consumed_ = 0;
+    sticky_error_ = common::Status::Ok();
+  }
 
  private:
   HttpLimits limits_;
@@ -120,6 +147,12 @@ class HttpResponseParser {
 
   void Consume(std::string_view bytes);
   common::Result<bool> Next(HttpResponse* out);
+
+  void Reset() {
+    buffer_.clear();
+    consumed_ = 0;
+    sticky_error_ = common::Status::Ok();
+  }
 
  private:
   HttpLimits limits_;

@@ -1,12 +1,6 @@
 #include "net/http_server.h"
 
-#include <fcntl.h>
-#include <poll.h>
-#include <unistd.h>
-
-#include <chrono>
 #include <utility>
-#include <vector>
 
 #include "common/json.h"
 #include "common/logging.h"
@@ -17,22 +11,13 @@ using common::Status;
 
 namespace {
 
-double MonotonicSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-HttpResponse MakeErrorResponse(int code, const std::string& message) {
+HttpResponse MakeDroppedWriterResponse() {
   HttpResponse response;
-  response.status_code = code;
+  response.status_code = 500;
   response.headers.push_back({"Content-Type", "application/json"});
-  // Built through JsonValue so a message echoing hostile bytes (quotes,
-  // backslashes, control characters from a bad request line) still emits
-  // a valid JSON envelope.
   common::JsonValue error = common::JsonValue::MakeObject();
-  error.Set("code", static_cast<int64_t>(code));
-  error.Set("message", message);
+  error.Set("code", static_cast<int64_t>(500));
+  error.Set("message", "handler dropped the request without answering");
   common::JsonValue body = common::JsonValue::MakeObject();
   body.Set("error", std::move(error));
   response.body = body.Dump();
@@ -41,221 +26,143 @@ HttpResponse MakeErrorResponse(int code, const std::string& message) {
 
 }  // namespace
 
-HttpServer::HttpServer(Handler handler, Options options)
-    : handler_(std::move(handler)), options_(std::move(options)) {
-  CF_CHECK(handler_ != nullptr) << "HttpServer needs a handler";
+// ---------------------------------------------------------------------------
+// ResponseWriter
+// ---------------------------------------------------------------------------
+
+ResponseWriter::~ResponseWriter() {
+  if (queue_ != nullptr) {
+    // A handler let the writer die unsent; answer for it so the client
+    // is not left waiting for a timeout.
+    queue_->Post(token_, MakeDroppedWriterResponse());
+  }
 }
+
+ResponseWriter& ResponseWriter::operator=(ResponseWriter&& other) noexcept {
+  if (this != &other) {
+    if (queue_ != nullptr) {
+      queue_->Post(token_, MakeDroppedWriterResponse());
+    }
+    queue_ = std::move(other.queue_);
+    token_ = other.token_;
+    other.queue_.reset();
+  }
+  return *this;
+}
+
+void ResponseWriter::Send(HttpResponse response) {
+  CF_CHECK(queue_ != nullptr)
+      << "ResponseWriter::Send called twice (or on a moved-from writer)";
+  queue_->Post(token_, std::move(response));
+  queue_.reset();
+}
+
+HttpServer::AsyncHandler SyncHandlerAdapter(SyncHandler handler) {
+  return [handler = std::move(handler)](const HttpRequest& request,
+                                        ResponseWriter&& writer) {
+    writer.Send(handler(request));
+  };
+}
+
+// ---------------------------------------------------------------------------
+// HttpServer
+// ---------------------------------------------------------------------------
+
+/// Pure forwarding shim so HttpServer exposes the dispatcher contract to
+/// its EventLoop without publicly inheriting RequestDispatcher.
+class HttpServer::Dispatcher : public RequestDispatcher {
+ public:
+  explicit Dispatcher(HttpServer* server) : server_(server) {}
+  void DispatchRequest(uint64_t token, HttpRequest* request) override {
+    server_->DispatchRequest(token, request);
+  }
+
+ private:
+  HttpServer* server_;
+};
+
+HttpServer::HttpServer(AsyncHandler handler, Options options)
+    : handler_(std::move(handler)),
+      options_(std::move(options)),
+      dispatcher_(std::make_unique<Dispatcher>(this)),
+      loop_(dispatcher_.get(), options_) {}
 
 HttpServer::~HttpServer() { Stop(); }
 
+bool HttpServer::running() const {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  return running_;
+}
+
 common::Status HttpServer::Start() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
-  if (running_.load(std::memory_order_acquire)) {
-    return Status::FailedPrecondition("server already started");
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (running_) return Status::FailedPrecondition("server already started");
+  CF_RETURN_IF_ERROR(options_.Validate());
+  {
+    std::lock_guard<std::mutex> ring_lock(ring_mutex_);
+    // The loop never exceeds max_queue_depth dispatched-but-unanswered
+    // requests, so this ring can never overflow.
+    ring_.clear();
+    ring_.resize(static_cast<size_t>(options_.max_queue_depth));
+    ring_head_ = 0;
+    ring_count_ = 0;
+    draining_ = false;
   }
-  CF_ASSIGN_OR_RETURN(listener_,
-                      Listener::Bind(options_.host, options_.port));
-  if (::pipe(wake_pipe_) != 0) {
-    listener_.Close();
-    return Status::Unavailable("pipe failed");
+  CF_RETURN_IF_ERROR(loop_.Start());
+  pool_ = std::make_unique<common::ThreadPool>(options_.threads);
+  // Long-lived worker tasks: each occupies one pool thread until Stop.
+  for (int i = 0; i < options_.threads; ++i) {
+    pool_->Submit([this] { WorkerLoop(); });
   }
-  ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
-  ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
-  port_ = listener_.port();
-  stopping_.store(false, std::memory_order_release);
-  pool_ = std::make_unique<common::ThreadPool>(
-      options_.threads > 0 ? options_.threads : 4);
-  running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  poll_thread_ = std::thread([this] { PollLoop(); });
+  running_ = true;
   return Status::Ok();
 }
 
 void HttpServer::Stop() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
-  if (!running_.load(std::memory_order_acquire)) return;
-  stopping_.store(true, std::memory_order_release);
-  WakePoller();
-  // Order matters: stop minting and dispatching connections first, then
-  // unblock the ones inside workers, then join the workers.
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (poll_thread_.joinable()) poll_thread_.join();
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (!running_) return;
+  // Loop first: no new dispatches, straggler Posts become no-ops.
+  loop_.Stop();
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    for (auto& [id, socket] : active_) socket->ShutdownBoth();
-    idle_.clear();  // parked connections just close
+    std::lock_guard<std::mutex> ring_lock(ring_mutex_);
+    draining_ = true;
   }
-  pool_.reset();  // drains and joins every in-flight worker task
-  listener_.Close();
-  ::close(wake_pipe_[0]);
-  ::close(wake_pipe_[1]);
-  wake_pipe_[0] = wake_pipe_[1] = -1;
-  CF_DCHECK(active_.empty());
-  running_.store(false, std::memory_order_release);
+  ring_ready_.notify_all();
+  pool_.reset();  // joins the workers
+  running_ = false;
 }
 
-void HttpServer::WakePoller() {
-  if (wake_pipe_[1] >= 0) {
-    const char byte = 'w';
-    (void)!::write(wake_pipe_[1], &byte, 1);
-  }
-}
-
-void HttpServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    // Short poll so a Stop() is observed within ~100 ms even when no
-    // client ever connects.
-    auto accepted = listener_.Accept(0.100);
-    if (!accepted.ok()) {
-      // A hard accept error (e.g. EMFILE under fd exhaustion) would
-      // otherwise spin this thread at 100% — the listener stays readable
-      // and Accept fails instantly. Back off briefly; timeouts already
-      // waited their 100 ms.
-      if (accepted.status().code() !=
-          common::StatusCode::kDeadlineExceeded) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(20));
-      }
-      continue;
-    }
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    auto conn =
-        std::make_shared<Connection>(std::move(*accepted), options_.limits);
-    conn->idle_since = MonotonicSeconds();
-    {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
-      conn->id = next_connection_id_++;
-      idle_[conn->id] = std::move(conn);
-    }
-    WakePoller();
-  }
-}
-
-void HttpServer::PollLoop() {
-  std::vector<struct pollfd> fds;
-  std::vector<int64_t> ids;
-  while (!stopping_.load(std::memory_order_acquire)) {
-    fds.clear();
-    ids.clear();
-    fds.push_back({wake_pipe_[0], POLLIN, 0});
-    ids.push_back(-1);
-    {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
-      for (const auto& [id, conn] : idle_) {
-        fds.push_back({conn->socket.fd(), POLLIN, 0});
-        ids.push_back(id);
-      }
-    }
-    // 100 ms cap: bounds both the stop latency and the idle-timeout scan
-    // cadence.
-    const int rc = ::poll(fds.data(), fds.size(), 100);
-    if (stopping_.load(std::memory_order_acquire)) break;
-    if (rc < 0) continue;  // EINTR
-
-    if ((fds[0].revents & POLLIN) != 0) {
-      char drain[64];
-      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
-      }
-    }
-
-    const double now = MonotonicSeconds();
-    std::vector<std::shared_ptr<Connection>> ready;
-    {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
-      for (size_t i = 1; i < fds.size(); ++i) {
-        auto it = idle_.find(ids[i]);
-        if (it == idle_.end()) continue;
-        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-          ready.push_back(std::move(it->second));
-          idle_.erase(it);
-        } else if (now - it->second->idle_since >
-                   options_.read_timeout_seconds) {
-          idle_.erase(it);  // idle keep-alive expired; just close
-        }
-      }
-      for (auto& conn : ready) {
-        active_[conn->id] = &conn->socket;
-      }
-    }
-    for (auto& conn : ready) {
-      pool_->Submit([this, conn] { ServeReadyConnection(conn); });
-    }
-    ready.clear();
-  }
-}
-
-void HttpServer::ParkConnection(std::shared_ptr<Connection> conn) {
-  conn->idle_since = MonotonicSeconds();
+void HttpServer::DispatchRequest(uint64_t token, HttpRequest* request) {
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    active_.erase(conn->id);
-    if (stopping_.load(std::memory_order_acquire)) return;  // closes
-    idle_[conn->id] = std::move(conn);
+    std::lock_guard<std::mutex> lock(ring_mutex_);
+    PendingRequest& slot = ring_[(ring_head_ + ring_count_) % ring_.size()];
+    slot.token = token;
+    // Swap, don't copy: the connection gets the slot's recycled request
+    // (capacities intact) and the loop thread stays allocation-free.
+    std::swap(slot.request, *request);
+    ++ring_count_;
   }
-  WakePoller();
+  ring_ready_.notify_one();
 }
 
-void HttpServer::ServeReadyConnection(std::shared_ptr<Connection> conn) {
-  const auto finish = [this, &conn] {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    active_.erase(conn->id);
-  };
-  char buf[8192];
-  bool read_anything = false;
-  // Per-REQUEST read deadline, armed when this serving turn starts and
-  // re-armed after each completed request: a slow-drip client cannot hold
-  // a worker past read_timeout_seconds by trickling one byte per read
-  // (each Read below gets only the remaining budget, not a fresh one).
-  double request_deadline =
-      MonotonicSeconds() + options_.read_timeout_seconds;
-  while (!stopping_.load(std::memory_order_acquire)) {
-    HttpRequest request;
-    auto ready = conn->parser.Next(&request);
-    if (!ready.ok()) {
-      // Unrecoverable framing: answer once with the mapped status, then
-      // drop the connection (the byte stream cannot be resynchronized).
-      HttpResponse response = MakeErrorResponse(
-          HttpStatusForParseError(ready.status()), ready.status().message());
-      response.headers.push_back({"Connection", "close"});
-      (void)conn->socket.WriteAll(SerializeResponse(response),
-                                  options_.write_timeout_seconds);
-      break;
+void HttpServer::WorkerLoop() {
+  // Worker-local scratch; its strings cycle through the ring and back to
+  // the connections, so steady state recycles capacity on every hop.
+  HttpRequest scratch;
+  for (;;) {
+    uint64_t token = 0;
+    {
+      std::unique_lock<std::mutex> lock(ring_mutex_);
+      ring_ready_.wait(lock, [this] { return ring_count_ > 0 || draining_; });
+      if (ring_count_ == 0) return;  // draining and empty
+      PendingRequest& slot = ring_[ring_head_];
+      token = slot.token;
+      std::swap(scratch, slot.request);
+      ring_head_ = (ring_head_ + 1) % ring_.size();
+      --ring_count_;
     }
-    if (*ready) {
-      requests_served_.fetch_add(1, std::memory_order_relaxed);
-      HttpResponse response = handler_(request);
-      // A handler-set "Connection: close" is a server-side decision to
-      // retire the connection; honor it instead of parking for reuse.
-      const bool close = !request.KeepAlive() || response.WantsClose() ||
-                         stopping_.load(std::memory_order_acquire);
-      if (response.FindHeader("Connection") == nullptr) {
-        response.headers.push_back(
-            {"Connection", close ? "close" : "keep-alive"});
-      }
-      if (!conn->socket.WriteAll(SerializeResponse(response),
-                                 options_.write_timeout_seconds)
-               .ok()) {
-        break;
-      }
-      if (close) break;
-      request_deadline = MonotonicSeconds() + options_.read_timeout_seconds;
-      continue;
-    }
-    // Parser needs more bytes. At a request boundary with nothing
-    // buffered, the connection is idle: park it instead of holding this
-    // worker; the poller hands it back when bytes arrive. (Mid-request —
-    // bytes buffered — keep reading against the request deadline.)
-    if (read_anything && conn->parser.buffered_bytes() == 0) {
-      ParkConnection(std::move(conn));
-      return;
-    }
-    const double remaining = request_deadline - MonotonicSeconds();
-    if (remaining <= 0) break;  // request took too long end to end
-    auto n = conn->socket.Read(buf, sizeof(buf), remaining);
-    if (!n.ok() || *n == 0) break;  // stall, error, or EOF
-    read_anything = true;
-    conn->parser.Consume(std::string_view(buf, *n));
+    handler_(scratch, ResponseWriter(loop_.completions(), token));
   }
-  finish();
 }
 
 }  // namespace crowdfusion::net

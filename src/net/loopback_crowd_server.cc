@@ -46,15 +46,10 @@ LoopbackCrowdServer::LoopbackCrowdServer()
 LoopbackCrowdServer::LoopbackCrowdServer(Options options)
     : options_(options),
       registry_(crowd::FullProviderRegistry(options.clock)),
-      server_(
-          [this](const HttpRequest& request) { return Handle(request); },
-          [&options] {
-            HttpServer::Options server_options;
-            server_options.host = options.host;
-            server_options.port = options.port;
-            server_options.threads = options.threads;
-            return server_options;
-          }()) {}
+      server_(SyncHandlerAdapter([this](const HttpRequest& request) {
+                return Handle(request);
+              }),
+              static_cast<const ServerConfig&>(options)) {}
 
 LoopbackCrowdServer::~LoopbackCrowdServer() { Stop(); }
 

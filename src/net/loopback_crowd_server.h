@@ -12,6 +12,7 @@
 #include "core/async_provider.h"
 #include "core/registry.h"
 #include "net/http_server.h"
+#include "net/server_config.h"
 
 namespace crowdfusion::net {
 
@@ -43,11 +44,9 @@ namespace crowdfusion::net {
 /// spec judges identically to the in-process provider built from it.
 class LoopbackCrowdServer {
  public:
-  struct Options {
-    std::string host = "127.0.0.1";
-    /// 0 = ephemeral (the test contract).
-    int port = 0;
-    int threads = 2;
+  /// The unified net::ServerConfig plus the crowd server's own knobs.
+  struct Options : ServerConfig {
+    Options() { threads = 2; }
     /// Injected into simulated latency models and ticket ledgers; nullptr
     /// means Clock::Real(). Borrowed.
     common::Clock* clock = nullptr;

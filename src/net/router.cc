@@ -67,15 +67,9 @@ void StripHopHeaders(std::vector<HttpHeader>& headers) {
 
 Router::Router(Options options)
     : options_(std::move(options)),
-      server_([this](const HttpRequest& request) { return Handle(request); },
-              [this] {
-                HttpServer::Options server_options;
-                server_options.host = options_.host;
-                server_options.port = options_.port;
-                server_options.threads = options_.threads;
-                server_options.limits = options_.limits;
-                return server_options;
-              }()) {}
+      server_(SyncHandlerAdapter(
+                  [this](const HttpRequest& request) { return Handle(request); }),
+              options_) {}
 
 Router::~Router() { Stop(); }
 

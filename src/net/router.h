@@ -13,6 +13,7 @@
 #include "net/http.h"
 #include "net/http_client.h"
 #include "net/http_server.h"
+#include "net/server_config.h"
 
 namespace crowdfusion::net {
 
@@ -52,21 +53,10 @@ namespace crowdfusion::net {
 /// client whose call failed is discarded, not reused.
 class Router {
  public:
-  struct Options {
-    std::string host = "127.0.0.1";
-    /// 0 = kernel-assigned (tests); the CLI default is 8090.
-    int port = 0;
-    int threads = 4;
-    /// Backend frontends as "host:port". Required non-empty.
-    std::vector<std::string> backends;
-    /// Ring points per backend: more = smoother key spread.
-    int virtual_nodes = 64;
-    int eject_after_failures = 3;
-    double reprobe_seconds = 2.0;
-    /// Per proxied call (a fusion:run may compute for a while).
-    double proxy_timeout_seconds = 30.0;
-    net::HttpLimits limits;
-  };
+  /// The unified server config; the router consumes the bind/reactor
+  /// sections itself and reads the `backends`/ring knobs from the router
+  /// section. `backends` is required non-empty here.
+  using Options = ServerConfig;
 
   explicit Router(Options options);
   ~Router();

@@ -1,0 +1,198 @@
+#include "net/server_config.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace crowdfusion::net {
+
+using common::Status;
+
+namespace {
+
+Status Positive(const char* name, double value) {
+  if (value > 0) return Status::Ok();
+  return Status::InvalidArgument(
+      common::StrFormat("%s must be > 0 (got %g)", name, value));
+}
+
+Status AtLeastOne(const char* name, int value) {
+  if (value >= 1) return Status::Ok();
+  return Status::InvalidArgument(
+      common::StrFormat("%s must be >= 1 (got %d)", name, value));
+}
+
+common::Result<int> ParseInt(const char* flag, const char* text) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') {
+    return Status::InvalidArgument(
+        common::StrFormat("%s wants an integer, got \"%s\"", flag, text));
+  }
+  return static_cast<int>(value);
+}
+
+common::Result<double> ParseDouble(const char* flag, const char* text) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    return Status::InvalidArgument(
+        common::StrFormat("%s wants a number, got \"%s\"", flag, text));
+  }
+  return value;
+}
+
+}  // namespace
+
+common::Status ServerConfig::Validate() const {
+  if (host.empty()) return Status::InvalidArgument("host must be non-empty");
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument(
+        common::StrFormat("port must be in [0, 65535] (got %d)", port));
+  }
+  CF_RETURN_IF_ERROR(AtLeastOne("threads", threads));
+  CF_RETURN_IF_ERROR(AtLeastOne("listen_backlog", listen_backlog));
+  CF_RETURN_IF_ERROR(AtLeastOne("max_connections", max_connections));
+  CF_RETURN_IF_ERROR(AtLeastOne("max_queue_depth", max_queue_depth));
+  if (retry_after_seconds < 0) {
+    return Status::InvalidArgument("retry_after_seconds must be >= 0");
+  }
+  CF_RETURN_IF_ERROR(
+      Positive("header_timeout_seconds", header_timeout_seconds));
+  CF_RETURN_IF_ERROR(Positive("read_timeout_seconds", read_timeout_seconds));
+  CF_RETURN_IF_ERROR(
+      Positive("write_timeout_seconds", write_timeout_seconds));
+  CF_RETURN_IF_ERROR(Positive("idle_timeout_seconds", idle_timeout_seconds));
+  if (limits.max_header_bytes == 0 || limits.max_body_bytes == 0) {
+    return Status::InvalidArgument("parse limits must be > 0");
+  }
+  CF_RETURN_IF_ERROR(Positive("session_ttl_seconds", session_ttl_seconds));
+  CF_RETURN_IF_ERROR(AtLeastOne("max_sessions", max_sessions));
+  CF_RETURN_IF_ERROR(AtLeastOne("virtual_nodes", virtual_nodes));
+  CF_RETURN_IF_ERROR(
+      AtLeastOne("eject_after_failures", eject_after_failures));
+  CF_RETURN_IF_ERROR(Positive("reprobe_seconds", reprobe_seconds));
+  CF_RETURN_IF_ERROR(
+      Positive("proxy_timeout_seconds", proxy_timeout_seconds));
+  return Status::Ok();
+}
+
+common::Result<bool> ApplyServerFlag(int argc, char** argv, int* index,
+                                     ServerConfig* config) {
+  const std::string flag = argv[*index];
+  const auto value = [&]() -> common::Result<const char*> {
+    if (*index + 1 >= argc) {
+      return Status::InvalidArgument(flag + " needs a value");
+    }
+    return argv[++*index];
+  };
+
+  if (flag == "--host") {
+    CF_ASSIGN_OR_RETURN(const char* text, value());
+    config->host = text;
+  } else if (flag == "--port") {
+    CF_ASSIGN_OR_RETURN(const char* text, value());
+    CF_ASSIGN_OR_RETURN(config->port, ParseInt("--port", text));
+  } else if (flag == "--threads") {
+    CF_ASSIGN_OR_RETURN(const char* text, value());
+    CF_ASSIGN_OR_RETURN(config->threads, ParseInt("--threads", text));
+  } else if (flag == "--listen-backlog") {
+    CF_ASSIGN_OR_RETURN(const char* text, value());
+    CF_ASSIGN_OR_RETURN(config->listen_backlog,
+                        ParseInt("--listen-backlog", text));
+  } else if (flag == "--max-connections") {
+    CF_ASSIGN_OR_RETURN(const char* text, value());
+    CF_ASSIGN_OR_RETURN(config->max_connections,
+                        ParseInt("--max-connections", text));
+  } else if (flag == "--queue-depth") {
+    CF_ASSIGN_OR_RETURN(const char* text, value());
+    CF_ASSIGN_OR_RETURN(config->max_queue_depth,
+                        ParseInt("--queue-depth", text));
+  } else if (flag == "--retry-after") {
+    CF_ASSIGN_OR_RETURN(const char* text, value());
+    CF_ASSIGN_OR_RETURN(config->retry_after_seconds,
+                        ParseInt("--retry-after", text));
+  } else if (flag == "--header-timeout") {
+    CF_ASSIGN_OR_RETURN(const char* text, value());
+    CF_ASSIGN_OR_RETURN(config->header_timeout_seconds,
+                        ParseDouble("--header-timeout", text));
+  } else if (flag == "--read-timeout") {
+    CF_ASSIGN_OR_RETURN(const char* text, value());
+    CF_ASSIGN_OR_RETURN(config->read_timeout_seconds,
+                        ParseDouble("--read-timeout", text));
+  } else if (flag == "--write-timeout") {
+    CF_ASSIGN_OR_RETURN(const char* text, value());
+    CF_ASSIGN_OR_RETURN(config->write_timeout_seconds,
+                        ParseDouble("--write-timeout", text));
+  } else if (flag == "--idle-timeout") {
+    CF_ASSIGN_OR_RETURN(const char* text, value());
+    CF_ASSIGN_OR_RETURN(config->idle_timeout_seconds,
+                        ParseDouble("--idle-timeout", text));
+  } else if (flag == "--max-header-bytes") {
+    CF_ASSIGN_OR_RETURN(const char* text, value());
+    CF_ASSIGN_OR_RETURN(const int bytes,
+                        ParseInt("--max-header-bytes", text));
+    config->limits.max_header_bytes = static_cast<size_t>(bytes);
+  } else if (flag == "--max-body-bytes") {
+    CF_ASSIGN_OR_RETURN(const char* text, value());
+    CF_ASSIGN_OR_RETURN(const int bytes, ParseInt("--max-body-bytes", text));
+    config->limits.max_body_bytes = static_cast<size_t>(bytes);
+  } else if (flag == "--session-ttl") {
+    CF_ASSIGN_OR_RETURN(const char* text, value());
+    CF_ASSIGN_OR_RETURN(config->session_ttl_seconds,
+                        ParseDouble("--session-ttl", text));
+  } else if (flag == "--max-sessions") {
+    CF_ASSIGN_OR_RETURN(const char* text, value());
+    CF_ASSIGN_OR_RETURN(config->max_sessions,
+                        ParseInt("--max-sessions", text));
+  } else if (flag == "--backends") {
+    CF_ASSIGN_OR_RETURN(const char* text, value());
+    config->backends = common::Split(text, ',');
+  } else if (flag == "--virtual-nodes") {
+    CF_ASSIGN_OR_RETURN(const char* text, value());
+    CF_ASSIGN_OR_RETURN(config->virtual_nodes,
+                        ParseInt("--virtual-nodes", text));
+  } else if (flag == "--proxy-timeout") {
+    CF_ASSIGN_OR_RETURN(const char* text, value());
+    CF_ASSIGN_OR_RETURN(config->proxy_timeout_seconds,
+                        ParseDouble("--proxy-timeout", text));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* ServerFlagUsage() {
+  return "  --host H              bind address (default 127.0.0.1)\n"
+         "  --port N              bind port; 0 = ephemeral\n"
+         "  --threads N           handler worker threads (default 4)\n"
+         "  --listen-backlog N    listen(2) backlog (default 256)\n"
+         "  --max-connections N   open-connection cap; beyond it accepts\n"
+         "                        are answered 503 and closed (default "
+         "10000)\n"
+         "  --queue-depth N       in-flight request cap; beyond it parsed\n"
+         "                        requests shed 503 + Retry-After "
+         "(default 128)\n"
+         "  --retry-after S       Retry-After advertised on shed 503s "
+         "(default 1)\n"
+         "  --header-timeout S    first byte -> end of header block "
+         "(default 10)\n"
+         "  --read-timeout S      first byte -> full request frame "
+         "(default 10)\n"
+         "  --write-timeout S     response write stall cap (default 10)\n"
+         "  --idle-timeout S      keep-alive idleness cap (default 10)\n"
+         "  --max-header-bytes N  header-block parse cap (default 16384)\n"
+         "  --max-body-bytes N    body parse cap (default 8388608)\n"
+         "  --session-ttl S       session idle eviction, serve only "
+         "(default 300)\n"
+         "  --max-sessions N      live-session cap, serve only (default "
+         "64)\n"
+         "  --backends LIST       comma-separated host:port, route only\n"
+         "  --virtual-nodes N     ring points per backend, route only "
+         "(default 64)\n"
+         "  --proxy-timeout S     per proxied call, route only (default "
+         "30)\n";
+}
+
+}  // namespace crowdfusion::net

@@ -1,0 +1,103 @@
+#ifndef CROWDFUSION_NET_SERVER_CONFIG_H_
+#define CROWDFUSION_NET_SERVER_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/http.h"
+
+namespace crowdfusion::net {
+
+/// The one knob surface every server in this repo shares. HttpServer,
+/// Router, service::HttpFrontend, and LoopbackCrowdServer all configure
+/// from this struct (directly or by deriving their Options from it), and
+/// `crowdfusion_cli serve|route` map their flags onto it through
+/// ApplyServerFlag — so the serve and route vocabularies cannot drift
+/// apart and a knob added here is immediately available everywhere.
+///
+/// Unused knobs are inert: a plain HttpServer ignores the session and
+/// router sections, the router ignores the session section, and so on.
+/// Validate() checks the whole struct regardless, so an out-of-range
+/// value is rejected at Start() even when the knob would have been inert.
+struct ServerConfig {
+  // --- Bind + workers -----------------------------------------------------
+  std::string host = "127.0.0.1";
+  /// 0 = kernel-assigned ephemeral port (read back via port()).
+  int port = 0;
+  /// Handler worker threads (fusion compute; the reactor itself is one
+  /// dedicated thread and is not counted here).
+  int threads = 4;
+  /// listen(2) backlog. Mostly irrelevant now that accept is non-blocking
+  /// and drained in a loop, but a burst of >backlog SYNs between two loop
+  /// iterations would otherwise be refused by the kernel.
+  int listen_backlog = 256;
+
+  // --- Reactor limits / backpressure --------------------------------------
+  /// Ceiling on concurrently open connections. Accepts beyond it are
+  /// answered with an immediate canned 503 + close instead of silently
+  /// queueing in the kernel.
+  int max_connections = 10000;
+  /// Ceiling on requests dispatched to workers but not yet answered.
+  /// Beyond it, fully parsed requests are shed with 503 + Retry-After on
+  /// a still-healthy keep-alive connection.
+  int max_queue_depth = 128;
+  /// Advertised in the Retry-After header of shed (503) responses.
+  int retry_after_seconds = 1;
+
+  // --- Timeouts (seconds, on the reactor's timer wheel) --------------------
+  /// First byte of a request to the end of its header block.
+  double header_timeout_seconds = 10.0;
+  /// First byte of a request to its full frame (headers + body). A
+  /// slow-drip client cannot extend it by trickling bytes.
+  double read_timeout_seconds = 10.0;
+  /// Progress stall while flushing a response (EAGAIN with no drain).
+  double write_timeout_seconds = 10.0;
+  /// Keep-alive idleness between requests.
+  double idle_timeout_seconds = 10.0;
+
+  // --- Parse limits --------------------------------------------------------
+  HttpLimits limits;
+
+  // --- Session-serving knobs (service::HttpFrontend) -----------------------
+  /// Idle sessions are evicted this many seconds after their last touch.
+  double session_ttl_seconds = 300.0;
+  /// Hard cap on live sessions; creation beyond it is ResourceExhausted.
+  int max_sessions = 64;
+
+  // --- Router knobs (net::Router) ------------------------------------------
+  /// Backend frontends as "host:port". Required non-empty for the router.
+  std::vector<std::string> backends;
+  /// Ring points per backend: more = smoother key spread.
+  int virtual_nodes = 64;
+  int eject_after_failures = 3;
+  double reprobe_seconds = 2.0;
+  /// Per proxied call (a fusion:run may compute for a while).
+  double proxy_timeout_seconds = 30.0;
+
+  /// Range-checks every knob; servers call it from Start() so a bad CLI
+  /// value fails loudly instead of producing a wedged reactor.
+  common::Status Validate() const;
+};
+
+/// Maps one CLI flag at argv[*index] onto `config`, consuming its value
+/// argument when present. Returns true when the flag was recognized and
+/// applied (with *index advanced past the value), false when the flag is
+/// not a server knob (the caller continues with command-specific flags),
+/// and InvalidArgument when a recognized flag is missing its value or the
+/// value does not parse. Shared by `crowdfusion_cli serve` and `route`:
+///   --host H --port N --threads N --listen-backlog N
+///   --max-connections N --queue-depth N --retry-after SECONDS
+///   --header-timeout S --read-timeout S --write-timeout S --idle-timeout S
+///   --max-header-bytes N --max-body-bytes N
+///   --session-ttl S --max-sessions N
+///   --backends host:port,host:port --virtual-nodes N --proxy-timeout S
+common::Result<bool> ApplyServerFlag(int argc, char** argv, int* index,
+                                     ServerConfig* config);
+
+/// One usage line per ApplyServerFlag knob, for the CLI help text.
+const char* ServerFlagUsage();
+
+}  // namespace crowdfusion::net
+
+#endif  // CROWDFUSION_NET_SERVER_CONFIG_H_

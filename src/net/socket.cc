@@ -115,6 +115,10 @@ void Socket::ShutdownBoth() {
   if (valid()) ::shutdown(fd_, SHUT_RDWR);
 }
 
+void Socket::ShutdownWrite() {
+  if (valid()) ::shutdown(fd_, SHUT_WR);
+}
+
 bool Socket::LooksClosed() const {
   if (!valid()) return true;
   char byte = 0;

@@ -42,6 +42,10 @@ class Socket {
   /// reader).
   void ShutdownBoth();
 
+  /// Half-closes the write side only (sends FIN; reads stay open) — the
+  /// client half of the reactor's half-close tests.
+  void ShutdownWrite();
+
   /// Non-blocking liveness probe (MSG_PEEK): true when the peer already
   /// closed or errored the connection. Used before reusing a keep-alive
   /// connection for a non-idempotent request, where a blind post-send
@@ -76,6 +80,7 @@ class Listener {
                                        int backlog = 64);
 
   bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
   /// The bound port (resolves port 0 to the kernel's pick).
   int port() const { return port_; }
 

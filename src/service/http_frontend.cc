@@ -43,16 +43,10 @@ HttpFrontend::HttpFrontend() : HttpFrontend(Options()) {}
 HttpFrontend::HttpFrontend(Options options)
     : options_(options),
       service_(FusionService::Config{.clock = options.clock}),
-      server_(
-          [this](const HttpRequest& request) { return Handle(request); },
-          [&options] {
-            net::HttpServer::Options server_options;
-            server_options.host = options.host;
-            server_options.port = options.port;
-            server_options.threads = options.threads;
-            server_options.limits = options.limits;
-            return server_options;
-          }()) {}
+      server_(net::SyncHandlerAdapter([this](const HttpRequest& request) {
+                return Handle(request);
+              }),
+              static_cast<const net::ServerConfig&>(options)) {}
 
 HttpFrontend::~HttpFrontend() { Stop(); }
 
@@ -93,6 +87,9 @@ HttpFrontend::Metrics HttpFrontend::GetMetrics() const {
   metrics.uptime_seconds =
       std::max(0.0, clock()->NowSeconds() - start_seconds_);
   metrics.connections_accepted = server_.connections_accepted();
+  metrics.connections_rejected = server_.connections_rejected();
+  metrics.requests_shed = server_.requests_shed();
+  metrics.connections_current = server_.connections_current();
   return metrics;
 }
 
@@ -165,6 +162,9 @@ net::HttpResponse HttpFrontend::Route(const HttpRequest& request) {
     body.Set("selection_compute_p95_ms", metrics.selection_compute_p95_ms);
     body.Set("uptime_seconds", metrics.uptime_seconds);
     body.Set("connections_accepted", metrics.connections_accepted);
+    body.Set("connections_rejected", metrics.connections_rejected);
+    body.Set("requests_shed", metrics.requests_shed);
+    body.Set("connections_current", metrics.connections_current);
     return JsonResponse(200, body);
   }
   if (target == "/v1/fusion:run") {

@@ -51,16 +51,9 @@ namespace crowdfusion::service {
 /// concurrently across sessions.
 class HttpFrontend {
  public:
-  struct Options {
-    std::string host = "127.0.0.1";
-    /// 0 = kernel-assigned (tests); the CLI default is 8080.
-    int port = 0;
-    int threads = 4;
-    /// Idle sessions are evicted this many seconds after their last touch.
-    double session_ttl_seconds = 300.0;
-    /// Hard cap on live sessions; creation beyond it is ResourceExhausted.
-    int max_sessions = 64;
-    net::HttpLimits limits;
+  /// The unified net::ServerConfig (bind, reactor limits, timeouts,
+  /// session TTL/cap) plus the frontend's injected collaborators.
+  struct Options : net::ServerConfig {
     /// Time source for TTL eviction, latency metrics, and the fusion
     /// service itself; nullptr means Clock::Real(). Borrowed.
     common::Clock* clock = nullptr;
@@ -111,6 +104,12 @@ class HttpFrontend {
     /// TCP connections the listener has accepted (net::HttpServer's
     /// counter; keep-alive means this is typically << requests_served).
     int64_t connections_accepted = 0;
+    /// Reactor backpressure gauges: connections bounced at accept (over
+    /// max_connections), requests answered with the canned shed 503 (over
+    /// max_queue_depth), and currently open connections.
+    int64_t connections_rejected = 0;
+    int64_t requests_shed = 0;
+    int connections_current = 0;
   };
   Metrics GetMetrics() const;
 

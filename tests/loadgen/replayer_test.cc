@@ -18,20 +18,21 @@ namespace {
 /// server.
 class ZeroLatencyServer {
  public:
-  ZeroLatencyServer() : server_([this](const net::HttpRequest& request) {
-    ++requests_;
-    net::HttpResponse response;
-    if (request.target == "/client-error") {
-      response.status_code = 404;
-    } else if (request.target == "/server-error") {
-      response.status_code = 503;
-    } else {
-      response.status_code = 200;
-    }
-    response.headers.push_back({"Content-Type", "application/json"});
-    response.body = "{}";
-    return response;
-  }, net::HttpServer::Options{}) {}
+  ZeroLatencyServer()
+      : server_(net::SyncHandlerAdapter([this](const net::HttpRequest& request) {
+          ++requests_;
+          net::HttpResponse response;
+          if (request.target == "/client-error") {
+            response.status_code = 404;
+          } else if (request.target == "/server-error") {
+            response.status_code = 503;
+          } else {
+            response.status_code = 200;
+          }
+          response.headers.push_back({"Content-Type", "application/json"});
+          response.body = "{}";
+          return response;
+        }), net::HttpServer::Options{}) {}
 
   common::Status Start() { return server_.Start(); }
   int port() const { return server_.port(); }

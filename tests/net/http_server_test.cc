@@ -39,7 +39,7 @@ HttpResponse EchoHandler(const HttpRequest& request) {
 }
 
 TEST(HttpServerTest, ServesOverEphemeralPort) {
-  HttpServer server(EchoHandler, EphemeralOptions());
+  HttpServer server(SyncHandlerAdapter(EchoHandler), EphemeralOptions());
   ASSERT_TRUE(server.Start().ok());
   ASSERT_GT(server.port(), 0);
 
@@ -52,15 +52,15 @@ TEST(HttpServerTest, ServesOverEphemeralPort) {
 }
 
 TEST(HttpServerTest, TwoEphemeralServersNeverCollide) {
-  HttpServer a(EchoHandler, EphemeralOptions());
-  HttpServer b(EchoHandler, EphemeralOptions());
+  HttpServer a(SyncHandlerAdapter(EchoHandler), EphemeralOptions());
+  HttpServer b(SyncHandlerAdapter(EchoHandler), EphemeralOptions());
   ASSERT_TRUE(a.Start().ok());
   ASSERT_TRUE(b.Start().ok());
   EXPECT_NE(a.port(), b.port());
 }
 
 TEST(HttpServerTest, KeepAliveReusesOneConnection) {
-  HttpServer server(EchoHandler, EphemeralOptions());
+  HttpServer server(SyncHandlerAdapter(EchoHandler), EphemeralOptions());
   ASSERT_TRUE(server.Start().ok());
   HttpClient client(ClientOptions(server.port()));
   for (int i = 0; i < 5; ++i) {
@@ -73,7 +73,7 @@ TEST(HttpServerTest, KeepAliveReusesOneConnection) {
 }
 
 TEST(HttpServerTest, ConcurrentClientsAllServed) {
-  HttpServer server(EchoHandler, EphemeralOptions());
+  HttpServer server(SyncHandlerAdapter(EchoHandler), EphemeralOptions());
   ASSERT_TRUE(server.Start().ok());
   constexpr int kThreads = 8;
   constexpr int kRequests = 16;
@@ -101,7 +101,7 @@ TEST(HttpServerTest, ConcurrentClientsAllServed) {
 TEST(HttpServerTest, OversizedHeadersAnswer431) {
   HttpServer::Options options = EphemeralOptions();
   options.limits.max_header_bytes = 256;
-  HttpServer server(EchoHandler, options);
+  HttpServer server(SyncHandlerAdapter(EchoHandler), options);
   ASSERT_TRUE(server.Start().ok());
   HttpClient client(ClientOptions(server.port()));
   HttpRequest request;
@@ -116,7 +116,7 @@ TEST(HttpServerTest, OversizedHeadersAnswer431) {
 TEST(HttpServerTest, OversizedBodyAnswers413) {
   HttpServer::Options options = EphemeralOptions();
   options.limits.max_body_bytes = 128;
-  HttpServer server(EchoHandler, options);
+  HttpServer server(SyncHandlerAdapter(EchoHandler), options);
   ASSERT_TRUE(server.Start().ok());
   HttpClient client(ClientOptions(server.port()));
   auto response = client.Post("/big", std::string(4096, 'b'));
@@ -125,7 +125,7 @@ TEST(HttpServerTest, OversizedBodyAnswers413) {
 }
 
 TEST(HttpServerTest, MalformedRequestAnswers400AndCloses) {
-  HttpServer server(EchoHandler, EphemeralOptions());
+  HttpServer server(SyncHandlerAdapter(EchoHandler), EphemeralOptions());
   ASSERT_TRUE(server.Start().ok());
   auto socket = ConnectTcp("127.0.0.1", server.port(), 5.0);
   ASSERT_TRUE(socket.ok()) << socket.status();
@@ -146,7 +146,8 @@ TEST(HttpServerTest, MalformedRequestAnswers400AndCloses) {
 TEST(HttpServerTest, SlowDripRequestIsCutOffAtTheRequestDeadline) {
   HttpServer::Options options = EphemeralOptions();
   options.read_timeout_seconds = 0.5;
-  HttpServer server(EchoHandler, options);
+  options.header_timeout_seconds = 0.5;
+  HttpServer server(SyncHandlerAdapter(EchoHandler), options);
   ASSERT_TRUE(server.Start().ok());
   auto socket = ConnectTcp("127.0.0.1", server.port(), 5.0);
   ASSERT_TRUE(socket.ok());
@@ -172,7 +173,7 @@ TEST(HttpServerTest, SlowDripRequestIsCutOffAtTheRequestDeadline) {
 }
 
 TEST(HttpServerTest, StopUnblocksIdleKeepAliveConnections) {
-  HttpServer server(EchoHandler, EphemeralOptions());
+  HttpServer server(SyncHandlerAdapter(EchoHandler), EphemeralOptions());
   ASSERT_TRUE(server.Start().ok());
   HttpClient client(ClientOptions(server.port()));
   ASSERT_TRUE(client.Get("/warm").ok());  // leaves a keep-alive conn open
@@ -186,7 +187,7 @@ TEST(HttpServerTest, StopUnblocksIdleKeepAliveConnections) {
 }
 
 TEST(HttpServerTest, StartAfterStopServesAgain) {
-  HttpServer server(EchoHandler, EphemeralOptions());
+  HttpServer server(SyncHandlerAdapter(EchoHandler), EphemeralOptions());
   ASSERT_TRUE(server.Start().ok());
   const int first_port = server.port();
   server.Stop();
@@ -201,7 +202,7 @@ TEST(HttpServerTest, StartAfterStopServesAgain) {
 }
 
 TEST(HttpServerTest, DoubleStartIsFailedPrecondition) {
-  HttpServer server(EchoHandler, EphemeralOptions());
+  HttpServer server(SyncHandlerAdapter(EchoHandler), EphemeralOptions());
   ASSERT_TRUE(server.Start().ok());
   EXPECT_EQ(server.Start().code(), common::StatusCode::kFailedPrecondition);
 }
@@ -223,7 +224,7 @@ TEST(HttpServerTest, ErrorEnvelopeBodiesAreAlwaysValidJson) {
   // Quotes, backslashes and control characters in those bytes must not
   // be able to corrupt the JSON error envelope — every 4xx body has to
   // round-trip through the JSON parser.
-  HttpServer server(EchoHandler, EphemeralOptions());
+  HttpServer server(SyncHandlerAdapter(EchoHandler), EphemeralOptions());
   ASSERT_TRUE(server.Start().ok());
   const std::vector<std::string> hostile = {
       "TH\"IS \\IS\" NOT\\ HTTP\r\n\r\n",
@@ -256,12 +257,12 @@ TEST(HttpServerTest, HandlerConnectionCloseEndsTheConnection) {
   // to drop the connection after the response — the server must not park
   // it for reuse, even though the client asked for keep-alive.
   HttpServer server(
-      [](const HttpRequest&) {
+      SyncHandlerAdapter([](const HttpRequest&) {
         HttpResponse response;
         response.body = "bye";
         response.headers.push_back({"Connection", "close"});
         return response;
-      },
+      }),
       EphemeralOptions());
   ASSERT_TRUE(server.Start().ok());
   auto socket = ConnectTcp("127.0.0.1", server.port(), 5.0);
